@@ -1,0 +1,212 @@
+//! Address × time heatmaps (paper Fig. 8).
+//!
+//! "The heatmaps show the distributions of access frequencies and reuse
+//! distances (D), where darker is higher" — a matrix whose rows bin a hot
+//! memory region's addresses and whose columns bin logical time; one
+//! variant accumulates access counts, the other mean reuse distance.
+
+use crate::reuse;
+use memgaze_model::{BlockSize, SampledTrace};
+use serde::{Deserialize, Serialize};
+
+/// A dense 2-D accumulation grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Address bins (rows).
+    pub rows: usize,
+    /// Time bins (columns).
+    pub cols: usize,
+    /// Row-major cell values.
+    pub data: Vec<f64>,
+    /// Address range covered `[lo, hi)`.
+    pub addr_range: (u64, u64),
+    /// Time range covered `[lo, hi)`.
+    pub time_range: (u64, u64),
+}
+
+impl Heatmap {
+    fn new(rows: usize, cols: usize, addr_range: (u64, u64), time_range: (u64, u64)) -> Heatmap {
+        Heatmap {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+            addr_range,
+            time_range,
+        }
+    }
+
+    fn bin(&self, addr: u64, time: u64) -> Option<(usize, usize)> {
+        let (alo, ahi) = self.addr_range;
+        let (tlo, thi) = self.time_range;
+        if addr < alo || addr >= ahi || time < tlo || time >= thi {
+            return None;
+        }
+        let r = ((addr - alo) as u128 * self.rows as u128 / (ahi - alo) as u128) as usize;
+        let c = ((time - tlo) as u128 * self.cols as u128 / (thi - tlo) as u128) as usize;
+        Some((r.min(self.rows - 1), c.min(self.cols - 1)))
+    }
+
+    /// Cell value at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Maximum cell value (the "darkest" cell).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Number of cells above `frac` of the maximum — a compact "dark
+    /// band" measure used to compare distributions (paper: "cc has fewer
+    /// and smaller dark bands").
+    pub fn dark_cells(&self, frac: f64) -> usize {
+        let cut = self.max() * frac;
+        if cut <= 0.0 {
+            return 0;
+        }
+        self.data.iter().filter(|&&v| v >= cut).count()
+    }
+
+    /// Render as a compact ASCII shade map (one char per cell) for
+    /// reports.
+    pub fn render_ascii(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let max = self.max();
+        let mut s = String::with_capacity(self.rows * (self.cols + 1));
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.at(r, c);
+                let idx = if max <= 0.0 {
+                    0
+                } else {
+                    ((v / max) * (SHADES.len() - 1) as f64).round() as usize
+                };
+                s.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Build the access-frequency and reuse-distance heatmaps of a region.
+///
+/// Returns `(access_counts, mean_reuse_distance)` heatmaps with the same
+/// shape. Cells of the reuse heatmap with no reuse events are zero.
+pub fn region_heatmaps(
+    trace: &SampledTrace,
+    region: (u64, u64),
+    rows: usize,
+    cols: usize,
+    bs: BlockSize,
+) -> (Heatmap, Heatmap) {
+    assert!(rows > 0 && cols > 0, "heatmap shape must be nonzero");
+    let tlo = trace
+        .accesses()
+        .map(|a| a.time)
+        .min()
+        .unwrap_or(0);
+    let thi = trace.accesses().map(|a| a.time).max().unwrap_or(0) + 1;
+    let mut acc_map = Heatmap::new(rows, cols, region, (tlo, thi));
+    let mut d_sum = Heatmap::new(rows, cols, region, (tlo, thi));
+    let mut d_cnt = Heatmap::new(rows, cols, region, (tlo, thi));
+
+    for s in &trace.samples {
+        for a in &s.accesses {
+            if let Some((r, c)) = acc_map.bin(a.addr.raw(), a.time) {
+                acc_map.data[r * cols + c] += 1.0;
+            }
+        }
+        let analysis = reuse::analyze_window(&s.accesses, bs);
+        for e in &analysis.events {
+            let a = &s.accesses[e.pos];
+            if let Some((r, c)) = d_sum.bin(a.addr.raw(), a.time) {
+                d_sum.data[r * cols + c] += e.distance as f64;
+                d_cnt.data[r * cols + c] += 1.0;
+            }
+        }
+    }
+    // Convert sums to means.
+    for i in 0..d_sum.data.len() {
+        if d_cnt.data[i] > 0.0 {
+            d_sum.data[i] /= d_cnt.data[i];
+        }
+    }
+    (acc_map, d_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_model::{Access, Sample, TraceMeta};
+
+    fn trace() -> SampledTrace {
+        let mut t = SampledTrace::new(TraceMeta::new("t", 1000, 8192));
+        let mut acc = Vec::new();
+        // Phase 1 (t 0..100): hammer block at 0x1000.
+        for i in 0..100u64 {
+            acc.push(Access::new(0x400u64, 0x1000u64, i));
+        }
+        // Phase 2 (t 100..200): stream 0x2000..0x2000+100*64.
+        for i in 0..100u64 {
+            acc.push(Access::new(0x400u64, 0x2000 + i * 64, 100 + i));
+        }
+        t.push_sample(Sample::new(acc, 200)).unwrap();
+        t
+    }
+
+    #[test]
+    fn access_heatmap_localizes_phases() {
+        let t = trace();
+        let (acc, _) = region_heatmaps(&t, (0x1000, 0x4000), 4, 2, BlockSize::CACHE_LINE);
+        assert_eq!(acc.total(), 200.0);
+        // Phase 1: row 0 (0x1000..0x1c00), col 0. All 100 accesses in one
+        // cell.
+        assert_eq!(acc.at(0, 0), 100.0);
+        assert_eq!(acc.at(0, 1), 0.0);
+        // Phase 2 lands in later rows, col 1.
+        let col1: f64 = (0..4).map(|r| acc.at(r, 1)).sum();
+        assert_eq!(col1, 100.0);
+    }
+
+    #[test]
+    fn reuse_heatmap_mean_distance() {
+        let t = trace();
+        let (_, d) = region_heatmaps(&t, (0x1000, 0x4000), 4, 2, BlockSize::CACHE_LINE);
+        // The hammered block reuses back-to-back: mean D = 0 everywhere,
+        // and streaming has no reuse → all zeros.
+        assert_eq!(d.max(), 0.0);
+    }
+
+    #[test]
+    fn dark_cells_measure() {
+        let t = trace();
+        let (acc, _) = region_heatmaps(&t, (0x1000, 0x4000), 4, 2, BlockSize::CACHE_LINE);
+        // Only one cell holds 100 accesses; at 90% of max only it counts.
+        assert_eq!(acc.dark_cells(0.9), 1);
+        assert!(acc.dark_cells(0.01) >= 2);
+    }
+
+    #[test]
+    fn out_of_region_accesses_ignored() {
+        let t = trace();
+        let (acc, _) = region_heatmaps(&t, (0x1000, 0x1400), 2, 2, BlockSize::CACHE_LINE);
+        assert_eq!(acc.total(), 100.0); // streaming phase excluded
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let t = trace();
+        let (acc, _) = region_heatmaps(&t, (0x1000, 0x4000), 3, 5, BlockSize::CACHE_LINE);
+        let s = acc.render_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 5));
+        assert!(s.contains('@'), "hottest cell must render dark");
+    }
+}

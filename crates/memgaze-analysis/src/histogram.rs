@@ -1,0 +1,216 @@
+//! Histograms and locality-vs-interval series.
+//!
+//! Supports the paper's histogram plots: reuse-distance distributions,
+//! and Fig. 9's "data locality of hot access intervals (intra-sample)" —
+//! average locality metrics as a function of access-interval size.
+
+use crate::diagnostics::FootprintDiagnostics;
+use crate::reuse;
+use memgaze_model::{AuxAnnotations, BlockSize, SampledTrace};
+use serde::{Deserialize, Serialize};
+
+/// A log₂-binned histogram of nonnegative values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    /// `bins[k]` counts values in `[2^(k-1), 2^k)`; `bins[0]` counts 0.
+    bins: Vec<u64>,
+    /// Total count.
+    count: u64,
+    /// Sum of raw values (for the mean).
+    sum: f64,
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// Insert a value.
+    pub fn insert(&mut self, v: u64) {
+        let bin = if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        };
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+        self.count += 1;
+        self.sum += v as f64;
+    }
+
+    /// Number of inserted values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of inserted values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// `(bin upper bound, count)` pairs for populated bins.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins.iter().enumerate().filter_map(|(k, &c)| {
+            (c > 0).then(|| (if k == 0 { 0 } else { 1u64 << (k - 1) }, c))
+        })
+    }
+
+    /// Value below which `q` of the mass lies (approximate, by bin upper
+    /// bound).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let target = (self.count as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (k, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if k == 0 { 0 } else { 1u64 << (k - 1) };
+            }
+        }
+        0
+    }
+}
+
+/// One point of the locality-vs-interval-size series (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityPoint {
+    /// Access-interval size in observed accesses.
+    pub interval: u64,
+    /// Mean spatio-temporal reuse distance D within intervals of this
+    /// size.
+    pub mean_d: f64,
+    /// Mean footprint growth within the intervals.
+    pub mean_delta_f: f64,
+    /// Mean footprint within the intervals, in blocks.
+    pub mean_f: f64,
+    /// Intervals measured.
+    pub windows: u64,
+}
+
+/// Intra-sample locality as a function of access-interval size: chop each
+/// sample into intervals of each requested size and average D and ΔF.
+pub fn locality_vs_interval(
+    trace: &SampledTrace,
+    annots: &AuxAnnotations,
+    reuse_block: BlockSize,
+    sizes: &[u64],
+) -> Vec<LocalityPoint> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let chunk = size.max(1) as usize;
+        let mut n = 0u64;
+        let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
+        for s in &trace.samples {
+            for w in s.accesses.chunks(chunk) {
+                if w.len() < chunk.div_ceil(2) {
+                    continue;
+                }
+                let r = reuse::analyze_window(w, reuse_block);
+                let d = FootprintDiagnostics::compute(w, annots, reuse_block);
+                n += 1;
+                sum_d += r.mean_distance();
+                sum_g += d.delta_f();
+                sum_f += d.footprint as f64;
+            }
+        }
+        if n > 0 {
+            out.push(LocalityPoint {
+                interval: size,
+                mean_d: sum_d / n as f64,
+                mean_delta_f: sum_g / n as f64,
+                mean_f: sum_f / n as f64,
+                windows: n,
+            });
+        }
+    }
+    out
+}
+
+/// Reuse-distance histogram over all intra-sample windows.
+pub fn reuse_distance_histogram(trace: &SampledTrace, bs: BlockSize) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for s in &trace.samples {
+        let r = reuse::analyze_window(&s.accesses, bs);
+        for e in &r.events {
+            h.insert(e.distance);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_model::{Access, Sample, TraceMeta};
+
+    #[test]
+    fn log2_bins() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.insert(v);
+        }
+        assert_eq!(h.count(), 8);
+        let bins: Vec<(u64, u64)> = h.iter().collect();
+        // 0 → bin 0; 1 → bin[1] (ub 1); 2,3 → bin[2] (ub 2); 4,7 → bin[3]
+        // (ub 4); 8 → bin[4] (ub 8); 1000 → bin[10] (ub 512).
+        assert_eq!(bins[0], (0, 1));
+        assert_eq!(bins[1], (1, 1));
+        assert_eq!(bins[2], (2, 2));
+        assert_eq!(bins[3], (4, 2));
+        assert_eq!(bins[4], (8, 1));
+        assert_eq!(bins[5], (512, 1));
+        assert!((h.mean() - 1025.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Log2Histogram::new();
+        for v in 0..100u64 {
+            h.insert(v);
+        }
+        assert!(h.quantile(0.5) <= 64);
+        assert!(h.quantile(1.0) >= 64);
+        assert_eq!(Log2Histogram::new().quantile(0.5), 0);
+    }
+
+    fn mk_trace(block_cycle: u64, w: usize) -> SampledTrace {
+        let mut t = SampledTrace::new(TraceMeta::new("t", 1000, 8192));
+        let accesses = (0..w)
+            .map(|i| Access::new(0x400u64, (i as u64 % block_cycle) * 64, i as u64))
+            .collect();
+        t.push_sample(Sample::new(accesses, w as u64)).unwrap();
+        t
+    }
+
+    #[test]
+    fn locality_series_grows_with_interval() {
+        // Cycling over 32 blocks: D within a window of ≥32 accesses is 31;
+        // smaller windows see smaller distances (only first-touches).
+        let t = mk_trace(32, 256);
+        let annots = AuxAnnotations::new();
+        let pts = locality_vs_interval(&t, &annots, BlockSize::CACHE_LINE, &[8, 64, 128]);
+        assert_eq!(pts.len(), 3);
+        // Interval 8 < cycle: no reuse at all.
+        assert_eq!(pts[0].mean_d, 0.0);
+        // Interval 64 and 128: reuse at distance 31.
+        assert!((pts[1].mean_d - 31.0).abs() < 1e-9, "{:?}", pts[1]);
+        assert!((pts[2].mean_d - 31.0).abs() < 1e-9);
+        // ΔF falls as windows grow (same 32 blocks, more accesses).
+        assert!(pts[2].mean_delta_f < pts[0].mean_delta_f);
+    }
+
+    #[test]
+    fn reuse_histogram_of_cyclic_trace() {
+        let t = mk_trace(16, 64);
+        let h = reuse_distance_histogram(&t, BlockSize::CACHE_LINE);
+        // 64 accesses cycling over 16 blocks → 48 reuses at distance 15.
+        assert_eq!(h.count(), 48);
+        assert!((h.mean() - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Multi-resolution memory and data-reuse analysis of sampled traces —
+//! the analysis half of MemGaze (paper §IV–§V).
+//!
+//! The analyses characterize locations vs. operations, accesses vs.
+//! spatio-temporal reuse, and reuse (distance, rate, volume) vs. access
+//! patterns:
+//!
+//! * [`footprint`] — footprint `F`, captures/survivals `C`/`S`,
+//!   estimated footprint `F̂` (Eq. 3) and growth `ΔF̂` (Eq. 4);
+//! * [`diagnostics`] — footprint access diagnostics (`F_str`, `F_irr`,
+//!   `ΔF_str%`, `A_const%`, §V-E);
+//! * [`reuse`] — reuse interval and exact spatio-temporal reuse distance
+//!   (`O(log n)` Fenwick algorithm) plus per-block summaries;
+//! * [`window`] — power-of-2 trace windows and per-function code windows
+//!   (§IV-B);
+//! * [`interval_tree`] — the execution interval tree (Fig. 4);
+//! * [`zoom`] — location zooming to hot memory regions (Fig. 5);
+//! * [`histogram`], [`heatmap`] — distribution views (Figs. 8–9);
+//! * [`mape`] — the Fig. 6 validation machinery;
+//! * [`confidence`] — undersampling detection (§VI-A's suggestion);
+//! * [`analyzer`] — a façade producing the paper's table shapes;
+//! * [`report`] — table rendering; [`par`] — crossbeam parallel helpers.
+
+pub mod analyzer;
+pub mod confidence;
+pub mod diagnostics;
+pub mod footprint;
+pub mod heatmap;
+pub mod histogram;
+pub mod interval_tree;
+pub mod mape;
+pub mod par;
+pub mod report;
+pub mod reuse;
+pub mod window;
+pub mod workingset;
+pub mod zoom;
+
+pub use analyzer::{AnalysisConfig, Analyzer, FunctionRow, IntervalRow, RegionRow};
+pub use confidence::Confidence;
+pub use diagnostics::FootprintDiagnostics;
+pub use footprint::{
+    captures_survivals, estimated_footprint, footprint, footprint_growth, CapturesSurvivals,
+    WindowKind,
+};
+pub use heatmap::{region_heatmaps, Heatmap};
+pub use histogram::{locality_vs_interval, reuse_distance_histogram, LocalityPoint, Log2Histogram};
+pub use interval_tree::{IntervalNode, IntervalTree, NodeKind};
+pub use mape::{compare_window_series, mape, pct_error, MapeReport};
+pub use report::{fmt_f3, fmt_pct, fmt_si, Table};
+pub use reuse::{analyze_window, analyze_window_naive, BlockReuse, ReuseAnalysis, ReuseEvent};
+pub use window::{pow2_sizes, window_series, CodeWindows, WindowPoint};
+pub use workingset::{working_set, WorkingSet};
+pub use zoom::{zoom_trace, zoom_trace_annotated, LocationZoom, RegionCode, ZoomConfig, ZoomRegion};

@@ -1,0 +1,141 @@
+//! Mean absolute percentage error (MAPE) and the Fig. 6 validation
+//! machinery: comparing metric histograms of sampled traces against full
+//! (or denser-sampled) baselines.
+
+use crate::window::WindowPoint;
+use serde::{Deserialize, Serialize};
+
+/// MAPE between paired series, in percent. Pairs whose actual value is
+/// zero are skipped (percentage error is undefined there); returns `None`
+/// when no valid pair exists.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Option<f64> {
+    assert_eq!(actual.len(), predicted.len(), "series must pair up");
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    (n > 0).then(|| 100.0 * sum / n as f64)
+}
+
+/// Per-metric MAPE of a window-series validation (the Fig. 6 series:
+/// F, F_str, F_irr).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MapeReport {
+    /// MAPE of footprint F, percent.
+    pub f: f64,
+    /// MAPE of strided footprint.
+    pub f_str: f64,
+    /// MAPE of irregular footprint.
+    pub f_irr: f64,
+    /// Window sizes that participated.
+    pub points: u64,
+}
+
+impl MapeReport {
+    /// Worst of the three metric errors.
+    pub fn worst(&self) -> f64 {
+        self.f.max(self.f_str).max(self.f_irr)
+    }
+}
+
+/// Compare two window series (matched by `target_size`); `baseline` is
+/// the full/denser trace, `sampled` the one under validation.
+pub fn compare_window_series(baseline: &[WindowPoint], sampled: &[WindowPoint]) -> MapeReport {
+    let mut base_f = Vec::new();
+    let mut samp_f = Vec::new();
+    let mut base_s = Vec::new();
+    let mut samp_s = Vec::new();
+    let mut base_i = Vec::new();
+    let mut samp_i = Vec::new();
+    let mut points = 0;
+    for b in baseline {
+        if let Some(s) = sampled.iter().find(|s| s.target_size == b.target_size) {
+            points += 1;
+            base_f.push(b.f);
+            samp_f.push(s.f);
+            base_s.push(b.f_str);
+            samp_s.push(s.f_str);
+            base_i.push(b.f_irr);
+            samp_i.push(s.f_irr);
+        }
+    }
+    MapeReport {
+        f: mape(&base_f, &samp_f).unwrap_or(0.0),
+        f_str: mape(&base_s, &samp_s).unwrap_or(0.0),
+        f_irr: mape(&base_i, &samp_i).unwrap_or(0.0),
+        points,
+    }
+}
+
+/// Scalar percentage error between two values (for code-window
+/// validation, where each function contributes one number).
+pub fn pct_error(actual: f64, predicted: f64) -> f64 {
+    if actual == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * ((predicted - actual) / actual).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::WindowKind;
+
+    #[test]
+    fn mape_basics() {
+        assert_eq!(mape(&[100.0], &[100.0]), Some(0.0));
+        assert_eq!(mape(&[100.0], &[110.0]), Some(10.0));
+        assert_eq!(mape(&[100.0, 200.0], &[90.0, 220.0]), Some(10.0));
+        // Zero actuals are skipped.
+        assert_eq!(mape(&[0.0, 100.0], &[5.0, 150.0]), Some(50.0));
+        assert_eq!(mape(&[0.0], &[5.0]), None);
+        assert_eq!(mape(&[], &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_series_panic() {
+        mape(&[1.0], &[]);
+    }
+
+    fn wp(size: u64, f: f64, s: f64, i: f64) -> WindowPoint {
+        WindowPoint {
+            target_size: size,
+            effective_size: size as f64,
+            windows: 1,
+            f,
+            f_str: s,
+            f_irr: i,
+            delta_f: 0.0,
+            kind: WindowKind::Intra,
+        }
+    }
+
+    #[test]
+    fn compare_series_matches_sizes() {
+        let base = vec![wp(16, 10.0, 8.0, 2.0), wp(32, 20.0, 16.0, 4.0)];
+        let samp = vec![wp(16, 11.0, 8.0, 3.0), wp(64, 99.0, 0.0, 0.0)];
+        let r = compare_window_series(&base, &samp);
+        assert_eq!(r.points, 1);
+        assert!((r.f - 10.0).abs() < 1e-9);
+        assert_eq!(r.f_str, 0.0);
+        assert!((r.f_irr - 50.0).abs() < 1e-9);
+        assert!((r.worst() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pct_error_edge_cases() {
+        assert_eq!(pct_error(0.0, 0.0), 0.0);
+        assert_eq!(pct_error(0.0, 1.0), 100.0);
+        assert!((pct_error(50.0, 45.0) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel per-sample analysis helpers.
+//!
+//! Sampled traces decompose naturally by sample; the per-sample work
+//! (reuse analysis, diagnostics) is embarrassingly parallel. These
+//! helpers shard work across crossbeam scoped threads while keeping the
+//! deterministic output order of the sequential code.
+
+/// Parallel map preserving input order. Falls back to a sequential map
+/// for small inputs where threading overhead dominates.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    const SEQ_CUTOFF: usize = 32;
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= SEQ_CUTOFF {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        // Split the output into per-thread windows so each thread owns a
+        // disjoint region — no locking on the hot path.
+        let mut rest: &mut [Option<U>] = &mut out;
+        let mut start = 0usize;
+        for chunk_items in items.chunks(chunk) {
+            let (head, tail) = rest.split_at_mut(chunk_items.len());
+            rest = tail;
+            let f = &f;
+            let base = start;
+            let _ = base;
+            scope.spawn(move |_| {
+                for (slot, item) in head.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+            start += chunk_items.len();
+        }
+    })
+    .expect("analysis worker panicked");
+
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+/// Default analysis parallelism: available cores capped at 8 (the
+/// per-sample work is memory-bound; more threads just thrash the cache).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, 4, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(par_map(&items, 8, |&x| x + 1), par_map(&items, 1, |&x| x + 1));
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = vec![];
+        assert!(par_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn uneven_chunks() {
+        let items: Vec<usize> = (0..101).collect();
+        let out = par_map(&items, 3, |&x| x);
+        assert_eq!(out.len(), 101);
+        assert_eq!(out[100], 100);
+    }
+
+    #[test]
+    fn threads_default_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

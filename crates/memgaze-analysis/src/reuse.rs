@@ -1,0 +1,370 @@
+//! Reuse interval and spatio-temporal reuse distance (paper §IV-A, §V-B).
+//!
+//! A *reuse interval* is the number of loads between two references to the
+//! same (block) address; *reuse distance* (stack distance) is the number
+//! of *unique* blocks in that interval. Reuse distance is computed
+//! exactly in `O(log n)` per access with a last-access map plus a Fenwick
+//! tree that marks the most recent position of each distinct block —
+//! querying the tree over `(last[b], now)` counts distinct blocks touched
+//! since the previous access to `b`.
+
+use memgaze_model::{Access, BlockSize};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fenwick (binary indexed) tree over access positions.
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Fenwick {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of `[0, i]`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of `(lo, hi]` with exclusive lower bound.
+    fn range_exclusive(&self, lo: usize, hi: usize) -> i64 {
+        self.prefix(hi) - self.prefix(lo)
+    }
+}
+
+/// One observed reuse: the access index, its block, interval, and distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseEvent {
+    /// Index of the reusing access within the window.
+    pub pos: usize,
+    /// The reused block number.
+    pub block: u64,
+    /// Loads since the previous access to this block (reuse interval).
+    pub interval: u64,
+    /// Unique blocks since the previous access to this block (reuse
+    /// distance).
+    pub distance: u64,
+}
+
+/// Exact per-window reuse analysis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseAnalysis {
+    /// All reuse events in access order.
+    pub events: Vec<ReuseEvent>,
+    /// Accesses analyzed.
+    pub accesses: usize,
+    /// Unique blocks (the window footprint at this block size).
+    pub unique_blocks: u64,
+}
+
+impl ReuseAnalysis {
+    /// Mean reuse distance over all reuse events (first-touches excluded),
+    /// or 0 when nothing is reused.
+    pub fn mean_distance(&self) -> f64 {
+        if self.events.is_empty() {
+            0.0
+        } else {
+            self.events.iter().map(|e| e.distance as f64).sum::<f64>() / self.events.len() as f64
+        }
+    }
+
+    /// Maximum reuse distance (the paper's "Max D"), or 0.
+    pub fn max_distance(&self) -> u64 {
+        self.events.iter().map(|e| e.distance).max().unwrap_or(0)
+    }
+
+    /// Mean reuse interval.
+    pub fn mean_interval(&self) -> f64 {
+        if self.events.is_empty() {
+            0.0
+        } else {
+            self.events.iter().map(|e| e.interval as f64).sum::<f64>() / self.events.len() as f64
+        }
+    }
+
+    /// Fraction of accesses that reuse a previously seen block.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.events.len() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Analyze reuse within one window (typically one sample — the paper
+/// prefers intra-sample calculation).
+pub fn analyze_window(accesses: &[Access], bs: BlockSize) -> ReuseAnalysis {
+    let n = accesses.len();
+    let mut fen = Fenwick::new(n);
+    let mut last: HashMap<u64, usize> = HashMap::with_capacity(n);
+    let mut events = Vec::new();
+
+    for (pos, a) in accesses.iter().enumerate() {
+        let b = a.addr.block(bs);
+        match last.get(&b).copied() {
+            Some(prev) => {
+                // Unique blocks strictly between prev and pos, plus... by
+                // convention D counts blocks *between* the pair, i.e.
+                // distinct blocks in (prev, pos) — 0 for back-to-back
+                // reuse.
+                let distance = if pos > prev + 1 {
+                    fen.range_exclusive(prev, pos - 1) as u64
+                } else {
+                    0
+                };
+                events.push(ReuseEvent {
+                    pos,
+                    block: b,
+                    interval: (pos - prev) as u64,
+                    distance,
+                });
+                // Move the block's marker to its new position.
+                fen.add(prev, -1);
+                fen.add(pos, 1);
+                last.insert(b, pos);
+            }
+            None => {
+                fen.add(pos, 1);
+                last.insert(b, pos);
+            }
+        }
+    }
+
+    ReuseAnalysis {
+        events,
+        accesses: n,
+        unique_blocks: last.len() as u64,
+    }
+}
+
+/// O(n²) oracle used by tests and property checks.
+pub fn analyze_window_naive(accesses: &[Access], bs: BlockSize) -> ReuseAnalysis {
+    let n = accesses.len();
+    let blocks: Vec<u64> = accesses.iter().map(|a| a.addr.block(bs)).collect();
+    let mut events = Vec::new();
+    for pos in 0..n {
+        // Find previous access to the same block.
+        if let Some(prev) = (0..pos).rev().find(|&p| blocks[p] == blocks[pos]) {
+            let between: std::collections::HashSet<u64> =
+                blocks[prev + 1..pos].iter().copied().collect();
+            let mut between = between;
+            between.remove(&blocks[pos]);
+            events.push(ReuseEvent {
+                pos,
+                block: blocks[pos],
+                interval: (pos - prev) as u64,
+                distance: between.len() as u64,
+            });
+        }
+    }
+    let unique: std::collections::HashSet<u64> = blocks.iter().copied().collect();
+    ReuseAnalysis {
+        events,
+        accesses: n,
+        unique_blocks: unique.len() as u64,
+    }
+}
+
+/// Per-block spatio-temporal reuse summary for location analysis
+/// (paper §IV-C2): `D(b)` is the mean unique blocks between subsequent
+/// accesses to block `b`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockReuse {
+    /// Per-block: (access count, sum of reuse distances, reuse count,
+    /// max reuse distance).
+    per_block: HashMap<u64, (u64, u64, u64, u64)>,
+}
+
+impl BlockReuse {
+    /// Build from a window's reuse analysis plus its accesses.
+    pub fn from_analysis(accesses: &[Access], bs: BlockSize, analysis: &ReuseAnalysis) -> BlockReuse {
+        let mut per_block: HashMap<u64, (u64, u64, u64, u64)> = HashMap::new();
+        for a in accesses {
+            per_block.entry(a.addr.block(bs)).or_default().0 += 1;
+        }
+        for e in &analysis.events {
+            let entry = per_block.entry(e.block).or_default();
+            entry.1 += e.distance;
+            entry.2 += 1;
+            entry.3 = entry.3.max(e.distance);
+        }
+        BlockReuse { per_block }
+    }
+
+    /// Merge another window's summary into this one (sample aggregation,
+    /// §IV-B).
+    pub fn merge(&mut self, other: &BlockReuse) {
+        for (b, (a, s, r, m)) in &other.per_block {
+            let e = self.per_block.entry(*b).or_default();
+            e.0 += a;
+            e.1 += s;
+            e.2 += r;
+            e.3 = e.3.max(*m);
+        }
+    }
+
+    /// Mean reuse distance of accesses to blocks in `[lo_block, hi_block)`.
+    pub fn region_mean_distance(&self, lo_block: u64, hi_block: u64) -> f64 {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for (b, (_, s, r, _)) in &self.per_block {
+            if *b >= lo_block && *b < hi_block {
+                sum += s;
+                n += r;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Accesses to blocks in `[lo_block, hi_block)`.
+    pub fn region_accesses(&self, lo_block: u64, hi_block: u64) -> u64 {
+        self.per_block
+            .iter()
+            .filter(|(b, _)| **b >= lo_block && **b < hi_block)
+            .map(|(_, (a, _, _, _))| a)
+            .sum()
+    }
+
+    /// Maximum reuse distance observed in `[lo_block, hi_block)` — the
+    /// paper's "Max D" column (Table IX).
+    pub fn region_max_distance(&self, lo_block: u64, hi_block: u64) -> u64 {
+        self.per_block
+            .iter()
+            .filter(|(b, _)| **b >= lo_block && **b < hi_block)
+            .map(|(_, (_, _, _, m))| *m)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Distinct blocks touched in `[lo_block, hi_block)`.
+    pub fn region_blocks(&self, lo_block: u64, hi_block: u64) -> u64 {
+        self.per_block
+            .keys()
+            .filter(|b| **b >= lo_block && **b < hi_block)
+            .count() as u64
+    }
+
+    /// Iterate `(block, accesses, mean_distance)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, f64)> + '_ {
+        self.per_block.iter().map(|(b, (a, s, r, _))| {
+            let d = if *r == 0 { 0.0 } else { *s as f64 / *r as f64 };
+            (*b, *a, d)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_model::Access;
+
+    fn seq(blocks: &[u64]) -> Vec<Access> {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Access::new(0x400u64, b * 64, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn simple_reuse_distances() {
+        // a b c a: reuse of a at distance 2 (b, c), interval 3.
+        let r = analyze_window(&seq(&[1, 2, 3, 1]), BlockSize::CACHE_LINE);
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].distance, 2);
+        assert_eq!(r.events[0].interval, 3);
+        assert_eq!(r.unique_blocks, 3);
+        assert_eq!(r.max_distance(), 2);
+    }
+
+    #[test]
+    fn back_to_back_reuse_is_distance_zero() {
+        let r = analyze_window(&seq(&[5, 5, 5]), BlockSize::CACHE_LINE);
+        assert_eq!(r.events.len(), 2);
+        assert!(r.events.iter().all(|e| e.distance == 0 && e.interval == 1));
+        assert_eq!(r.mean_distance(), 0.0);
+        assert_eq!(r.mean_interval(), 1.0);
+    }
+
+    #[test]
+    fn stack_distance_counts_unique_not_total() {
+        // a b b b a: interval 4 but only one distinct block between.
+        let r = analyze_window(&seq(&[1, 2, 2, 2, 1]), BlockSize::CACHE_LINE);
+        let a_reuse = r.events.iter().find(|e| e.block == 1).unwrap();
+        assert_eq!(a_reuse.interval, 4);
+        assert_eq!(a_reuse.distance, 1);
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_patterns() {
+        let patterns: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![7],
+            vec![1, 2, 3, 4, 1, 2, 3, 4],
+            vec![1, 1, 2, 1, 3, 1, 4, 1],
+            (0..64).map(|i| i % 8).collect(),
+            (0..100).map(|i| (i * 37) % 11).collect(),
+        ];
+        for p in patterns {
+            let a = seq(&p);
+            let fast = analyze_window(&a, BlockSize::CACHE_LINE);
+            let slow = analyze_window_naive(&a, BlockSize::CACHE_LINE);
+            assert_eq!(fast, slow, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn reuse_fraction() {
+        let r = analyze_window(&seq(&[1, 2, 1, 2]), BlockSize::CACHE_LINE);
+        assert!((r.reuse_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(analyze_window(&[], BlockSize::CACHE_LINE).reuse_fraction(), 0.0);
+    }
+
+    #[test]
+    fn block_reuse_region_queries() {
+        let a = seq(&[10, 11, 10, 20, 20, 11]);
+        let r = analyze_window(&a, BlockSize::CACHE_LINE);
+        let br = BlockReuse::from_analysis(&a, BlockSize::CACHE_LINE, &r);
+        assert_eq!(br.region_accesses(10, 12), 4);
+        assert_eq!(br.region_accesses(20, 21), 2);
+        assert_eq!(br.region_blocks(10, 21), 3);
+        // Block 20's reuse is back-to-back: D=0.
+        assert_eq!(br.region_mean_distance(20, 21), 0.0);
+        // Block 10 reused at distance 1; block 11 at distance 2.
+        let d = br.region_mean_distance(10, 12);
+        assert!((d - 1.5).abs() < 1e-12, "d={d}");
+    }
+
+    #[test]
+    fn block_reuse_merge_accumulates() {
+        let a1 = seq(&[1, 2, 1]);
+        let a2 = seq(&[1, 3, 1]);
+        let r1 = analyze_window(&a1, BlockSize::CACHE_LINE);
+        let r2 = analyze_window(&a2, BlockSize::CACHE_LINE);
+        let mut b = BlockReuse::from_analysis(&a1, BlockSize::CACHE_LINE, &r1);
+        b.merge(&BlockReuse::from_analysis(&a2, BlockSize::CACHE_LINE, &r2));
+        assert_eq!(b.region_accesses(1, 2), 4);
+        assert_eq!(b.region_blocks(0, 100), 3);
+    }
+}

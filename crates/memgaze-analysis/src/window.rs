@@ -1,0 +1,316 @@
+//! Trace windows and code windows (paper §IV-B, §VI-A).
+//!
+//! *Trace windows* chop the sampled access stream into fixed-size
+//! (power-of-2) windows and report metric histograms over window size —
+//! the Fig. 6 validation series. Windows smaller than a sample are exact
+//! intra-sample chunks; larger windows aggregate consecutive samples and
+//! scale estimates by ρ (Eq. 3, inter-window case).
+//!
+//! *Code windows* aggregate access runs by function over many samples,
+//! which "reduces blind spots and statistical error" — the second Fig. 6
+//! series, and the basis of the per-function hot-spot tables.
+
+use crate::diagnostics::FootprintDiagnostics;
+use crate::footprint::WindowKind;
+use memgaze_model::{Access, AuxAnnotations, BlockSize, DecompressionInfo, SampledTrace, SymbolTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One point of a metric-vs-window-size series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Requested window size in decompressed accesses.
+    pub target_size: u64,
+    /// Mean decompressed accesses actually covered per window.
+    pub effective_size: f64,
+    /// Number of windows measured.
+    pub windows: u64,
+    /// Mean (estimated) footprint in blocks.
+    pub f: f64,
+    /// Mean (estimated) strided footprint.
+    pub f_str: f64,
+    /// Mean (estimated) irregular footprint.
+    pub f_irr: f64,
+    /// Mean footprint growth.
+    pub delta_f: f64,
+    /// Whether the windows were intra- or inter-sample.
+    pub kind: WindowKind,
+}
+
+/// Power-of-two window sizes from `2^lo` to `2^hi` inclusive.
+pub fn pow2_sizes(lo: u32, hi: u32) -> Vec<u64> {
+    (lo..=hi).map(|k| 1u64 << k).collect()
+}
+
+/// Compute one intra-sample series point: chop every sample into chunks
+/// of `target/κ` observed accesses and average the diagnostics.
+fn intra_point(
+    trace: &SampledTrace,
+    annots: &AuxAnnotations,
+    bs: BlockSize,
+    target: u64,
+    kappa_global: f64,
+) -> Option<WindowPoint> {
+    let chunk_obs = ((target as f64 / kappa_global).round() as usize).max(1);
+    let mut n = 0u64;
+    let mut sum = [0.0f64; 5]; // f, f_str, f_irr, delta_f, eff_size
+    for s in &trace.samples {
+        for chunk in s.accesses.chunks(chunk_obs) {
+            if chunk.len() < chunk_obs.div_ceil(2) {
+                continue; // skip ragged tails smaller than half a window
+            }
+            let d = FootprintDiagnostics::compute(chunk, annots, bs);
+            n += 1;
+            sum[0] += d.footprint as f64;
+            sum[1] += d.f_str as f64;
+            sum[2] += d.f_irr as f64;
+            sum[3] += d.delta_f();
+            sum[4] += d.kappa * d.observed as f64;
+        }
+    }
+    (n > 0).then(|| WindowPoint {
+        target_size: target,
+        effective_size: sum[4] / n as f64,
+        windows: n,
+        f: sum[0] / n as f64,
+        f_str: sum[1] / n as f64,
+        f_irr: sum[2] / n as f64,
+        delta_f: sum[3] / n as f64,
+        kind: WindowKind::Intra,
+    })
+}
+
+/// Compute one inter-sample series point: group `k` consecutive samples,
+/// merge diagnostics, and scale footprints by ρ.
+fn inter_point(
+    trace: &SampledTrace,
+    annots: &AuxAnnotations,
+    bs: BlockSize,
+    target: u64,
+    rho: f64,
+    k: usize,
+) -> Option<WindowPoint> {
+    if trace.samples.is_empty() || k == 0 {
+        return None;
+    }
+    let mut n = 0u64;
+    let mut sum = [0.0f64; 5];
+    for group in trace.samples.chunks(k) {
+        let mut merged: Option<FootprintDiagnostics> = None;
+        for s in group {
+            let d = FootprintDiagnostics::compute(&s.accesses, annots, bs);
+            match &mut merged {
+                Some(m) => m.merge(&d),
+                None => merged = Some(d),
+            }
+        }
+        let d = merged?;
+        if d.observed == 0 {
+            continue;
+        }
+        n += 1;
+        sum[0] += rho * d.footprint as f64;
+        sum[1] += rho * d.f_str as f64;
+        sum[2] += rho * d.f_irr as f64;
+        sum[3] += d.delta_f();
+        sum[4] += group.len() as f64 * trace.meta.period as f64;
+    }
+    (n > 0).then(|| WindowPoint {
+        target_size: target,
+        effective_size: sum[4] / n as f64,
+        windows: n,
+        f: sum[0] / n as f64,
+        f_str: sum[1] / n as f64,
+        f_irr: sum[2] / n as f64,
+        delta_f: sum[3] / n as f64,
+        kind: WindowKind::Inter,
+    })
+}
+
+/// Metric-vs-window-size series over the given decompressed window sizes.
+pub fn window_series(
+    trace: &SampledTrace,
+    annots: &AuxAnnotations,
+    bs: BlockSize,
+    sizes: &[u64],
+) -> Vec<WindowPoint> {
+    let info = DecompressionInfo::from_trace(trace, annots);
+    let kappa = info.kappa();
+    let rho = info.rho();
+    // A window fits inside a sample while its decompressed size is below
+    // the mean decompressed sample window.
+    let mean_window_decomp = trace.mean_window() * kappa;
+    sizes
+        .iter()
+        .filter_map(|&target| {
+            if (target as f64) <= mean_window_decomp.max(1.0) {
+                intra_point(trace, annots, bs, target, kappa)
+            } else if trace.meta.period > 0 && target >= trace.meta.period {
+                let k = ((target as f64) / trace.meta.period as f64)
+                    .round()
+                    .max(1.0) as usize;
+                inter_point(trace, annots, bs, target, rho, k)
+            } else if trace.meta.period > 0 {
+                // The R2 blind spot (paper §IV-A): window sizes between
+                // the sample window w and the period w+z cannot be
+                // observed — neither a sample nor a sample group covers
+                // them.
+                None
+            } else {
+                // A full trace viewed as one sample: keep chunking it.
+                intra_point(trace, annots, bs, target, kappa)
+            }
+        })
+        .collect()
+}
+
+/// Access runs grouped by function — code windows.
+#[derive(Debug, Clone, Default)]
+pub struct CodeWindows {
+    /// Per function: concatenated accesses (in time order) and run count.
+    per_func: BTreeMap<u32, (String, Vec<Access>, u64)>,
+}
+
+impl CodeWindows {
+    /// Group a trace's accesses into code windows via the symbol table.
+    /// Accesses outside any known function are grouped under
+    /// `"<unknown>"` with id `u32::MAX`.
+    pub fn build(trace: &SampledTrace, symbols: &SymbolTable) -> CodeWindows {
+        let mut per_func: BTreeMap<u32, (String, Vec<Access>, u64)> = BTreeMap::new();
+        for s in &trace.samples {
+            let mut prev: Option<u32> = None;
+            for a in &s.accesses {
+                let (id, name) = match symbols.lookup(a.ip) {
+                    Some(f) => (f.id.0, f.name.clone()),
+                    None => (u32::MAX, "<unknown>".to_string()),
+                };
+                let entry = per_func.entry(id).or_insert_with(|| (name, Vec::new(), 0));
+                entry.1.push(*a);
+                if prev != Some(id) {
+                    entry.2 += 1; // a new run begins
+                }
+                prev = Some(id);
+            }
+        }
+        CodeWindows { per_func }
+    }
+
+    /// Iterate `(function name, accesses, runs)` sorted by function id.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Access], u64)> + '_ {
+        self.per_func
+            .values()
+            .map(|(n, a, r)| (n.as_str(), a.as_slice(), *r))
+    }
+
+    /// The accesses attributed to the named function.
+    pub fn function(&self, name: &str) -> Option<&[Access]> {
+        self.per_func
+            .values()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, a, _)| a.as_slice())
+    }
+
+    /// Number of functions with at least one access.
+    pub fn len(&self) -> usize {
+        self.per_func.len()
+    }
+
+    /// True when no accesses were attributed.
+    pub fn is_empty(&self) -> bool {
+        self.per_func.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_model::{Ip, Sample, TraceMeta};
+
+    fn trace_with_samples(nsamples: usize, w: usize, period: u64) -> SampledTrace {
+        let mut t = SampledTrace::new(TraceMeta::new("t", period, 8192));
+        t.meta.total_loads = nsamples as u64 * period;
+        for s in 0..nsamples {
+            let base = s as u64 * period;
+            let accesses = (0..w)
+                .map(|i| Access::new(0x400u64, (s * w + i) as u64 * 64, base + i as u64))
+                .collect();
+            t.push_sample(Sample::new(accesses, base + w as u64)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn pow2_sizes_cover_range() {
+        assert_eq!(pow2_sizes(4, 7), vec![16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn intra_windows_of_streaming_trace_have_full_footprint() {
+        // Every access in the synthetic trace touches a fresh block, so a
+        // window of W accesses has footprint W and ΔF = 1.
+        let t = trace_with_samples(4, 256, 10_000);
+        let annots = AuxAnnotations::new();
+        let pts = window_series(&t, &annots, BlockSize::CACHE_LINE, &[16, 64]);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.kind, WindowKind::Intra);
+            assert!((p.f - p.target_size as f64).abs() < 1e-9, "{p:?}");
+            assert!((p.delta_f - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inter_windows_scale_by_rho() {
+        let t = trace_with_samples(8, 100, 10_000);
+        let annots = AuxAnnotations::new();
+        // ρ = 8·10000 / 800 = 100. One-sample inter window: F̂ = 100·100.
+        let pts = window_series(&t, &annots, BlockSize::CACHE_LINE, &[10_000]);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].kind, WindowKind::Inter);
+        assert!((pts[0].f - 10_000.0).abs() < 1e-6, "{:?}", pts[0]);
+        assert_eq!(pts[0].windows, 8);
+    }
+
+    #[test]
+    fn windows_partition_accesses() {
+        let t = trace_with_samples(2, 128, 1000);
+        let annots = AuxAnnotations::new();
+        let pts = window_series(&t, &annots, BlockSize::CACHE_LINE, &[32]);
+        // 2 samples × 128/32 windows each.
+        assert_eq!(pts[0].windows, 8);
+        assert!((pts[0].effective_size - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn code_windows_group_by_function() {
+        let mut symbols = SymbolTable::new();
+        symbols.add_function("a", Ip(0x100), Ip(0x200), "a.c");
+        symbols.add_function("b", Ip(0x200), Ip(0x300), "a.c");
+        let mut t = SampledTrace::new(TraceMeta::new("t", 100, 8192));
+        // Runs: a a | b b | a — 3 runs, 2 functions + unknown.
+        let accesses = vec![
+            Access::new(Ip(0x100), 0u64, 0),
+            Access::new(Ip(0x110), 64u64, 1),
+            Access::new(Ip(0x210), 128u64, 2),
+            Access::new(Ip(0x220), 192u64, 3),
+            Access::new(Ip(0x120), 0u64, 4),
+            Access::new(Ip(0x999), 999u64, 5),
+        ];
+        t.push_sample(Sample::new(accesses, 6)).unwrap();
+        let cw = CodeWindows::build(&t, &symbols);
+        assert_eq!(cw.len(), 3);
+        assert_eq!(cw.function("a").unwrap().len(), 3);
+        assert_eq!(cw.function("b").unwrap().len(), 2);
+        assert_eq!(cw.function("<unknown>").unwrap().len(), 1);
+        let a_runs = cw.iter().find(|(n, _, _)| *n == "a").unwrap().2;
+        assert_eq!(a_runs, 2);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_points() {
+        let t = SampledTrace::new(TraceMeta::new("t", 100, 8192));
+        let pts = window_series(&t, &AuxAnnotations::new(), BlockSize::CACHE_LINE, &[16]);
+        assert!(pts.is_empty());
+        assert!(CodeWindows::build(&t, &SymbolTable::new()).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benches of the analysis kernels: reuse distance, footprint
+//! diagnostics, window series, zoom, and interval tree — the costs behind
+//! Table II's 'Analysis/2'.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memgaze_analysis::{
+    analyze_window, window_series, AnalysisConfig, Analyzer, FootprintDiagnostics,
+};
+use memgaze_model::{Access, AuxAnnotations, BlockSize, Sample, SampledTrace, SymbolTable, TraceMeta};
+
+/// A synthetic trace mixing a strided phase and a cyclic-reuse phase.
+fn synthetic_trace(samples: usize, window: usize) -> SampledTrace {
+    let mut t = SampledTrace::new(TraceMeta::new("bench", 10_000, 16 << 10));
+    t.meta.total_loads = (samples * 10_000) as u64;
+    for s in 0..samples {
+        let base = (s * 10_000) as u64;
+        let accesses: Vec<Access> = (0..window)
+            .map(|i| {
+                let addr = if i % 2 == 0 {
+                    0x10_0000 + ((s * window + i) as u64) * 64
+                } else {
+                    0x80_0000 + ((i % 64) as u64) * 64
+                };
+                Access::new(0x400u64 + (i as u64 % 16) * 4, addr, base + i as u64)
+            })
+            .collect();
+        t.push_sample(Sample::new(accesses, base + window as u64)).unwrap();
+    }
+    t
+}
+
+fn bench_reuse_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reuse_distance");
+    for window in [256usize, 1024, 4096] {
+        let t = synthetic_trace(1, window);
+        let accesses = t.samples[0].accesses.clone();
+        g.throughput(Throughput::Elements(window as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(window), &accesses, |b, a| {
+            b.iter(|| analyze_window(a, BlockSize::CACHE_LINE))
+        });
+    }
+    g.finish();
+}
+
+fn bench_diagnostics(c: &mut Criterion) {
+    let annots = AuxAnnotations::new();
+    let t = synthetic_trace(1, 4096);
+    let accesses = t.samples[0].accesses.clone();
+    c.bench_function("footprint_diagnostics_4096", |b| {
+        b.iter(|| FootprintDiagnostics::compute(&accesses, &annots, BlockSize::WORD))
+    });
+}
+
+fn bench_window_series(c: &mut Criterion) {
+    let annots = AuxAnnotations::new();
+    let t = synthetic_trace(64, 512);
+    let sizes = [16u64, 64, 256];
+    c.bench_function("window_series_64x512", |b| {
+        b.iter(|| window_series(&t, &annots, BlockSize::WORD, &sizes))
+    });
+}
+
+fn bench_full_analyzer(c: &mut Criterion) {
+    let annots = AuxAnnotations::new();
+    let symbols = SymbolTable::new();
+    let t = synthetic_trace(64, 512);
+    c.bench_function("analyzer_tables_64x512", |b| {
+        b.iter(|| {
+            let a = Analyzer::new(&t, &annots, &symbols).with_config(AnalysisConfig::default());
+            let rows = a.region_rows();
+            let intervals = a.interval_rows(8);
+            (rows.len(), intervals.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reuse_distance,
+    bench_diagnostics,
+    bench_window_series,
+    bench_full_analyzer
+);
+criterion_main!(benches);

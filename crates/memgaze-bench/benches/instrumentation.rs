@@ -1,0 +1,34 @@
+//! Criterion benches of static analysis + instrumentation (Table II's
+//! 'Instrument' column): classification, planning, and rewriting as a
+//! function of module size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memgaze_bench::synthetic_module;
+use memgaze_instrument::{Instrumenter, ModuleClassification};
+
+fn bench_classification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classification");
+    for procs in [8usize, 64, 256] {
+        let m = synthetic_module(procs, 30);
+        g.throughput(Throughput::Bytes(m.binary_size_bytes()));
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &m, |b, m| {
+            b.iter(|| ModuleClassification::analyze(m).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_instrumentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instrument");
+    for procs in [8usize, 64, 256] {
+        let m = synthetic_module(procs, 30);
+        g.throughput(Throughput::Bytes(m.binary_size_bytes()));
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &m, |b, m| {
+            b.iter(|| Instrumenter::default().instrument(m).stats.ptwrites_inserted)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_full_instrumentation);
+criterion_main!(benches);

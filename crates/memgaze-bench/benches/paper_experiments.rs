@@ -1,0 +1,83 @@
+//! Criterion wrappers around miniature versions of the paper
+//! experiments, so the cost of regenerating each table/figure is tracked
+//! over time. The full-size regenerations live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memgaze_analysis::{compare_window_series, pow2_sizes, window_series, AnalysisConfig};
+use memgaze_core::{trace_workload, MemGaze, PipelineConfig};
+use memgaze_ptsim::SamplerConfig;
+use memgaze_workloads::gap::{self, GapConfig, GapKernel};
+use memgaze_workloads::minivite::{self, MapVariant, MiniViteConfig};
+use memgaze_workloads::ubench::{MicroBench, OptLevel};
+
+/// Fig. 6 in miniature: validate one microbenchmark against its ground
+/// truth.
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_validation");
+    g.sample_size(10);
+    let bench = MicroBench::parse("str2|irr", 1024, 10, OptLevel::O3).unwrap();
+    let mut cfg = PipelineConfig::microbench();
+    cfg.sampler.period = 2_000;
+    g.bench_function("str2|irr-small", |b| {
+        b.iter(|| {
+            let mg = MemGaze::new(cfg.clone());
+            let report = mg.run_microbench(&bench).unwrap();
+            let truth = mg.microbench_ground_truth(&bench).unwrap();
+            let sizes = pow2_sizes(4, 7);
+            let fb = cfg.analysis.footprint_block;
+            let s = window_series(&report.trace, &report.instrumented.annots, fb, &sizes);
+            let full = truth.as_single_sample_trace();
+            let f = window_series(&full, &report.instrumented.annots, fb, &sizes);
+            compare_window_series(&f, &s).f
+        })
+    });
+    g.finish();
+}
+
+/// Table IV in miniature: one miniVite variant through the full stack.
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_minivite");
+    g.sample_size(10);
+    let mv = MiniViteConfig {
+        scale: 7,
+        degree: 6,
+        iterations: 1,
+        variant: MapVariant::V2,
+        seed: 42,
+        v2_default_capacity: 64,
+    };
+    g.bench_function("v2-small", |b| {
+        b.iter(|| {
+            let sampler = SamplerConfig::application(10_000);
+            let (report, _) = trace_workload("mv", &sampler, |s| minivite::run(s, &mv));
+            report.analyzer(AnalysisConfig::default()).function_table().len()
+        })
+    });
+    g.finish();
+}
+
+/// Table IX in miniature: one GAP kernel through region analysis.
+fn bench_table9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table9_gap");
+    g.sample_size(10);
+    let cfg = GapConfig {
+        scale: 8,
+        degree: 6,
+        kernel: GapKernel::Pr,
+        max_iters: 5,
+        seed: 9,
+    };
+    g.bench_function("pr-small", |b| {
+        b.iter(|| {
+            let sampler = SamplerConfig::application(10_000);
+            let (report, _) = trace_workload("gap", &sampler, |s| gap::run(s, &cfg));
+            let analyzer = report.analyzer(AnalysisConfig::default());
+            let (lo, hi) = report.label_range("o-score").unwrap();
+            analyzer.region_row_for(lo, hi).reuse_d
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6, bench_table4, bench_table9);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches of the collection path: stream-sampler feed rate
+//! and the interpreter + PT collector on instrumented microbenchmarks —
+//! the simulator-side cost behind paper Fig. 7's measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memgaze_core::{MemGaze, PipelineConfig};
+use memgaze_model::Ip;
+use memgaze_ptsim::{SamplerConfig, StreamSampler};
+use memgaze_workloads::ubench::{MicroBench, OptLevel};
+
+fn bench_stream_sampler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_sampler_feed");
+    for loads in [10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(loads));
+        g.bench_with_input(BenchmarkId::from_parameter(loads), &loads, |b, &n| {
+            b.iter(|| {
+                let mut cfg = SamplerConfig::application(5_000);
+                cfg.seed = 3;
+                let mut s = StreamSampler::new(cfg);
+                for t in 0..n {
+                    s.on_load(Ip(0x400), 0x10_0000 + (t % 4096) * 8, true, 1);
+                }
+                s.finish("bench").0.num_samples()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_microbench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("microbench_pipeline");
+    g.sample_size(10);
+    for name in ["str1", "irr"] {
+        let bench = MicroBench::parse(name, 1024, 5, OptLevel::O3).unwrap();
+        let mut cfg = PipelineConfig::microbench();
+        cfg.sampler.period = 2_000;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &bench, |b, bench| {
+            b.iter(|| {
+                MemGaze::new(cfg.clone())
+                    .run_microbench(bench)
+                    .unwrap()
+                    .trace
+                    .num_samples()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream_sampler, bench_microbench_pipeline);
+criterion_main!(benches);

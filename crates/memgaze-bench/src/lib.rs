@@ -1,0 +1,180 @@
+//! Shared machinery for the paper-experiment binaries and Criterion
+//! benches.
+//!
+//! Every table and figure of the paper's evaluation (§VI–§VII) has a
+//! binary under `src/bin/` that regenerates it on the simulated
+//! substrate; this library holds the common workload scales, the
+//! experiment output format (rendered table + machine-readable JSON under
+//! `experiments/`), and a synthetic-module generator used to reproduce
+//! the instrumentation-time-vs-binary-size curve of Table II.
+
+use memgaze_analysis::Table;
+use memgaze_isa::builder::{ModuleBuilder, ProcBuilder};
+use memgaze_isa::{AddrMode, CmpOp, LoadModule, Operand, Reg};
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+pub mod scales {
+    //! Workload scales for the experiment binaries.
+    //!
+    //! `MEMGAZE_SCALE=small` shrinks everything for smoke runs; the
+    //! default is sized so each binary completes in well under a minute.
+
+    /// Experiment scale knobs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scales {
+        /// Microbenchmark array elements.
+        pub micro_elems: u32,
+        /// Microbenchmark repetitions.
+        pub micro_reps: u32,
+        /// Graph scale (2^scale vertices) for miniVite/GAP.
+        pub graph_scale: u32,
+        /// Graph average degree.
+        pub degree: usize,
+        /// miniVite Louvain iterations.
+        pub louvain_iters: usize,
+        /// PageRank iteration budget.
+        pub pr_iters: usize,
+        /// Application sampling period (loads).
+        pub app_period: u64,
+        /// Microbenchmark sampling period (loads).
+        pub micro_period: u64,
+    }
+
+    /// Resolve from the `MEMGAZE_SCALE` environment variable.
+    pub fn from_env() -> Scales {
+        match std::env::var("MEMGAZE_SCALE").as_deref() {
+            Ok("small") => Scales {
+                micro_elems: 1024,
+                micro_reps: 10,
+                graph_scale: 8,
+                degree: 6,
+                louvain_iters: 1,
+                pr_iters: 6,
+                app_period: 10_000,
+                micro_period: 5_000,
+            },
+            Ok("large") => Scales {
+                micro_elems: 8192,
+                micro_reps: 100,
+                graph_scale: 13,
+                degree: 12,
+                louvain_iters: 3,
+                pr_iters: 12,
+                app_period: 200_000,
+                micro_period: 10_000,
+            },
+            _ => Scales {
+                micro_elems: 4096,
+                micro_reps: 50,
+                graph_scale: 10,
+                degree: 8,
+                louvain_iters: 2,
+                pr_iters: 9,
+                app_period: 50_000,
+                micro_period: 10_000,
+            },
+        }
+    }
+}
+
+/// Where experiment JSON lands.
+pub fn experiments_dir() -> PathBuf {
+    let dir = std::env::var("MEMGAZE_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("experiments"));
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Print a rendered table and persist the machine-readable payload as
+/// `experiments/<id>.json`.
+pub fn emit<T: Serialize>(id: &str, table: &Table, payload: &T) {
+    println!("{}", table.render());
+    let path = experiments_dir().join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(payload).expect("serialize experiment");
+    let mut f = std::fs::File::create(&path).expect("create experiment file");
+    f.write_all(json.as_bytes()).expect("write experiment file");
+    println!("[experiment data → {}]\n", path.display());
+}
+
+/// A synthetic load module with `procs` procedures of `loads_per_proc`
+/// mixed-class loads each — used to reproduce Table II's
+/// instrumentation-time-vs-binary-size behaviour at application binary
+/// sizes (miniVite ≈ 1.9 MB vs GAP ≈ 100 kB).
+pub fn synthetic_module(procs: usize, loads_per_proc: usize) -> LoadModule {
+    let mut mb = ModuleBuilder::new(format!("synthetic-{procs}x{loads_per_proc}"));
+    let base = mb.alloc_global("data", 512);
+    for p in 0..procs {
+        let mut pb = ProcBuilder::new(format!("f{p}"), "synth.c");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        let (i, a, x) = (Reg::gp(0), Reg::gp(1), Reg::gp(2));
+        pb.mov_imm(i, 0).mov_imm(a, base as i64);
+        pb.jmp(body);
+        pb.switch_to(body);
+        for l in 0..loads_per_proc {
+            match l % 3 {
+                0 => {
+                    // Strided.
+                    pb.load(x, AddrMode::base_index(a, i, 8, (l as i64) * 8));
+                }
+                1 => {
+                    // Irregular (through the loaded value).
+                    pb.load(x, AddrMode::base_disp(x, 0));
+                }
+                _ => {
+                    // Constant frame load.
+                    pb.load(x, AddrMode::base_disp(Reg::FP, -8 - (l as i64)));
+                }
+            }
+        }
+        pb.add_imm(i, 1);
+        pb.br(i, CmpOp::Lt, Operand::Imm(4), body, exit);
+        pb.switch_to(exit);
+        pb.ret();
+        mb.add(pb);
+    }
+    mb.finish()
+}
+
+/// Milliseconds elapsed running `f`, plus its result.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_instrument::Instrumenter;
+
+    #[test]
+    fn synthetic_module_scales_with_inputs() {
+        let small = synthetic_module(4, 9);
+        let big = synthetic_module(40, 9);
+        assert!(big.num_instrs() > 5 * small.num_instrs());
+        assert!(big.binary_size_bytes() > small.binary_size_bytes());
+        small.validate().unwrap();
+        // The instrumentor accepts it and finds all three classes.
+        let out = Instrumenter::default().instrument(&small);
+        assert!(out.stats.constant_loads > 0);
+        assert!(out.stats.strided_loads > 0);
+        assert!(out.stats.irregular_loads > 0);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (ms, v) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn scales_resolve() {
+        let s = scales::from_env();
+        assert!(s.micro_elems > 0 && s.graph_scale > 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! The end-to-end pipeline drivers.
+
+use crate::recorders::SamplerRecorder;
+use memgaze_analysis::{AnalysisConfig, Analyzer};
+use memgaze_instrument::{InstrumentConfig, Instrumented, Instrumenter};
+use memgaze_model::{AuxAnnotations, FullTrace, SampledTrace, SymbolTable};
+use memgaze_ptsim::{
+    BandwidthModel, OverheadModel, RunStats, SamplerConfig, StreamFull, StreamSampler, StreamStats,
+};
+use memgaze_workloads::ubench::MicroBench;
+use memgaze_workloads::{Allocation, FnRecorder, Phase, TracedSpace};
+use serde::{Deserialize, Serialize};
+
+/// Pipeline configuration: collection, instrumentation, analysis, and
+/// overhead-model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Processor-Tracing collection parameters.
+    pub sampler: SamplerConfig,
+    /// Instrumentor configuration (ROI, compression).
+    pub instrument: InstrumentConfig,
+    /// Analysis parameters.
+    pub analysis: AnalysisConfig,
+    /// Overhead-model constants.
+    pub overhead: OverheadModel,
+}
+
+impl PipelineConfig {
+    /// The paper's microbenchmark setup: 10-K-load period, 16-KiB buffer.
+    pub fn microbench() -> PipelineConfig {
+        PipelineConfig {
+            sampler: SamplerConfig::microbench(),
+            instrument: InstrumentConfig::default(),
+            analysis: AnalysisConfig::default(),
+            overhead: OverheadModel::default(),
+        }
+    }
+
+    /// The paper's application setup: large period, 8-KiB buffer.
+    pub fn application(period: u64) -> PipelineConfig {
+        PipelineConfig {
+            sampler: SamplerConfig::application(period),
+            instrument: InstrumentConfig::default(),
+            analysis: AnalysisConfig::default(),
+            overhead: OverheadModel::default(),
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::microbench()
+    }
+}
+
+/// Result of tracing an IR microbenchmark.
+pub struct MicroReport {
+    /// The decoded sampled trace.
+    pub trace: SampledTrace,
+    /// Instrumentation side tables (annotations keyed by original ip).
+    pub instrumented: Instrumented,
+    /// Run statistics (exec + packets).
+    pub run: RunStats,
+}
+
+impl MicroReport {
+    /// An analyzer over this report.
+    pub fn analyzer(&self, cfg: AnalysisConfig) -> Analyzer<'_> {
+        Analyzer::new(
+            &self.trace,
+            &self.instrumented.annots,
+            &self.instrumented.orig_symbols,
+        )
+        .with_config(cfg)
+    }
+}
+
+/// Result of tracing a native workload.
+pub struct WorkloadReport {
+    /// The sampled trace.
+    pub trace: SampledTrace,
+    /// Annotation file from the site registry.
+    pub annots: AuxAnnotations,
+    /// Symbols from the site registry.
+    pub symbols: SymbolTable,
+    /// Per-phase execution counters.
+    pub phases: Vec<Phase>,
+    /// Collection statistics.
+    pub stream: StreamStats,
+    /// Simulated allocations (object → address range).
+    pub allocations: Vec<Allocation>,
+}
+
+impl WorkloadReport {
+    /// An analyzer over this report.
+    pub fn analyzer(&self, cfg: AnalysisConfig) -> Analyzer<'_> {
+        Analyzer::new(&self.trace, &self.annots, &self.symbols).with_config(cfg)
+    }
+
+    /// Address range of the most recent allocation with `label`.
+    pub fn object_range(&self, label: &str) -> Option<(u64, u64)> {
+        self.allocations
+            .iter()
+            .rev()
+            .find(|a| a.label == label)
+            .map(|a| (a.base, a.base + a.bytes))
+    }
+
+    /// Address range covering *all* allocations with `label`.
+    pub fn label_range(&self, label: &str) -> Option<(u64, u64)> {
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for a in self.allocations.iter().filter(|a| a.label == label) {
+            lo = lo.min(a.base);
+            hi = hi.max(a.base + a.bytes);
+        }
+        (lo < hi).then_some((lo, hi))
+    }
+}
+
+/// Result of full-trace collection over a workload.
+pub struct FullWorkloadReport {
+    /// The full trace ('Rec' when a bandwidth model dropped packets,
+    /// 'All' otherwise).
+    pub trace: FullTrace,
+    /// Annotation file.
+    pub annots: AuxAnnotations,
+    /// Symbols.
+    pub symbols: SymbolTable,
+    /// Per-phase counters.
+    pub phases: Vec<Phase>,
+    /// Allocations.
+    pub allocations: Vec<Allocation>,
+}
+
+/// Interpreter step budget for profiling and collection runs.
+pub(crate) const MAX_INSTRS: u64 = 2_000_000_000;
+
+/// The pipeline façade.
+pub struct MemGaze {
+    cfg: PipelineConfig,
+}
+
+impl MemGaze {
+    /// A pipeline with the given configuration.
+    pub fn new(cfg: PipelineConfig) -> MemGaze {
+        MemGaze { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Run a microbenchmark end-to-end on the IR path: generate,
+    /// instrument (`ptwrite` insertion), execute, collect, decode.
+    pub fn run_microbench(
+        &self,
+        bench: &MicroBench,
+    ) -> Result<MicroReport, Box<dyn std::error::Error>> {
+        let module = bench.module();
+        let inst = Instrumenter::new(self.cfg.instrument.clone()).instrument(&module);
+        let main = inst
+            .module
+            .find_proc("main")
+            .ok_or("generated module lacks a main procedure")?;
+        let (trace, run, _outcome) = memgaze_ptsim::collect_sampled(
+            &inst,
+            main,
+            self.cfg.sampler.clone(),
+            &bench.name(),
+        )?;
+        Ok(MicroReport {
+            trace,
+            instrumented: inst,
+            run,
+        })
+    }
+
+    /// Ground-truth full trace of a microbenchmark (validation baseline).
+    pub fn microbench_ground_truth(
+        &self,
+        bench: &MicroBench,
+    ) -> Result<FullTrace, Box<dyn std::error::Error>> {
+        let module = bench.module();
+        let main = module
+            .find_proc("main")
+            .ok_or("generated module lacks a main procedure")?;
+        let (trace, _stats) = memgaze_ptsim::ground_truth(&module, main, &bench.name())?;
+        Ok(trace)
+    }
+}
+
+/// Trace a native workload through the sampled collector. The closure
+/// receives the traced space and performs the workload; its return value
+/// is passed through.
+pub fn trace_workload<T>(
+    name: &str,
+    cfg: &SamplerConfig,
+    run: impl FnOnce(&mut TracedSpace<SamplerRecorder>) -> T,
+) -> (WorkloadReport, T) {
+    let recorder = SamplerRecorder::new(StreamSampler::new(cfg.clone()));
+    let mut space = TracedSpace::new(recorder);
+    let value = run(&mut space);
+    let annots = space.annotations();
+    let symbols = space.symbols();
+    let phases = space.phases().to_vec();
+    let allocations = space.allocations().to_vec();
+    let recorder = space.into_recorder();
+    let (trace, stream) = recorder.sampler.finish(name);
+    (
+        WorkloadReport {
+            trace,
+            annots,
+            symbols,
+            phases,
+            stream,
+            allocations,
+        },
+        value,
+    )
+}
+
+/// Collect a full trace of a native workload ('Rec' with a bandwidth
+/// model, 'All' with `None`).
+pub fn full_trace_workload<T>(
+    name: &str,
+    bw: Option<BandwidthModel>,
+    compress: bool,
+    run: impl FnOnce(&mut TracedSpace<crate::recorders::FullRecorder>) -> T,
+) -> (FullWorkloadReport, T) {
+    let full = match bw {
+        Some(b) => StreamFull::new(b),
+        None => StreamFull::unlimited(),
+    };
+    let mut space = TracedSpace::new(crate::recorders::FullRecorder::new(full));
+    space.set_compress(compress);
+    let value = run(&mut space);
+    let annots = space.annotations();
+    let symbols = space.symbols();
+    let phases = space.phases().to_vec();
+    let allocations = space.allocations().to_vec();
+    let trace = space.into_recorder().full.finish(name);
+    (
+        FullWorkloadReport {
+            trace,
+            annots,
+            symbols,
+            phases,
+            allocations,
+        },
+        value,
+    )
+}
+
+/// Count a workload's loads without collecting anything (used to size
+/// sampling periods).
+pub fn dry_run_loads<T>(run: impl FnOnce(&mut TracedSpace<FnRecorder<fn(memgaze_model::Ip, u64, bool, u8)>>) -> T) -> (u64, T) {
+    fn nop(_: memgaze_model::Ip, _: u64, _: bool, _: u8) {}
+    let mut space = TracedSpace::new(FnRecorder(nop as fn(memgaze_model::Ip, u64, bool, u8)));
+    let value = run(&mut space);
+    (space.counters().loads, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_workloads::minivite::{self, MapVariant, MiniViteConfig};
+    use memgaze_workloads::ubench::{MicroBench, OptLevel};
+
+    #[test]
+    fn microbench_pipeline_end_to_end() {
+        let bench = MicroBench::parse("str2|irr", 1024, 10, OptLevel::O3).unwrap();
+        let mut cfg = PipelineConfig::microbench();
+        cfg.sampler.period = 2000;
+        let report = MemGaze::new(cfg.clone()).run_microbench(&bench).unwrap();
+        assert!(report.trace.num_samples() > 1);
+        assert!(report.run.exec.ptwrites > 0);
+
+        let analyzer = report.analyzer(cfg.analysis);
+        let rows = analyzer.function_table();
+        assert!(rows.iter().any(|r| r.name == "kernel"));
+        // The kernel mixes strided and irregular loads.
+        let kernel = rows.iter().find(|r| r.name == "kernel").unwrap();
+        assert!(kernel.f_str_pct > 0.0 && kernel.f_str_pct < 100.0);
+    }
+
+    #[test]
+    fn workload_pipeline_end_to_end() {
+        let mut cfg = SamplerConfig::application(20_000);
+        cfg.seed = 9;
+        let mv = MiniViteConfig {
+            scale: 7,
+            degree: 6,
+            iterations: 1,
+            variant: MapVariant::V2,
+            seed: 3,
+            v2_default_capacity: 64,
+        };
+        let (report, result) = trace_workload("miniVite-v2", &cfg, |space| {
+            minivite::run(space, &mv)
+        });
+        assert!(!result.communities.is_empty());
+        assert!(report.trace.num_samples() > 0);
+        assert!(report.stream.total_loads > 20_000);
+        assert_eq!(report.phases.len(), 3);
+        assert!(report.label_range("map").is_some());
+
+        let analyzer = report.analyzer(AnalysisConfig::default());
+        let rows = analyzer.function_table();
+        assert!(
+            rows.iter().any(|r| r.name == "map.insert"),
+            "hot functions: {:?}",
+            rows.iter().map(|r| r.name.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn full_and_sampled_see_same_stream() {
+        let mv = MiniViteConfig {
+            scale: 6,
+            degree: 4,
+            iterations: 1,
+            variant: MapVariant::V1,
+            seed: 3,
+            v2_default_capacity: 64,
+        };
+        let (full, _) = full_trace_workload("mv", None, true, |s| minivite::run(s, &mv));
+        let (loads, _) = dry_run_loads(|s| minivite::run(s, &mv));
+        assert_eq!(full.trace.meta.total_loads, loads);
+        assert!(full.trace.accesses.len() as u64 <= loads);
+        assert_eq!(full.trace.dropped, 0);
+    }
+
+    #[test]
+    fn uncompressed_full_trace_is_larger() {
+        let mv = MiniViteConfig {
+            scale: 6,
+            degree: 4,
+            iterations: 1,
+            variant: MapVariant::V1,
+            seed: 3,
+            v2_default_capacity: 64,
+        };
+        let (comp, _) = full_trace_workload("mv", None, true, |s| minivite::run(s, &mv));
+        let (unc, _) = full_trace_workload("mv", None, false, |s| minivite::run(s, &mv));
+        // miniVite's sites are all non-constant here, so the counts can
+        // tie; the uncompressed trace must never be smaller.
+        assert!(unc.trace.accesses.len() >= comp.trace.accesses.len());
+    }
+}

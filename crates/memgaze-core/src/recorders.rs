@@ -1,0 +1,101 @@
+//! Bridges between the workloads' [`LoadRecorder`] trait and the
+//! Processor-Tracing stream collectors.
+
+use memgaze_model::Ip;
+use memgaze_ptsim::{StreamFull, StreamSampler};
+use memgaze_workloads::LoadRecorder;
+
+/// Routes workload loads into the sampled PT collector.
+pub struct SamplerRecorder {
+    /// The wrapped sampler.
+    pub sampler: StreamSampler,
+}
+
+impl SamplerRecorder {
+    /// Wrap a sampler.
+    pub fn new(sampler: StreamSampler) -> SamplerRecorder {
+        SamplerRecorder { sampler }
+    }
+}
+
+impl LoadRecorder for SamplerRecorder {
+    fn record(&mut self, ip: Ip, addr: u64, instrumented: bool, packets: u8) {
+        self.sampler.on_load(ip, addr, instrumented, packets);
+    }
+}
+
+/// Routes workload loads into the full-trace collector.
+pub struct FullRecorder {
+    /// The wrapped collector.
+    pub full: StreamFull,
+}
+
+impl FullRecorder {
+    /// Wrap a full collector.
+    pub fn new(full: StreamFull) -> FullRecorder {
+        FullRecorder { full }
+    }
+}
+
+impl LoadRecorder for FullRecorder {
+    fn record(&mut self, ip: Ip, addr: u64, instrumented: bool, packets: u8) {
+        self.full.on_load(ip, addr, instrumented, packets);
+    }
+}
+
+/// Fan-out to two recorders (e.g. sampled + full in a single run, so the
+/// validation baseline sees the identical load stream).
+pub struct TeeRecorder<A: LoadRecorder, B: LoadRecorder> {
+    /// First target.
+    pub a: A,
+    /// Second target.
+    pub b: B,
+}
+
+impl<A: LoadRecorder, B: LoadRecorder> TeeRecorder<A, B> {
+    /// Tee to `a` and `b`.
+    pub fn new(a: A, b: B) -> TeeRecorder<A, B> {
+        TeeRecorder { a, b }
+    }
+}
+
+impl<A: LoadRecorder, B: LoadRecorder> LoadRecorder for TeeRecorder<A, B> {
+    fn record(&mut self, ip: Ip, addr: u64, instrumented: bool, packets: u8) {
+        self.a.record(ip, addr, instrumented, packets);
+        self.b.record(ip, addr, instrumented, packets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_ptsim::SamplerConfig;
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut cfg = SamplerConfig::microbench();
+        cfg.period = 100;
+        let tee = TeeRecorder::new(
+            SamplerRecorder::new(StreamSampler::new(cfg)),
+            FullRecorder::new(StreamFull::unlimited()),
+        );
+        let mut tee = tee;
+        for t in 0..1000u64 {
+            tee.record(Ip(0x400), t * 64, true, 1);
+        }
+        let (trace, stats) = tee.a.sampler.finish("t");
+        let full = tee.b.full.finish("t");
+        assert_eq!(stats.total_loads, 1000);
+        assert_eq!(full.accesses.len(), 1000);
+        assert!(trace.num_samples() >= 9);
+        // Sampled accesses are a subset of full accesses by (time, addr).
+        let set: std::collections::HashSet<(u64, u64)> = full
+            .accesses
+            .iter()
+            .map(|a| (a.time, a.addr.raw()))
+            .collect();
+        for a in trace.accesses() {
+            assert!(set.contains(&(a.time, a.addr.raw())));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Proxy selection and the instrumentation plan (paper §III-B, Fig. 2).
+//!
+//! Per basic block: Strided and Irregular loads are always instrumented;
+//! Constant loads are never instrumented directly. Their execution count
+//! is implied by a *proxy* — a Strided/Irregular load in the same block if
+//! one exists, otherwise the block's first Constant load (which is then
+//! instrumented itself). The proxy's annotation carries the number of
+//! implied Constant loads, making the compression non-lossy.
+
+use crate::classify::ModuleClassification;
+use crate::InstrumentConfig;
+use memgaze_isa::{AddrKind, LoadModule};
+use memgaze_model::Ip;
+use std::collections::BTreeMap;
+
+/// What the plan decides for one static load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedLoad {
+    /// Whether a `ptwrite` (per source register) precedes this load.
+    pub instrument: bool,
+    /// Constant loads this load stands proxy for (0 for non-proxies).
+    pub implied_const: u32,
+}
+
+/// The full instrumentation plan, keyed by original load address.
+#[derive(Debug, Clone, Default)]
+pub struct InstrPlan {
+    decisions: BTreeMap<Ip, PlannedLoad>,
+}
+
+impl InstrPlan {
+    /// Build the plan for `module` under `config`.
+    pub fn build(
+        module: &LoadModule,
+        classification: &ModuleClassification,
+        config: &InstrumentConfig,
+    ) -> InstrPlan {
+        let layout = module.layout();
+        let mut decisions = BTreeMap::new();
+
+        for proc in &module.procs {
+            let in_roi = config.in_roi(&proc.name);
+            for block in &proc.blocks {
+                // Gather this block's loads in order. A load with no
+                // source register (global-absolute addressing) cannot be
+                // `ptwrite`n without an extra register, which the paper's
+                // scheme deliberately avoids (§III-A); such loads are only
+                // ever implied by a proxy.
+                let loads: Vec<(Ip, AddrKind, usize)> = block
+                    .load_positions()
+                    .map(|idx| {
+                        let ip = layout.ip_of(proc.id, block.id, idx);
+                        let cl = classification.get(ip).expect("classified load");
+                        (ip, cl.kind, cl.num_sources)
+                    })
+                    .collect();
+                if loads.is_empty() {
+                    continue;
+                }
+                if !in_roi {
+                    for (ip, _, _) in loads {
+                        decisions.insert(
+                            ip,
+                            PlannedLoad {
+                                instrument: false,
+                                implied_const: 0,
+                            },
+                        );
+                    }
+                    continue;
+                }
+                if !config.compresses() {
+                    // Uncompressed: every instrumentable load is
+                    // instrumented, none imply others.
+                    for (ip, _, srcs) in loads {
+                        decisions.insert(
+                            ip,
+                            PlannedLoad {
+                                instrument: srcs > 0,
+                                implied_const: 0,
+                            },
+                        );
+                    }
+                    continue;
+                }
+
+                let const_count = loads
+                    .iter()
+                    .filter(|(_, k, _)| *k == AddrKind::Constant)
+                    .count() as u32;
+                // Proxy preference (Fig. 2): first instrumentable
+                // Strided/Irregular load, else first instrumentable
+                // Constant load.
+                let proxy_pos = loads
+                    .iter()
+                    .position(|(_, k, s)| !matches!(k, AddrKind::Constant) && *s > 0)
+                    .or_else(|| {
+                        loads
+                            .iter()
+                            .position(|(_, k, s)| matches!(k, AddrKind::Constant) && *s > 0)
+                    });
+
+                for (i, (ip, k, srcs)) in loads.iter().enumerate() {
+                    let is_proxy = proxy_pos == Some(i);
+                    // Strided/Irregular loads are always instrumented when
+                    // possible; a Constant load only when it is the proxy.
+                    let instrument = match k {
+                        AddrKind::Constant => is_proxy,
+                        _ => *srcs > 0,
+                    };
+                    // The proxy implies all Constant loads in the block —
+                    // minus itself when the proxy *is* a Constant load
+                    // (its own execution is observed directly).
+                    let implied_const = if is_proxy {
+                        if matches!(k, AddrKind::Constant) {
+                            const_count.saturating_sub(1)
+                        } else {
+                            const_count
+                        }
+                    } else {
+                        0
+                    };
+                    decisions.insert(
+                        *ip,
+                        PlannedLoad {
+                            instrument,
+                            implied_const,
+                        },
+                    );
+                }
+            }
+        }
+        InstrPlan { decisions }
+    }
+
+    /// The decision for the load at `ip`.
+    pub fn get(&self, ip: Ip) -> Option<PlannedLoad> {
+        self.decisions.get(&ip).copied()
+    }
+
+    /// Iterate all decisions in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ip, &PlannedLoad)> + '_ {
+        self.decisions.iter()
+    }
+
+    /// Number of instrumented loads.
+    pub fn num_instrumented(&self) -> u64 {
+        self.decisions.values().filter(|d| d.instrument).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_isa::builder::{ModuleBuilder, ProcBuilder};
+    use memgaze_isa::{AddrMode, Reg};
+
+    /// A straight-line proc: [const, const, irregular, const].
+    fn mixed_block_module() -> LoadModule {
+        let mut mb = ModuleBuilder::new("m");
+        let mut pb = ProcBuilder::new("f", "f.c");
+        pb.load(Reg::gp(0), AddrMode::base_disp(Reg::FP, -8));
+        pb.load(Reg::gp(1), AddrMode::base_disp(Reg::FP, -16));
+        pb.load(Reg::gp(2), AddrMode::base_disp(Reg::gp(0), 0));
+        pb.load(Reg::gp(3), AddrMode::base_disp(Reg::FP, -24));
+        pb.ret();
+        mb.add(pb);
+        mb.finish()
+    }
+
+    /// A straight-line proc with only constant loads.
+    fn const_only_module() -> LoadModule {
+        let mut mb = ModuleBuilder::new("m");
+        let mut pb = ProcBuilder::new("f", "f.c");
+        pb.load(Reg::gp(0), AddrMode::base_disp(Reg::FP, -8));
+        pb.load(Reg::gp(1), AddrMode::base_disp(Reg::FP, -16));
+        pb.load(Reg::gp(2), AddrMode::global(0x6000));
+        pb.ret();
+        mb.add(pb);
+        mb.finish()
+    }
+
+    #[test]
+    fn noncost_proxy_carries_all_constants() {
+        let m = mixed_block_module();
+        let c = ModuleClassification::analyze(&m);
+        let plan = InstrPlan::build(&m, &c, &InstrumentConfig::default());
+        let decisions: Vec<_> = plan.iter().map(|(_, d)| *d).collect();
+        // Loads in address order: const, const, irregular(proxy), const.
+        assert_eq!(decisions.len(), 4);
+        assert!(!decisions[0].instrument);
+        assert!(!decisions[1].instrument);
+        assert!(decisions[2].instrument);
+        assert_eq!(decisions[2].implied_const, 3);
+        assert!(!decisions[3].instrument);
+        assert_eq!(plan.num_instrumented(), 1);
+    }
+
+    #[test]
+    fn const_only_block_instruments_first_as_proxy() {
+        let m = const_only_module();
+        let c = ModuleClassification::analyze(&m);
+        let plan = InstrPlan::build(&m, &c, &InstrumentConfig::default());
+        let decisions: Vec<_> = plan.iter().map(|(_, d)| *d).collect();
+        assert!(decisions[0].instrument);
+        assert_eq!(decisions[0].implied_const, 2);
+        assert!(!decisions[1].instrument);
+        assert!(!decisions[2].instrument);
+    }
+
+    #[test]
+    fn uncompressed_instruments_everything() {
+        let m = mixed_block_module();
+        let c = ModuleClassification::analyze(&m);
+        let plan = InstrPlan::build(&m, &c, &InstrumentConfig::uncompressed());
+        assert_eq!(plan.num_instrumented(), 4);
+        assert!(plan.iter().all(|(_, d)| d.implied_const == 0));
+    }
+
+    #[test]
+    fn out_of_roi_gets_nothing() {
+        let m = mixed_block_module();
+        let c = ModuleClassification::analyze(&m);
+        let plan = InstrPlan::build(&m, &c, &InstrumentConfig::with_roi(["other"]));
+        assert_eq!(plan.num_instrumented(), 0);
+        assert_eq!(plan.iter().count(), 4);
+    }
+
+    /// Fig. 2 accounting: with one proxy per block, the implied counts
+    /// reconstruct the block's total loads.
+    #[test]
+    fn implied_counts_conserve_loads() {
+        for m in [mixed_block_module(), const_only_module()] {
+            let c = ModuleClassification::analyze(&m);
+            let plan = InstrPlan::build(&m, &c, &InstrumentConfig::default());
+            let instrumented: u64 = plan.num_instrumented();
+            let implied: u64 = plan.iter().map(|(_, d)| d.implied_const as u64).sum();
+            assert_eq!(instrumented + implied, c.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Interpreter for load modules.
+//!
+//! Executes a module on a small machine — 16 registers, sparse paged
+//! memory, an implicit call stack — and streams events to an
+//! [`EventSink`]: one event per executed load (ip, effective address,
+//! load-counter time) and one per executed `ptwrite` (ip, register
+//! payload). The Processor-Tracing model consumes the `ptwrite` stream;
+//! full-trace validation baselines consume the load stream.
+
+use crate::instr::{AddrMode, BinOp, Instr, Operand, Terminator};
+use crate::module::LoadModule;
+use crate::proc::{BlockId, ProcId};
+use crate::reg::{Reg, NUM_REGS};
+use memgaze_model::Ip;
+use std::collections::HashMap;
+
+const PAGE_BYTES: u64 = 4096;
+const STACK_TOP: u64 = 0x7fff_ffff_f000;
+const FRAME_BYTES: u64 = 256;
+
+/// Observer of the executed instruction stream.
+pub trait EventSink {
+    /// An executed load: instruction address, effective data address, and
+    /// the zero-based index of this load in the executed load stream.
+    fn on_load(&mut self, ip: Ip, addr: u64, load_time: u64) {
+        let _ = (ip, addr, load_time);
+    }
+    /// An executed `ptwrite`: instruction address, register payload, and
+    /// the current load-counter time (loads executed so far).
+    fn on_ptwrite(&mut self, ip: Ip, payload: u64, load_time: u64) {
+        let _ = (ip, payload, load_time);
+    }
+    /// An executed store (counted, never traced — MemGaze is load-level).
+    fn on_store(&mut self, ip: Ip, addr: u64, load_time: u64) {
+        let _ = (ip, addr, load_time);
+    }
+}
+
+/// Sink that ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+impl EventSink for NullSink {}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed (terminators included).
+    pub instrs: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// `ptwrite`s executed.
+    pub ptwrites: u64,
+}
+
+impl ExecStats {
+    /// Ratio of executed `ptwrite`s to non-`ptwrite` instructions — the
+    /// overhead predictor of paper Fig. 7 (fourth series).
+    pub fn ptwrite_ratio(&self) -> f64 {
+        let non_ptw = self.instrs.saturating_sub(self.ptwrites);
+        if non_ptw == 0 {
+            0.0
+        } else {
+            self.ptwrites as f64 / non_ptw as f64
+        }
+    }
+}
+
+/// Sparse paged memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES as usize] {
+        self.pages
+            .entry(addr / PAGE_BYTES)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]))
+    }
+
+    /// Read one byte (unmapped memory reads as zero).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_BYTES)) {
+            Some(p) => p[(addr % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.page_mut(addr)[(addr % PAGE_BYTES) as usize] = v;
+    }
+
+    /// Read a little-endian u64 (byte-wise; alignment not required).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        for i in 0..8 {
+            self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Number of resident pages (for memory accounting in tests).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// One call-stack frame: the return continuation.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    proc: ProcId,
+    block: BlockId,
+    /// Index of the *next* instruction to execute on return.
+    idx: usize,
+    saved_fp: u64,
+    saved_sp: u64,
+}
+
+/// The interpreter.
+pub struct Machine<'m, S: EventSink> {
+    module: &'m LoadModule,
+    layout: crate::module::ModuleLayout,
+    /// Architectural registers.
+    pub regs: [u64; NUM_REGS],
+    /// Data memory.
+    pub mem: Memory,
+    sink: S,
+    stats: ExecStats,
+    call_stack: Vec<Frame>,
+}
+
+/// Error from a bounded run.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The step budget was exhausted before the entry procedure returned.
+    StepBudgetExhausted {
+        /// Instructions executed when the budget ran out.
+        executed: u64,
+    },
+    /// Call stack exceeded the depth limit.
+    StackOverflow,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::StepBudgetExhausted { executed } => {
+                write!(f, "step budget exhausted after {executed} instructions")
+            }
+            ExecError::StackOverflow => f.write_str("call stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+const MAX_CALL_DEPTH: usize = 1024;
+
+impl<'m, S: EventSink> Machine<'m, S> {
+    /// A machine over `module`, with the data image loaded and the stack
+    /// set up.
+    pub fn new(module: &'m LoadModule, sink: S) -> Machine<'m, S> {
+        let mut mem = Memory::new();
+        for d in &module.data {
+            for (i, w) in d.words.iter().enumerate() {
+                if *w != 0 {
+                    mem.write_u64(d.base + i as u64 * 8, *w);
+                }
+            }
+        }
+        let mut regs = [0u64; NUM_REGS];
+        regs[Reg::SP.index()] = STACK_TOP;
+        regs[Reg::FP.index()] = STACK_TOP;
+        Machine {
+            layout: module.layout(),
+            module,
+            regs,
+            mem,
+            sink,
+            stats: ExecStats::default(),
+            call_stack: Vec::new(),
+        }
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Consume the machine, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    #[inline]
+    fn operand(&self, o: Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    #[inline]
+    fn effective_addr(&self, m: &AddrMode) -> u64 {
+        let mut a = m.disp as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.reg(b));
+        }
+        if let Some(i) = m.index {
+            a = a.wrapping_add(self.reg(i).wrapping_mul(m.scale as u64));
+        }
+        a
+    }
+
+    fn enter_proc(&mut self, proc: ProcId) {
+        let sp = self.reg(Reg::SP);
+        let new_sp = sp - FRAME_BYTES;
+        self.set_reg(Reg::FP, sp);
+        self.set_reg(Reg::SP, new_sp);
+        let _ = proc;
+    }
+
+    /// Run `entry` to completion (its `Ret` at depth 0) under a step
+    /// budget.
+    pub fn run(&mut self, entry: ProcId, max_instrs: u64) -> Result<ExecStats, ExecError> {
+        let mut proc = entry;
+        let mut block = self.module.proc(proc).entry;
+        let mut idx = 0usize;
+        let outer_fp = self.reg(Reg::FP);
+        let outer_sp = self.reg(Reg::SP);
+        self.enter_proc(proc);
+
+        loop {
+            if self.stats.instrs >= max_instrs {
+                return Err(ExecError::StepBudgetExhausted {
+                    executed: self.stats.instrs,
+                });
+            }
+            let blk = &self.module.procs[proc.index()].blocks[block.index()];
+            if idx < blk.instrs.len() {
+                let ins = blk.instrs[idx];
+                let ip = self.layout.ip_of(proc, block, idx);
+                self.stats.instrs += 1;
+                match ins {
+                    Instr::Load { dst, addr } => {
+                        let ea = self.effective_addr(&addr);
+                        let t = self.stats.loads;
+                        self.sink.on_load(ip, ea, t);
+                        self.stats.loads += 1;
+                        let v = self.mem.read_u64(ea);
+                        self.set_reg(dst, v);
+                    }
+                    Instr::Store { src, addr } => {
+                        let ea = self.effective_addr(&addr);
+                        self.sink.on_store(ip, ea, self.stats.loads);
+                        self.stats.stores += 1;
+                        let v = self.reg(src);
+                        self.mem.write_u64(ea, v);
+                    }
+                    Instr::MovImm { dst, imm } => self.set_reg(dst, imm as u64),
+                    Instr::Mov { dst, src } => {
+                        let v = self.reg(src);
+                        self.set_reg(dst, v)
+                    }
+                    Instr::Bin { op, dst, rhs } => {
+                        let a = self.reg(dst);
+                        let b = self.operand(rhs);
+                        let v = match op {
+                            BinOp::Add => a.wrapping_add(b),
+                            BinOp::Sub => a.wrapping_sub(b),
+                            BinOp::Mul => a.wrapping_mul(b),
+                            BinOp::And => a & b,
+                            BinOp::Or => a | b,
+                            BinOp::Xor => a ^ b,
+                            BinOp::Shl => a.wrapping_shl(b as u32),
+                            BinOp::Shr => a.wrapping_shr(b as u32),
+                            BinOp::Rem => {
+                                if b == 0 {
+                                    0
+                                } else {
+                                    a % b
+                                }
+                            }
+                        };
+                        self.set_reg(dst, v);
+                    }
+                    Instr::Lea { dst, addr } => {
+                        let ea = self.effective_addr(&addr);
+                        self.set_reg(dst, ea);
+                    }
+                    Instr::Call { proc: callee } => {
+                        if self.call_stack.len() >= MAX_CALL_DEPTH {
+                            return Err(ExecError::StackOverflow);
+                        }
+                        self.call_stack.push(Frame {
+                            proc,
+                            block,
+                            idx: idx + 1,
+                            saved_fp: self.reg(Reg::FP),
+                            saved_sp: self.reg(Reg::SP),
+                        });
+                        self.enter_proc(callee);
+                        proc = callee;
+                        block = self.module.proc(callee).entry;
+                        idx = 0;
+                        continue;
+                    }
+                    Instr::Ptwrite { src } => {
+                        let v = self.reg(src);
+                        self.stats.ptwrites += 1;
+                        self.sink.on_ptwrite(ip, v, self.stats.loads);
+                    }
+                    Instr::Nop => {}
+                }
+                idx += 1;
+            } else {
+                // Terminator.
+                self.stats.instrs += 1;
+                match blk.term {
+                    Terminator::Jmp(t) => {
+                        block = t;
+                        idx = 0;
+                    }
+                    Terminator::Br {
+                        lhs,
+                        op,
+                        rhs,
+                        taken,
+                        not_taken,
+                    } => {
+                        let l = self.reg(lhs);
+                        let r = self.operand(rhs);
+                        block = if op.eval(l, r) { taken } else { not_taken };
+                        idx = 0;
+                    }
+                    Terminator::Ret => match self.call_stack.pop() {
+                        Some(f) => {
+                            self.set_reg(Reg::FP, f.saved_fp);
+                            self.set_reg(Reg::SP, f.saved_sp);
+                            proc = f.proc;
+                            block = f.block;
+                            idx = f.idx;
+                        }
+                        None => {
+                            self.set_reg(Reg::FP, outer_fp);
+                            self.set_reg(Reg::SP, outer_sp);
+                            return Ok(self.stats);
+                        }
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Sink recording every load (used by tests and the full-trace baseline).
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// Recorded `(ip, effective address, load time)` triples.
+    pub loads: Vec<(Ip, u64, u64)>,
+    /// Recorded `(ip, payload, load time)` ptwrite triples.
+    pub ptwrites: Vec<(Ip, u64, u64)>,
+}
+
+impl EventSink for VecSink {
+    fn on_load(&mut self, ip: Ip, addr: u64, load_time: u64) {
+        self.loads.push((ip, addr, load_time));
+    }
+    fn on_ptwrite(&mut self, ip: Ip, payload: u64, load_time: u64) {
+        self.ptwrites.push((ip, payload, load_time));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ModuleBuilder, ProcBuilder};
+    use crate::instr::{AddrMode, CmpOp, Operand};
+
+    /// sum = Σ A[i] for i in 0..n; returns module and the A base.
+    fn sum_module(n: i64) -> (LoadModule, u64) {
+        let mut mb = ModuleBuilder::new("sum");
+        let a = mb.alloc_global("A", n as usize);
+        mb.init_global(a, &(1..=n as u64).collect::<Vec<_>>());
+
+        let (i, base, x, acc) = (Reg::gp(0), Reg::gp(1), Reg::gp(2), Reg::gp(3));
+        let mut pb = ProcBuilder::new("sum", "sum.c");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.mov_imm(i, 0).mov_imm(base, a as i64).mov_imm(acc, 0);
+        pb.jmp(body);
+        pb.switch_to(body);
+        pb.load(x, AddrMode::base_index(base, i, 8, 0));
+        pb.bin(BinOp::Add, acc, Operand::Reg(x));
+        pb.add_imm(i, 1);
+        pb.br(i, CmpOp::Lt, Operand::Imm(n), body, exit);
+        pb.switch_to(exit);
+        pb.ret();
+        mb.add(pb);
+        (mb.finish(), a)
+    }
+
+    #[test]
+    fn sums_an_array() {
+        let (m, _a) = sum_module(10);
+        let mut mach = Machine::new(&m, VecSink::default());
+        let stats = mach.run(ProcId(0), 10_000).unwrap();
+        assert_eq!(mach.regs[Reg::gp(3).index()], 55);
+        assert_eq!(stats.loads, 10);
+        let sink = mach.into_sink();
+        assert_eq!(sink.loads.len(), 10);
+        // Load times are 0..10 and addresses are strided by 8.
+        for (k, (_, addr, t)) in sink.loads.iter().enumerate() {
+            assert_eq!(*t, k as u64);
+            if k > 0 {
+                assert_eq!(addr - sink.loads[k - 1].1, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let (m, _) = sum_module(1000);
+        let mut mach = Machine::new(&m, NullSink);
+        let err = mach.run(ProcId(0), 100).unwrap_err();
+        assert!(matches!(err, ExecError::StepBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn calls_and_frames() {
+        // leaf: writes fp-8 then reads it back (a Constant load).
+        let mut mb = ModuleBuilder::new("calls");
+        let v = Reg::gp(0);
+        let mut leaf = ProcBuilder::new("leaf", "c.c");
+        leaf.mov_imm(v, 7);
+        leaf.store(v, AddrMode::base_disp(Reg::FP, -8));
+        leaf.load(v, AddrMode::base_disp(Reg::FP, -8));
+        leaf.ret();
+        let leaf_id = mb.add(leaf);
+
+        let mut main = ProcBuilder::new("main", "c.c");
+        main.call(leaf_id);
+        main.call(leaf_id);
+        main.ret();
+        let main_id = mb.add(main);
+
+        let m = mb.finish();
+        let mut mach = Machine::new(&m, VecSink::default());
+        let stats = mach.run(main_id, 1000).unwrap();
+        assert_eq!(stats.loads, 2);
+        assert_eq!(stats.stores, 2);
+        assert_eq!(mach.regs[Reg::gp(0).index()], 7);
+        // FP restored after calls.
+        assert_eq!(mach.regs[Reg::FP.index()], STACK_TOP);
+        // Both frame accesses hit the same frame slot (same fp both calls).
+        let sink = mach.into_sink();
+        assert_eq!(sink.loads[0].1, sink.loads[1].1);
+    }
+
+    #[test]
+    fn ptwrite_events_carry_register_payload() {
+        let mut mb = ModuleBuilder::new("ptw");
+        let r = Reg::gp(0);
+        let mut pb = ProcBuilder::new("f", "f.c");
+        pb.mov_imm(r, 0xabcd);
+        pb.ptwrite(r);
+        pb.ret();
+        let id = mb.add(pb);
+        let m = mb.finish();
+        let mut mach = Machine::new(&m, VecSink::default());
+        let stats = mach.run(id, 100).unwrap();
+        assert_eq!(stats.ptwrites, 1);
+        let sink = mach.into_sink();
+        assert_eq!(sink.ptwrites.len(), 1);
+        assert_eq!(sink.ptwrites[0].1, 0xabcd);
+    }
+
+    #[test]
+    fn memory_read_write_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x1000, 0xdead_beef_cafe_babe);
+        assert_eq!(mem.read_u64(0x1000), 0xdead_beef_cafe_babe);
+        // Unaligned, page-crossing access.
+        mem.write_u64(0x1ffd, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u64(0x1ffd), 0x0123_4567_89ab_cdef);
+        // Unmapped reads as zero.
+        assert_eq!(mem.read_u64(0x99_0000), 0);
+        assert!(mem.resident_pages() >= 2);
+    }
+
+    #[test]
+    fn ptwrite_ratio() {
+        let s = ExecStats {
+            instrs: 110,
+            loads: 50,
+            stores: 0,
+            ptwrites: 10,
+        };
+        assert!((s.ptwrite_ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(ExecStats::default().ptwrite_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! A compact x64-like ISA with the static structure MemGaze's binary
+//! instrumentation needs.
+//!
+//! The paper's instrumentor (DynInst-based) analyzes each procedure's
+//! object code — addressing modes, basic blocks, and data dependencies —
+//! to classify loads and select instrumentation points (paper §III). This
+//! crate models exactly that information: registers and addressing modes
+//! (`[base + index*scale + disp]`), basic blocks and procedures
+//! ([`proc`]), load modules with instruction addresses ([`module`]),
+//! control-flow analysis (dominators and natural loops, [`cfg`] and
+//! [`loops`]), induction-variable/data-dependence analysis ([`dataflow`]),
+//! an IR [`builder`], microbenchmark code generation at O0/O3 ([`codegen`]),
+//! and an interpreter that executes modules and streams load/`ptwrite`
+//! events ([`interp`]).
+
+pub mod builder;
+pub mod cfg;
+pub mod codegen;
+pub mod dataflow;
+pub mod disasm;
+pub mod instr;
+pub mod interp;
+pub mod loops;
+pub mod module;
+pub mod proc;
+pub mod reg;
+
+pub use builder::{ModuleBuilder, ProcBuilder};
+pub use cfg::Cfg;
+pub use dataflow::{AddrKind, DataflowAnalysis};
+pub use instr::{AddrMode, BinOp, CmpOp, Instr, Operand, Terminator};
+pub use interp::{EventSink, ExecStats, Machine, NullSink};
+pub use loops::{Loop, LoopForest};
+pub use module::{DataInit, LoadModule};
+pub use proc::{BasicBlock, BlockId, ProcId, Procedure};
+pub use reg::Reg;

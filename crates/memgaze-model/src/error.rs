@@ -1,0 +1,78 @@
+//! Error type shared by trace-model operations.
+
+/// Errors produced while building, encoding, or decoding trace-model data.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A block size that is zero or not a power of two.
+    InvalidBlockSize(u64),
+    /// A trace file whose magic number or version is unrecognized.
+    BadHeader {
+        /// Human-readable description of what was wrong.
+        detail: String,
+    },
+    /// Trace data ended prematurely while decoding.
+    Truncated {
+        /// What was being decoded when input ran out.
+        context: &'static str,
+    },
+    /// Samples must be time-ordered and non-overlapping.
+    UnorderedSamples {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InvalidBlockSize(b) => {
+                write!(f, "invalid block size {b}: must be a nonzero power of two")
+            }
+            ModelError::BadHeader { detail } => write!(f, "bad trace header: {detail}"),
+            ModelError::Truncated { context } => {
+                write!(f, "truncated trace data while decoding {context}")
+            }
+            ModelError::UnorderedSamples { index } => {
+                write!(f, "sample {index} is out of time order")
+            }
+            ModelError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidBlockSize(48);
+        assert!(e.to_string().contains("48"));
+        let e = ModelError::Truncated { context: "sample" };
+        assert!(e.to_string().contains("sample"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error;
+        let e = ModelError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,350 @@
+//! Compact on-disk trace encoding.
+//!
+//! MemGaze trace sizes matter (paper §VI-C, Table III): the collector's
+//! output is what gets copied from the pinned kernel buffer and stored.
+//! This module provides a delta + LEB128-varint codec for sampled and full
+//! traces; the encoded byte counts are what the Table III space-savings
+//! experiment reports.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "MGZT" | version u16 | kind u8 | meta | payload
+//! meta   := workload(len-prefixed utf8) | period | buffer_bytes
+//!           | total_loads | total_instr        (all varint)
+//! sampled payload := |σ| varint, then per sample:
+//!           trigger_time Δvarint | w varint |
+//!           per access: ip zigzag-Δ | addr zigzag-Δ | time Δ  (varints)
+//! full payload := dropped varint | n varint | accesses as above
+//! ```
+
+use crate::access::Access;
+use crate::error::ModelError;
+use crate::sample::{FullTrace, Sample, SampledTrace, TraceMeta};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"MGZT";
+const VERSION: u16 = 1;
+const KIND_SAMPLED: u8 = 0;
+const KIND_FULL: u8 = 1;
+
+/// Append an unsigned LEB128 varint.
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+fn get_varint(buf: &mut Bytes, context: &'static str) -> Result<u64, ModelError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(ModelError::Truncated { context });
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(ModelError::BadHeader {
+                detail: format!("varint overflow in {context}"),
+            });
+        }
+    }
+}
+
+/// Zigzag-encode a signed delta so small magnitudes stay small.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes, context: &'static str) -> Result<String, ModelError> {
+    let len = get_varint(buf, context)? as usize;
+    if buf.remaining() < len {
+        return Err(ModelError::Truncated { context });
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| ModelError::BadHeader {
+        detail: format!("non-utf8 string in {context}"),
+    })
+}
+
+fn put_meta(buf: &mut BytesMut, meta: &TraceMeta) {
+    put_string(buf, &meta.workload);
+    put_varint(buf, meta.period);
+    put_varint(buf, meta.buffer_bytes);
+    put_varint(buf, meta.total_loads);
+    put_varint(buf, meta.total_instrumented_loads);
+}
+
+fn get_meta(buf: &mut Bytes) -> Result<TraceMeta, ModelError> {
+    Ok(TraceMeta {
+        workload: get_string(buf, "meta.workload")?,
+        period: get_varint(buf, "meta.period")?,
+        buffer_bytes: get_varint(buf, "meta.buffer_bytes")?,
+        total_loads: get_varint(buf, "meta.total_loads")?,
+        total_instrumented_loads: get_varint(buf, "meta.total_instr")?,
+    })
+}
+
+/// Delta-encoding state for a run of accesses.
+#[derive(Default)]
+struct DeltaState {
+    ip: u64,
+    addr: u64,
+    time: u64,
+}
+
+fn put_access(buf: &mut BytesMut, st: &mut DeltaState, a: &Access) {
+    put_varint(buf, zigzag(a.ip.0.wrapping_sub(st.ip) as i64));
+    put_varint(buf, zigzag(a.addr.0.wrapping_sub(st.addr) as i64));
+    put_varint(buf, a.time.wrapping_sub(st.time));
+    st.ip = a.ip.0;
+    st.addr = a.addr.0;
+    st.time = a.time;
+}
+
+fn get_access(buf: &mut Bytes, st: &mut DeltaState) -> Result<Access, ModelError> {
+    let dip = unzigzag(get_varint(buf, "access.ip")?);
+    let daddr = unzigzag(get_varint(buf, "access.addr")?);
+    let dtime = get_varint(buf, "access.time")?;
+    st.ip = st.ip.wrapping_add(dip as u64);
+    st.addr = st.addr.wrapping_add(daddr as u64);
+    st.time = st.time.wrapping_add(dtime);
+    Ok(Access {
+        ip: crate::Ip(st.ip),
+        addr: crate::Addr(st.addr),
+        time: st.time,
+    })
+}
+
+fn put_header(buf: &mut BytesMut, kind: u8) {
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(kind);
+}
+
+fn check_header(buf: &mut Bytes, want_kind: u8) -> Result<(), ModelError> {
+    if buf.remaining() < 7 {
+        return Err(ModelError::Truncated { context: "header" });
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ModelError::BadHeader {
+            detail: format!("magic {magic:?}"),
+        });
+    }
+    let ver = buf.get_u16_le();
+    if ver != VERSION {
+        return Err(ModelError::BadHeader {
+            detail: format!("version {ver}"),
+        });
+    }
+    let kind = buf.get_u8();
+    if kind != want_kind {
+        return Err(ModelError::BadHeader {
+            detail: format!("kind {kind}, expected {want_kind}"),
+        });
+    }
+    Ok(())
+}
+
+/// Encode a sampled trace to its compact byte representation.
+pub fn encode_sampled(trace: &SampledTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.observed_accesses() as usize * 4);
+    put_header(&mut buf, KIND_SAMPLED);
+    put_meta(&mut buf, &trace.meta);
+    put_varint(&mut buf, trace.samples.len() as u64);
+    let mut prev_trigger = 0u64;
+    for s in &trace.samples {
+        put_varint(&mut buf, s.trigger_time.wrapping_sub(prev_trigger));
+        prev_trigger = s.trigger_time;
+        put_varint(&mut buf, s.accesses.len() as u64);
+        let mut st = DeltaState::default();
+        for a in &s.accesses {
+            put_access(&mut buf, &mut st, a);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a sampled trace previously produced by [`encode_sampled`].
+pub fn decode_sampled(mut data: Bytes) -> Result<SampledTrace, ModelError> {
+    check_header(&mut data, KIND_SAMPLED)?;
+    let meta = get_meta(&mut data)?;
+    let n = get_varint(&mut data, "num_samples")? as usize;
+    let mut trace = SampledTrace::new(meta);
+    let mut trigger = 0u64;
+    for _ in 0..n {
+        trigger = trigger.wrapping_add(get_varint(&mut data, "trigger_time")?);
+        let w = get_varint(&mut data, "window")? as usize;
+        let mut st = DeltaState::default();
+        let mut accesses = Vec::with_capacity(w);
+        for _ in 0..w {
+            accesses.push(get_access(&mut data, &mut st)?);
+        }
+        trace.push_sample(Sample::new(accesses, trigger))?;
+    }
+    Ok(trace)
+}
+
+/// Encode a full trace.
+pub fn encode_full(trace: &FullTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.accesses.len() * 4);
+    put_header(&mut buf, KIND_FULL);
+    put_meta(&mut buf, &trace.meta);
+    put_varint(&mut buf, trace.dropped);
+    put_varint(&mut buf, trace.accesses.len() as u64);
+    let mut st = DeltaState::default();
+    for a in &trace.accesses {
+        put_access(&mut buf, &mut st, a);
+    }
+    buf.freeze()
+}
+
+/// Decode a full trace previously produced by [`encode_full`].
+pub fn decode_full(mut data: Bytes) -> Result<FullTrace, ModelError> {
+    check_header(&mut data, KIND_FULL)?;
+    let meta = get_meta(&mut data)?;
+    let dropped = get_varint(&mut data, "dropped")?;
+    let n = get_varint(&mut data, "num_accesses")? as usize;
+    let mut st = DeltaState::default();
+    let mut accesses = Vec::with_capacity(n);
+    for _ in 0..n {
+        accesses.push(get_access(&mut data, &mut st)?);
+    }
+    Ok(FullTrace {
+        meta,
+        accesses,
+        dropped,
+    })
+}
+
+/// Encoded size in bytes of a sampled trace (what Table III reports as the
+/// 'MemGaze' column).
+pub fn sampled_size_bytes(trace: &SampledTrace) -> u64 {
+    encode_sampled(trace).len() as u64
+}
+
+/// Encoded size in bytes of a full trace ('Rec'/'All' columns of Table III,
+/// depending on whether drops occurred upstream).
+pub fn full_size_bytes(trace: &FullTrace) -> u64 {
+    encode_full(trace).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use crate::sample::{Sample, TraceMeta};
+
+    fn mk_trace(samples: usize, w: usize) -> SampledTrace {
+        let mut t = SampledTrace::new(TraceMeta::new("unit", 10_000, 16 << 10));
+        t.meta.total_loads = (samples * 10_000) as u64;
+        for s in 0..samples {
+            let base = (s as u64) * 10_000;
+            let accesses = (0..w)
+                .map(|i| {
+                    Access::new(
+                        0x400u64 + (i as u64 % 7) * 4,
+                        0x10_0000u64 + (i as u64) * 64,
+                        base + i as u64,
+                    )
+                })
+                .collect();
+            t.push_sample(Sample::new(accesses, base + w as u64))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sampled_roundtrip() {
+        let t = mk_trace(5, 100);
+        let bytes = encode_sampled(&t);
+        let back = decode_sampled(bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let mut f = FullTrace::new(TraceMeta::new("unit", 0, 0));
+        f.dropped = 17;
+        f.accesses = (0..1000)
+            .map(|i| Access::new(0x400u64, 0x1000u64 + i * 8, i))
+            .collect();
+        let back = decode_full(encode_full(&f)).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn delta_coding_compresses_regular_streams() {
+        // A strided stream should cost only a few bytes per access.
+        let t = mk_trace(1, 10_000);
+        let per_access = sampled_size_bytes(&t) as f64 / 10_000.0;
+        assert!(
+            per_access < 6.0,
+            "expected < 6 B/access for strided stream, got {per_access}"
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let t = mk_trace(2, 50);
+        let bytes = encode_sampled(&t);
+        for cut in [0usize, 3, 6, 10, bytes.len() - 1] {
+            let sliced = bytes.slice(0..cut);
+            assert!(decode_sampled(sliced).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let t = mk_trace(1, 10);
+        let bytes = encode_sampled(&t);
+        assert!(matches!(
+            decode_full(bytes),
+            Err(ModelError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_inverts() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b, "t").unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Trace model for MemGaze.
+//!
+//! This crate defines the data that flows through the MemGaze pipeline
+//! (paper §II, Fig. 1): load-level memory [`Access`]es, fixed-size
+//! [`Sample`]s of access sequences (paper Fig. 3), the [`SampledTrace`]
+//! produced by the Processor-Tracing collector, the auxiliary annotation
+//! file emitted by the binary instrumentor (paper §III-A), symbol/source
+//! mapping, and the sample/compression ratio algebra of paper Eqs. (1)–(2).
+//!
+//! The crate is deliberately free of analysis logic; it is the vocabulary
+//! shared by the instrumentor (`memgaze-instrument`), the Processor-Tracing
+//! model (`memgaze-ptsim`), and the analyses (`memgaze-analysis`).
+
+pub mod access;
+pub mod addr;
+pub mod annot;
+pub mod error;
+pub mod io;
+pub mod ops;
+pub mod ratio;
+pub mod sample;
+pub mod symbols;
+
+pub use access::{Access, LoadClass};
+pub use addr::{Addr, BlockSize, Ip};
+pub use annot::{AuxAnnotations, IpAnnot};
+pub use error::ModelError;
+pub use ratio::{compression_ratio, sample_ratio, DecompressionInfo};
+pub use sample::{FullTrace, Sample, SampledTrace, TraceMeta};
+pub use symbols::{FunctionId, FunctionSym, SymbolTable};

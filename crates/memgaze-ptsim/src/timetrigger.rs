@@ -1,0 +1,192 @@
+//! Time-based sampling trigger — the accuracy foil for load-based
+//! triggering.
+//!
+//! Paper §III-C, footnote 2: "To ensure a uniform sample of memory
+//! addresses, the sample trigger should be a hardware counter for memory
+//! accesses, e.g., loads. Sampling in time will decrease accuracy if the
+//! load rate changes over time." [`TimeStreamSampler`] triggers on
+//! elapsed *cycles* rather than executed loads, so phases with a low load
+//! rate are over-represented per load — the ablation binary quantifies
+//! the resulting bias.
+
+use crate::buffer::Lcg;
+use crate::collector::SamplerConfig;
+use crate::packet::{PacketStats, PtwPacket};
+use memgaze_model::{Access, Addr, Ip, Sample, SampledTrace, TraceMeta};
+use std::collections::VecDeque;
+
+/// Sampled collection triggered on elapsed cycles instead of loads.
+#[derive(Debug)]
+pub struct TimeStreamSampler {
+    cfg: SamplerConfig,
+    items: VecDeque<(Access, u64)>,
+    used_bytes: u64,
+    rng: Lcg,
+    loads: u64,
+    cycles: u64,
+    next_trigger_cycles: u64,
+    samples: Vec<Sample>,
+    stats: PacketStats,
+}
+
+impl TimeStreamSampler {
+    /// A time-triggered sampler; `cfg.period` is interpreted in *cycles*.
+    pub fn new(cfg: SamplerConfig) -> TimeStreamSampler {
+        let seed = cfg.seed;
+        let next = cfg.period;
+        TimeStreamSampler {
+            cfg,
+            items: VecDeque::new(),
+            used_bytes: 0,
+            rng: Lcg::new(seed),
+            loads: 0,
+            cycles: 0,
+            next_trigger_cycles: next,
+            samples: Vec::new(),
+            stats: PacketStats::default(),
+        }
+    }
+
+    fn snapshot(&mut self) -> Vec<Access> {
+        let jitter = self.rng.range_f64(-0.1, 0.1);
+        let f = (self.cfg.yield_factor + jitter).clamp(0.05, 1.0);
+        let keep = ((self.items.len() as f64) * f).round() as usize;
+        let skip = self.items.len() - keep.min(self.items.len());
+        let out = self.items.iter().skip(skip).map(|(a, _)| *a).collect();
+        self.items.clear();
+        self.used_bytes = 0;
+        out
+    }
+
+    /// Feed one executed load that took `cycles` cycles of program time
+    /// (1 for back-to-back loads; larger in compute-heavy phases).
+    pub fn on_load(&mut self, ip: Ip, addr: u64, instrumented: bool, packets: u8, cycles: u64) {
+        let time = self.loads;
+        if instrumented && self.cfg.guards.allows(ip) {
+            self.stats.add_ptw(u64::from(packets));
+            let cost = u64::from(packets) * PtwPacket::bytes(self.cfg.compact_payloads);
+            while self.used_bytes + cost > self.cfg.buffer_bytes {
+                match self.items.pop_front() {
+                    Some((_, c)) => self.used_bytes = self.used_bytes.saturating_sub(c),
+                    None => break,
+                }
+            }
+            self.items.push_back((
+                Access {
+                    ip,
+                    addr: Addr(addr),
+                    time,
+                },
+                cost,
+            ));
+            self.used_bytes += cost;
+        }
+        self.loads += 1;
+        self.cycles += cycles.max(1);
+        if self.cycles >= self.next_trigger_cycles {
+            let accesses = self.snapshot();
+            self.samples.push(Sample::new(accesses, self.loads));
+            self.next_trigger_cycles += self.cfg.period;
+        }
+    }
+
+    /// Finish and build the trace. The meta's `period` field records the
+    /// *average* loads per sample so ρ stays meaningful for downstream
+    /// analysis (which is exactly the bias: it is only an average).
+    pub fn finish(mut self, workload: &str) -> (SampledTrace, PacketStats) {
+        if !self.items.is_empty() {
+            let accesses = self.snapshot();
+            self.samples.push(Sample::new(accesses, self.loads));
+        }
+        let avg_period = if self.samples.is_empty() {
+            self.cfg.period
+        } else {
+            self.loads / self.samples.len() as u64
+        };
+        let mut meta = TraceMeta::new(workload, avg_period.max(1), self.cfg.buffer_bytes);
+        meta.total_loads = self.loads;
+        let mut trace = SampledTrace::new(meta);
+        for s in self.samples {
+            trace.push_sample(s).expect("in order");
+        }
+        (trace, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamSampler;
+
+    /// A two-phase stream: a dense phase (1 cycle/load, addresses in
+    /// region A) and a sparse phase (10 cycles/load, region B), equal
+    /// load counts.
+    fn feed_two_phase(
+        mut dense: impl FnMut(Ip, u64, u64),
+        n: u64,
+    ) {
+        for t in 0..n {
+            dense(Ip(0x400), 0x10_0000 + (t % 512) * 64, 1);
+        }
+        for t in 0..n {
+            dense(Ip(0x404), 0x80_0000 + (t % 512) * 64, 10);
+        }
+    }
+
+    #[test]
+    fn time_trigger_biases_toward_slow_phases() {
+        let mut cfg = SamplerConfig::application(20_000);
+        cfg.buffer_bytes = 2 << 10;
+        let mut time_sampler = TimeStreamSampler::new(cfg.clone());
+        let mut load_sampler = StreamSampler::new(SamplerConfig {
+            // Equalize the *number of triggers*: total cycles = 11n,
+            // total loads = 2n, so the load-based period is scaled.
+            period: 20_000 * 2 / 11,
+            ..cfg
+        });
+        let n = 200_000u64;
+        feed_two_phase(|ip, a, c| time_sampler.on_load(ip, a, true, 1, c), n);
+        feed_two_phase(|ip, a, _| load_sampler.on_load(ip, a, true, 1), n);
+
+        let (tt, _) = time_sampler.finish("time");
+        let (lt, _) = load_sampler.finish("loads");
+
+        let frac_b = |trace: &SampledTrace| {
+            let total = trace.observed_accesses().max(1);
+            let b = trace
+                .accesses()
+                .filter(|a| a.addr.raw() >= 0x80_0000)
+                .count() as u64;
+            b as f64 / total as f64
+        };
+        // The load stream is 50/50; load-based sampling stays near that,
+        // time-based sampling over-represents the slow phase.
+        let fb_load = frac_b(&lt);
+        let fb_time = frac_b(&tt);
+        assert!(
+            (0.3..0.7).contains(&fb_load),
+            "load-based sample should be balanced: {fb_load:.2}"
+        );
+        assert!(
+            fb_time > fb_load + 0.15,
+            "time-based sample must over-represent the slow phase: {fb_time:.2} vs {fb_load:.2}"
+        );
+    }
+
+    #[test]
+    fn uniform_rate_makes_both_triggers_agree() {
+        let cfg = SamplerConfig::application(10_000);
+        let mut tt = TimeStreamSampler::new(cfg.clone());
+        let mut lt = StreamSampler::new(cfg);
+        for t in 0..100_000u64 {
+            let addr = 0x10_0000 + (t % 1024) * 64;
+            tt.on_load(Ip(0x400), addr, true, 1, 1);
+            lt.on_load(Ip(0x400), addr, true, 1);
+        }
+        let (a, _) = tt.finish("t");
+        let (b, _) = lt.finish("l");
+        // Same trigger cadence, similar sample counts and windows.
+        assert!((a.num_samples() as i64 - b.num_samples() as i64).abs() <= 1);
+        assert!((a.mean_window() - b.mean_window()).abs() / b.mean_window() < 0.4);
+    }
+}

@@ -1,0 +1,250 @@
+//! Graphs in CSR form plus synthetic generators.
+//!
+//! The paper's graph benchmarks run on generated graphs (GAP uses a
+//! Kronecker graph of 2²² vertices and 64 M edges; miniVite generates its
+//! input too). We provide a uniform (Erdős–Rényi-style) generator and an
+//! RMAT/Kronecker generator with the usual (0.57, 0.19, 0.19, 0.05)
+//! partition probabilities, scaled down by default so full-trace
+//! validation baselines stay tractable.
+
+use crate::containers::TVec;
+use crate::space::{LoadRecorder, SiteId, TracedSpace};
+use memgaze_model::LoadClass;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected graph in CSR form, traced.
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Offsets into `targets` (n+1 entries).
+    pub offsets: TVec<u64>,
+    /// Flattened adjacency lists.
+    pub targets: TVec<u32>,
+    /// Per-edge weights, parallel to `targets`.
+    pub weights: TVec<u32>,
+    sites: GraphSites,
+}
+
+struct GraphSites {
+    offset: SiteId,
+    target: SiteId,
+    weight: SiteId,
+}
+
+/// Graph generator family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Uniformly random endpoints.
+    Uniform,
+    /// RMAT/Kronecker with skewed degree distribution.
+    Rmat,
+}
+
+impl Graph {
+    /// Generate a graph with `2^scale` vertices and `degree·2^scale`
+    /// undirected edges, building it through the traced space (the
+    /// paper's distinct "graph generation" phase).
+    pub fn generate<R: LoadRecorder>(
+        space: &mut TracedSpace<R>,
+        kind: GraphKind,
+        scale: u32,
+        degree: usize,
+        seed: u64,
+    ) -> Graph {
+        let n = 1usize << scale;
+        let m = n * degree;
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // Edge list.
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (u, v) = match kind {
+                GraphKind::Uniform => (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32),
+                GraphKind::Rmat => rmat_edge(&mut rng, scale),
+            };
+            edges.push((u, v));
+        }
+
+        // Degree count + prefix sum (both directions: undirected).
+        let mut deg = vec![0u64; n + 1];
+        for &(u, v) in &edges {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            deg[i] += deg[i - 1];
+        }
+        let offsets_raw = deg.clone();
+        let total = offsets_raw[n] as usize;
+        let mut targets_raw = vec![0u32; total];
+        let mut weights_raw = vec![0u32; total];
+        let mut cursor = offsets_raw.clone();
+        for &(u, v) in &edges {
+            let w = rng.gen_range(1..16u32);
+            let cu = cursor[u as usize] as usize;
+            targets_raw[cu] = v;
+            weights_raw[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            targets_raw[cv] = u;
+            weights_raw[cv] = w;
+            cursor[v as usize] += 1;
+        }
+
+        let sites = GraphSites {
+            offset: space.site("graph", "offset", LoadClass::Strided, true, 50),
+            target: space.site("graph", "target", LoadClass::Strided, true, 51),
+            weight: space.site("graph", "weight", LoadClass::Strided, true, 52),
+        };
+        // Touch the CSR while building it — the generation phase's
+        // memory traffic (one pass of strided stores + loads).
+        let offsets = TVec::from_vec(space, "csr-offsets", offsets_raw);
+        let targets = TVec::from_vec(space, "csr-targets", targets_raw);
+        let weights = TVec::from_vec(space, "csr-weights", weights_raw);
+        for i in 0..n {
+            space.load(sites.offset, offsets.addr(i));
+            space.store(offsets.addr(i));
+        }
+        for i in 0..total {
+            space.load(sites.target, targets.addr(i));
+            space.store(targets.addr(i));
+            // Edge generation does real compute (RNG, partitioning,
+            // prefix sums): charge ALU work so the phase's ptwrite
+            // density matches generator-like code.
+            space.alu(24);
+        }
+
+        Graph {
+            n,
+            offsets,
+            targets,
+            weights,
+            sites,
+        }
+    }
+
+    /// Number of directed edges (2× the undirected count).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Untraced degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets.raw()[u + 1] - self.offsets.raw()[u]) as usize
+    }
+
+    /// Traced adjacency access: the half-open range of `u`'s edges.
+    /// Two strided offset loads (`offsets[u]`, `offsets[u+1]`).
+    pub fn edge_range<R: LoadRecorder>(
+        &self,
+        space: &mut TracedSpace<R>,
+        u: usize,
+    ) -> (usize, usize) {
+        let lo = *self.offsets.get(space, self.sites.offset, u);
+        let hi = *self.offsets.get(space, self.sites.offset, u + 1);
+        (lo as usize, hi as usize)
+    }
+
+    /// Traced edge target load (strided over the adjacency list).
+    pub fn target<R: LoadRecorder>(&self, space: &mut TracedSpace<R>, e: usize) -> u32 {
+        *self.targets.get(space, self.sites.target, e)
+    }
+
+    /// Traced edge weight load.
+    pub fn weight<R: LoadRecorder>(&self, space: &mut TracedSpace<R>, e: usize) -> u32 {
+        *self.weights.get(space, self.sites.weight, e)
+    }
+}
+
+/// One RMAT edge: recursively descend the adjacency-matrix quadrants.
+fn rmat_edge(rng: &mut SmallRng, scale: u32) -> (u32, u32) {
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < a {
+            // top-left
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::NullRecorder;
+
+    #[test]
+    fn csr_structure_consistent() {
+        let mut space = TracedSpace::new(NullRecorder);
+        let g = Graph::generate(&mut space, GraphKind::Uniform, 8, 4, 1);
+        assert_eq!(g.n, 256);
+        assert_eq!(g.num_edges(), 2 * 256 * 4);
+        assert_eq!(g.offsets.raw()[0], 0);
+        assert_eq!(*g.offsets.raw().last().unwrap() as usize, g.num_edges());
+        // Offsets are monotone; targets are in range.
+        assert!(g.offsets.raw().windows(2).all(|w| w[0] <= w[1]));
+        assert!(g.targets.raw().iter().all(|&t| (t as usize) < g.n));
+        // Degree sum matches.
+        let total: usize = (0..g.n).map(|u| g.degree(u)).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut space = TracedSpace::new(NullRecorder);
+        let g = Graph::generate(&mut space, GraphKind::Rmat, 10, 8, 7);
+        let mut degs: Vec<usize> = (0..g.n).map(|u| g.degree(u)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 1% of vertices should hold far more than 1% of edges.
+        let top: usize = degs[..g.n / 100].iter().sum();
+        assert!(
+            top as f64 > 0.10 * g.num_edges() as f64,
+            "top-1% holds only {top} of {}",
+            g.num_edges()
+        );
+        // Uniform graphs are not skewed like that.
+        let gu = Graph::generate(&mut space, GraphKind::Uniform, 10, 8, 7);
+        let mut du: Vec<usize> = (0..gu.n).map(|u| gu.degree(u)).collect();
+        du.sort_unstable_by(|a, b| b.cmp(a));
+        let top_u: usize = du[..gu.n / 100].iter().sum();
+        assert!(top > 2 * top_u, "rmat {top} vs uniform {top_u}");
+    }
+
+    #[test]
+    fn traced_traversal_emits_loads() {
+        let mut space = TracedSpace::new(NullRecorder);
+        let g = Graph::generate(&mut space, GraphKind::Uniform, 6, 4, 3);
+        let before = space.counters().loads;
+        let (lo, hi) = g.edge_range(&mut space, 0);
+        for e in lo..hi {
+            let t = g.target(&mut space, e);
+            let w = g.weight(&mut space, e);
+            assert!((t as usize) < g.n);
+            assert!(w >= 1);
+        }
+        let after = space.counters().loads;
+        assert_eq!(after - before, 2 + 2 * (hi - lo) as u64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut s1 = TracedSpace::new(NullRecorder);
+        let mut s2 = TracedSpace::new(NullRecorder);
+        let g1 = Graph::generate(&mut s1, GraphKind::Rmat, 8, 4, 42);
+        let g2 = Graph::generate(&mut s2, GraphKind::Rmat, 8, 4, 42);
+        assert_eq!(g1.targets.raw(), g2.targets.raw());
+        assert_eq!(g1.offsets.raw(), g2.offsets.raw());
+    }
+}

@@ -1,0 +1,92 @@
+//! Location zooming and heatmaps over GAP connected components
+//! (paper §IV-C2, Fig. 5 and Fig. 8).
+//!
+//! ```sh
+//! cargo run --release --example location_zoom [cc|cc-sv]
+//! ```
+//!
+//! Zooms from the whole address space down to the hot memory objects,
+//! then renders Fig. 8-style access-frequency and reuse-distance
+//! heatmaps of the hottest region as ASCII shade maps.
+
+use memgaze::analysis::{fmt_f3, AnalysisConfig, ZoomRegion};
+use memgaze::core::trace_workload;
+use memgaze::ptsim::SamplerConfig;
+use memgaze::workloads::gap::{self, GapConfig, GapKernel};
+
+fn print_tree(r: &ZoomRegion, indent: usize) {
+    println!(
+        "{:indent$}[{:#x}..{:#x}) {:>6} accesses ({:>5.1}%)  D={}  {} blocks  {}",
+        "",
+        r.lo,
+        r.hi,
+        r.accesses,
+        r.pct_of_total,
+        fmt_f3(r.reuse_d),
+        r.blocks,
+        r.code
+            .first()
+            .map(|c| c.function.as_str())
+            .unwrap_or("-"),
+        indent = indent
+    );
+    for c in &r.children {
+        print_tree(c, indent + 2);
+    }
+}
+
+fn main() {
+    let kernel = match std::env::args().nth(1).as_deref() {
+        Some("cc-sv") => GapKernel::CcSv,
+        _ => GapKernel::Cc,
+    };
+    let cfg = GapConfig {
+        scale: 10,
+        degree: 8,
+        kernel,
+        max_iters: 10,
+        seed: 21,
+    };
+
+    let mut sampler = SamplerConfig::application(20_000);
+    sampler.seed = 5;
+    let (report, result) = trace_workload(&format!("GAP-{}", kernel.label()), &sampler, |s| {
+        gap::run(s, &cfg)
+    });
+    println!(
+        "GAP {}: {} iterations, {} loads, {} samples\n",
+        kernel.label(),
+        result.iterations,
+        report.stream.total_loads,
+        report.trace.num_samples()
+    );
+
+    let analyzer = report.analyzer(AnalysisConfig::default());
+    println!("== location zoom tree (Fig. 5) ==");
+    match analyzer.zoom() {
+        Some(root) => print_tree(&root, 0),
+        None => {
+            println!("(no sampled accesses)");
+            return;
+        }
+    }
+
+    // Heatmaps of the hottest leaf region (Fig. 8).
+    let rows = analyzer.region_rows();
+    if let Some(hot) = rows.first() {
+        println!(
+            "\n== Fig. 8 heatmaps of hottest region [{:#x}..{:#x}) ==",
+            hot.range.0, hot.range.1
+        );
+        let (acc, d) = analyzer.heatmaps(hot.range, 16, 48);
+        println!("access frequency (darker = more accesses):");
+        print!("{}", acc.render_ascii());
+        println!("reuse distance D (darker = larger):");
+        print!("{}", d.render_ascii());
+        println!(
+            "dark cells at 50% of max: accesses {}, D {}",
+            acc.dark_cells(0.5),
+            d.dark_cells(0.5)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # MemGaze
+//!
+//! Rapid and effective load-level memory trace analysis, reproducing the
+//! system described in *MemGaze: Rapid and Effective Load-Level Memory Trace
+//! Analysis* (Kilic et al., IEEE CLUSTER 2022) on a simulated
+//! Processor-Tracing substrate.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names. The typical entry point is [`core::MemGaze`], which drives the
+//! paper's pipeline: static analysis + selective instrumentation →
+//! Processor-Tracing collection of sampled address traces → multi-resolution
+//! reuse analysis.
+//!
+//! ```
+//! use memgaze::core::{MemGaze, PipelineConfig};
+//! use memgaze::workloads::ubench::{MicroBench, OptLevel};
+//!
+//! let bench = MicroBench::parse("str2", 1 << 12, 4, OptLevel::O3).unwrap();
+//! let mut cfg = PipelineConfig::microbench();
+//! cfg.sampler.period = 2000;
+//! let report = MemGaze::new(cfg).run_microbench(&bench).expect("pipeline");
+//! assert!(report.trace.num_samples() > 0);
+//! ```
+
+/// Trace model: accesses, samples, sampled traces, annotations, ρ/κ.
+pub use memgaze_model as model;
+/// Synthetic x64-like ISA, static analysis, and interpreter.
+pub use memgaze_isa as isa;
+/// Binary instrumentation (DynInst substitute): classification, ptwrite insertion.
+pub use memgaze_instrument as instrument;
+/// Intel Processor Trace hardware model and perf-like collector.
+pub use memgaze_ptsim as ptsim;
+/// Footprint, reuse, interval-tree, zoom, heatmap and validation analyses.
+pub use memgaze_analysis as analysis;
+/// Traced workloads: microbenchmarks, miniVite, GAP, Darknet.
+pub use memgaze_workloads as workloads;
+/// The high-level pipeline API.
+pub use memgaze_core as core;

@@ -1,0 +1,241 @@
+//! The `memgaze` command-line tool: trace and analyze the bundled
+//! workloads without writing any code.
+//!
+//! ```text
+//! memgaze ubench <pattern> [--opt O0|O3] [--period N] [--elems N] [--reps N]
+//! memgaze minivite [v1|v2|v3] [--scale N] [--period N]
+//! memgaze gap <pr|pr-spmv|cc|cc-sv> [--scale N] [--period N]
+//! memgaze darknet <alexnet|resnet152> [--period N]
+//! memgaze list
+//! ```
+//!
+//! Every subcommand prints the hot-function table (paper Table IV shape),
+//! the hot-memory regions from the location zoom (Table V shape), the
+//! working set, and collection statistics.
+
+use memgaze::analysis::{fmt_f3, fmt_pct, fmt_si, AnalysisConfig, Analyzer, Table};
+use memgaze::core::{trace_workload, MemGaze, PipelineConfig};
+use memgaze::model::DecompressionInfo;
+use memgaze::ptsim::SamplerConfig;
+use memgaze::workloads::darknet::{self, Network};
+use memgaze::workloads::gap::{self, GapConfig, GapKernel};
+use memgaze::workloads::minivite::{self, MapVariant, MiniViteConfig};
+use memgaze::workloads::ubench::{MicroBench, OptLevel};
+
+/// Minimal flag parsing: `--key value` pairs after positional args.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --{key}");
+                    std::process::exit(2);
+                });
+                flags.push((key.to_string(), val));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{key}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         memgaze ubench <pattern> [--opt O0|O3] [--period N] [--elems N] [--reps N]\n  \
+         memgaze minivite [v1|v2|v3] [--scale N] [--degree N] [--iters N] [--period N]\n  \
+         memgaze gap <pr|pr-spmv|cc|cc-sv> [--scale N] [--degree N] [--period N]\n  \
+         memgaze darknet <alexnet|resnet152> [--period N]\n  \
+         memgaze list\n\n\
+         patterns: str<k>, irr, a|b (serial), a/b (conditional), e.g. \"str2|irr\""
+    );
+    std::process::exit(2);
+}
+
+fn print_analysis(analyzer: &Analyzer<'_>, name: &str) {
+    let info = analyzer.decompression();
+    println!(
+        "{name}: {} samples, A(σ) = {}, κ = {:.2}, ρ = {:.1}\n",
+        analyzer.trace.num_samples(),
+        fmt_si(info.observed as f64),
+        info.kappa(),
+        info.rho()
+    );
+    print!("{}", analyzer.function_table_rendered("Hot functions").render());
+
+    let mut regions = Table::new(
+        "\nHot memory (location zoom)",
+        &["Region", "%", "D", "MaxD", "blocks", "A/block", "code"],
+    );
+    for r in analyzer.region_rows().into_iter().take(8) {
+        regions.push_row(vec![
+            format!("{:#x}+{}", r.range.0, fmt_si((r.range.1 - r.range.0) as f64)),
+            fmt_pct(r.pct_of_total),
+            fmt_f3(r.reuse_d),
+            r.max_d.to_string(),
+            r.blocks.to_string(),
+            fmt_f3(r.accesses_per_block()),
+            r.code.first().cloned().unwrap_or_default(),
+        ]);
+    }
+    print!("{}", regions.render());
+
+    let ws = analyzer.working_set();
+    println!(
+        "\nWorking set: {} pages observed (est. {} pages ≈ {}), inter-sample D ≈ {:.0} pages",
+        ws.pages_observed,
+        fmt_si(ws.pages_estimated),
+        fmt_si(ws.pages_estimated * 4096.0),
+        ws.est_intersample_distance
+    );
+}
+
+fn run_workload(
+    name: &str,
+    period: u64,
+    run: impl FnOnce(&mut memgaze::workloads::TracedSpace<memgaze::core::SamplerRecorder>),
+) {
+    let sampler = SamplerConfig::application(period);
+    let (report, ()) = trace_workload(name, &sampler, |s| run(s));
+    let analyzer = report.analyzer(AnalysisConfig::default());
+    print_analysis(&analyzer, name);
+    println!(
+        "\nPhases: {}",
+        report
+            .phases
+            .iter()
+            .filter(|p| p.counters.loads > 0)
+            .map(|p| format!("{} ({} loads)", p.name, fmt_si(p.counters.loads as f64)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "ubench" => {
+            let pattern = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let opt = match args.get("opt") {
+                Some("O0") => OptLevel::O0,
+                _ => OptLevel::O3,
+            };
+            let elems = args.num("elems", 4096u32);
+            let reps = args.num("reps", 50u32);
+            let bench = MicroBench::parse(pattern, elems, reps, opt)
+                .unwrap_or_else(|| usage());
+            let mut cfg = PipelineConfig::microbench();
+            cfg.sampler.period = args.num("period", 10_000u64);
+            let report = MemGaze::new(cfg.clone())
+                .run_microbench(&bench)
+                .unwrap_or_else(|e| {
+                    eprintln!("pipeline failed: {e}");
+                    std::process::exit(1);
+                });
+            let analyzer = report.analyzer(cfg.analysis);
+            print_analysis(&analyzer, &bench.name());
+            let info = DecompressionInfo::from_trace(&report.trace, &report.instrumented.annots);
+            println!(
+                "\nCollected {} of {} loads ({}%)",
+                fmt_si(info.observed as f64),
+                fmt_si(report.run.exec.loads as f64),
+                fmt_pct(100.0 / info.rho().max(1.0))
+            );
+        }
+        "minivite" => {
+            let variant = match args.positional.get(1).map(String::as_str) {
+                Some("v2") => MapVariant::V2,
+                Some("v3") => MapVariant::V3,
+                _ => MapVariant::V1,
+            };
+            let cfg = MiniViteConfig {
+                scale: args.num("scale", 10u32),
+                degree: args.num("degree", 8usize),
+                iterations: args.num("iters", 2usize),
+                variant,
+                seed: args.num("seed", 42u64),
+                v2_default_capacity: 64,
+            };
+            run_workload(
+                &format!("miniVite-{}", variant.label()),
+                args.num("period", 50_000u64),
+                move |s| {
+                    minivite::run(s, &cfg);
+                },
+            );
+        }
+        "gap" => {
+            let kernel = match args.positional.get(1).map(String::as_str) {
+                Some("pr") => GapKernel::Pr,
+                Some("pr-spmv") => GapKernel::PrSpmv,
+                Some("cc") => GapKernel::Cc,
+                Some("cc-sv") => GapKernel::CcSv,
+                _ => usage(),
+            };
+            let cfg = GapConfig {
+                scale: args.num("scale", 10u32),
+                degree: args.num("degree", 8usize),
+                kernel,
+                max_iters: args.num("iters", 9usize),
+                seed: args.num("seed", 9u64),
+            };
+            run_workload(
+                &format!("GAP-{}", kernel.label()),
+                args.num("period", 20_000u64),
+                move |s| {
+                    gap::run(s, &cfg);
+                },
+            );
+        }
+        "darknet" => {
+            let net = match args.positional.get(1).map(String::as_str) {
+                Some("resnet152") => Network::ResNet152,
+                Some("alexnet") => Network::AlexNet,
+                _ => usage(),
+            };
+            run_workload(
+                &format!("Darknet-{}", net.label()),
+                args.num("period", 20_000u64),
+                move |s| {
+                    darknet::run(s, net);
+                },
+            );
+        }
+        "list" => {
+            println!("workloads:");
+            println!("  ubench    — microbenchmarks (str<k>, irr, a|b, a/b) on the IR path");
+            println!("  minivite  — Louvain community detection, map variants v1/v2/v3");
+            println!("  gap       — PageRank (pr, pr-spmv) and Connected Components (cc, cc-sv)");
+            println!("  darknet   — gemm/im2col inference (alexnet, resnet152)");
+        }
+        _ => usage(),
+    }
+}

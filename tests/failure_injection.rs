@@ -1,0 +1,181 @@
+//! Failure injection: corrupted packet streams, drop storms, degenerate
+//! configurations, and empty inputs must degrade gracefully — never
+//! panic, never fabricate data.
+
+use memgaze::analysis::{AnalysisConfig, Analyzer};
+use memgaze::core::{full_trace_workload, trace_workload, MemGaze, PipelineConfig};
+use memgaze::instrument::Instrumenter;
+use memgaze::model::{AuxAnnotations, SampledTrace, SymbolTable, TraceMeta};
+use memgaze::ptsim::{
+    decode_full, BandwidthModel, PtwPacket, SamplerConfig, StreamSampler,
+};
+use memgaze::workloads::gap::{self, GapConfig, GapKernel};
+use memgaze::workloads::ubench::{MicroBench, OptLevel};
+use memgaze::model::Ip;
+
+/// Run an instrumented microbenchmark and return its raw packets.
+fn packets_of(bench: &MicroBench) -> (memgaze::instrument::Instrumented, Vec<PtwPacket>) {
+    use memgaze::isa::interp::{EventSink, Machine};
+    struct P(Vec<PtwPacket>);
+    impl EventSink for P {
+        fn on_ptwrite(&mut self, ip: Ip, payload: u64, load_time: u64) {
+            self.0.push(PtwPacket {
+                ip,
+                payload,
+                load_time,
+            });
+        }
+    }
+    let module = bench.module();
+    let inst = Instrumenter::default().instrument(&module);
+    let main = inst.module.find_proc("main").unwrap();
+    let mut mach = Machine::new(&inst.module, P(Vec::new()));
+    mach.run(main, 100_000_000).unwrap();
+    let packets = mach.into_sink().0;
+    (inst, packets)
+}
+
+#[test]
+fn corrupted_packet_streams_decode_without_panicking() {
+    let bench = MicroBench::parse("str1|irr", 512, 4, OptLevel::O3).unwrap();
+    let (inst, packets) = packets_of(&bench);
+    assert!(packets.len() > 100);
+
+    // Corruption modes: drop every k-th packet, scramble ips, truncate.
+    let meta = TraceMeta::new("corrupt", 0, 0);
+    for k in [2usize, 3, 5] {
+        let dropped: Vec<PtwPacket> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != 0)
+            .map(|(_, p)| *p)
+            .collect();
+        let out = decode_full(&dropped, 0, 1000, &inst, meta.clone());
+        // Decoding never yields more accesses than packets, and split
+        // two-source groups are counted, not invented.
+        assert!(out.trace.accesses.len() <= dropped.len());
+    }
+
+    let scrambled: Vec<PtwPacket> = packets
+        .iter()
+        .map(|p| PtwPacket {
+            ip: Ip(p.ip.raw() ^ 0xffff_0000),
+            ..*p
+        })
+        .collect();
+    let out = decode_full(&scrambled, 0, 1000, &inst, meta.clone());
+    assert_eq!(out.trace.accesses.len(), 0, "unknown ips must decode to nothing");
+    assert_eq!(out.unknown_packets, scrambled.len() as u64);
+
+    let reversed: Vec<PtwPacket> = packets.iter().rev().copied().collect();
+    let _ = decode_full(&reversed, 0, 1000, &inst, meta);
+}
+
+#[test]
+fn drop_storm_preserves_accounting() {
+    // A bandwidth model that drops almost everything.
+    let starved = BandwidthModel {
+        bytes_per_load: 0.2,
+        burst_bytes: 64.0,
+    };
+    let cfg = GapConfig {
+        scale: 8,
+        degree: 6,
+        kernel: GapKernel::Pr,
+        max_iters: 4,
+        seed: 1,
+    };
+    let (report, _) = full_trace_workload("storm", Some(starved), true, |s| {
+        gap::run(s, &cfg);
+    });
+    assert!(report.trace.drop_rate() > 0.9, "storm must drop nearly all");
+    // Accounting still balances: kept + dropped == instrumented loads.
+    assert_eq!(
+        report.trace.accesses.len() as u64 + report.trace.dropped,
+        report.trace.meta.total_instrumented_loads
+    );
+    // Whatever survived is still analyzable.
+    let as_trace = report.trace.as_single_sample_trace();
+    let analyzer = Analyzer::new(&as_trace, &report.annots, &report.symbols);
+    let _ = analyzer.decompression();
+}
+
+#[test]
+fn zero_period_like_configs_are_safe() {
+    // Period of 1: a trigger on every load.
+    let mut cfg = SamplerConfig::application(1);
+    cfg.buffer_bytes = 64;
+    let mut s = StreamSampler::new(cfg);
+    for t in 0..1000u64 {
+        s.on_load(Ip(0x400), t * 8, true, 1);
+    }
+    let (trace, stats) = s.finish("p1");
+    assert_eq!(stats.total_loads, 1000);
+    assert_eq!(trace.num_samples(), 1000);
+    // Giant period: a single trailing flush.
+    let cfg = SamplerConfig::application(u64::MAX / 2);
+    let mut s = StreamSampler::new(cfg);
+    for t in 0..1000u64 {
+        s.on_load(Ip(0x400), t * 8, true, 1);
+    }
+    let (trace, _) = s.finish("phuge");
+    assert_eq!(trace.num_samples(), 1);
+}
+
+#[test]
+fn empty_and_tiny_workloads_analyze_cleanly() {
+    // A workload that performs no loads at all.
+    let cfg = SamplerConfig::application(1000);
+    let (report, ()) = trace_workload("empty", &cfg, |_s| {});
+    assert_eq!(report.stream.total_loads, 0);
+    let analyzer = report.analyzer(AnalysisConfig::default());
+    assert!(analyzer.function_table().is_empty());
+    assert!(analyzer.region_rows().is_empty());
+    assert!(analyzer.zoom().is_none());
+    assert_eq!(analyzer.working_set().pages_observed, 0);
+
+    // A degenerate graph (scale 0: one vertex).
+    let gcfg = GapConfig {
+        scale: 0,
+        degree: 1,
+        kernel: GapKernel::CcSv,
+        max_iters: 2,
+        seed: 1,
+    };
+    let (report, out) = trace_workload("tiny", &cfg, |s| gap::run(s, &gcfg));
+    assert_eq!(out.values.len(), 1);
+    let _ = report.analyzer(AnalysisConfig::default()).function_table();
+}
+
+#[test]
+fn microbench_with_one_element_array() {
+    let bench = MicroBench::parse("irr", 1, 2, OptLevel::O0).unwrap();
+    let mut cfg = PipelineConfig::microbench();
+    cfg.sampler.period = 2;
+    let report = MemGaze::new(cfg).run_microbench(&bench).unwrap();
+    // Almost nothing to sample, but nothing breaks.
+    let _ = report.trace.mean_window();
+}
+
+#[test]
+fn analyzer_tolerates_mismatched_side_tables() {
+    // Symbols and annotations from a *different* run must not panic the
+    // analyses (ips simply resolve to unknown).
+    let mut trace = SampledTrace::new(TraceMeta::new("x", 100, 1024));
+    trace
+        .push_sample(memgaze::model::Sample::new(
+            (0..50)
+                .map(|i| memgaze::model::Access::new(Ip(0xdead_0000 + i * 4), 0x1000 + i * 64, i))
+                .collect(),
+            50,
+        ))
+        .unwrap();
+    let annots = AuxAnnotations::new();
+    let symbols = SymbolTable::new();
+    let analyzer = Analyzer::new(&trace, &annots, &symbols);
+    let rows = analyzer.function_table();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].name, "<unknown>");
+    assert!(!analyzer.region_rows().is_empty());
+    let _ = analyzer.interval_tree();
+}

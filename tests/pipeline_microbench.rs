@@ -1,0 +1,171 @@
+//! End-to-end integration tests of the IR microbenchmark path:
+//! generate → classify → instrument → execute → collect → decode →
+//! analyze, validated against perfect ground-truth traces (paper §VI-A).
+
+use memgaze::analysis::{compare_window_series, pow2_sizes, window_series, CodeWindows};
+use memgaze::core::{MemGaze, PipelineConfig};
+use memgaze::model::{BlockSize, DecompressionInfo};
+use memgaze::workloads::ubench::{suite, MicroBench, OptLevel};
+
+fn pipeline(period: u64) -> (MemGaze, PipelineConfig) {
+    let mut cfg = PipelineConfig::microbench();
+    cfg.sampler.period = period;
+    (MemGaze::new(cfg.clone()), cfg)
+}
+
+#[test]
+fn sampled_accesses_are_subset_of_ground_truth_for_all_suite_benches() {
+    for bench in suite(OptLevel::O3).into_iter().take(4) {
+        let bench = MicroBench::new(memgaze::workloads::ubench::UKernelSpec {
+            elems: 1024,
+            reps: 10,
+            ..bench.spec
+        });
+        let (mg, _) = pipeline(2_000);
+        let report = mg.run_microbench(&bench).unwrap();
+        let truth = mg.microbench_ground_truth(&bench).unwrap();
+        let set: std::collections::HashSet<(u64, u64, u64)> = truth
+            .accesses
+            .iter()
+            .map(|a| (a.time, a.ip.raw(), a.addr.raw()))
+            .collect();
+        assert!(report.trace.observed_accesses() > 0, "{}", bench.name());
+        for a in report.trace.accesses() {
+            assert!(
+                set.contains(&(a.time, a.ip.raw(), a.addr.raw())),
+                "{}: fabricated access {a:?}",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn footprint_mape_within_paper_band() {
+    // Fig. 6: trace-window MAPE < 25% for footprint metrics. Allow a
+    // slightly wider band on our substrate.
+    let sizes = pow2_sizes(4, 9);
+    for name in ["str1", "str2|irr", "irr"] {
+        let bench = MicroBench::parse(name, 4096, 40, OptLevel::O3).unwrap();
+        let (mg, cfg) = pipeline(10_000);
+        let report = mg.run_microbench(&bench).unwrap();
+        let truth = mg.microbench_ground_truth(&bench).unwrap();
+
+        let sampled = window_series(
+            &report.trace,
+            &report.instrumented.annots,
+            cfg.analysis.footprint_block,
+            &sizes,
+        );
+        let full_trace = truth.as_single_sample_trace();
+        let full = window_series(
+            &full_trace,
+            &report.instrumented.annots,
+            cfg.analysis.footprint_block,
+            &sizes,
+        );
+        let mape = compare_window_series(&full, &sampled);
+        assert!(mape.points >= 4, "{name}: too few comparable points");
+        assert!(
+            mape.f < 30.0,
+            "{name}: footprint MAPE {:.1}% exceeds the paper band",
+            mape.f
+        );
+        assert!(
+            mape.worst() < 40.0,
+            "{name}: worst metric MAPE {:.1}%",
+            mape.worst()
+        );
+    }
+}
+
+#[test]
+fn code_window_estimates_are_tighter_than_trace_windows() {
+    // §IV-B: code windows aggregate more samples and reduce error. The
+    // ρ-scaled kernel footprint should land close to the true kernel
+    // footprint.
+    let bench = MicroBench::parse("str2|irr", 4096, 60, OptLevel::O3).unwrap();
+    let (mg, _) = pipeline(10_000);
+    let report = mg.run_microbench(&bench).unwrap();
+    let truth = mg.microbench_ground_truth(&bench).unwrap();
+
+    let info = DecompressionInfo::from_trace(&report.trace, &report.instrumented.annots);
+    let symbols = &report.instrumented.orig_symbols;
+
+    let cw_sampled = CodeWindows::build(&report.trace, symbols);
+    let full_trace = truth.as_single_sample_trace();
+    let cw_full = CodeWindows::build(&full_trace, symbols);
+
+    let fb = BlockSize::WORD;
+    let sampled_kernel = cw_sampled.function("kernel").expect("sampled kernel");
+    let full_kernel = cw_full.function("kernel").expect("full kernel");
+    let est = info.rho() * memgaze::analysis::footprint(sampled_kernel, fb) as f64;
+    // The ρ-scaled estimate over-counts re-touched blocks across samples,
+    // so for a repetition-heavy kernel it must be a *quantitative
+    // overestimate* (paper §VI-A: "errors are quantitative overestimates
+    // rather than qualitative") bounded by ρ× the truth.
+    let truth_fp = memgaze::analysis::footprint(full_kernel, fb) as f64;
+    let ratio = est / truth_fp;
+    assert!(
+        ratio >= 0.8,
+        "sampled estimate must not badly undershoot: ratio {ratio:.2}"
+    );
+    assert!(
+        ratio <= info.rho() * 1.1,
+        "overestimate bounded by ρ = {:.1}: ratio {ratio:.2}",
+        info.rho()
+    );
+}
+
+#[test]
+fn dynamic_kappa_matches_opt_level() {
+    // §VI-C: compression is ≈2× at O0 and ≈1.2× at O3.
+    let mut kappas = Vec::new();
+    for opt in [OptLevel::O0, OptLevel::O3] {
+        let bench = MicroBench::parse("str1", 2048, 10, opt).unwrap();
+        let (mg, _) = pipeline(5_000);
+        let report = mg.run_microbench(&bench).unwrap();
+        let info = DecompressionInfo::from_trace(&report.trace, &report.instrumented.annots);
+        kappas.push(info.kappa());
+    }
+    let (k0, k3) = (kappas[0], kappas[1]);
+    assert!((1.6..=2.4).contains(&k0), "O0 κ = {k0}");
+    assert!((1.0..=1.4).contains(&k3), "O3 κ = {k3}");
+    assert!(k0 > k3);
+}
+
+#[test]
+fn analyzer_finds_kernel_as_hotspot() {
+    let bench = MicroBench::parse("irr", 2048, 20, OptLevel::O3).unwrap();
+    let (mg, cfg) = pipeline(4_000);
+    let report = mg.run_microbench(&bench).unwrap();
+    let analyzer = report.analyzer(cfg.analysis);
+    let rows = analyzer.function_table();
+    assert_eq!(rows[0].name, "kernel", "hottest function must be the kernel");
+    // The gather benchmark has both strided (index array) and irregular
+    // (data) footprint.
+    assert!(rows[0].f_str_pct > 0.0 && rows[0].f_str_pct < 100.0);
+    // The interval tree zooms into the kernel as well.
+    let tree = analyzer.interval_tree();
+    let path = tree.zoom_hot_poor_reuse();
+    assert!(!path.is_empty());
+}
+
+#[test]
+fn buffer_and_period_control_trace_size() {
+    // §VI-C: "The size is controllable by changing the sample buffer
+    // size and the sampling period."
+    let bench = MicroBench::parse("str1", 4096, 30, OptLevel::O3).unwrap();
+    let sizes: Vec<u64> = [2_000u64, 8_000, 32_000]
+        .iter()
+        .map(|&period| {
+            let (mg, _) = pipeline(period);
+            let report = mg.run_microbench(&bench).unwrap();
+            memgaze::model::io::sampled_size_bytes(&report.trace)
+        })
+        .collect();
+    assert!(
+        sizes[0] > sizes[1] && sizes[1] > sizes[2],
+        "longer periods must shrink traces: {sizes:?}"
+    );
+}
