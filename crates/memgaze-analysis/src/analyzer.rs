@@ -10,21 +10,31 @@
 //!   intervals (Table VIII): `F̂`, `ΔF`, `D`, `𝒜` per time interval.
 //! * [`Analyzer::window_series`] / [`Analyzer::locality_series`] — the
 //!   Fig. 6 and Fig. 9 series; [`Analyzer::heatmaps`] — Fig. 8.
+//!
+//! Every expensive artifact (ρ/κ facts, the flattened access stream,
+//! per-sample reuse analyses and diagnostics, the merged [`BlockReuse`],
+//! the zoom tree, code windows, and the function table) is memoized in an
+//! interior-mutability [`ArtifactCache`], so rendering several tables
+//! from one `Analyzer` computes each artifact exactly once. The cache is
+//! keyed implicitly by `(trace, config)`: the trace is borrowed
+//! immutably, and [`Analyzer::with_config`] resets the cache.
 
 use crate::confidence::Confidence;
 use crate::diagnostics::FootprintDiagnostics;
-use crate::heatmap::{region_heatmaps, Heatmap};
-use crate::histogram::{locality_vs_interval, LocalityPoint};
+use crate::heatmap::{region_heatmaps_from, Heatmap};
+use crate::histogram::{locality_vs_interval_with, LocalityPoint};
 use crate::interval_tree::IntervalTree;
 use crate::par;
 use crate::report::{fmt_f3, fmt_pct, fmt_si, Table};
-use crate::reuse::{self, BlockReuse};
-use crate::window::{window_series, CodeWindows, WindowPoint};
-use crate::zoom::{zoom_trace_annotated, ZoomConfig, ZoomRegion};
+use crate::reuse::{self, BlockReuse, ReuseAnalysis};
+use crate::window::{window_series_with, CodeWindows, WindowPoint};
+use crate::zoom::{LocationZoom, ZoomConfig, ZoomRegion};
 use memgaze_model::{
-    Access, AuxAnnotations, BlockSize, DecompressionInfo, SampledTrace, SymbolTable,
+    Access, AuxAnnotations, BlockSize, DecompressionInfo, Sample, SampledTrace, SymbolTable,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -118,16 +128,72 @@ pub struct IntervalRow {
     pub accesses_decompressed: f64,
 }
 
+/// How many times each memoized artifact was actually *computed*
+/// (not served from the cache). Exposed so perf tests can assert that
+/// rendering every table computes each artifact exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// ρ/κ decompression facts.
+    pub decompression: u64,
+    /// Flattened access stream.
+    pub accesses: u64,
+    /// Per-sample reuse analyses (at the reuse block size).
+    pub sample_reuse: u64,
+    /// Per-sample footprint diagnostics (at the footprint block size).
+    pub sample_diags: u64,
+    /// Merged trace-wide [`BlockReuse`].
+    pub block_reuse: u64,
+    /// Location-zoom tree.
+    pub zoom: u64,
+    /// Per-function code windows.
+    pub code_windows: u64,
+    /// Sorted function-table rows.
+    pub function_rows: u64,
+}
+
+/// Interior-mutability memoization of the analyzer's artifacts.
+///
+/// Each slot is a `OnceLock` so a `&Analyzer` can lazily fill it; the
+/// paired counters record how many times the compute closure actually
+/// ran, which the throughput tests assert on.
+#[derive(Default)]
+struct ArtifactCache {
+    decompression: OnceLock<DecompressionInfo>,
+    accesses: OnceLock<Vec<Access>>,
+    sample_reuse: OnceLock<Vec<ReuseAnalysis>>,
+    sample_diags: OnceLock<Vec<FootprintDiagnostics>>,
+    block_reuse: OnceLock<BlockReuse>,
+    zoom: OnceLock<Option<ZoomRegion>>,
+    code_windows: OnceLock<CodeWindows>,
+    function_rows: OnceLock<Vec<FunctionRow>>,
+    computes: Counters,
+}
+
+#[derive(Default)]
+struct Counters {
+    decompression: AtomicU64,
+    accesses: AtomicU64,
+    sample_reuse: AtomicU64,
+    sample_diags: AtomicU64,
+    block_reuse: AtomicU64,
+    zoom: AtomicU64,
+    code_windows: AtomicU64,
+    function_rows: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The analyzer façade.
 pub struct Analyzer<'a> {
-    /// The sampled trace under analysis.
-    pub trace: &'a SampledTrace,
-    /// The auxiliary annotation file.
-    pub annots: &'a AuxAnnotations,
-    /// Symbols of the original module.
-    pub symbols: &'a SymbolTable,
-    /// Configuration.
-    pub cfg: AnalysisConfig,
+    trace: &'a SampledTrace,
+    annots: &'a AuxAnnotations,
+    symbols: &'a SymbolTable,
+    cfg: AnalysisConfig,
+    cache: ArtifactCache,
 }
 
 impl<'a> Analyzer<'a> {
@@ -142,37 +208,122 @@ impl<'a> Analyzer<'a> {
             annots,
             symbols,
             cfg: AnalysisConfig::default(),
+            cache: ArtifactCache::default(),
         }
     }
 
-    /// Replace the configuration.
+    /// Replace the configuration. Resets the artifact cache — cached
+    /// artifacts are only valid for the `(trace, config)` pair they were
+    /// computed under.
     pub fn with_config(mut self, cfg: AnalysisConfig) -> Analyzer<'a> {
         self.cfg = cfg;
+        self.cache = ArtifactCache::default();
         self
+    }
+
+    /// The sampled trace under analysis.
+    pub fn trace(&self) -> &SampledTrace {
+        self.trace
+    }
+
+    /// The auxiliary annotation file.
+    pub fn annots(&self) -> &AuxAnnotations {
+        self.annots
+    }
+
+    /// Symbols of the original module.
+    pub fn symbols(&self) -> &SymbolTable {
+        self.symbols
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// Compute counts of the memoized artifacts so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        let c = &self.cache.computes;
+        CacheStats {
+            decompression: c.decompression.load(Ordering::Relaxed),
+            accesses: c.accesses.load(Ordering::Relaxed),
+            sample_reuse: c.sample_reuse.load(Ordering::Relaxed),
+            sample_diags: c.sample_diags.load(Ordering::Relaxed),
+            block_reuse: c.block_reuse.load(Ordering::Relaxed),
+            zoom: c.zoom.load(Ordering::Relaxed),
+            code_windows: c.code_windows.load(Ordering::Relaxed),
+            function_rows: c.function_rows.load(Ordering::Relaxed),
+        }
     }
 
     /// ρ/κ decompression facts of the trace.
     pub fn decompression(&self) -> DecompressionInfo {
-        DecompressionInfo::from_trace(self.trace, self.annots)
+        *self.cache.decompression.get_or_init(|| {
+            Counters::bump(&self.cache.computes.decompression);
+            DecompressionInfo::from_trace(self.trace, self.annots)
+        })
+    }
+
+    /// All sampled accesses, flattened and memoized (feeds the zoom and
+    /// any custom analysis).
+    pub fn all_accesses(&self) -> &[Access] {
+        self.cache.accesses.get_or_init(|| {
+            Counters::bump(&self.cache.computes.accesses);
+            self.trace.accesses().copied().collect()
+        })
+    }
+
+    /// Per-sample reuse analyses at the configured reuse block size,
+    /// computed in parallel and memoized.
+    pub fn sample_reuse(&self) -> &[ReuseAnalysis] {
+        self.cache.sample_reuse.get_or_init(|| {
+            Counters::bump(&self.cache.computes.sample_reuse);
+            let rb = self.cfg.reuse_block;
+            par::par_map(&self.trace.samples, self.cfg.threads, |s| {
+                reuse::analyze_window(&s.accesses, rb)
+            })
+        })
+    }
+
+    /// Per-sample footprint diagnostics at the configured footprint
+    /// block size, computed in parallel and memoized.
+    pub fn sample_diagnostics(&self) -> &[FootprintDiagnostics] {
+        self.cache.sample_diags.get_or_init(|| {
+            Counters::bump(&self.cache.computes.sample_diags);
+            let fb = self.cfg.footprint_block;
+            par::par_map(&self.trace.samples, self.cfg.threads, |s| {
+                FootprintDiagnostics::compute(&s.accesses, self.annots, fb)
+            })
+        })
+    }
+
+    /// Per-function code windows, memoized.
+    pub fn code_windows(&self) -> &CodeWindows {
+        self.cache.code_windows.get_or_init(|| {
+            Counters::bump(&self.cache.computes.code_windows);
+            CodeWindows::build(self.trace, self.symbols)
+        })
     }
 
     /// Per-function locality rows, sorted by decompressed accesses
-    /// (hottest first).
-    pub fn function_table(&self) -> Vec<FunctionRow> {
-        let rho = self.decompression().rho();
-        let cw = CodeWindows::build(self.trace, self.symbols);
-        let fb = self.cfg.footprint_block;
-        let rb = self.cfg.reuse_block;
-        let mut rows: Vec<FunctionRow> = cw
-            .iter()
-            .map(|(name, accesses, _runs)| {
+    /// (hottest first). Computed once per analyzer; per-function work
+    /// runs in parallel.
+    pub fn function_table(&self) -> &[FunctionRow] {
+        self.cache.function_rows.get_or_init(|| {
+            Counters::bump(&self.cache.computes.function_rows);
+            let rho = self.decompression().rho();
+            let cw = self.code_windows();
+            let fb = self.cfg.footprint_block;
+            let rb = self.cfg.reuse_block;
+            let chunk = self.trace.mean_window().max(1.0) as usize;
+            let funcs: Vec<(&str, &[Access], u64)> = cw.iter().collect();
+            let mut rows = par::par_map(&funcs, self.cfg.threads, |&(name, accesses, _runs)| {
                 let diag = FootprintDiagnostics::compute(accesses, self.annots, fb);
                 let r = reuse::analyze_window(accesses, rb);
                 // Per-sample footprint observations for the confidence
                 // interval: slice the function's accesses by sample
                 // boundaries (time gaps ≥ one period apart is enough of a
                 // proxy: we use fixed chunks of the mean window instead).
-                let chunk = self.trace.mean_window().max(1.0) as usize;
                 let obs: Vec<f64> = accesses
                     .chunks(chunk)
                     .map(|c| crate::footprint::footprint(c, fb) as f64)
@@ -187,10 +338,10 @@ impl<'a> Analyzer<'a> {
                     mean_d: r.mean_distance(),
                     confidence: Confidence::from_observations(&obs),
                 }
-            })
-            .collect();
-        rows.sort_by(|a, b| b.accesses_decompressed.total_cmp(&a.accesses_decompressed));
-        rows
+            });
+            rows.sort_by(|a, b| b.accesses_decompressed.total_cmp(&a.accesses_decompressed));
+            rows
+        })
     }
 
     /// Render the function table in the paper's Table IV shape.
@@ -209,34 +360,66 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Merged per-block reuse over all samples (location analyses).
-    pub fn block_reuse(&self) -> BlockReuse {
-        let rb = self.cfg.reuse_block;
-        let parts = par::par_map(&self.trace.samples, self.cfg.threads, |s| {
-            let r = reuse::analyze_window(&s.accesses, rb);
-            BlockReuse::from_analysis(&s.accesses, rb, &r)
-        });
-        let mut merged = BlockReuse::default();
-        for p in &parts {
-            merged.merge(p);
-        }
-        merged
+    /// Per-sample summaries are built in parallel from the cached
+    /// per-sample reuse analyses, then coalesced with a single index
+    /// rebuild; the merged summary is memoized.
+    pub fn block_reuse(&self) -> &BlockReuse {
+        self.cache.block_reuse.get_or_init(|| {
+            Counters::bump(&self.cache.computes.block_reuse);
+            let rb = self.cfg.reuse_block;
+            let analyses = self.sample_reuse();
+            let pairs: Vec<(&Sample, &ReuseAnalysis)> =
+                self.trace.samples.iter().zip(analyses).collect();
+            let parts = par::par_map(&pairs, self.cfg.threads, |&(s, r)| {
+                BlockReuse::from_analysis(&s.accesses, rb, r)
+            });
+            BlockReuse::from_parts(parts)
+        })
     }
 
     /// The location zoom tree (Fig. 5), with source-line attribution
-    /// from the annotation file.
-    pub fn zoom(&self) -> Option<ZoomRegion> {
-        zoom_trace_annotated(self.trace, self.symbols, Some(self.annots), self.cfg.zoom)
+    /// from the annotation file. Memoized; shares the cached
+    /// [`Analyzer::block_reuse`] when the zoom's access block matches
+    /// the reuse block (the default).
+    pub fn zoom(&self) -> Option<&ZoomRegion> {
+        self.cache
+            .zoom
+            .get_or_init(|| {
+                Counters::bump(&self.cache.computes.zoom);
+                let accesses = self.all_accesses();
+                if accesses.is_empty() {
+                    return None;
+                }
+                let zcfg = self.cfg.zoom;
+                let run = |summary: &BlockReuse| {
+                    LocationZoom::new(accesses, summary, self.symbols, zcfg)
+                        .with_annotations(self.annots)
+                        .run()
+                };
+                if zcfg.access_block == self.cfg.reuse_block {
+                    run(self.block_reuse())
+                } else {
+                    // The zoom wants a different block granularity; build
+                    // a dedicated summary at that size.
+                    let parts = par::par_map(&self.trace.samples, self.cfg.threads, |s| {
+                        let r = reuse::analyze_window(&s.accesses, zcfg.access_block);
+                        BlockReuse::from_analysis(&s.accesses, zcfg.access_block, &r)
+                    });
+                    run(&BlockReuse::from_parts(parts))
+                }
+            })
+            .as_ref()
     }
 
     /// Hot-memory reuse rows from the zoom's leaves, hottest first
     /// (Tables V / VII / IX).
     pub fn region_rows(&self) -> Vec<RegionRow> {
-        let reuse = self.block_reuse();
         let rb = self.cfg.reuse_block;
         let root = match self.zoom() {
             Some(r) => r,
             None => return Vec::new(),
         };
+        let summary = self.block_reuse();
         let mut rows: Vec<RegionRow> = root
             .leaves()
             .into_iter()
@@ -246,7 +429,7 @@ impl<'a> Analyzer<'a> {
                 RegionRow {
                     range: (leaf.lo, leaf.hi),
                     reuse_d: leaf.reuse_d,
-                    max_d: reuse.region_max_distance(lo_b, hi_b),
+                    max_d: summary.region_max_distance(lo_b, hi_b),
                     blocks: leaf.blocks,
                     accesses: leaf.accesses,
                     pct_of_total: leaf.pct_of_total,
@@ -261,17 +444,17 @@ impl<'a> Analyzer<'a> {
     /// Reuse row for one explicit address range (when the caller knows
     /// the object, e.g. Table V's named objects).
     pub fn region_row_for(&self, lo: u64, hi: u64) -> RegionRow {
-        let reuse = self.block_reuse();
+        let summary = self.block_reuse();
         let rb = self.cfg.reuse_block;
         let lo_b = lo >> rb.log2();
         let hi_b = (hi + rb.bytes() - 1) >> rb.log2();
-        let accesses = reuse.region_accesses(lo_b, hi_b);
+        let accesses = summary.region_accesses(lo_b, hi_b);
         let total = self.trace.observed_accesses();
         RegionRow {
             range: (lo, hi),
-            reuse_d: reuse.region_mean_distance(lo_b, hi_b),
-            max_d: reuse.region_max_distance(lo_b, hi_b),
-            blocks: reuse.region_blocks(lo_b, hi_b),
+            reuse_d: summary.region_mean_distance(lo_b, hi_b),
+            max_d: summary.region_max_distance(lo_b, hi_b),
+            blocks: summary.region_blocks(lo_b, hi_b),
             accesses,
             pct_of_total: if total == 0 {
                 0.0
@@ -283,30 +466,33 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Locality over time: split the samples into `n` equal time
-    /// intervals and report per-interval metrics (Table VIII).
+    /// intervals and report per-interval metrics (Table VIII). Consumes
+    /// the cached per-sample diagnostics and reuse analyses, so repeat
+    /// calls (and other tables) share the per-sample passes.
     pub fn interval_rows(&self, n: usize) -> Vec<IntervalRow> {
         if self.trace.samples.is_empty() || n == 0 {
             return Vec::new();
         }
         let rho = self.decompression().rho();
         let fb = self.cfg.footprint_block;
-        let rb = self.cfg.reuse_block;
+        let diags = self.sample_diagnostics();
+        let reuses = self.sample_reuse();
         let per_interval = self.trace.samples.len().div_ceil(n);
-        self.trace
-            .samples
+        diags
             .chunks(per_interval)
+            .zip(reuses.chunks(per_interval))
             .enumerate()
-            .map(|(i, group)| {
+            .map(|(i, (dgroup, rgroup))| {
                 let mut diag: Option<FootprintDiagnostics> = None;
+                for d in dgroup {
+                    match &mut diag {
+                        Some(m) => m.merge(d),
+                        None => diag = Some(*d),
+                    }
+                }
                 let mut d_sum = 0.0;
                 let mut d_n = 0u64;
-                for s in group {
-                    let d = FootprintDiagnostics::compute(&s.accesses, self.annots, fb);
-                    match &mut diag {
-                        Some(m) => m.merge(&d),
-                        None => diag = Some(d),
-                    }
-                    let r = reuse::analyze_window(&s.accesses, rb);
+                for r in rgroup {
                     if !r.events.is_empty() {
                         d_sum += r.mean_distance() * r.events.len() as f64;
                         d_n += r.events.len() as u64;
@@ -326,33 +512,51 @@ impl<'a> Analyzer<'a> {
 
     /// Footprint-metric histograms over power-of-2 windows (Fig. 6).
     pub fn window_series(&self, sizes: &[u64]) -> Vec<WindowPoint> {
-        window_series(self.trace, self.annots, self.cfg.footprint_block, sizes)
+        let info = self.decompression();
+        window_series_with(
+            self.trace,
+            self.annots,
+            self.cfg.footprint_block,
+            sizes,
+            &info,
+            self.cfg.threads,
+        )
     }
 
     /// Locality vs. interval size (Fig. 9).
     pub fn locality_series(&self, sizes: &[u64]) -> Vec<LocalityPoint> {
-        locality_vs_interval(self.trace, self.annots, self.cfg.reuse_block, sizes)
+        locality_vs_interval_with(
+            self.trace,
+            self.annots,
+            self.cfg.reuse_block,
+            sizes,
+            self.cfg.threads,
+        )
     }
 
     /// Access-frequency and reuse-distance heatmaps of a region (Fig. 8).
+    /// Shares the cached per-sample reuse analyses.
     pub fn heatmaps(&self, region: (u64, u64), rows: usize, cols: usize) -> (Heatmap, Heatmap) {
-        region_heatmaps(self.trace, region, rows, cols, self.cfg.reuse_block)
+        region_heatmaps_from(
+            self.trace,
+            self.sample_reuse(),
+            region,
+            rows,
+            cols,
+            self.cfg.threads,
+        )
     }
 
     /// The execution interval tree (Fig. 4).
     pub fn interval_tree(&self) -> IntervalTree {
-        IntervalTree::build(
+        IntervalTree::build_par(
             self.trace,
             self.annots,
             self.symbols,
             self.cfg.footprint_block,
             self.decompression().rho(),
+            self.cfg.threads,
         )
-    }
-
-    /// All sampled accesses, flattened (helper for custom analyses).
-    pub fn all_accesses(&self) -> Vec<Access> {
-        self.trace.accesses().copied().collect()
     }
 
     /// Working-set analysis at OS-page granularity with inter-sample
@@ -370,9 +574,9 @@ impl<'a> Analyzer<'a> {
         max_relative_ci: f64,
     ) -> Vec<(String, Confidence)> {
         self.function_table()
-            .into_iter()
+            .iter()
             .filter(|r| r.confidence.is_undersampled(min_samples, max_relative_ci))
-            .map(|r| (r.name, r.confidence))
+            .map(|r| (r.name.clone(), r.confidence.clone()))
             .collect()
     }
 }
@@ -413,7 +617,11 @@ mod tests {
             }
             for i in 96..128u64 {
                 // Reusing: cycle 4 blocks at 16 MiB.
-                acc.push(Access::new(Ip(0x210), (16u64 << 20) + (i % 4) * 64, base + i));
+                acc.push(Access::new(
+                    Ip(0x210),
+                    (16u64 << 20) + (i % 4) * 64,
+                    base + i,
+                ));
             }
             t.push_sample(Sample::new(acc, base + 128)).unwrap();
         }
@@ -503,7 +711,10 @@ mod tests {
         let strict = a.undersampled_functions(1_000_000, 0.0);
         assert_eq!(strict.len(), 2, "all functions flagged under strict bounds");
         let lax = a.undersampled_functions(2, 0.5);
-        assert!(lax.len() < 2, "stable metrics should pass lax bounds: {lax:?}");
+        assert!(
+            lax.len() < 2,
+            "stable metrics should pass lax bounds: {lax:?}"
+        );
     }
 
     #[test]
@@ -516,5 +727,70 @@ mod tests {
         assert!(a.region_rows().is_empty());
         assert!(a.interval_rows(4).is_empty());
         assert!(a.zoom().is_none());
+    }
+
+    #[test]
+    fn report_path_computes_each_artifact_once() {
+        // The ISSUE's acceptance criterion: region_rows() followed by
+        // region_row_for() performs exactly one block_reuse and one zoom
+        // computation; the rest of the multi-table report path keeps
+        // every counter at one.
+        let (t, annots, symbols) = setup();
+        let a = Analyzer::new(&t, &annots, &symbols);
+        let rows = a.region_rows();
+        assert!(!rows.is_empty());
+        let _row = a.region_row_for(16 << 20, (16 << 20) + 4 * 64);
+        let stats = a.cache_stats();
+        assert_eq!(stats.block_reuse, 1, "{stats:?}");
+        assert_eq!(stats.zoom, 1, "{stats:?}");
+        assert_eq!(stats.sample_reuse, 1, "{stats:?}");
+
+        // Pile on the rest of the report; artifacts must not recompute.
+        let _ = a.function_table();
+        let _ = a.function_table_rendered("again");
+        let _ = a.interval_rows(8);
+        let _ = a.interval_rows(4);
+        let _ = a.region_rows();
+        let _ = a.heatmaps((1 << 20, 2 << 20), 4, 4);
+        let _ = a.window_series(&[16, 64]);
+        let stats = a.cache_stats();
+        assert_eq!(stats.block_reuse, 1, "{stats:?}");
+        assert_eq!(stats.zoom, 1, "{stats:?}");
+        assert_eq!(stats.sample_reuse, 1, "{stats:?}");
+        assert_eq!(stats.sample_diags, 1, "{stats:?}");
+        assert_eq!(stats.decompression, 1, "{stats:?}");
+        assert_eq!(stats.code_windows, 1, "{stats:?}");
+        assert_eq!(stats.function_rows, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn with_config_resets_cache() {
+        let (t, annots, symbols) = setup();
+        let a = Analyzer::new(&t, &annots, &symbols);
+        let _ = a.block_reuse();
+        assert_eq!(a.cache_stats().block_reuse, 1);
+        let a = a.with_config(AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        });
+        assert_eq!(a.cache_stats().block_reuse, 0, "cache must reset");
+        let _ = a.block_reuse();
+        assert_eq!(a.cache_stats().block_reuse, 1);
+    }
+
+    #[test]
+    fn cached_results_match_fresh_analyzer() {
+        let (t, annots, symbols) = setup();
+        let cached = Analyzer::new(&t, &annots, &symbols);
+        // Warm every artifact, then ask again.
+        let first_regions = cached.region_rows();
+        let first_functions = cached.function_table().to_vec();
+        let fresh = Analyzer::new(&t, &annots, &symbols);
+        assert_eq!(first_regions, fresh.region_rows());
+        assert_eq!(first_functions, fresh.function_table());
+        assert_eq!(cached.region_rows(), fresh.region_rows());
+        assert_eq!(cached.interval_rows(8), fresh.interval_rows(8));
+        assert_eq!(cached.block_reuse(), fresh.block_reuse());
+        assert_eq!(cached.zoom(), fresh.zoom());
     }
 }

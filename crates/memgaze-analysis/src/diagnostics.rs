@@ -8,9 +8,9 @@
 //! `A_const%`.
 
 use crate::footprint::footprint_growth;
+use crate::fxhash::FxHashSet;
 use memgaze_model::{Access, AuxAnnotations, BlockSize, LoadClass};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// The footprint access diagnostics of one window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -32,9 +32,10 @@ pub struct FootprintDiagnostics {
 impl FootprintDiagnostics {
     /// Compute the diagnostics of a window given the annotation file.
     pub fn compute(accesses: &[Access], annots: &AuxAnnotations, bs: BlockSize) -> Self {
-        let mut all: HashSet<u64> = HashSet::with_capacity(accesses.len());
-        let mut strided: HashSet<u64> = HashSet::new();
-        let mut irregular: HashSet<u64> = HashSet::new();
+        let mut all: FxHashSet<u64> =
+            FxHashSet::with_capacity_and_hasher(accesses.len(), Default::default());
+        let mut strided: FxHashSet<u64> = FxHashSet::default();
+        let mut irregular: FxHashSet<u64> = FxHashSet::default();
         let mut implied_const = 0u64;
         for a in accesses {
             let b = a.addr.block(bs);
@@ -153,7 +154,10 @@ mod tests {
         let mut s = IpAnnot::of_class(LoadClass::Strided, FunctionId(0));
         s.implied_const = 1;
         ax.insert(Ip(0x10), s);
-        ax.insert(Ip(0x20), IpAnnot::of_class(LoadClass::Irregular, FunctionId(0)));
+        ax.insert(
+            Ip(0x20),
+            IpAnnot::of_class(LoadClass::Irregular, FunctionId(0)),
+        );
         ax
     }
 
@@ -213,7 +217,11 @@ mod tests {
         let w1 = vec![acc(0x10, 0, 0), acc(0x10, 1, 1)];
         let w2 = vec![acc(0x20, 5, 2), acc(0x20, 6, 3)];
         let mut d = FootprintDiagnostics::compute(&w1, &ax, BlockSize::CACHE_LINE);
-        d.merge(&FootprintDiagnostics::compute(&w2, &ax, BlockSize::CACHE_LINE));
+        d.merge(&FootprintDiagnostics::compute(
+            &w2,
+            &ax,
+            BlockSize::CACHE_LINE,
+        ));
         assert_eq!(d.observed, 4);
         assert_eq!(d.footprint, 4);
         assert_eq!(d.f_str, 2);

@@ -9,9 +9,9 @@
 //! (Eq. 3), and footprint growth is footprint per (decompressed) access:
 //! `ΔF̂(σ) = F(σ) / (κ(σ)·A(σ))` (Eq. 4).
 
+use crate::fxhash::FxHashMap;
 use memgaze_model::{Access, BlockSize};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Captures and survivals of one access window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,7 +31,8 @@ impl CapturesSurvivals {
 
 /// Count unique blocks in a window.
 pub fn footprint(accesses: &[Access], bs: BlockSize) -> u64 {
-    let mut seen: HashMap<u64, ()> = HashMap::with_capacity(accesses.len());
+    let mut seen: FxHashMap<u64, ()> =
+        FxHashMap::with_capacity_and_hasher(accesses.len(), Default::default());
     for a in accesses {
         seen.insert(a.addr.block(bs), ());
     }
@@ -40,7 +41,8 @@ pub fn footprint(accesses: &[Access], bs: BlockSize) -> u64 {
 
 /// Count captures and survivals in a window.
 pub fn captures_survivals(accesses: &[Access], bs: BlockSize) -> CapturesSurvivals {
-    let mut counts: HashMap<u64, u32> = HashMap::with_capacity(accesses.len());
+    let mut counts: FxHashMap<u64, u32> =
+        FxHashMap::with_capacity_and_hasher(accesses.len(), Default::default());
     for a in accesses {
         *counts.entry(a.addr.block(bs)).or_insert(0) += 1;
     }

@@ -5,8 +5,9 @@
 //! memory region's addresses and whose columns bin logical time; one
 //! variant accumulates access counts, the other mean reuse distance.
 
-use crate::reuse;
-use memgaze_model::{BlockSize, SampledTrace};
+use crate::par;
+use crate::reuse::{self, ReuseAnalysis};
+use memgaze_model::{BlockSize, Sample, SampledTrace};
 use serde::{Deserialize, Serialize};
 
 /// A dense 2-D accumulation grid.
@@ -105,32 +106,80 @@ pub fn region_heatmaps(
     cols: usize,
     bs: BlockSize,
 ) -> (Heatmap, Heatmap) {
+    let threads = par::default_threads();
+    let analyses = par::par_map(&trace.samples, threads, |s| {
+        reuse::analyze_window(&s.accesses, bs)
+    });
+    region_heatmaps_from(trace, &analyses, region, rows, cols, threads)
+}
+
+/// [`region_heatmaps`] over precomputed per-sample reuse analyses
+/// (one per sample, in sample order) — lets the analyzer share its
+/// cached analyses instead of recomputing them per heatmap.
+///
+/// Per-sample binning runs in parallel with per-worker partial grids;
+/// every cell holds a sum of whole numbers, so the merge is exact and
+/// independent of scheduling order.
+pub fn region_heatmaps_from(
+    trace: &SampledTrace,
+    analyses: &[ReuseAnalysis],
+    region: (u64, u64),
+    rows: usize,
+    cols: usize,
+    threads: usize,
+) -> (Heatmap, Heatmap) {
     assert!(rows > 0 && cols > 0, "heatmap shape must be nonzero");
-    let tlo = trace
-        .accesses()
-        .map(|a| a.time)
-        .min()
-        .unwrap_or(0);
+    assert_eq!(
+        analyses.len(),
+        trace.samples.len(),
+        "one analysis per sample"
+    );
+    let tlo = trace.accesses().map(|a| a.time).min().unwrap_or(0);
     let thi = trace.accesses().map(|a| a.time).max().unwrap_or(0) + 1;
     let mut acc_map = Heatmap::new(rows, cols, region, (tlo, thi));
     let mut d_sum = Heatmap::new(rows, cols, region, (tlo, thi));
     let mut d_cnt = Heatmap::new(rows, cols, region, (tlo, thi));
 
-    for s in &trace.samples {
-        for a in &s.accesses {
-            if let Some((r, c)) = acc_map.bin(a.addr.raw(), a.time) {
-                acc_map.data[r * cols + c] += 1.0;
+    let template = acc_map.clone();
+    let cells = rows * cols;
+    let pairs: Vec<(&Sample, &ReuseAnalysis)> = trace.samples.iter().zip(analyses).collect();
+    let (acc_part, dsum_part, dcnt_part) = par::par_fold(
+        &pairs,
+        threads,
+        || {
+            (
+                vec![0.0f64; cells],
+                vec![0.0f64; cells],
+                vec![0.0f64; cells],
+            )
+        },
+        |(acc, dsum, dcnt), &(s, analysis)| {
+            for a in &s.accesses {
+                if let Some((r, c)) = template.bin(a.addr.raw(), a.time) {
+                    acc[r * cols + c] += 1.0;
+                }
             }
-        }
-        let analysis = reuse::analyze_window(&s.accesses, bs);
-        for e in &analysis.events {
-            let a = &s.accesses[e.pos];
-            if let Some((r, c)) = d_sum.bin(a.addr.raw(), a.time) {
-                d_sum.data[r * cols + c] += e.distance as f64;
-                d_cnt.data[r * cols + c] += 1.0;
+            for e in &analysis.events {
+                let a = &s.accesses[e.pos];
+                if let Some((r, c)) = template.bin(a.addr.raw(), a.time) {
+                    dsum[r * cols + c] += e.distance as f64;
+                    dcnt[r * cols + c] += 1.0;
+                }
             }
-        }
-    }
+        },
+        |(mut a1, mut s1, mut c1), (a2, s2, c2)| {
+            for i in 0..cells {
+                a1[i] += a2[i];
+                s1[i] += s2[i];
+                c1[i] += c2[i];
+            }
+            (a1, s1, c1)
+        },
+    );
+    acc_map.data = acc_part;
+    d_sum.data = dsum_part;
+    d_cnt.data = dcnt_part;
+
     // Convert sums to means.
     for i in 0..d_sum.data.len() {
         if d_cnt.data[i] > 0.0 {
@@ -197,6 +246,36 @@ mod tests {
         let t = trace();
         let (acc, _) = region_heatmaps(&t, (0x1000, 0x1400), 2, 2, BlockSize::CACHE_LINE);
         assert_eq!(acc.total(), 100.0); // streaming phase excluded
+    }
+
+    #[test]
+    fn parallel_binning_matches_single_thread() {
+        // Many uneven samples: partial-grid merging must reproduce the
+        // single-threaded result exactly (all cell values are integer
+        // sums, so no float-order slack is needed).
+        let mut t = SampledTrace::new(TraceMeta::new("t", 1000, 8192));
+        let mut time = 0u64;
+        for s in 0..200u64 {
+            let n = 1 + (s * 7) % 90;
+            let acc: Vec<Access> = (0..n)
+                .map(|i| {
+                    let a = Access::new(0x400u64, 0x1000 + ((s * 31 + i * 13) % 512) * 64, time);
+                    time += 1;
+                    a
+                })
+                .collect();
+            t.push_sample(Sample::new(acc, time)).unwrap();
+        }
+        let analyses: Vec<_> = t
+            .samples
+            .iter()
+            .map(|s| reuse::analyze_window(&s.accesses, BlockSize::CACHE_LINE))
+            .collect();
+        let region = (0x1000u64, 0x1000 + 512 * 64);
+        let (a1, d1) = region_heatmaps_from(&t, &analyses, region, 8, 16, 1);
+        let (a4, d4) = region_heatmaps_from(&t, &analyses, region, 8, 16, 4);
+        assert_eq!(a1, a4);
+        assert_eq!(d1, d4);
     }
 
     #[test]

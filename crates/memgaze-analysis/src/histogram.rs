@@ -5,7 +5,8 @@
 //! average locality metrics as a function of access-interval size.
 
 use crate::diagnostics::FootprintDiagnostics;
-use crate::reuse;
+use crate::par;
+use crate::reuse::{self, ReuseAnalysis};
 use memgaze_model::{AuxAnnotations, BlockSize, SampledTrace};
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,19 @@ impl Log2Histogram {
         self.sum += v as f64;
     }
 
+    /// Fold another histogram's mass into this one (for merging
+    /// per-sample partial histograms).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (b, &c) in self.bins.iter_mut().zip(&other.bins) {
+            *b += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Number of inserted values.
     pub fn count(&self) -> u64 {
         self.count
@@ -57,9 +71,11 @@ impl Log2Histogram {
 
     /// `(bin upper bound, count)` pairs for populated bins.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.bins.iter().enumerate().filter_map(|(k, &c)| {
-            (c > 0).then(|| (if k == 0 { 0 } else { 1u64 << (k - 1) }, c))
-        })
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|&(_k, &c)| c > 0)
+            .map(|(k, &c)| (if k == 0 { 0 } else { 1u64 << (k - 1) }, c))
     }
 
     /// Value below which `q` of the mass lies (approximate, by bin upper
@@ -101,12 +117,27 @@ pub fn locality_vs_interval(
     reuse_block: BlockSize,
     sizes: &[u64],
 ) -> Vec<LocalityPoint> {
+    locality_vs_interval_with(trace, annots, reuse_block, sizes, par::default_threads())
+}
+
+/// [`locality_vs_interval`] with an explicit worker count. The
+/// per-sample chunk analyses run in parallel; their partial sums are
+/// folded in sample order, so the result is identical for every thread
+/// count.
+pub fn locality_vs_interval_with(
+    trace: &SampledTrace,
+    annots: &AuxAnnotations,
+    reuse_block: BlockSize,
+    sizes: &[u64],
+    threads: usize,
+) -> Vec<LocalityPoint> {
     let mut out = Vec::with_capacity(sizes.len());
     for &size in sizes {
         let chunk = size.max(1) as usize;
-        let mut n = 0u64;
-        let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
-        for s in &trace.samples {
+        // Per-sample partials (windows, Σd, Σg, Σf), merged in order.
+        let partials = par::par_map(&trace.samples, threads, |s| {
+            let mut n = 0u64;
+            let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
             for w in s.accesses.chunks(chunk) {
                 if w.len() < chunk.div_ceil(2) {
                     continue;
@@ -118,6 +149,15 @@ pub fn locality_vs_interval(
                 sum_g += d.delta_f();
                 sum_f += d.footprint as f64;
             }
+            (n, sum_d, sum_g, sum_f)
+        });
+        let mut n = 0u64;
+        let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
+        for (pn, pd, pg, pf) in partials {
+            n += pn;
+            sum_d += pd;
+            sum_g += pg;
+            sum_f += pf;
         }
         if n > 0 {
             out.push(LocalityPoint {
@@ -134,9 +174,16 @@ pub fn locality_vs_interval(
 
 /// Reuse-distance histogram over all intra-sample windows.
 pub fn reuse_distance_histogram(trace: &SampledTrace, bs: BlockSize) -> Log2Histogram {
+    let analyses = par::par_map(&trace.samples, par::default_threads(), |s| {
+        reuse::analyze_window(&s.accesses, bs)
+    });
+    reuse_histogram_from(&analyses)
+}
+
+/// Reuse-distance histogram from precomputed per-sample analyses.
+pub fn reuse_histogram_from(analyses: &[ReuseAnalysis]) -> Log2Histogram {
     let mut h = Log2Histogram::new();
-    for s in &trace.samples {
-        let r = reuse::analyze_window(&s.accesses, bs);
+    for r in analyses {
         for e in &r.events {
             h.insert(e.distance);
         }
@@ -203,6 +250,42 @@ mod tests {
         assert!((pts[2].mean_d - 31.0).abs() < 1e-9);
         // ΔF falls as windows grow (same 32 blocks, more accesses).
         assert!(pts[2].mean_delta_f < pts[0].mean_delta_f);
+    }
+
+    #[test]
+    fn merge_sums_bins_and_mass() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut whole = Log2Histogram::new();
+        for v in [0u64, 1, 5, 9] {
+            a.insert(v);
+            whole.insert(v);
+        }
+        for v in [2u64, 1000, 3] {
+            b.insert(v);
+            whole.insert(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        a.merge(&Log2Histogram::new());
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn locality_series_threads_invariant() {
+        let mut t = SampledTrace::new(TraceMeta::new("t", 1000, 8192));
+        for s in 0..120u64 {
+            let n = 8 + (s * 11) % 120;
+            let acc: Vec<Access> = (0..n)
+                .map(|i| Access::new(0x400u64, ((s * 17 + i * 3) % 256) * 64, s * 1000 + i))
+                .collect();
+            t.push_sample(Sample::new(acc, s * 1000 + n)).unwrap();
+        }
+        let annots = AuxAnnotations::new();
+        let sizes = [8u64, 32, 64];
+        let one = locality_vs_interval_with(&t, &annots, BlockSize::CACHE_LINE, &sizes, 1);
+        let four = locality_vs_interval_with(&t, &annots, BlockSize::CACHE_LINE, &sizes, 4);
+        assert_eq!(one, four);
     }
 
     #[test]

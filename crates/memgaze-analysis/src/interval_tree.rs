@@ -8,8 +8,9 @@
 //! footprint growth).
 
 use crate::diagnostics::FootprintDiagnostics;
+use crate::par;
 use crate::reuse;
-use memgaze_model::{AuxAnnotations, BlockSize, SampledTrace, SymbolTable};
+use memgaze_model::{AuxAnnotations, BlockSize, Sample, SampledTrace, SymbolTable};
 use serde::{Deserialize, Serialize};
 
 /// What a tree node represents.
@@ -85,93 +86,37 @@ impl IntervalTree {
         bs: BlockSize,
         rho: f64,
     ) -> IntervalTree {
+        IntervalTree::build_par(trace, annots, symbols, bs, rho, par::default_threads())
+    }
+
+    /// [`IntervalTree::build`] with an explicit worker count: each
+    /// sample's subtree (function runs, intra halves, sample node) is an
+    /// independent local arena built in parallel, then spliced into the
+    /// shared arena in time order with an index offset — so the node
+    /// layout is identical for every thread count.
+    pub fn build_par(
+        trace: &SampledTrace,
+        annots: &AuxAnnotations,
+        symbols: &SymbolTable,
+        bs: BlockSize,
+        rho: f64,
+        threads: usize,
+    ) -> IntervalTree {
+        let locals = par::par_map(&trace.samples, threads, |s| {
+            sample_subtree(s, annots, symbols, bs)
+        });
+
         let mut nodes: Vec<IntervalNode> = Vec::new();
         let mut level_nodes: Vec<usize> = Vec::new();
-
-        /// Function-run leaf nodes for one access slice.
-        fn run_nodes(
-            nodes: &mut Vec<IntervalNode>,
-            accesses: &[memgaze_model::Access],
-            annots: &AuxAnnotations,
-            symbols: &SymbolTable,
-            bs: BlockSize,
-        ) -> Vec<usize> {
-            let name_of = |ip| {
-                symbols
-                    .lookup(ip)
-                    .map(|f| f.name.clone())
-                    .unwrap_or_else(|| "<unknown>".to_string())
-            };
-            let mut out = Vec::new();
-            let mut run_start = 0usize;
-            while run_start < accesses.len() {
-                let name = name_of(accesses[run_start].ip);
-                let mut run_end = run_start + 1;
-                while run_end < accesses.len() && name_of(accesses[run_end].ip) == name {
-                    run_end += 1;
+        for mut local in locals {
+            let base = nodes.len();
+            for node in &mut local {
+                for c in &mut node.children {
+                    *c += base;
                 }
-                let run = &accesses[run_start..run_end];
-                let diag = FootprintDiagnostics::compute(run, annots, bs);
-                let r = reuse::analyze_window(run, bs);
-                nodes.push(IntervalNode {
-                    kind: NodeKind::Function { name },
-                    level: 0,
-                    time_range: (run[0].time, run[run.len() - 1].time + 1),
-                    accesses: run.len() as u64,
-                    f_hat: diag.footprint as f64,
-                    mean_d: r.mean_distance(),
-                    diag,
-                    children: Vec::new(),
-                });
-                out.push(nodes.len() - 1);
-                run_start = run_end;
             }
-            out
-        }
-
-        /// Samples with at least this many accesses get intra-interval
-        /// children (two halves) between themselves and the function runs.
-        const INTRA_SPLIT_MIN: usize = 16;
-
-        // Sample layer (+ intra-interval and function children).
-        for s in &trace.samples {
-            let children = if s.accesses.len() >= INTRA_SPLIT_MIN {
-                let mid = s.accesses.len() / 2;
-                let mut halves = Vec::with_capacity(2);
-                for half in [&s.accesses[..mid], &s.accesses[mid..]] {
-                    let fn_children = run_nodes(&mut nodes, half, annots, symbols, bs);
-                    let diag = FootprintDiagnostics::compute(half, annots, bs);
-                    let r = reuse::analyze_window(half, bs);
-                    nodes.push(IntervalNode {
-                        kind: NodeKind::Intra,
-                        level: 0,
-                        time_range: (half[0].time, half[half.len() - 1].time + 1),
-                        accesses: half.len() as u64,
-                        f_hat: diag.footprint as f64,
-                        mean_d: r.mean_distance(),
-                        diag,
-                        children: fn_children,
-                    });
-                    halves.push(nodes.len() - 1);
-                }
-                halves
-            } else {
-                run_nodes(&mut nodes, &s.accesses, annots, symbols, bs)
-            };
-
-            let diag = FootprintDiagnostics::compute(&s.accesses, annots, bs);
-            let r = reuse::analyze_window(&s.accesses, bs);
-            let start = s.start_time().unwrap_or(s.trigger_time);
-            nodes.push(IntervalNode {
-                kind: NodeKind::Sample,
-                level: 0,
-                time_range: (start, s.trigger_time),
-                accesses: s.accesses.len() as u64,
-                f_hat: diag.footprint as f64,
-                mean_d: r.mean_distance(),
-                diag,
-                children,
-            });
+            nodes.extend(local);
+            // The sample node is the last entry of its local arena.
             level_nodes.push(nodes.len() - 1);
         }
 
@@ -191,8 +136,7 @@ impl IntervalTree {
                 let mean_d = if accesses == 0 {
                     0.0
                 } else {
-                    (a.mean_d * a.accesses as f64 + b.mean_d * b.accesses as f64)
-                        / accesses as f64
+                    (a.mean_d * a.accesses as f64 + b.mean_d * b.accesses as f64) / accesses as f64
                 };
                 nodes.push(IntervalNode {
                     kind: NodeKind::Inter,
@@ -210,11 +154,10 @@ impl IntervalTree {
             level += 1;
         }
 
-        let root = level_nodes.first().copied().map(|r| {
+        let root = level_nodes.first().copied().inspect(|&r| {
             if let NodeKind::Inter = nodes[r].kind {
                 nodes[r].kind = NodeKind::Root;
             }
-            r
         });
         IntervalTree { nodes, root }
     }
@@ -251,14 +194,11 @@ impl IntervalTree {
         loop {
             path.push(cur);
             let node = &self.nodes[cur];
-            match node
-                .children
-                .iter()
-                .max_by(|&&a, &&b| {
-                    self.nodes[a]
-                        .zoom_score()
-                        .total_cmp(&self.nodes[b].zoom_score())
-                }) {
+            match node.children.iter().max_by(|&&a, &&b| {
+                self.nodes[a]
+                    .zoom_score()
+                    .total_cmp(&self.nodes[b].zoom_score())
+            }) {
                 Some(&next) => cur = next,
                 None => return path,
             }
@@ -274,6 +214,101 @@ impl IntervalTree {
             .map(|(i, _)| i)
             .collect()
     }
+}
+
+/// Samples with at least this many accesses get intra-interval children
+/// (two halves) between themselves and the function runs.
+const INTRA_SPLIT_MIN: usize = 16;
+
+/// Function-run leaf nodes for one access slice, appended to a local
+/// arena; returns their local indices.
+fn run_nodes(
+    nodes: &mut Vec<IntervalNode>,
+    accesses: &[memgaze_model::Access],
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    bs: BlockSize,
+) -> Vec<usize> {
+    let name_of = |ip| {
+        symbols
+            .lookup(ip)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<unknown>".to_string())
+    };
+    let mut out = Vec::new();
+    let mut run_start = 0usize;
+    while run_start < accesses.len() {
+        let name = name_of(accesses[run_start].ip);
+        let mut run_end = run_start + 1;
+        while run_end < accesses.len() && name_of(accesses[run_end].ip) == name {
+            run_end += 1;
+        }
+        let run = &accesses[run_start..run_end];
+        let diag = FootprintDiagnostics::compute(run, annots, bs);
+        let r = reuse::analyze_window(run, bs);
+        nodes.push(IntervalNode {
+            kind: NodeKind::Function { name },
+            level: 0,
+            time_range: (run[0].time, run[run.len() - 1].time + 1),
+            accesses: run.len() as u64,
+            f_hat: diag.footprint as f64,
+            mean_d: r.mean_distance(),
+            diag,
+            children: Vec::new(),
+        });
+        out.push(nodes.len() - 1);
+        run_start = run_end;
+    }
+    out
+}
+
+/// One sample's subtree as a local arena (function runs, optional intra
+/// halves, then the sample node last), with local child indices.
+fn sample_subtree(
+    s: &Sample,
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    bs: BlockSize,
+) -> Vec<IntervalNode> {
+    let mut nodes: Vec<IntervalNode> = Vec::new();
+    let children = if s.accesses.len() >= INTRA_SPLIT_MIN {
+        let mid = s.accesses.len() / 2;
+        let mut halves = Vec::with_capacity(2);
+        for half in [&s.accesses[..mid], &s.accesses[mid..]] {
+            let fn_children = run_nodes(&mut nodes, half, annots, symbols, bs);
+            let diag = FootprintDiagnostics::compute(half, annots, bs);
+            let r = reuse::analyze_window(half, bs);
+            nodes.push(IntervalNode {
+                kind: NodeKind::Intra,
+                level: 0,
+                time_range: (half[0].time, half[half.len() - 1].time + 1),
+                accesses: half.len() as u64,
+                f_hat: diag.footprint as f64,
+                mean_d: r.mean_distance(),
+                diag,
+                children: fn_children,
+            });
+            halves.push(nodes.len() - 1);
+        }
+        halves
+    } else {
+        run_nodes(&mut nodes, &s.accesses, annots, symbols, bs)
+    };
+
+    let diag = FootprintDiagnostics::compute(&s.accesses, annots, bs);
+    let r = reuse::analyze_window(&s.accesses, bs);
+    let start = s.start_time().unwrap_or(s.trigger_time);
+    nodes.push(IntervalNode {
+        kind: NodeKind::Sample,
+        level: 0,
+        time_range: (start, s.trigger_time),
+        accesses: s.accesses.len() as u64,
+        f_hat: diag.footprint as f64,
+        mean_d: r.mean_distance(),
+        diag,
+        children,
+    });
+    nodes
 }
 
 #[cfg(test)]
@@ -306,7 +341,13 @@ mod tests {
     #[test]
     fn builds_levels_bottom_up() {
         let (t, symbols) = trace(8);
-        let tree = IntervalTree::build(&t, &AuxAnnotations::new(), &symbols, BlockSize::CACHE_LINE, 10.0);
+        let tree = IntervalTree::build(
+            &t,
+            &AuxAnnotations::new(),
+            &symbols,
+            BlockSize::CACHE_LINE,
+            10.0,
+        );
         let root = tree.root().unwrap();
         assert!(matches!(tree.node(root).kind, NodeKind::Root));
         // 8 samples → 3 binary levels above the sample layer.
@@ -319,7 +360,13 @@ mod tests {
     #[test]
     fn sample_nodes_have_intra_and_function_children() {
         let (t, symbols) = trace(2);
-        let tree = IntervalTree::build(&t, &AuxAnnotations::new(), &symbols, BlockSize::CACHE_LINE, 1.0);
+        let tree = IntervalTree::build(
+            &t,
+            &AuxAnnotations::new(),
+            &symbols,
+            BlockSize::CACHE_LINE,
+            1.0,
+        );
         for i in tree.sample_nodes() {
             let n = tree.node(i);
             // 96-access samples split into two intra halves.
@@ -338,7 +385,10 @@ mod tests {
             }
             // First half is all "hot" (accesses 0..48); second half covers
             // the rest of "hot" plus "cold".
-            assert_eq!(names, vec!["hot".to_string(), "hot".to_string(), "cold".to_string()]);
+            assert_eq!(
+                names,
+                vec!["hot".to_string(), "hot".to_string(), "cold".to_string()]
+            );
             let acc_sum: u64 = n.children.iter().map(|&c| tree.node(c).accesses).sum();
             assert_eq!(acc_sum, n.accesses);
         }
@@ -348,7 +398,13 @@ mod tests {
     fn inter_nodes_scale_by_rho() {
         let (t, symbols) = trace(2);
         let rho = 7.0;
-        let tree = IntervalTree::build(&t, &AuxAnnotations::new(), &symbols, BlockSize::CACHE_LINE, rho);
+        let tree = IntervalTree::build(
+            &t,
+            &AuxAnnotations::new(),
+            &symbols,
+            BlockSize::CACHE_LINE,
+            rho,
+        );
         let root = tree.root().unwrap();
         let n = tree.node(root);
         assert!((n.f_hat - rho * n.diag.footprint as f64).abs() < 1e-9);
@@ -362,7 +418,13 @@ mod tests {
     #[test]
     fn zoom_descends_to_streaming_function() {
         let (t, symbols) = trace(8);
-        let tree = IntervalTree::build(&t, &AuxAnnotations::new(), &symbols, BlockSize::CACHE_LINE, 1.0);
+        let tree = IntervalTree::build(
+            &t,
+            &AuxAnnotations::new(),
+            &symbols,
+            BlockSize::CACHE_LINE,
+            1.0,
+        );
         let path = tree.zoom_hot_poor_reuse();
         assert!(path.len() >= 4, "path {path:?}");
         // The zoom leaf must be the "hot" streaming function run: many
@@ -373,6 +435,15 @@ mod tests {
             k => panic!("leaf is {k:?}"),
         }
         assert!((leaf.delta_f() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_threads_invariant() {
+        let (t, symbols) = trace(9);
+        let annots = AuxAnnotations::new();
+        let one = IntervalTree::build_par(&t, &annots, &symbols, BlockSize::CACHE_LINE, 3.0, 1);
+        let four = IntervalTree::build_par(&t, &annots, &symbols, BlockSize::CACHE_LINE, 3.0, 4);
+        assert_eq!(one, four);
     }
 
     #[test]

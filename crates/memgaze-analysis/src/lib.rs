@@ -19,12 +19,13 @@
 //! * [`mape`] — the Fig. 6 validation machinery;
 //! * [`confidence`] — undersampling detection (§VI-A's suggestion);
 //! * [`analyzer`] — a façade producing the paper's table shapes;
-//! * [`report`] — table rendering; [`par`] — crossbeam parallel helpers.
+//! * [`report`] — table rendering; [`par`] — scoped-thread parallel helpers.
 
 pub mod analyzer;
 pub mod confidence;
 pub mod diagnostics;
 pub mod footprint;
+pub mod fxhash;
 pub mod heatmap;
 pub mod histogram;
 pub mod interval_tree;
@@ -36,19 +37,25 @@ pub mod window;
 pub mod workingset;
 pub mod zoom;
 
-pub use analyzer::{AnalysisConfig, Analyzer, FunctionRow, IntervalRow, RegionRow};
+pub use analyzer::{AnalysisConfig, Analyzer, CacheStats, FunctionRow, IntervalRow, RegionRow};
 pub use confidence::Confidence;
 pub use diagnostics::FootprintDiagnostics;
 pub use footprint::{
     captures_survivals, estimated_footprint, footprint, footprint_growth, CapturesSurvivals,
     WindowKind,
 };
-pub use heatmap::{region_heatmaps, Heatmap};
-pub use histogram::{locality_vs_interval, reuse_distance_histogram, LocalityPoint, Log2Histogram};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use heatmap::{region_heatmaps, region_heatmaps_from, Heatmap};
+pub use histogram::{
+    locality_vs_interval, locality_vs_interval_with, reuse_distance_histogram,
+    reuse_histogram_from, LocalityPoint, Log2Histogram,
+};
 pub use interval_tree::{IntervalNode, IntervalTree, NodeKind};
 pub use mape::{compare_window_series, mape, pct_error, MapeReport};
 pub use report::{fmt_f3, fmt_pct, fmt_si, Table};
 pub use reuse::{analyze_window, analyze_window_naive, BlockReuse, ReuseAnalysis, ReuseEvent};
-pub use window::{pow2_sizes, window_series, CodeWindows, WindowPoint};
+pub use window::{pow2_sizes, window_series, window_series_with, CodeWindows, WindowPoint};
 pub use workingset::{working_set, WorkingSet};
-pub use zoom::{zoom_trace, zoom_trace_annotated, LocationZoom, RegionCode, ZoomConfig, ZoomRegion};
+pub use zoom::{
+    zoom_trace, zoom_trace_annotated, LocationZoom, RegionCode, ZoomConfig, ZoomRegion,
+};

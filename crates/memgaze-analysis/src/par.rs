@@ -2,8 +2,28 @@
 //!
 //! Sampled traces decompose naturally by sample; the per-sample work
 //! (reuse analysis, diagnostics) is embarrassingly parallel. These
-//! helpers shard work across crossbeam scoped threads while keeping the
-//! deterministic output order of the sequential code.
+//! helpers shard work across `std::thread::scope` workers pulling
+//! fixed-size chunks from an atomic work queue, so a handful of
+//! expensive samples (e.g. one giant window among many small ones)
+//! cannot stall a whole thread's equal share. Output order stays
+//! deterministic: chunks are reassembled by their input offset.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Below this many items the threading overhead dominates; map inline.
+const SEQ_CUTOFF: usize = 32;
+
+/// Work-stealing granule: small enough that a skewed item distribution
+/// load-balances, large enough that queue traffic stays negligible.
+const CHUNK: usize = 16;
+
+/// Chunk length for `items.len()` elements across `threads` workers:
+/// the fixed granule, shrunk when the input is small so every worker
+/// still gets work.
+fn chunk_len(len: usize, threads: usize) -> usize {
+    CHUNK.min(len.div_ceil(threads)).max(1)
+}
 
 /// Parallel map preserving input order. Falls back to a sequential map
 /// for small inputs where threading overhead dominates.
@@ -13,42 +33,104 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    const SEQ_CUTOFF: usize = 32;
     let threads = threads.max(1);
     if threads == 1 || items.len() <= SEQ_CUTOFF {
         return items.iter().map(&f).collect();
     }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
+    let n = items.len();
+    let chunk = chunk_len(n, threads);
+    let num_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(num_chunks));
 
-    crossbeam::thread::scope(|scope| {
-        // Split the output into per-thread windows so each thread owns a
-        // disjoint region — no locking on the hot path.
-        let mut rest: &mut [Option<U>] = &mut out;
-        let mut start = 0usize;
-        for chunk_items in items.chunks(chunk) {
-            let (head, tail) = rest.split_at_mut(chunk_items.len());
-            rest = tail;
-            let f = &f;
-            let base = start;
-            let _ = base;
-            scope.spawn(move |_| {
-                for (slot, item) in head.iter_mut().zip(chunk_items) {
-                    *slot = Some(f(item));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(num_chunks) {
+            let (next, parts, f) = (&next, &parts, &f);
+            scope.spawn(move || loop {
+                let start = next.fetch_add(1, Ordering::Relaxed) * chunk;
+                if start >= n {
+                    break;
                 }
+                let end = (start + chunk).min(n);
+                let vals: Vec<U> = items[start..end].iter().map(f).collect();
+                parts.lock().unwrap().push((start, vals));
             });
-            start += chunk_items.len();
         }
-    })
-    .expect("analysis worker panicked");
+    });
 
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    let mut parts = parts.into_inner().unwrap();
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    debug_assert_eq!(parts.iter().map(|p| p.1.len()).sum::<usize>(), n);
+    parts.into_iter().flat_map(|(_, vals)| vals).collect()
+}
+
+/// Parallel map-fold: map each item and fold the results into one
+/// accumulator per worker, merging the *few* per-worker accumulators at
+/// the end. Avoids materializing a `Vec` when only the merged result is
+/// needed (e.g. a trace-wide `BlockReuse`).
+///
+/// `merge` must be associative and commutative — which worker folds
+/// which chunk is scheduling-dependent.
+pub fn par_fold<T, A, F, M>(
+    items: &[T],
+    threads: usize,
+    init: impl Fn() -> A + Sync,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    F: Fn(&mut A, &T) + Sync,
+    M: Fn(A, A) -> A,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= SEQ_CUTOFF {
+        let mut acc = init();
+        for item in items {
+            fold(&mut acc, item);
+        }
+        return acc;
+    }
+    let n = items.len();
+    let chunk = chunk_len(n, threads);
+    let num_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let accs: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(num_chunks) {
+            let (next, accs, init, fold) = (&next, &accs, &init, &fold);
+            scope.spawn(move || {
+                let mut acc = init();
+                loop {
+                    let start = next.fetch_add(1, Ordering::Relaxed) * chunk;
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for item in &items[start..end] {
+                        fold(&mut acc, item);
+                    }
+                }
+                accs.lock().unwrap().push(acc);
+            });
+        }
+    });
+
+    accs.into_inner().unwrap().into_iter().fold(init(), merge)
 }
 
 /// Default analysis parallelism: available cores capped at 8 (the
-/// per-sample work is memory-bound; more threads just thrash the cache).
+/// per-sample work is memory-bound; more threads just thrash the
+/// cache). `MEMGAZE_THREADS` overrides the probe — useful to pin
+/// benchmarks or force sequential runs — and is clamped to ≥ 1.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MEMGAZE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(1)
@@ -68,7 +150,10 @@ mod tests {
     #[test]
     fn sequential_fallback_matches() {
         let items: Vec<u64> = (0..10).collect();
-        assert_eq!(par_map(&items, 8, |&x| x + 1), par_map(&items, 1, |&x| x + 1));
+        assert_eq!(
+            par_map(&items, 8, |&x| x + 1),
+            par_map(&items, 1, |&x| x + 1)
+        );
     }
 
     #[test]
@@ -86,7 +171,40 @@ mod tests {
     }
 
     #[test]
+    fn skewed_work_is_balanced() {
+        // One huge item among many tiny ones must not serialize: with
+        // CHUNK-granular stealing every worker keeps claiming the small
+        // items while one chews the giant.
+        let mut items = vec![10u64; 4000];
+        items[7] = 3_000_000;
+        let busy_sum = |&n: &u64| -> u64 { (0..n).fold(0, |a, x| a ^ x.wrapping_mul(31)) };
+        let out = par_map(&items, 4, busy_sum);
+        let seq: Vec<u64> = items.iter().map(busy_sum).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn fold_matches_sequential() {
+        let items: Vec<u64> = (1..=5000).collect();
+        let total = par_fold(&items, 4, || 0u64, |acc, &x| *acc += x, |a, b| a + b);
+        assert_eq!(total, 5000 * 5001 / 2);
+        let seq = par_fold(&items, 1, || 0u64, |acc, &x| *acc += x, |a, b| a + b);
+        assert_eq!(total, seq);
+    }
+
+    #[test]
     fn threads_default_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_clamps() {
+        // Serialize env mutation against other tests reading it.
+        std::env::set_var("MEMGAZE_THREADS", "0");
+        assert_eq!(default_threads(), 1);
+        std::env::set_var("MEMGAZE_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::remove_var("MEMGAZE_THREADS");
         assert!(default_threads() >= 1);
     }
 }

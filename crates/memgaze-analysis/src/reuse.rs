@@ -8,9 +8,9 @@
 //! querying the tree over `(last[b], now)` counts distinct blocks touched
 //! since the previous access to `b`.
 
+use crate::fxhash::FxHashMap;
 use memgaze_model::{Access, BlockSize};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Fenwick (binary indexed) tree over access positions.
 struct Fenwick {
@@ -114,7 +114,8 @@ impl ReuseAnalysis {
 pub fn analyze_window(accesses: &[Access], bs: BlockSize) -> ReuseAnalysis {
     let n = accesses.len();
     let mut fen = Fenwick::new(n);
-    let mut last: HashMap<u64, usize> = HashMap::with_capacity(n);
+    let mut last: FxHashMap<u64, usize> =
+        FxHashMap::with_capacity_and_hasher(n, Default::default());
     let mut events = Vec::new();
 
     for (pos, a) in accesses.iter().enumerate() {
@@ -183,93 +184,261 @@ pub fn analyze_window_naive(accesses: &[Access], bs: BlockSize) -> ReuseAnalysis
     }
 }
 
+/// Per-block statistics tracked by [`BlockReuse`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct BlockStats {
+    accesses: u64,
+    dist_sum: u64,
+    reuse_cnt: u64,
+    max_dist: u64,
+}
+
+impl BlockStats {
+    fn absorb(&mut self, other: &BlockStats) {
+        self.accesses += other.accesses;
+        self.dist_sum += other.dist_sum;
+        self.reuse_cnt += other.reuse_cnt;
+        self.max_dist = self.max_dist.max(other.max_dist);
+    }
+}
+
 /// Per-block spatio-temporal reuse summary for location analysis
 /// (paper §IV-C2): `D(b)` is the mean unique blocks between subsequent
 /// accesses to block `b`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Region tables (IV–IX) query the same summary for every region row,
+/// so instead of a hash map that each query scans in full, blocks are
+/// kept sorted with prefix sums of the summable stats and a sparse
+/// table over the max distances. Every `region_*` query is then two
+/// binary searches plus O(1) lookups — O(log n) total — independent of
+/// how many region rows ask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BlockReuse {
-    /// Per-block: (access count, sum of reuse distances, reuse count,
-    /// max reuse distance).
-    per_block: HashMap<u64, (u64, u64, u64, u64)>,
+    /// Block numbers, strictly increasing.
+    blocks: Vec<u64>,
+    /// Per-block stats, parallel to `blocks`.
+    stats: Vec<BlockStats>,
+    /// `pre_*[i]` = sum of the stat over `stats[0..i]` (length n+1).
+    pre_accesses: Vec<u64>,
+    pre_dist_sum: Vec<u64>,
+    pre_reuse_cnt: Vec<u64>,
+    /// Sparse table for range-max over `max_dist`: `max_table[k][i]` =
+    /// max over `stats[i..i + 2^k]`. Level 0 is the raw column.
+    max_table: Vec<Vec<u64>>,
+}
+
+impl Default for BlockReuse {
+    fn default() -> BlockReuse {
+        let mut br = BlockReuse {
+            blocks: Vec::new(),
+            stats: Vec::new(),
+            pre_accesses: Vec::new(),
+            pre_dist_sum: Vec::new(),
+            pre_reuse_cnt: Vec::new(),
+            max_table: Vec::new(),
+        };
+        br.rebuild_index();
+        br
+    }
 }
 
 impl BlockReuse {
     /// Build from a window's reuse analysis plus its accesses.
-    pub fn from_analysis(accesses: &[Access], bs: BlockSize, analysis: &ReuseAnalysis) -> BlockReuse {
-        let mut per_block: HashMap<u64, (u64, u64, u64, u64)> = HashMap::new();
+    pub fn from_analysis(
+        accesses: &[Access],
+        bs: BlockSize,
+        analysis: &ReuseAnalysis,
+    ) -> BlockReuse {
+        let mut per_block: FxHashMap<u64, BlockStats> =
+            FxHashMap::with_capacity_and_hasher(accesses.len(), Default::default());
         for a in accesses {
-            per_block.entry(a.addr.block(bs)).or_default().0 += 1;
+            per_block.entry(a.addr.block(bs)).or_default().accesses += 1;
         }
         for e in &analysis.events {
             let entry = per_block.entry(e.block).or_default();
-            entry.1 += e.distance;
-            entry.2 += 1;
-            entry.3 = entry.3.max(e.distance);
+            entry.dist_sum += e.distance;
+            entry.reuse_cnt += 1;
+            entry.max_dist = entry.max_dist.max(e.distance);
         }
-        BlockReuse { per_block }
+        let mut pairs: Vec<(u64, BlockStats)> = per_block.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(b, _)| b);
+        let mut br = BlockReuse {
+            blocks: pairs.iter().map(|&(b, _)| b).collect(),
+            stats: pairs.into_iter().map(|(_, s)| s).collect(),
+            pre_accesses: Vec::new(),
+            pre_dist_sum: Vec::new(),
+            pre_reuse_cnt: Vec::new(),
+            max_table: Vec::new(),
+        };
+        br.rebuild_index();
+        br
+    }
+
+    /// Coalesce many window summaries at once: concatenate the sorted
+    /// columns, sort, absorb duplicate blocks, and rebuild the index a
+    /// single time. For `k` parts totalling `n` entries this is
+    /// O(n log n) — versus O(k·n) worth of index rebuilds when folding
+    /// parts through [`BlockReuse::merge`] one by one.
+    pub fn from_parts(parts: impl IntoIterator<Item = BlockReuse>) -> BlockReuse {
+        let mut pairs: Vec<(u64, BlockStats)> = Vec::new();
+        for p in parts {
+            pairs.extend(p.blocks.into_iter().zip(p.stats));
+        }
+        pairs.sort_unstable_by_key(|&(b, _)| b);
+        let mut br = BlockReuse {
+            blocks: Vec::with_capacity(pairs.len()),
+            stats: Vec::with_capacity(pairs.len()),
+            pre_accesses: Vec::new(),
+            pre_dist_sum: Vec::new(),
+            pre_reuse_cnt: Vec::new(),
+            max_table: Vec::new(),
+        };
+        for (b, s) in pairs {
+            if br.blocks.last() == Some(&b) {
+                br.stats.last_mut().unwrap().absorb(&s);
+            } else {
+                br.blocks.push(b);
+                br.stats.push(s);
+            }
+        }
+        br.rebuild_index();
+        br
     }
 
     /// Merge another window's summary into this one (sample aggregation,
-    /// §IV-B).
+    /// §IV-B). A two-pointer merge of the sorted columns, then an index
+    /// rebuild — O(n + m) plus O(n log n) for the max table.
     pub fn merge(&mut self, other: &BlockReuse) {
-        for (b, (a, s, r, m)) in &other.per_block {
-            let e = self.per_block.entry(*b).or_default();
-            e.0 += a;
-            e.1 += s;
-            e.2 += r;
-            e.3 = e.3.max(*m);
+        if other.blocks.is_empty() {
+            return;
         }
+        if self.blocks.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        let mut blocks = Vec::with_capacity(self.blocks.len() + other.blocks.len());
+        let mut stats = Vec::with_capacity(blocks.capacity());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.blocks.len() || j < other.blocks.len() {
+            let take_self = j >= other.blocks.len()
+                || (i < self.blocks.len() && self.blocks[i] <= other.blocks[j]);
+            if take_self {
+                let mut s = self.stats[i];
+                if j < other.blocks.len() && other.blocks[j] == self.blocks[i] {
+                    s.absorb(&other.stats[j]);
+                    j += 1;
+                }
+                blocks.push(self.blocks[i]);
+                stats.push(s);
+                i += 1;
+            } else {
+                blocks.push(other.blocks[j]);
+                stats.push(other.stats[j]);
+                j += 1;
+            }
+        }
+        self.blocks = blocks;
+        self.stats = stats;
+        self.rebuild_index();
+    }
+
+    /// Recompute the prefix sums and the range-max sparse table from
+    /// `blocks`/`stats`.
+    fn rebuild_index(&mut self) {
+        let n = self.blocks.len();
+        debug_assert!(self.blocks.windows(2).all(|w| w[0] < w[1]));
+        self.pre_accesses = Vec::with_capacity(n + 1);
+        self.pre_dist_sum = Vec::with_capacity(n + 1);
+        self.pre_reuse_cnt = Vec::with_capacity(n + 1);
+        self.pre_accesses.push(0);
+        self.pre_dist_sum.push(0);
+        self.pre_reuse_cnt.push(0);
+        for s in &self.stats {
+            self.pre_accesses
+                .push(self.pre_accesses.last().unwrap() + s.accesses);
+            self.pre_dist_sum
+                .push(self.pre_dist_sum.last().unwrap() + s.dist_sum);
+            self.pre_reuse_cnt
+                .push(self.pre_reuse_cnt.last().unwrap() + s.reuse_cnt);
+        }
+        self.max_table.clear();
+        if n == 0 {
+            return;
+        }
+        self.max_table
+            .push(self.stats.iter().map(|s| s.max_dist).collect());
+        let mut width = 1usize;
+        while width * 2 <= n {
+            let prev = self.max_table.last().unwrap();
+            let next: Vec<u64> = (0..=n - width * 2)
+                .map(|i| prev[i].max(prev[i + width]))
+                .collect();
+            self.max_table.push(next);
+            width *= 2;
+        }
+    }
+
+    /// Index range `[l, r)` covering blocks in `[lo_block, hi_block)`.
+    fn index_range(&self, lo_block: u64, hi_block: u64) -> (usize, usize) {
+        let l = self.blocks.partition_point(|&b| b < lo_block);
+        let r = self.blocks.partition_point(|&b| b < hi_block);
+        (l, r.max(l))
     }
 
     /// Mean reuse distance of accesses to blocks in `[lo_block, hi_block)`.
     pub fn region_mean_distance(&self, lo_block: u64, hi_block: u64) -> f64 {
-        let (mut sum, mut n) = (0u64, 0u64);
-        for (b, (_, s, r, _)) in &self.per_block {
-            if *b >= lo_block && *b < hi_block {
-                sum += s;
-                n += r;
-            }
-        }
+        let (l, r) = self.index_range(lo_block, hi_block);
+        let n = self.pre_reuse_cnt[r] - self.pre_reuse_cnt[l];
         if n == 0 {
             0.0
         } else {
-            sum as f64 / n as f64
+            (self.pre_dist_sum[r] - self.pre_dist_sum[l]) as f64 / n as f64
         }
     }
 
     /// Accesses to blocks in `[lo_block, hi_block)`.
     pub fn region_accesses(&self, lo_block: u64, hi_block: u64) -> u64 {
-        self.per_block
-            .iter()
-            .filter(|(b, _)| **b >= lo_block && **b < hi_block)
-            .map(|(_, (a, _, _, _))| a)
-            .sum()
+        let (l, r) = self.index_range(lo_block, hi_block);
+        self.pre_accesses[r] - self.pre_accesses[l]
     }
 
     /// Maximum reuse distance observed in `[lo_block, hi_block)` — the
     /// paper's "Max D" column (Table IX).
     pub fn region_max_distance(&self, lo_block: u64, hi_block: u64) -> u64 {
-        self.per_block
-            .iter()
-            .filter(|(b, _)| **b >= lo_block && **b < hi_block)
-            .map(|(_, (_, _, _, m))| *m)
-            .max()
-            .unwrap_or(0)
+        let (l, r) = self.index_range(lo_block, hi_block);
+        if l >= r {
+            return 0;
+        }
+        let k = (r - l).ilog2() as usize;
+        let row = &self.max_table[k];
+        row[l].max(row[r - (1 << k)])
     }
 
     /// Distinct blocks touched in `[lo_block, hi_block)`.
     pub fn region_blocks(&self, lo_block: u64, hi_block: u64) -> u64 {
-        self.per_block
-            .keys()
-            .filter(|b| **b >= lo_block && **b < hi_block)
-            .count() as u64
+        let (l, r) = self.index_range(lo_block, hi_block);
+        (r - l) as u64
     }
 
-    /// Iterate `(block, accesses, mean_distance)` entries.
+    /// Total distinct blocks in the summary.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterate `(block, accesses, mean_distance)` entries in block order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, f64)> + '_ {
-        self.per_block.iter().map(|(b, (a, s, r, _))| {
-            let d = if *r == 0 { 0.0 } else { *s as f64 / *r as f64 };
-            (*b, *a, d)
+        self.blocks.iter().zip(&self.stats).map(|(&b, s)| {
+            let d = if s.reuse_cnt == 0 {
+                0.0
+            } else {
+                s.dist_sum as f64 / s.reuse_cnt as f64
+            };
+            (b, s.accesses, d)
         })
     }
 }
@@ -338,7 +507,10 @@ mod tests {
     fn reuse_fraction() {
         let r = analyze_window(&seq(&[1, 2, 1, 2]), BlockSize::CACHE_LINE);
         assert!((r.reuse_fraction() - 0.5).abs() < 1e-12);
-        assert_eq!(analyze_window(&[], BlockSize::CACHE_LINE).reuse_fraction(), 0.0);
+        assert_eq!(
+            analyze_window(&[], BlockSize::CACHE_LINE).reuse_fraction(),
+            0.0
+        );
     }
 
     #[test]
@@ -354,6 +526,106 @@ mod tests {
         // Block 10 reused at distance 1; block 11 at distance 2.
         let d = br.region_mean_distance(10, 12);
         assert!((d - 1.5).abs() < 1e-12, "d={d}");
+    }
+
+    #[test]
+    fn indexed_queries_match_full_scan() {
+        // Pseudo-random block stream with clustered regions; compare the
+        // indexed queries against a straight scan over iter() plus an
+        // independently tracked per-block max.
+        let blocks: Vec<u64> = (0..500u64)
+            .map(|i| (i.wrapping_mul(2654435761) % 97) + (i % 3) * 1000)
+            .collect();
+        let a = seq(&blocks);
+        let r = analyze_window(&a, BlockSize::CACHE_LINE);
+        let br = BlockReuse::from_analysis(&a, BlockSize::CACHE_LINE, &r);
+
+        let mut max_by_block: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        let mut sums: std::collections::HashMap<u64, (u64, u64)> = std::collections::HashMap::new();
+        for e in &r.events {
+            let m = max_by_block.entry(e.block).or_insert(0);
+            *m = (*m).max(e.distance);
+            let s = sums.entry(e.block).or_insert((0, 0));
+            s.0 += e.distance;
+            s.1 += 1;
+        }
+
+        for (lo, hi) in [
+            (0, 97),
+            (1000, 1097),
+            (50, 1050),
+            (0, u64::MAX),
+            (96, 97),
+            (98, 99),
+        ] {
+            let scan_accesses: u64 = br
+                .iter()
+                .filter(|&(b, _, _)| b >= lo && b < hi)
+                .map(|(_, a, _)| a)
+                .sum();
+            assert_eq!(
+                br.region_accesses(lo, hi),
+                scan_accesses,
+                "accesses [{lo},{hi})"
+            );
+
+            let scan_blocks = br.iter().filter(|&(b, _, _)| b >= lo && b < hi).count() as u64;
+            assert_eq!(br.region_blocks(lo, hi), scan_blocks, "blocks [{lo},{hi})");
+
+            let scan_max = max_by_block
+                .iter()
+                .filter(|(b, _)| **b >= lo && **b < hi)
+                .map(|(_, m)| *m)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(br.region_max_distance(lo, hi), scan_max, "max [{lo},{hi})");
+
+            let (ds, dn) = sums
+                .iter()
+                .filter(|(b, _)| **b >= lo && **b < hi)
+                .fold((0u64, 0u64), |(s, n), (_, (es, en))| (s + es, n + en));
+            let scan_mean = if dn == 0 { 0.0 } else { ds as f64 / dn as f64 };
+            let got = br.region_mean_distance(lo, hi);
+            assert!(
+                (got - scan_mean).abs() < 1e-12,
+                "mean [{lo},{hi}): {got} vs {scan_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_block_reuse_queries_are_zero() {
+        let br = BlockReuse::default();
+        assert_eq!(br.region_accesses(0, u64::MAX), 0);
+        assert_eq!(br.region_blocks(0, u64::MAX), 0);
+        assert_eq!(br.region_max_distance(0, u64::MAX), 0);
+        assert_eq!(br.region_mean_distance(0, u64::MAX), 0.0);
+        assert!(br.is_empty());
+    }
+
+    #[test]
+    fn from_parts_matches_pairwise_merge() {
+        let windows: Vec<Vec<u64>> = vec![
+            vec![1, 2, 1, 9],
+            vec![1, 3, 1, 3, 3],
+            vec![],
+            (0..40).map(|i| i % 7).collect(),
+        ];
+        let parts: Vec<BlockReuse> = windows
+            .iter()
+            .map(|w| {
+                let a = seq(w);
+                let r = analyze_window(&a, BlockSize::CACHE_LINE);
+                BlockReuse::from_analysis(&a, BlockSize::CACHE_LINE, &r)
+            })
+            .collect();
+        let mut folded = BlockReuse::default();
+        for p in &parts {
+            folded.merge(p);
+        }
+        let bulk = BlockReuse::from_parts(parts);
+        assert_eq!(folded, bulk);
     }
 
     #[test]

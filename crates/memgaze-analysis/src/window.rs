@@ -12,7 +12,10 @@
 
 use crate::diagnostics::FootprintDiagnostics;
 use crate::footprint::WindowKind;
-use memgaze_model::{Access, AuxAnnotations, BlockSize, DecompressionInfo, SampledTrace, SymbolTable};
+use crate::par;
+use memgaze_model::{
+    Access, AuxAnnotations, BlockSize, DecompressionInfo, Sample, SampledTrace, SymbolTable,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -50,11 +53,14 @@ fn intra_point(
     bs: BlockSize,
     target: u64,
     kappa_global: f64,
+    threads: usize,
 ) -> Option<WindowPoint> {
     let chunk_obs = ((target as f64 / kappa_global).round() as usize).max(1);
-    let mut n = 0u64;
-    let mut sum = [0.0f64; 5]; // f, f_str, f_irr, delta_f, eff_size
-    for s in &trace.samples {
+    // Per-sample partial sums, folded in sample order so the result is
+    // independent of the worker count.
+    let partials = par::par_map(&trace.samples, threads, |s| {
+        let mut n = 0u64;
+        let mut sum = [0.0f64; 5]; // f, f_str, f_irr, delta_f, eff_size
         for chunk in s.accesses.chunks(chunk_obs) {
             if chunk.len() < chunk_obs.div_ceil(2) {
                 continue; // skip ragged tails smaller than half a window
@@ -66,6 +72,15 @@ fn intra_point(
             sum[2] += d.f_irr as f64;
             sum[3] += d.delta_f();
             sum[4] += d.kappa * d.observed as f64;
+        }
+        (n, sum)
+    });
+    let mut n = 0u64;
+    let mut sum = [0.0f64; 5];
+    for (pn, psum) in partials {
+        n += pn;
+        for (s, p) in sum.iter_mut().zip(psum) {
+            *s += p;
         }
     }
     (n > 0).then(|| WindowPoint {
@@ -89,22 +104,29 @@ fn inter_point(
     target: u64,
     rho: f64,
     k: usize,
+    threads: usize,
 ) -> Option<WindowPoint> {
     if trace.samples.is_empty() || k == 0 {
         return None;
     }
-    let mut n = 0u64;
-    let mut sum = [0.0f64; 5];
-    for group in trace.samples.chunks(k) {
+    // Each sample group merges independently; group partials fold in
+    // time order.
+    let groups: Vec<&[Sample]> = trace.samples.chunks(k).collect();
+    let partials = par::par_map(&groups, threads, |group| {
         let mut merged: Option<FootprintDiagnostics> = None;
-        for s in group {
+        for s in *group {
             let d = FootprintDiagnostics::compute(&s.accesses, annots, bs);
             match &mut merged {
                 Some(m) => m.merge(&d),
                 None => merged = Some(d),
             }
         }
-        let d = merged?;
+        merged.map(|d| (d, group.len()))
+    });
+    let mut n = 0u64;
+    let mut sum = [0.0f64; 5];
+    for p in partials {
+        let (d, group_len) = p?;
         if d.observed == 0 {
             continue;
         }
@@ -113,7 +135,7 @@ fn inter_point(
         sum[1] += rho * d.f_str as f64;
         sum[2] += rho * d.f_irr as f64;
         sum[3] += d.delta_f();
-        sum[4] += group.len() as f64 * trace.meta.period as f64;
+        sum[4] += group_len as f64 * trace.meta.period as f64;
     }
     (n > 0).then(|| WindowPoint {
         target_size: target,
@@ -135,6 +157,20 @@ pub fn window_series(
     sizes: &[u64],
 ) -> Vec<WindowPoint> {
     let info = DecompressionInfo::from_trace(trace, annots);
+    window_series_with(trace, annots, bs, sizes, &info, par::default_threads())
+}
+
+/// [`window_series`] with precomputed decompression facts and an
+/// explicit worker count — the analyzer passes its cached ρ/κ here so
+/// the series does not re-derive them per call.
+pub fn window_series_with(
+    trace: &SampledTrace,
+    annots: &AuxAnnotations,
+    bs: BlockSize,
+    sizes: &[u64],
+    info: &DecompressionInfo,
+    threads: usize,
+) -> Vec<WindowPoint> {
     let kappa = info.kappa();
     let rho = info.rho();
     // A window fits inside a sample while its decompressed size is below
@@ -144,12 +180,12 @@ pub fn window_series(
         .iter()
         .filter_map(|&target| {
             if (target as f64) <= mean_window_decomp.max(1.0) {
-                intra_point(trace, annots, bs, target, kappa)
+                intra_point(trace, annots, bs, target, kappa, threads)
             } else if trace.meta.period > 0 && target >= trace.meta.period {
                 let k = ((target as f64) / trace.meta.period as f64)
                     .round()
                     .max(1.0) as usize;
-                inter_point(trace, annots, bs, target, rho, k)
+                inter_point(trace, annots, bs, target, rho, k, threads)
             } else if trace.meta.period > 0 {
                 // The R2 blind spot (paper §IV-A): window sizes between
                 // the sample window w and the period w+z cannot be
@@ -158,7 +194,7 @@ pub fn window_series(
                 None
             } else {
                 // A full trace viewed as one sample: keep chunking it.
-                intra_point(trace, annots, bs, target, kappa)
+                intra_point(trace, annots, bs, target, kappa, threads)
             }
         })
         .collect()
@@ -234,7 +270,8 @@ mod tests {
             let accesses = (0..w)
                 .map(|i| Access::new(0x400u64, (s * w + i) as u64 * 64, base + i as u64))
                 .collect();
-            t.push_sample(Sample::new(accesses, base + w as u64)).unwrap();
+            t.push_sample(Sample::new(accesses, base + w as u64))
+                .unwrap();
         }
         t
     }
@@ -279,6 +316,21 @@ mod tests {
         // 2 samples × 128/32 windows each.
         assert_eq!(pts[0].windows, 8);
         assert!((pts[0].effective_size - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_series_threads_invariant() {
+        let t = trace_with_samples(40, 200, 10_000);
+        let annots = AuxAnnotations::new();
+        let info = DecompressionInfo::from_trace(&t, &annots);
+        let sizes = [16u64, 64, 10_000, 20_000];
+        let one = window_series_with(&t, &annots, BlockSize::CACHE_LINE, &sizes, &info, 1);
+        let four = window_series_with(&t, &annots, BlockSize::CACHE_LINE, &sizes, &info, 4);
+        assert_eq!(one, four);
+        assert_eq!(
+            one,
+            window_series(&t, &annots, BlockSize::CACHE_LINE, &sizes)
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! unique blocks accessed per load.
 
 use crate::diagnostics::FootprintDiagnostics;
+use crate::fxhash::FxHashMap;
 use memgaze_model::{AuxAnnotations, BlockSize, DecompressionInfo, SampledTrace};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Working-set summary of a sampled trace at a given page size.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,7 +42,7 @@ pub fn working_set(trace: &SampledTrace, annots: &AuxAnnotations, page: BlockSiz
     let info = DecompressionInfo::from_trace(trace, annots);
     // Per page: (first trigger time, last trigger time, samples touching,
     // sum of gaps).
-    let mut pages: HashMap<u64, (u64, u64, u64)> = HashMap::new(); // last_time, touches, gap_sum
+    let mut pages: FxHashMap<u64, (u64, u64, u64)> = FxHashMap::default(); // last_time, touches, gap_sum
     let mut merged: Option<FootprintDiagnostics> = None;
     for s in &trace.samples {
         let d = FootprintDiagnostics::compute(&s.accesses, annots, page);
@@ -70,7 +70,7 @@ pub fn working_set(trace: &SampledTrace, annots: &AuxAnnotations, page: BlockSiz
     let diag = merged.unwrap_or_default();
     let delta_f = diag.delta_f();
     let (mut gap_sum, mut gap_n, mut recurring) = (0u64, 0u64, 0u64);
-    for (_, (_, touches, gaps)) in &pages {
+    for (_, touches, gaps) in pages.values() {
         if *touches >= 2 {
             recurring += 1;
             gap_sum += gaps;
@@ -108,7 +108,11 @@ mod tests {
             let mut acc = Vec::new();
             for i in 0..32u64 {
                 // Hot pages 0 and 1 (4-KiB pages at 0x10_0000).
-                acc.push(Access::new(0x400u64, 0x10_0000 + (i % 2) * 4096 + i * 8, base + i));
+                acc.push(Access::new(
+                    0x400u64,
+                    0x10_0000 + (i % 2) * 4096 + i * 8,
+                    base + i,
+                ));
             }
             for i in 32..64u64 {
                 // A fresh page per sample.
@@ -134,9 +138,7 @@ mod tests {
         assert!((ws.mean_intersample_gap - 10_000.0).abs() < 1e-9);
         // Estimated inter-sample distance = ΔF(pages/access) × gap.
         assert!(ws.est_intersample_distance > 0.0);
-        assert!(
-            (ws.est_intersample_distance - ws.delta_f_pages * 10_000.0).abs() < 1e-9
-        );
+        assert!((ws.est_intersample_distance - ws.delta_f_pages * 10_000.0).abs() < 1e-9);
         // ρ = 8·10000/512 = 156.25 → estimate scales.
         assert!((ws.pages_estimated - 156.25 * 10.0).abs() < 1e-6);
     }

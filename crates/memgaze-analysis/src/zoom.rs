@@ -8,10 +8,10 @@
 //! property matters: cold gaps inside a hot region are kept so the reuse
 //! distance `D` reflects the locality of the *entire* object.
 
+use crate::fxhash::FxHashMap;
 use crate::reuse::BlockReuse;
 use memgaze_model::{Access, AuxAnnotations, BlockSize, SymbolTable};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Zoom parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -175,15 +175,17 @@ impl<'a> LocationZoom<'a> {
         let d = self.reuse.region_mean_distance(lo_block, hi_block);
         let blocks = self.reuse.region_blocks(lo_block, hi_block);
 
-        // Code attribution: accesses per function, hottest line.
-        let mut per_fn: HashMap<String, (u64, HashMap<u32, u64>)> = HashMap::new();
+        // Code attribution: accesses per function, hottest line. Names
+        // are borrowed from the symbol table until the final rows are
+        // built — one allocation per emitted row, not per access.
+        let mut per_fn: FxHashMap<&str, (u64, FxHashMap<u32, u64>)> = FxHashMap::default();
         for &i in members {
             let a = &self.accesses[i];
             let name = self
                 .symbols
                 .lookup(a.ip)
-                .map(|f| f.name.clone())
-                .unwrap_or_else(|| "<unknown>".to_string());
+                .map(|f| f.name.as_str())
+                .unwrap_or("<unknown>");
             let e = per_fn.entry(name).or_default();
             e.0 += 1;
             let line = self
@@ -196,8 +198,12 @@ impl<'a> LocationZoom<'a> {
         let mut code: Vec<RegionCode> = per_fn
             .into_iter()
             .map(|(function, (accesses, lines))| RegionCode {
-                function,
-                line: lines.into_iter().max_by_key(|(_, c)| *c).map(|(l, _)| l).unwrap_or(0),
+                function: function.to_string(),
+                line: lines
+                    .into_iter()
+                    .max_by_key(|(_, c)| *c)
+                    .map(|(l, _)| l)
+                    .unwrap_or(0),
                 accesses,
             })
             .collect();
@@ -249,12 +255,11 @@ impl<'a> LocationZoom<'a> {
         }
 
         // Maximal runs of contiguous non-empty pages.
-        let threshold =
-            (members.len() as f64 * self.cfg.hot_threshold_pct / 100.0).ceil() as usize;
+        let threshold = (members.len() as f64 * self.cfg.hot_threshold_pct / 100.0).ceil() as usize;
         let mut runs: Vec<(usize, usize)> = Vec::new(); // [start, end) page idx
         let mut run_start: Option<usize> = None;
-        for p in 0..page_members.len() {
-            if page_members[p].is_empty() {
+        for (p, pm) in page_members.iter().enumerate() {
+            if pm.is_empty() {
                 if let Some(s) = run_start.take() {
                     runs.push((s, p));
                 }
@@ -270,8 +275,7 @@ impl<'a> LocationZoom<'a> {
             .saturating_sub(self.cfg.shrink_log2)
             .max(self.cfg.min_page_log2);
         for (s, e) in runs {
-            let run_members: Vec<usize> =
-                page_members[s..e].iter().flatten().copied().collect();
+            let run_members: Vec<usize> = page_members[s..e].iter().flatten().copied().collect();
             if run_members.len() < threshold.max(1) {
                 continue; // not hot enough
             }
@@ -306,11 +310,11 @@ pub fn zoom_trace_annotated(
     cfg: ZoomConfig,
 ) -> Option<ZoomRegion> {
     let accesses: Vec<Access> = trace.accesses().copied().collect();
-    let mut merged = BlockReuse::default();
-    for s in &trace.samples {
+    let parts = crate::par::par_map(&trace.samples, crate::par::default_threads(), |s| {
         let r = crate::reuse::analyze_window(&s.accesses, cfg.access_block);
-        merged.merge(&BlockReuse::from_analysis(&s.accesses, cfg.access_block, &r));
-    }
+        BlockReuse::from_analysis(&s.accesses, cfg.access_block, &r)
+    });
+    let merged = BlockReuse::from_parts(parts);
     let zoom = LocationZoom::new(&accesses, &merged, symbols, cfg);
     match annots {
         Some(ax) => zoom.with_annotations(ax).run(),
@@ -440,7 +444,11 @@ mod tests {
             .unwrap();
         let leaves = root.leaves();
         let a_leaf = leaves.iter().find(|r| r.lo < (2 << 20)).unwrap();
-        let code = a_leaf.code.iter().find(|c| c.function == "streamer").unwrap();
+        let code = a_leaf
+            .code
+            .iter()
+            .find(|c| c.function == "streamer")
+            .unwrap();
         assert_eq!(code.line, 42);
         let b_leaf = leaves.iter().find(|r| r.lo >= (63 << 20)).unwrap();
         let code = b_leaf.code.iter().find(|c| c.function == "reuser").unwrap();

@@ -1,0 +1,229 @@
+//! Property tests of the throughput overhaul's three pillars:
+//!
+//! 1. the memoized `Analyzer` returns the same artifacts as a fresh
+//!    analyzer computed from scratch for each query;
+//! 2. the indexed `BlockReuse` region queries agree with a linear-scan
+//!    oracle over `(block, stats)` pairs;
+//! 3. every parallelized per-sample pass is invariant in the worker
+//!    count (threads = N matches threads = 1 bit-for-bit).
+
+use memgaze_analysis::{
+    analyze_window, locality_vs_interval_with, region_heatmaps_from, window_series_with,
+    AnalysisConfig, Analyzer, BlockReuse, IntervalTree,
+};
+use memgaze_model::{
+    Access, AuxAnnotations, BlockSize, Sample, SampledTrace, SymbolTable, TraceMeta,
+};
+use proptest::prelude::*;
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    (0u64..64, 0u64..(1 << 12), 0u64..(1 << 20))
+        .prop_map(|(ip, addr, t)| Access::new(0x400 + ip * 4, 0x10_0000 + addr * 8, t))
+}
+
+fn arb_window(max: usize) -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec(arb_access(), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|a| a.time);
+        v
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = SampledTrace> {
+    prop::collection::vec(arb_window(120), 0..10).prop_map(|windows| {
+        let mut t = SampledTrace::new(TraceMeta::new("prop", 10_000, 8192));
+        let mut offset = 0u64;
+        for w in windows {
+            let shifted: Vec<Access> = w
+                .iter()
+                .map(|a| Access::new(a.ip, a.addr, a.time + offset))
+                .collect();
+            let trigger = shifted.last().map_or(offset, |a| a.time + 1);
+            t.push_sample(Sample::new(shifted, trigger)).unwrap();
+            offset = trigger + 10_000;
+        }
+        t.meta.total_loads = offset.max(1);
+        t
+    })
+}
+
+/// Linear-scan oracle for the indexed region queries: per-block
+/// `(accesses, Σ distance, reuse count, max distance)` accumulated
+/// directly from the per-sample analyses, queried by brute force.
+#[derive(Default)]
+struct ScanOracle {
+    rows: Vec<(u64, u64, u64, u64, u64)>, // block, accesses, dist_sum, reuse_cnt, max
+}
+
+fn oracle(t: &SampledTrace, bs: BlockSize) -> ScanOracle {
+    use std::collections::BTreeMap;
+    let mut m: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+    for s in &t.samples {
+        let r = analyze_window(&s.accesses, bs);
+        for a in &s.accesses {
+            m.entry(a.addr.block(bs)).or_default().0 += 1;
+        }
+        for e in &r.events {
+            let ent = m.entry(e.block).or_default();
+            ent.1 += e.distance;
+            ent.2 += 1;
+            ent.3 = ent.3.max(e.distance);
+        }
+    }
+    ScanOracle {
+        rows: m
+            .into_iter()
+            .map(|(b, (a, d, c, x))| (b, a, d, c, x))
+            .collect(),
+    }
+}
+
+impl ScanOracle {
+    fn in_range(&self, lo: u64, hi: u64) -> impl Iterator<Item = &(u64, u64, u64, u64, u64)> {
+        self.rows.iter().filter(move |r| r.0 >= lo && r.0 < hi)
+    }
+    fn accesses(&self, lo: u64, hi: u64) -> u64 {
+        self.in_range(lo, hi).map(|r| r.1).sum()
+    }
+    fn blocks(&self, lo: u64, hi: u64) -> u64 {
+        self.in_range(lo, hi).count() as u64
+    }
+    fn mean_distance(&self, lo: u64, hi: u64) -> f64 {
+        let (mut sum, mut cnt) = (0u64, 0u64);
+        for r in self.in_range(lo, hi) {
+            sum += r.2;
+            cnt += r.3;
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum as f64 / cnt as f64
+        }
+    }
+    fn max_distance(&self, lo: u64, hi: u64) -> u64 {
+        self.in_range(lo, hi).map(|r| r.4).max().unwrap_or(0)
+    }
+}
+
+fn trace_block_reuse(t: &SampledTrace, bs: BlockSize) -> BlockReuse {
+    let mut br = BlockReuse::default();
+    for s in &t.samples {
+        let r = analyze_window(&s.accesses, bs);
+        br.merge(&BlockReuse::from_analysis(&s.accesses, bs, &r));
+    }
+    br
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pillar 1: every cached artifact equals the same artifact from a
+    /// fresh analyzer, and repeated queries never recompute.
+    #[test]
+    fn cached_analyzer_matches_fresh(t in arb_trace()) {
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let cfg = AnalysisConfig::default();
+        let cached = Analyzer::new(&t, &annots, &symbols).with_config(cfg);
+
+        // Query everything twice from the cached analyzer.
+        for _ in 0..2 {
+            let _ = cached.decompression();
+            let _ = cached.function_table();
+            let _ = cached.region_rows();
+            let _ = cached.interval_rows(4);
+            let _ = cached.block_reuse();
+            let _ = cached.zoom();
+        }
+        let fresh = || Analyzer::new(&t, &annots, &symbols).with_config(cfg);
+        prop_assert_eq!(cached.decompression(), fresh().decompression());
+        prop_assert_eq!(cached.function_table(), fresh().function_table().to_vec());
+        prop_assert_eq!(cached.region_rows(), fresh().region_rows());
+        prop_assert_eq!(cached.interval_rows(4), fresh().interval_rows(4));
+        let f = fresh();
+        prop_assert_eq!(cached.block_reuse(), f.block_reuse());
+        prop_assert_eq!(cached.zoom(), f.zoom());
+
+        // Each artifact computed at most once despite repeated queries.
+        let stats = cached.cache_stats();
+        prop_assert!(stats.block_reuse <= 1);
+        prop_assert!(stats.zoom <= 1);
+        prop_assert!(stats.sample_reuse <= 1);
+        prop_assert!(stats.sample_diags <= 1);
+        prop_assert!(stats.function_rows <= 1);
+        prop_assert!(stats.decompression <= 1);
+    }
+
+    /// Pillar 2: indexed region queries equal the linear-scan oracle on
+    /// arbitrary query ranges (including empty and reversed ones).
+    #[test]
+    fn indexed_region_queries_match_scan(
+        t in arb_trace(),
+        queries in prop::collection::vec((0u64..(1 << 14), 0u64..(1 << 14)), 1..20),
+    ) {
+        let br = trace_block_reuse(&t, BlockSize::CACHE_LINE);
+        let o = oracle(&t, BlockSize::CACHE_LINE);
+        // Blocks of the generated addresses: 0x10_0000/64 .. + 2^12*8/64.
+        let base = 0x10_0000u64 >> 6;
+        for (a, b) in queries {
+            let (lo, hi) = (base + a.min(b), base + a.max(b));
+            prop_assert_eq!(br.region_accesses(lo, hi), o.accesses(lo, hi));
+            prop_assert_eq!(br.region_blocks(lo, hi), o.blocks(lo, hi));
+            prop_assert_eq!(br.region_max_distance(lo, hi), o.max_distance(lo, hi));
+            // Both sides divide identical integer sums → exactly equal.
+            prop_assert_eq!(br.region_mean_distance(lo, hi), o.mean_distance(lo, hi));
+        }
+        // Degenerate ranges.
+        prop_assert_eq!(br.region_accesses(10, 10), 0);
+        prop_assert_eq!(br.region_accesses(0, u64::MAX), o.accesses(0, u64::MAX));
+    }
+
+    /// Pillar 3: the parallel per-sample passes are bit-for-bit
+    /// invariant in the worker count.
+    #[test]
+    fn parallel_passes_match_single_thread(t in arb_trace(), threads in 2usize..6) {
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let sizes = [8u64, 32, 128];
+        let info = {
+            let a = Analyzer::new(&t, &annots, &symbols);
+            a.decompression()
+        };
+
+        let w1 = window_series_with(&t, &annots, BlockSize::WORD, &sizes, &info, 1);
+        let wn = window_series_with(&t, &annots, BlockSize::WORD, &sizes, &info, threads);
+        prop_assert_eq!(w1, wn);
+
+        let l1 = locality_vs_interval_with(&t, &annots, BlockSize::CACHE_LINE, &sizes, 1);
+        let ln = locality_vs_interval_with(&t, &annots, BlockSize::CACHE_LINE, &sizes, threads);
+        prop_assert_eq!(l1, ln);
+
+        let analyses: Vec<_> = t
+            .samples
+            .iter()
+            .map(|s| analyze_window(&s.accesses, BlockSize::CACHE_LINE))
+            .collect();
+        let region = (0x10_0000u64, 0x10_0000 + (1 << 15));
+        let (a1, d1) = region_heatmaps_from(&t, &analyses, region, 8, 8, 1);
+        let (an, dn) = region_heatmaps_from(&t, &analyses, region, 8, 8, threads);
+        prop_assert_eq!(a1, an);
+        prop_assert_eq!(d1, dn);
+
+        let tree1 = IntervalTree::build_par(&t, &annots, &symbols, BlockSize::WORD, 1.0, 1);
+        let treen = IntervalTree::build_par(&t, &annots, &symbols, BlockSize::WORD, 1.0, threads);
+        prop_assert_eq!(tree1, treen);
+
+        // And through the analyzer façade: threads=1 vs threads=N config
+        // produce identical tables.
+        let c1 = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let cn = AnalysisConfig { threads, ..c1 };
+        let one = Analyzer::new(&t, &annots, &symbols).with_config(c1);
+        let many = Analyzer::new(&t, &annots, &symbols).with_config(cn);
+        prop_assert_eq!(one.function_table().to_vec(), many.function_table().to_vec());
+        prop_assert_eq!(one.region_rows(), many.region_rows());
+        prop_assert_eq!(one.interval_rows(4), many.interval_rows(4));
+        prop_assert_eq!(one.block_reuse(), many.block_reuse());
+    }
+}

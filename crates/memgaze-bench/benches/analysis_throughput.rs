@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use memgaze_analysis::{
     analyze_window, window_series, AnalysisConfig, Analyzer, FootprintDiagnostics,
 };
-use memgaze_model::{Access, AuxAnnotations, BlockSize, Sample, SampledTrace, SymbolTable, TraceMeta};
+use memgaze_model::{
+    Access, AuxAnnotations, BlockSize, Sample, SampledTrace, SymbolTable, TraceMeta,
+};
 
 /// A synthetic trace mixing a strided phase and a cyclic-reuse phase.
 fn synthetic_trace(samples: usize, window: usize) -> SampledTrace {
@@ -24,7 +26,8 @@ fn synthetic_trace(samples: usize, window: usize) -> SampledTrace {
                 Access::new(0x400u64 + (i as u64 % 16) * 4, addr, base + i as u64)
             })
             .collect();
-        t.push_sample(Sample::new(accesses, base + window as u64)).unwrap();
+        t.push_sample(Sample::new(accesses, base + window as u64))
+            .unwrap();
     }
     t
 }
@@ -74,11 +77,72 @@ fn bench_full_analyzer(c: &mut Criterion) {
     });
 }
 
+/// Every memoized artifact from one analyzer: the cold path constructs
+/// the cache once per iteration; the warm path re-reads a prebuilt cache
+/// (all hits) — the gap is the full cost of the artifact builds.
+fn bench_memoized_report(c: &mut Criterion) {
+    let annots = AuxAnnotations::new();
+    let symbols = SymbolTable::new();
+    let t = synthetic_trace(64, 512);
+    let all_artifacts = |a: &Analyzer<'_>| {
+        let mut n = a.function_table().len();
+        n += a.sample_reuse().len();
+        n += a.sample_diagnostics().len();
+        n += a.block_reuse().len();
+        n += a.zoom().map_or(0, |z| z.children.len());
+        n += a.region_rows().len();
+        n += a.interval_rows(8).len();
+        n += a.window_series(&[16, 64, 256]).len();
+        n += a.locality_series(&[16, 64, 256]).len();
+        n += a.all_accesses().len();
+        n += a.decompression().observed as usize;
+        n
+    };
+    let mut g = c.benchmark_group("memoized_report_64x512");
+    g.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let a = Analyzer::new(&t, &annots, &symbols).with_config(AnalysisConfig::default());
+            all_artifacts(&a)
+        })
+    });
+    let warm = Analyzer::new(&t, &annots, &symbols).with_config(AnalysisConfig::default());
+    all_artifacts(&warm);
+    g.bench_function("warm_cache", |b| b.iter(|| all_artifacts(&warm)));
+    g.finish();
+}
+
+/// Skewed sample sizes: one sample 32× larger than the rest. Static
+/// chunking would serialize on the giant sample; the work-stealing
+/// scheduler keeps the other workers busy on the small ones.
+fn bench_skewed_samples(c: &mut Criterion) {
+    let annots = AuxAnnotations::new();
+    let symbols = SymbolTable::new();
+    let mut t = synthetic_trace(63, 256);
+    let giant: Vec<Access> = (0..256 * 32)
+        .map(|i| {
+            let addr = 0x40_0000 + ((i % 4096) as u64) * 64;
+            Access::new(0x400u64, addr, 1_000_000 + i as u64)
+        })
+        .collect();
+    t.push_sample(Sample::new(giant, 1_000_000 + 256 * 32))
+        .unwrap();
+    c.bench_function("analyzer_tables_skewed_1x32", |b| {
+        b.iter(|| {
+            let a = Analyzer::new(&t, &annots, &symbols).with_config(AnalysisConfig::default());
+            let rows = a.region_rows();
+            let intervals = a.interval_rows(8);
+            (rows.len(), intervals.len())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_reuse_distance,
     bench_diagnostics,
     bench_window_series,
-    bench_full_analyzer
+    bench_full_analyzer,
+    bench_memoized_report,
+    bench_skewed_samples
 );
 criterion_main!(benches);

@@ -24,7 +24,12 @@ fn bench_full_instrumentation(c: &mut Criterion) {
         let m = synthetic_module(procs, 30);
         g.throughput(Throughput::Bytes(m.binary_size_bytes()));
         g.bench_with_input(BenchmarkId::from_parameter(procs), &m, |b, m| {
-            b.iter(|| Instrumenter::default().instrument(m).stats.ptwrites_inserted)
+            b.iter(|| {
+                Instrumenter::default()
+                    .instrument(m)
+                    .stats
+                    .ptwrites_inserted
+            })
         });
     }
     g.finish();

@@ -50,7 +50,10 @@ fn bench_table4(c: &mut Criterion) {
         b.iter(|| {
             let sampler = SamplerConfig::application(10_000);
             let (report, _) = trace_workload("mv", &sampler, |s| minivite::run(s, &mv));
-            report.analyzer(AnalysisConfig::default()).function_table().len()
+            report
+                .analyzer(AnalysisConfig::default())
+                .function_table()
+                .len()
         })
     });
     g.finish();

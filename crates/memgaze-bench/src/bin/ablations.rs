@@ -18,20 +18,18 @@ use memgaze_analysis::{
 use memgaze_bench::{emit, scales};
 use memgaze_core::{trace_workload, MemGaze, PipelineConfig};
 use memgaze_model::Ip;
-use memgaze_ptsim::{
-    OverheadModel, RunProfile, SamplerConfig, StreamSampler, TimeStreamSampler,
-};
+use memgaze_ptsim::{OverheadModel, RunProfile, SamplerConfig, StreamSampler, TimeStreamSampler};
 use memgaze_workloads::minivite::{self, MapVariant, MiniViteConfig};
 use memgaze_workloads::ubench::{MicroBench, OptLevel};
 use serde::Serialize;
 
 #[derive(Serialize, Default)]
 struct Out {
-    yield_factor: Vec<(f64, f64, f64)>,      // (yield, mean window, MAPE F)
-    payload: Vec<(String, u64, f64)>,        // (mode, bytes, overhead)
-    trigger_bias: Vec<(String, f64)>,        // (trigger, slow-phase fraction)
+    yield_factor: Vec<(f64, f64, f64)>, // (yield, mean window, MAPE F)
+    payload: Vec<(String, u64, f64)>,   // (mode, bytes, overhead)
+    trigger_bias: Vec<(String, f64)>,   // (trigger, slow-phase fraction)
     strided_suppression: Vec<(String, f64)>, // (mode, overhead)
-    zoom_threshold: Vec<(f64, usize, f64)>,  // (t%, leaves, top-leaf pct)
+    zoom_threshold: Vec<(f64, usize, f64)>, // (t%, leaves, top-leaf pct)
 }
 
 fn ablate_yield(out: &mut Out, sc: &memgaze_bench::scales::Scales) {
@@ -99,7 +97,10 @@ fn ablate_trigger(out: &mut Out) {
     };
     let frac_slow = |trace: &memgaze_model::SampledTrace| {
         let total = trace.observed_accesses().max(1);
-        let b = trace.accesses().filter(|a| a.addr.raw() >= 0x80_0000).count() as u64;
+        let b = trace
+            .accesses()
+            .filter(|a| a.addr.raw() >= 0x80_0000)
+            .count() as u64;
         b as f64 / total as f64
     };
 
@@ -139,9 +140,7 @@ fn ablate_strided_suppression(out: &mut Out, sc: &memgaze_bench::scales::Scales)
         let strided = report
             .trace
             .accesses()
-            .filter(|a| {
-                report.annots.class_of(a.ip) == memgaze_model::LoadClass::Strided
-            })
+            .filter(|a| report.annots.class_of(a.ip) == memgaze_model::LoadClass::Strided)
             .count() as u64;
         strided as f64 / total as f64
     };
@@ -182,10 +181,12 @@ fn ablate_zoom_threshold(out: &mut Out, sc: &memgaze_bench::scales::Scales) {
     let cfg = SamplerConfig::application(sc.app_period);
     let (report, _) = trace_workload("mv", &cfg, |s| minivite::run(s, &mv));
     for t in [2.0, 10.0, 40.0] {
-        let mut acfg = AnalysisConfig::default();
-        acfg.zoom = ZoomConfig {
-            hot_threshold_pct: t,
-            ..ZoomConfig::default()
+        let acfg = AnalysisConfig {
+            zoom: ZoomConfig {
+                hot_threshold_pct: t,
+                ..ZoomConfig::default()
+            },
+            ..AnalysisConfig::default()
         };
         let analyzer = report.analyzer(acfg);
         let rows = analyzer.region_rows();

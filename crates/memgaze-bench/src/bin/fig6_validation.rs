@@ -76,9 +76,10 @@ fn micro_row(bench: &MicroBench, period: u64) -> Fig6Row {
     let cw_f = CodeWindows::build(&full_trace, &report.instrumented.orig_symbols);
     let chunk = report.trace.mean_window().max(8.0) as usize;
     let code_err = match (cw_s.function("kernel"), cw_f.function("kernel")) {
-        (Some(s), Some(f)) => {
-            pct_error(chunked_footprint(f, chunk, fb), chunked_footprint(s, chunk, fb))
-        }
+        (Some(s), Some(f)) => pct_error(
+            chunked_footprint(f, chunk, fb),
+            chunked_footprint(s, chunk, fb),
+        ),
         _ => f64::NAN,
     };
 
@@ -122,9 +123,10 @@ fn graph_row(
             a_s.function_table().first().map(|r| r.name.clone())
         };
         match hottest.and_then(|h| Some((cw_s.function(&h)?, cw_d.function(&h)?))) {
-            Some((s, d)) => {
-                pct_error(chunked_footprint(d, chunk, fb), chunked_footprint(s, chunk, fb))
-            }
+            Some((s, d)) => pct_error(
+                chunked_footprint(d, chunk, fb),
+                chunked_footprint(s, chunk, fb),
+            ),
             None => f64::NAN,
         }
     };
@@ -198,10 +200,7 @@ fn main() {
     }
     emit("fig6_validation", &table, &rows);
 
-    let worst = rows
-        .iter()
-        .map(|r| r.trace_mape_f)
-        .fold(0.0f64, f64::max);
+    let worst = rows.iter().map(|r| r.trace_mape_f).fold(0.0f64, f64::max);
     println!(
         "worst trace-window footprint MAPE: {:.1}% (paper band: 1–25%)",
         worst

@@ -78,7 +78,12 @@ fn main() {
             },
         ));
     }
-    for kernel in [GapKernel::Pr, GapKernel::PrSpmv, GapKernel::Cc, GapKernel::CcSv] {
+    for kernel in [
+        GapKernel::Pr,
+        GapKernel::PrSpmv,
+        GapKernel::Cc,
+        GapKernel::CcSv,
+    ] {
         let cfg = GapConfig {
             scale: sc.graph_scale,
             degree: sc.degree,
@@ -106,7 +111,14 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 7: per-phase tracing overhead — MemGaze (continuous) vs. MemGaze-opt",
-        &["Benchmark", "Phase", "Cont. %", "Opt %", "ptw ratio", "Loads"],
+        &[
+            "Benchmark",
+            "Phase",
+            "Cont. %",
+            "Opt %",
+            "ptw ratio",
+            "Loads",
+        ],
     );
     for r in &rows {
         table.push_row(vec![

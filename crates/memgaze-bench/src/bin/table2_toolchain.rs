@@ -81,47 +81,49 @@ fn main() {
         let (instr_ms, _) = timed(|| Instrumenter::default().instrument(&module));
 
         let sampler = SamplerConfig::application(sc.app_period);
-        let (a1_ms, report) = timed(|| {
-            match name {
-                n if n.starts_with("miniVite") => {
-                    let mv = MiniViteConfig {
-                        scale: sc.graph_scale,
-                        degree: sc.degree,
-                        iterations: sc.louvain_iters,
-                        variant: MapVariant::V1,
-                        seed: 42,
-                        v2_default_capacity: 64,
-                    };
-                    trace_workload(name, &sampler, |s| {
-                        minivite::run(s, &mv);
-                    })
-                    .0
-                }
-                n if n.starts_with("GAP") => {
-                    let kernel = if n.contains("pr") { GapKernel::Pr } else { GapKernel::Cc };
-                    let cfg = GapConfig {
-                        scale: sc.graph_scale,
-                        degree: sc.degree,
-                        kernel,
-                        max_iters: sc.pr_iters,
-                        seed: 9,
-                    };
-                    trace_workload(name, &sampler, |s| {
-                        gap::run(s, &cfg);
-                    })
-                    .0
-                }
-                _ => {
-                    let net = if name.contains("ResNet") {
-                        Network::ResNet152
-                    } else {
-                        Network::AlexNet
-                    };
-                    trace_workload(name, &sampler, |s| {
-                        darknet::run(s, net);
-                    })
-                    .0
-                }
+        let (a1_ms, report) = timed(|| match name {
+            n if n.starts_with("miniVite") => {
+                let mv = MiniViteConfig {
+                    scale: sc.graph_scale,
+                    degree: sc.degree,
+                    iterations: sc.louvain_iters,
+                    variant: MapVariant::V1,
+                    seed: 42,
+                    v2_default_capacity: 64,
+                };
+                trace_workload(name, &sampler, |s| {
+                    minivite::run(s, &mv);
+                })
+                .0
+            }
+            n if n.starts_with("GAP") => {
+                let kernel = if n.contains("pr") {
+                    GapKernel::Pr
+                } else {
+                    GapKernel::Cc
+                };
+                let cfg = GapConfig {
+                    scale: sc.graph_scale,
+                    degree: sc.degree,
+                    kernel,
+                    max_iters: sc.pr_iters,
+                    seed: 9,
+                };
+                trace_workload(name, &sampler, |s| {
+                    gap::run(s, &cfg);
+                })
+                .0
+            }
+            _ => {
+                let net = if name.contains("ResNet") {
+                    Network::ResNet152
+                } else {
+                    Network::AlexNet
+                };
+                trace_workload(name, &sampler, |s| {
+                    darknet::run(s, net);
+                })
+                .0
             }
         });
         let a2 = analyze_ms(&report);
@@ -136,7 +138,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table II: toolchain times (Instrument / Analysis-1 trace building / Analysis-2 analysis)",
-        &["Benchmark", "Binary kB", "Instrument ms", "Analysis/1 ms", "Analysis/2 ms"],
+        &[
+            "Benchmark",
+            "Binary kB",
+            "Instrument ms",
+            "Analysis/1 ms",
+            "Analysis/2 ms",
+        ],
     );
     for r in &rows {
         table.push_row(vec![
@@ -150,8 +158,14 @@ fn main() {
     emit("table2_toolchain", &table, &rows);
 
     // Shape check: instrumentation time grows with binary size.
-    let mv = rows.iter().find(|r| r.benchmark.starts_with("miniVite")).unwrap();
-    let gap = rows.iter().find(|r| r.benchmark.starts_with("GAP")).unwrap();
+    let mv = rows
+        .iter()
+        .find(|r| r.benchmark.starts_with("miniVite"))
+        .unwrap();
+    let gap = rows
+        .iter()
+        .find(|r| r.benchmark.starts_with("GAP"))
+        .unwrap();
     println!(
         "instrumentation scales with binary size: miniVite ({:.0} kB) {:.1} ms vs GAP ({:.0} kB) {:.1} ms",
         mv.binary_kb, mv.instrument_ms, gap.binary_kb, gap.instrument_ms

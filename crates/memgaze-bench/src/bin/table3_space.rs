@@ -137,8 +137,7 @@ fn micro_row(name: &str, opt: OptLevel, elems: u32, reps: u32, period: u64) -> T
     let all_bytes = io::full_size_bytes(&all);
     let all_plus_bytes = io::full_size_bytes(&all_plus);
     let memgaze_bytes = io::sampled_size_bytes(&report.trace);
-    let kappa =
-        DecompressionInfo::from_trace(&report.trace, &report.instrumented.annots).kappa();
+    let kappa = DecompressionInfo::from_trace(&report.trace, &report.instrumented.annots).kappa();
     Table3Row {
         benchmark: format!("{}-{}", name, opt.suffix()),
         rec_bytes,
@@ -188,7 +187,12 @@ fn main() {
         rows.push(workload_row(&label, sc.app_period, o0, Mv(mv)));
     }
 
-    for kernel in [GapKernel::Cc, GapKernel::CcSv, GapKernel::Pr, GapKernel::PrSpmv] {
+    for kernel in [
+        GapKernel::Cc,
+        GapKernel::CcSv,
+        GapKernel::Pr,
+        GapKernel::PrSpmv,
+    ] {
         let cfg = GapConfig {
             scale: sc.graph_scale,
             degree: sc.degree,

@@ -147,6 +147,11 @@ fn main() {
     };
     for m in ["AlexNet", "ResNet152"] {
         let (a, b) = d_trend(m);
-        println!("{m}: D rises over time: {:.2} → {:.2} ({})", a / 4.0, b / 4.0, b > a);
+        println!(
+            "{m}: D rises over time: {:.2} → {:.2} ({})",
+            a / 4.0,
+            b / 4.0,
+            b > a
+        );
     }
 }

@@ -57,7 +57,12 @@ fn main() {
         fig9: Vec::new(),
     };
 
-    for kernel in [GapKernel::Pr, GapKernel::PrSpmv, GapKernel::Cc, GapKernel::CcSv] {
+    for kernel in [
+        GapKernel::Pr,
+        GapKernel::PrSpmv,
+        GapKernel::Cc,
+        GapKernel::CcSv,
+    ] {
         let cfg = GapConfig {
             scale: sc.graph_scale,
             degree: sc.degree,
@@ -66,10 +71,9 @@ fn main() {
             seed: 9,
         };
         let sampler = SamplerConfig::application(sc.app_period / 4);
-        let (report, result) =
-            trace_workload(&format!("GAP-{}", kernel.label()), &sampler, |s| {
-                gap::run(s, &cfg)
-            });
+        let (report, result) = trace_workload(&format!("GAP-{}", kernel.label()), &sampler, |s| {
+            gap::run(s, &cfg)
+        });
         let analyzer = report.analyzer(AnalysisConfig::default());
 
         let object = match kernel {
@@ -115,7 +119,15 @@ fn main() {
 
     let mut t9 = Table::new(
         "Table IX: GAP spatio-temporal reuse of hot memory (64 B block)",
-        &["Object", "Algorithm", "Reuse (D)", "Max D", "A", "A/block", "Time"],
+        &[
+            "Object",
+            "Algorithm",
+            "Reuse (D)",
+            "Max D",
+            "A",
+            "A/block",
+            "Time",
+        ],
     );
     for r in &out.table9 {
         t9.push_row(vec![
@@ -144,13 +156,33 @@ fn main() {
     emit("table9_fig8_9_gap", &t9, &out);
 
     // Shape summaries.
-    let d_of = |alg: &str| out.table9.iter().find(|r| r.algorithm == alg).map(|r| r.reuse_d);
+    let d_of = |alg: &str| {
+        out.table9
+            .iter()
+            .find(|r| r.algorithm == alg)
+            .map(|r| r.reuse_d)
+    };
     if let (Some(pr), Some(spmv)) = (d_of("pr"), d_of("pr-spmv")) {
-        println!("pr D {:.2} < pr-spmv D {:.2}: {} (paper: 1.13 < 2.41)", pr, spmv, pr < spmv);
+        println!(
+            "pr D {:.2} < pr-spmv D {:.2}: {} (paper: 1.13 < 2.41)",
+            pr,
+            spmv,
+            pr < spmv
+        );
     }
-    let t_of = |alg: &str| out.table9.iter().find(|r| r.algorithm == alg).map(|r| r.time_cost);
+    let t_of = |alg: &str| {
+        out.table9
+            .iter()
+            .find(|r| r.algorithm == alg)
+            .map(|r| r.time_cost)
+    };
     if let (Some(cc), Some(sv)) = (t_of("cc"), t_of("cc-sv")) {
-        println!("cc time {} << cc-sv time {}: {} (paper: 2.7 s vs 45.5 s)", cc, sv, cc < sv);
+        println!(
+            "cc time {} << cc-sv time {}: {} (paper: 2.7 s vs 45.5 s)",
+            cc,
+            sv,
+            cc < sv
+        );
     }
     if out.fig8.len() == 2 {
         println!(

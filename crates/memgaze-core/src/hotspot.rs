@@ -30,7 +30,11 @@ pub struct HotspotReport {
 impl HotspotReport {
     /// The names of the `k` hottest functions.
     pub fn top(&self, k: usize) -> Vec<String> {
-        self.functions.iter().take(k).map(|(n, _)| n.clone()).collect()
+        self.functions
+            .iter()
+            .take(k)
+            .map(|(n, _)| n.clone())
+            .collect()
     }
 
     /// Fraction of all loads covered by the `k` hottest functions.
@@ -221,8 +225,7 @@ mod tests {
         // ROI selective instrumentation, by contrast, removes ptwrites.
         let roi = mg.run_microbench_roi(&bench, 1).unwrap();
         assert!(
-            roi.instrumented.stats.ptwrites_inserted
-                <= narrow.instrumented.stats.ptwrites_inserted
+            roi.instrumented.stats.ptwrites_inserted <= narrow.instrumented.stats.ptwrites_inserted
         );
     }
 }

@@ -88,13 +88,22 @@ mod tests {
 
     #[test]
     fn continuous_overhead_exceeds_opt() {
-        let phases = vec![phase("graphgen", 1_000_000, 100_000), phase("rank", 2_000_000, 50_000)];
+        let phases = vec![
+            phase("graphgen", 1_000_000, 100_000),
+            phase("rank", 2_000_000, 50_000),
+        ];
         let model = OverheadModel::default();
         let cont = phase_profiles(&phases, &model, PtMode::Continuous, 1.0);
         let opt = phase_profiles(&phases, &model, PtMode::SampleOnly, 0.05);
         assert_eq!(cont.len(), 2);
         for (c, o) in cont.iter().zip(&opt) {
-            assert!(c.overhead > o.overhead, "{}: {} vs {}", c.phase, c.overhead, o.overhead);
+            assert!(
+                c.overhead > o.overhead,
+                "{}: {} vs {}",
+                c.phase,
+                c.overhead,
+                o.overhead
+            );
             // Opt overhead approaches the ptwrite execution rate.
             assert!((o.overhead - o.ptwrite_ratio).abs() < 0.15);
         }

@@ -164,12 +164,8 @@ impl MemGaze {
             .module
             .find_proc("main")
             .ok_or("generated module lacks a main procedure")?;
-        let (trace, run, _outcome) = memgaze_ptsim::collect_sampled(
-            &inst,
-            main,
-            self.cfg.sampler.clone(),
-            &bench.name(),
-        )?;
+        let (trace, run, _outcome) =
+            memgaze_ptsim::collect_sampled(&inst, main, self.cfg.sampler.clone(), &bench.name())?;
         Ok(MicroReport {
             trace,
             instrumented: inst,
@@ -255,7 +251,9 @@ pub fn full_trace_workload<T>(
 
 /// Count a workload's loads without collecting anything (used to size
 /// sampling periods).
-pub fn dry_run_loads<T>(run: impl FnOnce(&mut TracedSpace<FnRecorder<fn(memgaze_model::Ip, u64, bool, u8)>>) -> T) -> (u64, T) {
+pub fn dry_run_loads<T>(
+    run: impl FnOnce(&mut TracedSpace<FnRecorder<fn(memgaze_model::Ip, u64, bool, u8)>>) -> T,
+) -> (u64, T) {
     fn nop(_: memgaze_model::Ip, _: u64, _: bool, _: u8) {}
     let mut space = TracedSpace::new(FnRecorder(nop as fn(memgaze_model::Ip, u64, bool, u8)));
     let value = run(&mut space);
@@ -297,9 +295,8 @@ mod tests {
             seed: 3,
             v2_default_capacity: 64,
         };
-        let (report, result) = trace_workload("miniVite-v2", &cfg, |space| {
-            minivite::run(space, &mv)
-        });
+        let (report, result) =
+            trace_workload("miniVite-v2", &cfg, |space| minivite::run(space, &mv));
         assert!(!result.communities.is_empty());
         assert!(report.trace.num_samples() > 0);
         assert!(report.stream.total_loads > 20_000);

@@ -79,7 +79,7 @@ impl InstrumentConfig {
     /// Whether the procedure named `name` is inside the region of
     /// interest.
     pub fn in_roi(&self, name: &str) -> bool {
-        self.roi.as_ref().map_or(true, |s| s.contains(name))
+        self.roi.as_ref().is_none_or(|s| s.contains(name))
     }
 }
 

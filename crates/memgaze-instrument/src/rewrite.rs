@@ -340,7 +340,7 @@ mod tests {
         let out = Instrumenter::new(InstrumentConfig::with_roi(["kernel"])).instrument(&m);
         let layout = out.module.layout();
         let kernel = out.module.find_proc("kernel").unwrap();
-        for (ip, _) in &out.ptw_map {
+        for ip in out.ptw_map.keys() {
             let (p, _, _) = layout.locate(*ip).unwrap();
             assert_eq!(p, kernel, "ptwrite outside ROI at {ip}");
         }

@@ -155,13 +155,16 @@ const KR: KRegs = KRegs {
 /// multiplicative walk with an odd multiplier, fixed up to stay in range.
 fn pseudo_perm(n: u32) -> Vec<u64> {
     let mult: u64 = 2_654_435_761; // Knuth's multiplicative constant (odd).
-    (0..n as u64).map(|i| (i.wrapping_mul(mult)) % n as u64).collect()
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(mult)) % n as u64)
+        .collect()
 }
 
 /// Emit one inner loop that runs `pattern` for `iters` iterations.
 ///
 /// `unroll` replicates the body loads (O3); `frame_traffic` adds one
 /// Constant frame load per pattern load (O0).
+#[allow(clippy::too_many_arguments)]
 fn emit_pattern_loop(
     pb: &mut ProcBuilder,
     pattern: Pattern,
@@ -251,6 +254,7 @@ fn emit_pattern_loop(
 }
 
 /// Emit a conditional (`a/b`) loop: the choice is data-dependent on `P[i]`.
+#[allow(clippy::too_many_arguments)]
 fn emit_conditional_loop(
     pb: &mut ProcBuilder,
     first: Pattern,
@@ -340,7 +344,16 @@ pub fn generate(spec: &UKernelSpec) -> LoadModule {
     let mut kb = ProcBuilder::new("kernel", "ubench.c");
     match &spec.compose {
         Compose::Single(p) => {
-            emit_pattern_loop(&mut kb, *p, a_base, p_base, spec.elems, unroll, frame_traffic, 10);
+            emit_pattern_loop(
+                &mut kb,
+                *p,
+                a_base,
+                p_base,
+                spec.elems,
+                unroll,
+                frame_traffic,
+                10,
+            );
         }
         Compose::Serial(ps) => {
             for (k, p) in ps.iter().enumerate() {
@@ -409,7 +422,10 @@ pub fn standard_suite(opt: OptLevel, elems: u32, reps: u32) -> Vec<UKernelSpec> 
         mk(Compose::Single(Pattern::strided(2))),
         mk(Compose::Single(Pattern::strided(8))),
         mk(Compose::Single(Pattern::Irregular)),
-        mk(Compose::Serial(vec![Pattern::strided(1), Pattern::Irregular])),
+        mk(Compose::Serial(vec![
+            Pattern::strided(1),
+            Pattern::Irregular,
+        ])),
         mk(Compose::Serial(vec![
             Pattern::strided(4),
             Pattern::strided(1),

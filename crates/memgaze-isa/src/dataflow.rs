@@ -77,8 +77,8 @@ fn def_sites(proc: &Procedure, body: impl Iterator<Item = BlockId>) -> Vec<Vec<(
             // Calls clobber the conventional scratch registers r0–r5 so a
             // value live across a call cannot be loop-invariant.
             if matches!(ins, Instr::Call { .. }) {
-                for r in 0..6 {
-                    defs[r].push((b, i));
+                for d in defs.iter_mut().take(6) {
+                    d.push((b, i));
                 }
             }
         }
@@ -138,9 +138,9 @@ fn derived_ivs(proc: &Procedure, l: &Loop, basic: &HashMap<Reg, i64>) -> HashMap
                 }
             }
             Instr::Lea { dst, addr } if dst == reg => {
-                let base_ok = addr.base.map_or(true, |br| {
-                    defs[br.index()].is_empty() && !basic.contains_key(&br)
-                });
+                let base_ok = addr
+                    .base
+                    .is_none_or(|br| defs[br.index()].is_empty() && !basic.contains_key(&br));
                 if let Some(idx) = addr.index {
                     if base_ok {
                         if let Some(&s) = basic.get(&idx) {
@@ -160,11 +160,7 @@ fn derived_ivs(proc: &Procedure, l: &Loop, basic: &HashMap<Reg, i64>) -> HashMap
 }
 
 /// Classify one register against a loop.
-fn component(
-    reg: Reg,
-    ivs: &HashMap<Reg, i64>,
-    defs: &[Vec<(BlockId, usize)>],
-) -> Component {
+fn component(reg: Reg, ivs: &HashMap<Reg, i64>, defs: &[Vec<(BlockId, usize)>]) -> Component {
     if let Some(&s) = ivs.get(&reg) {
         return Component::Iv(s);
     }
@@ -175,7 +171,11 @@ fn component(
 }
 
 /// Classify an address mode within a loop.
-fn classify_in_loop(addr: &AddrMode, ivs: &HashMap<Reg, i64>, defs: &[Vec<(BlockId, usize)>]) -> AddrKind {
+fn classify_in_loop(
+    addr: &AddrMode,
+    ivs: &HashMap<Reg, i64>,
+    defs: &[Vec<(BlockId, usize)>],
+) -> AddrKind {
     let base = addr.base.map(|r| component(r, ivs, defs));
     let index = addr.index.map(|r| component(r, ivs, defs));
     if matches!(base, Some(Component::Varying)) || matches!(index, Some(Component::Varying)) {
@@ -211,8 +211,8 @@ impl DataflowAnalysis {
     /// Analyze with a precomputed loop forest.
     pub fn analyze_with(proc: &Procedure, forest: &LoopForest) -> DataflowAnalysis {
         // Cache per-loop IV sets and def sites, keyed by header block.
-        let mut loop_info: HashMap<BlockId, (HashMap<Reg, i64>, Vec<Vec<(BlockId, usize)>>)> =
-            HashMap::new();
+        type LoopInfo = (HashMap<Reg, i64>, Vec<Vec<(BlockId, usize)>>);
+        let mut loop_info: HashMap<BlockId, LoopInfo> = HashMap::new();
         for l in &forest.loops {
             let basic = basic_ivs(proc, l);
             let ivs = derived_ivs(proc, l, &basic);
@@ -314,7 +314,10 @@ mod tests {
                     id: BlockId(0),
                     instrs: vec![
                         Instr::MovImm { dst: i, imm: 0 },
-                        Instr::MovImm { dst: a, imm: 0x1000 },
+                        Instr::MovImm {
+                            dst: a,
+                            imm: 0x1000,
+                        },
                         Instr::MovImm { dst: n, imm: 100 },
                     ],
                     term: Terminator::Jmp(BlockId(1)),
@@ -394,7 +397,10 @@ mod tests {
             blocks: vec![
                 BasicBlock {
                     id: BlockId(0),
-                    instrs: vec![Instr::MovImm { dst: p_reg, imm: 0x1000 }],
+                    instrs: vec![Instr::MovImm {
+                        dst: p_reg,
+                        imm: 0x1000,
+                    }],
                     term: Terminator::Jmp(BlockId(1)),
                     src_line: 1,
                 },
@@ -450,7 +456,10 @@ mod tests {
                     id: BlockId(0),
                     instrs: vec![
                         Instr::MovImm { dst: i, imm: 100 },
-                        Instr::MovImm { dst: a, imm: 0x1000 },
+                        Instr::MovImm {
+                            dst: a,
+                            imm: 0x1000,
+                        },
                     ],
                     term: Terminator::Jmp(BlockId(1)),
                     src_line: 1,
@@ -537,7 +546,10 @@ mod tests {
             blocks: vec![
                 BasicBlock {
                     id: BlockId(0),
-                    instrs: vec![Instr::MovImm { dst: Reg::gp(7), imm: 0 }],
+                    instrs: vec![Instr::MovImm {
+                        dst: Reg::gp(7),
+                        imm: 0,
+                    }],
                     term: Terminator::Jmp(BlockId(1)),
                     src_line: 1,
                 },

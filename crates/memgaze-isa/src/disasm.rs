@@ -80,7 +80,12 @@ pub fn disasm_proc(module: &LoadModule, proc: ProcId) -> String {
         let _ = writeln!(out, "  {}:  ; line {}", b.id, b.src_line);
         for (idx, ins) in b.instrs.iter().enumerate() {
             let ip = layout.ip_of(proc, b.id, idx);
-            let _ = writeln!(out, "    {:>10}  {}", format!("{:#x}", ip.raw()), disasm_instr(ins));
+            let _ = writeln!(
+                out,
+                "    {:>10}  {}",
+                format!("{:#x}", ip.raw()),
+                disasm_instr(ins)
+            );
         }
         let term_ip = layout.ip_of(proc, b.id, b.instrs.len());
         let _ = writeln!(
@@ -169,14 +174,18 @@ mod tests {
         let mut m = demo_module();
         let body = &mut m.procs[0].blocks[1];
         let load_pos = body.load_positions().next().unwrap();
-        body.instrs.insert(load_pos, Instr::Ptwrite { src: Reg::gp(1) });
+        body.instrs
+            .insert(load_pos, Instr::Ptwrite { src: Reg::gp(1) });
         body.instrs
             .insert(load_pos + 1, Instr::Ptwrite { src: Reg::gp(0) });
         let s = disasm_proc(&m, ProcId(0));
         let ptw = s.find("ptwrite r1").expect("first ptwrite rendered");
         let ptw2 = s.find("ptwrite r0").expect("second ptwrite rendered");
         let load = s.find("load    r2").expect("load rendered");
-        assert!(ptw < ptw2 && ptw2 < load, "ptwrites precede their load:\n{s}");
+        assert!(
+            ptw < ptw2 && ptw2 < load,
+            "ptwrites precede their load:\n{s}"
+        );
     }
 
     #[test]

@@ -63,9 +63,7 @@ impl LoopForest {
                             }
                         }
                     }
-                    if let Some(existing) =
-                        header_bodies.iter_mut().find(|(h, _)| *h == s)
-                    {
+                    if let Some(existing) = header_bodies.iter_mut().find(|(h, _)| *h == s) {
                         existing.1.extend(body);
                     } else {
                         header_bodies.push((s, body));
@@ -90,8 +88,8 @@ impl LoopForest {
         for i in 0..loops.len() {
             let mut best: Option<usize> = None;
             for j in 0..i {
-                let contains = loops[j].body.is_superset(&loops[i].body)
-                    && loops[j].header != loops[i].header;
+                let contains =
+                    loops[j].body.is_superset(&loops[i].body) && loops[j].header != loops[i].header;
                 if contains {
                     let better = match best {
                         None => true,

@@ -93,7 +93,7 @@ impl ModuleLayout {
         }
         let block = b - 1;
         let off = raw - blocks[block];
-        if off % INSTR_BYTES != 0 {
+        if !off.is_multiple_of(INSTR_BYTES) {
             return None;
         }
         let idx = (off / INSTR_BYTES) as usize;

@@ -9,9 +9,7 @@ use crate::instr::{Instr, Terminator};
 use serde::{Deserialize, Serialize};
 
 /// Index of a basic block within its procedure.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -29,9 +27,7 @@ impl std::fmt::Display for BlockId {
 }
 
 /// Index of a procedure within its load module.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcId(pub u32);
 
 impl ProcId {
@@ -110,10 +106,7 @@ impl Procedure {
 
     /// Total number of loads.
     pub fn num_loads(&self) -> usize {
-        self.blocks
-            .iter()
-            .map(|b| b.load_positions().count())
-            .sum()
+        self.blocks.iter().map(|b| b.load_positions().count()).sum()
     }
 
     /// Verify structural invariants (ids dense, terminator targets valid).
@@ -170,7 +163,10 @@ mod tests {
         let p = simple_proc();
         assert_eq!(p.num_instrs(), 3);
         assert_eq!(p.num_loads(), 1);
-        assert_eq!(p.block(BlockId(0)).load_positions().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            p.block(BlockId(0)).load_positions().collect::<Vec<_>>(),
+            vec![1]
+        );
         p.validate().unwrap();
     }
 

@@ -10,9 +10,7 @@ pub const NUM_REGS: usize = 16;
 /// `r0..r13` are general purpose; [`Reg::FP`] is the frame pointer and
 /// [`Reg::SP`] the stack pointer — the instrumentor's Constant-load rule
 /// (paper §III-B) keys off frame-pointer-relative scalar addressing.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Reg(pub u8);
 
 impl Reg {

@@ -108,10 +108,7 @@ impl AuxAnnotations {
     /// calculate A_const(σ) from the combination of the trace and auxiliary
     /// annotations."
     pub fn implied_const_accesses(&self, trace: &SampledTrace) -> u64 {
-        trace
-            .accesses()
-            .map(|a| self.implied_const_of(a.ip))
-            .sum()
+        trace.accesses().map(|a| self.implied_const_of(a.ip)).sum()
     }
 }
 
@@ -142,7 +139,10 @@ mod tests {
         let mut proxy = IpAnnot::of_class(LoadClass::Strided, FunctionId(0));
         proxy.implied_const = 2;
         ax.insert(Ip(0x10), proxy);
-        ax.insert(Ip(0x20), IpAnnot::of_class(LoadClass::Irregular, FunctionId(0)));
+        ax.insert(
+            Ip(0x20),
+            IpAnnot::of_class(LoadClass::Irregular, FunctionId(0)),
+        );
 
         let mut t = SampledTrace::new(TraceMeta::new("t", 100, 8192));
         t.push_sample(Sample::new(

@@ -117,6 +117,7 @@ mod tests {
     use crate::sample::TraceMeta;
     use crate::Ip;
 
+    #[allow(clippy::type_complexity)]
     fn mk(samples: &[(u64, &[(u64, u64, u64)])]) -> SampledTrace {
         // (trigger, [(ip, addr, time)])
         let mut t = SampledTrace::new(TraceMeta::new("t", 100, 1024));
@@ -167,7 +168,11 @@ mod tests {
         let m = merge(&a, &b);
         assert_eq!(m.num_samples(), 1);
         let times: Vec<u64> = m.accesses().map(|x| x.time).collect();
-        assert_eq!(times, vec![1, 2, 3], "interleaved by time, duplicate dropped");
+        assert_eq!(
+            times,
+            vec![1, 2, 3],
+            "interleaved by time, duplicate dropped"
+        );
     }
 
     #[test]

@@ -231,13 +231,17 @@ mod tests {
         t.push_sample(Sample::new(vec![acc(1)], 10)).unwrap();
         t.push_sample(Sample::new(vec![acc(20)], 30)).unwrap();
         let err = t.push_sample(Sample::new(vec![acc(2)], 5));
-        assert!(matches!(err, Err(ModelError::UnorderedSamples { index: 2 })));
+        assert!(matches!(
+            err,
+            Err(ModelError::UnorderedSamples { index: 2 })
+        ));
     }
 
     #[test]
     fn trace_aggregates() {
         let mut t = SampledTrace::new(TraceMeta::new("t", 1000, 8192));
-        t.push_sample(Sample::new(vec![acc(1), acc(2)], 10)).unwrap();
+        t.push_sample(Sample::new(vec![acc(1), acc(2)], 10))
+            .unwrap();
         t.push_sample(Sample::new(vec![acc(20), acc(21), acc(22)], 30))
             .unwrap();
         assert_eq!(t.num_samples(), 2);

@@ -95,10 +95,10 @@ impl CircBuffer {
     pub fn push(&mut self, p: PtwPacket) {
         self.pushed += 1;
         let mut cost = self.packet_bytes;
-        if self.pushed % TSC_PERIOD == 0 {
+        if self.pushed.is_multiple_of(TSC_PERIOD) {
             cost += crate::packet::TSC_BYTES;
         }
-        if self.pushed % PSB_PERIOD == 0 {
+        if self.pushed.is_multiple_of(PSB_PERIOD) {
             cost += crate::packet::PSB_BYTES;
         }
         while self.used_bytes + cost > self.cap_bytes {

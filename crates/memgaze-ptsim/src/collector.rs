@@ -275,8 +275,8 @@ impl EventSink for FullCollector {
         let dt = load_time.saturating_sub(self.last_load_time);
         self.last_load_time = load_time;
         if self.tokens.is_finite() {
-            self.tokens = (self.tokens + dt as f64 * self.bw.bytes_per_load)
-                .min(self.bw.burst_bytes);
+            self.tokens =
+                (self.tokens + dt as f64 * self.bw.bytes_per_load).min(self.bw.burst_bytes);
         }
     }
 
@@ -356,8 +356,7 @@ mod tests {
         // Both still produce samples of similar size.
         assert_eq!(c.samples.len(), o.samples.len());
         let mean = |r: &RawSampledTrace| {
-            r.samples.iter().map(|s| s.packets.len()).sum::<usize>() as f64
-                / r.samples.len() as f64
+            r.samples.iter().map(|s| s.packets.len()).sum::<usize>() as f64 / r.samples.len() as f64
         };
         let (mc, mo) = (mean(&c), mean(&o));
         assert!(

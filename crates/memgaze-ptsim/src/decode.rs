@@ -74,9 +74,7 @@ impl<'a> GroupDecoder<'a> {
                     // Single-source load: address completes now.
                     Some(Access {
                         ip: info.load_ip,
-                        addr: memgaze_model::Addr(
-                            pkt.payload.wrapping_add(annot.offset as u64),
-                        ),
+                        addr: memgaze_model::Addr(pkt.payload.wrapping_add(annot.offset as u64)),
                         time: pkt.load_time,
                     })
                 } else {
@@ -182,7 +180,10 @@ mod tests {
         let mut pb = ProcBuilder::new("f", "f.c");
         pb.mov_imm(Reg::gp(0), 0x1000);
         pb.mov_imm(Reg::gp(1), 3);
-        pb.load(Reg::gp(2), AddrMode::base_index(Reg::gp(0), Reg::gp(1), 8, 16));
+        pb.load(
+            Reg::gp(2),
+            AddrMode::base_index(Reg::gp(0), Reg::gp(1), 8, 16),
+        );
         pb.load(Reg::gp(3), AddrMode::base_disp(Reg::gp(2), -8));
         pb.ret();
         mb.add(pb);

@@ -5,7 +5,9 @@
 //! from the original module, sampled PT traces and bandwidth-limited full
 //! PT traces from the instrumented one.
 
-use crate::collector::{BandwidthModel, FullCollector, RawSampledTrace, SampledCollector, SamplerConfig};
+use crate::collector::{
+    BandwidthModel, FullCollector, RawSampledTrace, SampledCollector, SamplerConfig,
+};
 use crate::decode::{self, DecodeOutcome};
 use crate::packet::PacketStats;
 use memgaze_instrument::Instrumented;
@@ -52,7 +54,12 @@ pub fn ground_truth(
     entry: ProcId,
     workload: &str,
 ) -> Result<(FullTrace, ExecStats), memgaze_isa::interp::ExecError> {
-    let mut mach = Machine::new(module, TruthSink { accesses: Vec::new() });
+    let mut mach = Machine::new(
+        module,
+        TruthSink {
+            accesses: Vec::new(),
+        },
+    );
     let stats = mach.run(entry, DEFAULT_MAX_INSTRS)?;
     let sink = mach.into_sink();
     let mut meta = TraceMeta::new(workload, 0, 0);
@@ -106,7 +113,13 @@ pub fn collect_full(
         ptwrites_enabled: c.stats.ptw_packets,
     };
     let meta = TraceMeta::new(workload, 0, 0);
-    let outcome = decode::decode_full(&c.packets, c.stats.dropped_packets, c.total_loads, inst, meta);
+    let outcome = decode::decode_full(
+        &c.packets,
+        c.stats.dropped_packets,
+        c.total_loads,
+        inst,
+        meta,
+    );
     Ok((outcome.trace, stats))
 }
 

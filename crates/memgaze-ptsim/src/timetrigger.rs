@@ -121,10 +121,7 @@ mod tests {
     /// A two-phase stream: a dense phase (1 cycle/load, addresses in
     /// region A) and a sparse phase (10 cycles/load, region B), equal
     /// load counts.
-    fn feed_two_phase(
-        mut dense: impl FnMut(Ip, u64, u64),
-        n: u64,
-    ) {
+    fn feed_two_phase(mut dense: impl FnMut(Ip, u64, u64), n: u64) {
         for t in 0..n {
             dense(Ip(0x400), 0x10_0000 + (t % 512) * 64, 1);
         }

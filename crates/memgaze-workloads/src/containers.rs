@@ -73,7 +73,10 @@ impl<T> TVec<T> {
 
     /// Address range `[base, end)`.
     pub fn range(&self) -> (u64, u64) {
-        (self.base, self.base + self.data.len() as u64 * self.elem_bytes)
+        (
+            self.base,
+            self.base + self.data.len() as u64 * self.elem_bytes,
+        )
     }
 
     /// Traced read of element `i` through `site`.

@@ -53,24 +53,59 @@ impl Network {
         match self {
             Network::AlexNet => vec![
                 // conv1..conv5: N falls fast (3025→169 real; scaled).
-                LayerShape { m: 12, k: 36, n: 378 },
-                LayerShape { m: 32, k: 75, n: 90 },
-                LayerShape { m: 48, k: 144, n: 21 },
-                LayerShape { m: 48, k: 216, n: 21 },
-                LayerShape { m: 32, k: 216, n: 21 },
+                LayerShape {
+                    m: 12,
+                    k: 36,
+                    n: 378,
+                },
+                LayerShape {
+                    m: 32,
+                    k: 75,
+                    n: 90,
+                },
+                LayerShape {
+                    m: 48,
+                    k: 144,
+                    n: 21,
+                },
+                LayerShape {
+                    m: 48,
+                    k: 216,
+                    n: 21,
+                },
+                LayerShape {
+                    m: 32,
+                    k: 216,
+                    n: 21,
+                },
                 // fc6..fc8 as gemv-like (N = 1), scaled like the convs.
-                LayerShape { m: 128, k: 288, n: 1 },
-                LayerShape { m: 128, k: 128, n: 1 },
-                LayerShape { m: 32, k: 128, n: 1 },
+                LayerShape {
+                    m: 128,
+                    k: 288,
+                    n: 1,
+                },
+                LayerShape {
+                    m: 128,
+                    k: 128,
+                    n: 1,
+                },
+                LayerShape {
+                    m: 32,
+                    k: 128,
+                    n: 1,
+                },
             ],
             Network::ResNet152 => {
                 let mut layers = Vec::new();
                 // Four stages of repeated 3×3 convolutions; channel count
                 // doubles as the spatial size halves — K rises slowly, N
                 // falls slowly.
-                for (reps, ch, spatial) in
-                    [(3usize, 16usize, 784usize), (8, 32, 196), (18, 64, 49), (3, 128, 16)]
-                {
+                for (reps, ch, spatial) in [
+                    (3usize, 16usize, 784usize),
+                    (8, 32, 196),
+                    (18, 64, 49),
+                    (3, 128, 16),
+                ] {
                     for _ in 0..reps {
                         layers.push(LayerShape {
                             m: ch,
@@ -122,8 +157,7 @@ fn gemm<R: LoadRecorder>(
                 // C[i][j] += a·b — load + store.
                 space.load(sites.c, c.addr(i * n + j));
                 space.store(c.addr(i * n + j));
-                c.raw_mut()[i * n + j] =
-                    c.raw_mut()[i * n + j].wrapping_add(a_v.wrapping_mul(b_v));
+                c.raw_mut()[i * n + j] = c.raw_mut()[i * n + j].wrapping_add(a_v.wrapping_mul(b_v));
                 macs += 1;
             }
         }
@@ -169,7 +203,9 @@ pub fn run<R: LoadRecorder>(space: &mut TracedSpace<R>, net: Network) -> Darknet
     let input: TVec<i64> = TVec::from_vec(
         space,
         "image",
-        (0..max_in.max(1024)).map(|i| ((i * 31 + 7) % 253) as i64 - 126).collect(),
+        (0..max_in.max(1024))
+            .map(|i| ((i * 31 + 7) % 253) as i64 - 126)
+            .collect(),
     );
 
     let mut checksums = Vec::with_capacity(layers.len());
@@ -194,7 +230,10 @@ pub fn run<R: LoadRecorder>(space: &mut TracedSpace<R>, net: Network) -> Darknet
         im2col(space, im2col_site, source, &mut b, shape);
         macs += gemm(space, &gemm_sites, shape, &a, &b, &mut c);
 
-        let sum: u64 = c.raw().iter().fold(0u64, |acc, &v| acc.wrapping_add(v as u64));
+        let sum: u64 = c
+            .raw()
+            .iter()
+            .fold(0u64, |acc, &v| acc.wrapping_add(v as u64));
         checksums.push(sum);
         // Activation normalization keeps magnitudes bounded layer over
         // layer (a stand-in for batch-norm/ReLU scaling).

@@ -138,7 +138,7 @@ fn pagerank<R: LoadRecorder>(
             let mut sum = 0u64;
             for e in lo..hi {
                 let v = g.target(space, e) as usize; // strided
-                // Pull the neighbor's current score — irregular gather.
+                                                     // Pull the neighbor's current score — irregular gather.
                 let sv = *scores.get(space, score_site, v);
                 sum += sv / degrees[v];
                 space.alu(8); // divide + accumulate + loop control
@@ -270,7 +270,13 @@ fn afforest<R: LoadRecorder>(space: &mut TracedSpace<R>, g: &Graph) -> GapResult
 fn shiloach_vishkin<R: LoadRecorder>(space: &mut TracedSpace<R>, g: &Graph) -> GapResult {
     space.phase("cc");
     let n = g.n;
-    let site = space.site("shiloach-vishkin", "component", LoadClass::Irregular, true, 90);
+    let site = space.site(
+        "shiloach-vishkin",
+        "component",
+        LoadClass::Irregular,
+        true,
+        90,
+    );
     let mut comp: TVec<u32> = TVec::from_vec(space, "cc", (0..n as u32).collect());
     let mut abstract_cost = 0u64;
     let mut iterations = 0usize;

@@ -107,7 +107,10 @@ impl AccumMap for ChainedMap {
             cur = next;
         }
         // Append a fresh node at the chain head.
-        assert!(self.live_nodes < self.nodes.len(), "ChainedMap node pool full");
+        assert!(
+            self.live_nodes < self.nodes.len(),
+            "ChainedMap node pool full"
+        );
         let idx = self.live_nodes;
         self.live_nodes += 1;
         let head = self.buckets.raw()[b];
@@ -124,7 +127,7 @@ impl AccumMap for ChainedMap {
                 space.alu(3);
                 let idx = (cur - 1) as usize;
                 let (k, v, next) = *self.nodes.get(space, self.sites.scan_node, idx);
-                if best.map_or(true, |(_, bv)| v > bv) {
+                if best.is_none_or(|(_, bv)| v > bv) {
                     best = Some((k, v));
                 }
                 cur = next;
@@ -209,11 +212,9 @@ impl HopscotchMap {
         let new_cap = self.slots.len() * 2;
         let old: Vec<(u64, u64, bool)> = self.slots.raw().to_vec();
         // Rehash: read every old slot (strided), write the new table.
-        let mut new_slots: TVec<(u64, u64, bool)> =
-            TVec::new(space, "map", new_cap, (0, 0, false));
-        for i in 0..old.len() {
+        let mut new_slots: TVec<(u64, u64, bool)> = TVec::new(space, "map", new_cap, (0, 0, false));
+        for (i, &(k, v, occ)) in old.iter().enumerate() {
             space.load(self.sites.rehash, self.slots.addr(i));
-            let (k, v, occ) = old[i];
             if occ {
                 let cap = new_slots.len();
                 let home = (hash64(k) % cap as u64) as usize;
@@ -291,7 +292,7 @@ impl AccumMap for HopscotchMap {
         for j in 0..self.active {
             space.alu(2);
             let (k, v, occ) = *self.slots.get(space, self.sites.scan, j);
-            if occ && best.map_or(true, |(_, bv)| v > bv) {
+            if occ && best.is_none_or(|(_, bv)| v > bv) {
                 best = Some((k, v));
             }
         }
@@ -328,7 +329,10 @@ mod tests {
         }
         assert_eq!(map.len(), 50);
         let (bk, bv) = map.get_max(space).unwrap();
-        let (ok, ov) = oracle.iter().max_by_key(|(k, v)| (*v, std::cmp::Reverse(*k))).unwrap();
+        let (ok, ov) = oracle
+            .iter()
+            .max_by_key(|(k, v)| (*v, std::cmp::Reverse(*k)))
+            .unwrap();
         assert_eq!(bv, *ov, "max value");
         // Keys may tie on value; check the oracle agrees the key attains
         // the max.

@@ -12,9 +12,9 @@
 //! * **v3** — hopscotch right-sized per vertex (tables sized to the
 //!   vertex degree): strided accesses without the v2 overheads.
 
+use crate::containers::TVec;
 use crate::graph::{Graph, GraphKind};
 use crate::hashes::{AccumMap, ChainedMap, HopscotchMap, HOP_RANGE};
-use crate::containers::TVec;
 use crate::space::{LoadRecorder, SiteId, TracedSpace};
 use memgaze_model::LoadClass;
 use serde::{Deserialize, Serialize};
@@ -131,11 +131,7 @@ pub fn run<R: LoadRecorder>(space: &mut TracedSpace<R>, cfg: &MiniViteConfig) ->
     }
     let mut map = match cfg.variant {
         MapVariant::V1 => MapImpl::V1(ChainedMap::new(space, 1 << 7, max_degree + 2)),
-        MapVariant::V2 => MapImpl::V23(HopscotchMap::new(
-            space,
-            cfg.v2_default_capacity,
-            true,
-        )),
+        MapVariant::V2 => MapImpl::V23(HopscotchMap::new(space, cfg.v2_default_capacity, true)),
         MapVariant::V3 => MapImpl::V23(HopscotchMap::new(
             space,
             (max_degree + HOP_RANGE).next_power_of_two(),
@@ -263,15 +259,17 @@ mod tests {
         }
         assert_eq!(results[0].communities, results[1].communities);
         assert_eq!(results[1].communities, results[2].communities);
-        assert!(results[0].moves[0] > 0, "first iteration must move vertices");
+        assert!(
+            results[0].moves[0] > 0,
+            "first iteration must move vertices"
+        );
     }
 
     #[test]
     fn communities_coarsen() {
         let mut space = TracedSpace::new(NullRecorder);
         let r = run(&mut space, &cfg(MapVariant::V1));
-        let distinct: std::collections::HashSet<u32> =
-            r.communities.iter().copied().collect();
+        let distinct: std::collections::HashSet<u32> = r.communities.iter().copied().collect();
         let n = r.communities.len();
         assert!(
             distinct.len() < n,

@@ -10,9 +10,7 @@
 //! [`LoadRecorder`] (the PT model lives behind it) and keeps per-phase
 //! execution counters for the overhead model.
 
-use memgaze_model::{
-    AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass, SymbolTable,
-};
+use memgaze_model::{AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass, SymbolTable};
 use serde::{Deserialize, Serialize};
 
 /// Receiver of dynamic load events (the bridge to `memgaze-ptsim`).
@@ -242,14 +240,14 @@ impl<R: LoadRecorder> TracedSpace<R> {
         line: u32,
     ) -> SiteId {
         let fid = self.func_id(func);
-        let in_func = self
-            .sites
-            .iter()
-            .filter(|s| s.func == func)
-            .count() as u64;
+        let in_func = self.sites.iter().filter(|s| s.func == func).count() as u64;
         assert!(in_func * 4 < FUNC_STRIDE, "too many sites in {func}");
         let ip = Ip(SITE_BASE + u64::from(fid) * FUNC_STRIDE + in_func * 4);
-        let implied_const = if class.is_instrumented() { self.o0_extra } else { 0 };
+        let implied_const = if class.is_instrumented() {
+            self.o0_extra
+        } else {
+            0
+        };
         self.sites.push(Site {
             ip,
             func: func.to_string(),
@@ -431,10 +429,10 @@ mod tests {
             s.load(constant, 0x2000);
         }
         assert_eq!(events.len(), 2);
-        assert_eq!(events[0].2, true);
+        assert!(events[0].2);
         assert_eq!(events[0].3, 2);
         // Constant sites are not instrumented under compression.
-        assert_eq!(events[1].2, false);
+        assert!(!events[1].2);
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl MicroBench {
             if s == "irr" {
                 Some(Pattern::Irregular)
             } else if let Some(step) = s.strip_prefix("str") {
-                step.parse::<u32>().ok().filter(|&k| k > 0).map(Pattern::strided)
+                step.parse::<u32>()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .map(Pattern::strided)
             } else {
                 None
             }

@@ -65,7 +65,5 @@ fn main() {
     print!("{}", table6.render());
     println!();
     print!("{}", table8.render());
-    println!(
-        "\nAll gemm accesses are strided (Fstr% = 100), as the paper's Table VI reports."
-    );
+    println!("\nAll gemm accesses are strided (Fstr% = 100), as the paper's Table VI reports.");
 }

@@ -24,10 +24,7 @@ fn print_tree(r: &ZoomRegion, indent: usize) {
         r.pct_of_total,
         fmt_f3(r.reuse_d),
         r.blocks,
-        r.code
-            .first()
-            .map(|c| c.function.as_str())
-            .unwrap_or("-"),
+        r.code.first().map(|c| c.function.as_str()).unwrap_or("-"),
         indent = indent
     );
     for c in &r.children {
@@ -64,7 +61,7 @@ fn main() {
     let analyzer = report.analyzer(AnalysisConfig::default());
     println!("== location zoom tree (Fig. 5) ==");
     match analyzer.zoom() {
-        Some(root) => print_tree(&root, 0),
+        Some(root) => print_tree(root, 0),
         None => {
             println!("(no sampled accesses)");
             return;

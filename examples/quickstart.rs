@@ -24,8 +24,9 @@ fn main() {
         _ => OptLevel::O3,
     };
 
-    let bench = MicroBench::parse(pattern, 8192, 50, opt)
-        .unwrap_or_else(|| panic!("unknown pattern {pattern:?} (try str1, irr, str2|irr, str1/irr)"));
+    let bench = MicroBench::parse(pattern, 8192, 50, opt).unwrap_or_else(|| {
+        panic!("unknown pattern {pattern:?} (try str1, irr, str2|irr, str1/irr)")
+    });
     println!("== MemGaze quickstart: {} ==\n", bench.name());
 
     let mut cfg = PipelineConfig::microbench();
@@ -36,10 +37,19 @@ fn main() {
     let info = DecompressionInfo::from_trace(&report.trace, &report.instrumented.annots);
 
     println!("collection:");
-    println!("  loads executed        {}", fmt_si(report.run.exec.loads as f64));
-    println!("  ptwrites executed     {}", fmt_si(report.run.exec.ptwrites as f64));
+    println!(
+        "  loads executed        {}",
+        fmt_si(report.run.exec.loads as f64)
+    );
+    println!(
+        "  ptwrites executed     {}",
+        fmt_si(report.run.exec.ptwrites as f64)
+    );
     println!("  samples               {}", report.trace.num_samples());
-    println!("  mean window w         {:.0} accesses", report.trace.mean_window());
+    println!(
+        "  mean window w         {:.0} accesses",
+        report.trace.mean_window()
+    );
     println!("  compression kappa     {:.3}", info.kappa());
     println!("  sample ratio rho      {:.1}", info.rho());
     println!(
@@ -68,6 +78,8 @@ fn main() {
     let dec = analyzer.decompression();
     println!(
         "\nA_const% = {} (constant loads recovered from annotations)",
-        fmt_pct(100.0 * dec.implied_const as f64 / (dec.observed + dec.implied_const).max(1) as f64)
+        fmt_pct(
+            100.0 * dec.implied_const as f64 / (dec.observed + dec.implied_const).max(1) as f64
+        )
     );
 }

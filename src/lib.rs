@@ -22,17 +22,17 @@
 //! assert!(report.trace.num_samples() > 0);
 //! ```
 
-/// Trace model: accesses, samples, sampled traces, annotations, ρ/κ.
-pub use memgaze_model as model;
-/// Synthetic x64-like ISA, static analysis, and interpreter.
-pub use memgaze_isa as isa;
-/// Binary instrumentation (DynInst substitute): classification, ptwrite insertion.
-pub use memgaze_instrument as instrument;
-/// Intel Processor Trace hardware model and perf-like collector.
-pub use memgaze_ptsim as ptsim;
 /// Footprint, reuse, interval-tree, zoom, heatmap and validation analyses.
 pub use memgaze_analysis as analysis;
-/// Traced workloads: microbenchmarks, miniVite, GAP, Darknet.
-pub use memgaze_workloads as workloads;
 /// The high-level pipeline API.
 pub use memgaze_core as core;
+/// Binary instrumentation (DynInst substitute): classification, ptwrite insertion.
+pub use memgaze_instrument as instrument;
+/// Synthetic x64-like ISA, static analysis, and interpreter.
+pub use memgaze_isa as isa;
+/// Trace model: accesses, samples, sampled traces, annotations, ρ/κ.
+pub use memgaze_model as model;
+/// Intel Processor Trace hardware model and perf-like collector.
+pub use memgaze_ptsim as ptsim;
+/// Traced workloads: microbenchmarks, miniVite, GAP, Darknet.
+pub use memgaze_workloads as workloads;

@@ -83,12 +83,15 @@ fn print_analysis(analyzer: &Analyzer<'_>, name: &str) {
     let info = analyzer.decompression();
     println!(
         "{name}: {} samples, A(σ) = {}, κ = {:.2}, ρ = {:.1}\n",
-        analyzer.trace.num_samples(),
+        analyzer.trace().num_samples(),
         fmt_si(info.observed as f64),
         info.kappa(),
         info.rho()
     );
-    print!("{}", analyzer.function_table_rendered("Hot functions").render());
+    print!(
+        "{}",
+        analyzer.function_table_rendered("Hot functions").render()
+    );
 
     let mut regions = Table::new(
         "\nHot memory (location zoom)",
@@ -96,7 +99,11 @@ fn print_analysis(analyzer: &Analyzer<'_>, name: &str) {
     );
     for r in analyzer.region_rows().into_iter().take(8) {
         regions.push_row(vec![
-            format!("{:#x}+{}", r.range.0, fmt_si((r.range.1 - r.range.0) as f64)),
+            format!(
+                "{:#x}+{}",
+                r.range.0,
+                fmt_si((r.range.1 - r.range.0) as f64)
+            ),
             fmt_pct(r.pct_of_total),
             fmt_f3(r.reuse_d),
             r.max_d.to_string(),
@@ -143,15 +150,18 @@ fn main() {
     let cmd = args.positional.first().map(String::as_str).unwrap_or("");
     match cmd {
         "ubench" => {
-            let pattern = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let pattern = args
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage());
             let opt = match args.get("opt") {
                 Some("O0") => OptLevel::O0,
                 _ => OptLevel::O3,
             };
             let elems = args.num("elems", 4096u32);
             let reps = args.num("reps", 50u32);
-            let bench = MicroBench::parse(pattern, elems, reps, opt)
-                .unwrap_or_else(|| usage());
+            let bench = MicroBench::parse(pattern, elems, reps, opt).unwrap_or_else(|| usage());
             let mut cfg = PipelineConfig::microbench();
             cfg.sampler.period = args.num("period", 10_000u64);
             let report = MemGaze::new(cfg.clone())

@@ -5,13 +5,11 @@
 use memgaze::analysis::{AnalysisConfig, Analyzer};
 use memgaze::core::{full_trace_workload, trace_workload, MemGaze, PipelineConfig};
 use memgaze::instrument::Instrumenter;
+use memgaze::model::Ip;
 use memgaze::model::{AuxAnnotations, SampledTrace, SymbolTable, TraceMeta};
-use memgaze::ptsim::{
-    decode_full, BandwidthModel, PtwPacket, SamplerConfig, StreamSampler,
-};
+use memgaze::ptsim::{decode_full, BandwidthModel, PtwPacket, SamplerConfig, StreamSampler};
 use memgaze::workloads::gap::{self, GapConfig, GapKernel};
 use memgaze::workloads::ubench::{MicroBench, OptLevel};
-use memgaze::model::Ip;
 
 /// Run an instrumented microbenchmark and return its raw packets.
 fn packets_of(bench: &MicroBench) -> (memgaze::instrument::Instrumented, Vec<PtwPacket>) {
@@ -64,7 +62,11 @@ fn corrupted_packet_streams_decode_without_panicking() {
         })
         .collect();
     let out = decode_full(&scrambled, 0, 1000, &inst, meta.clone());
-    assert_eq!(out.trace.accesses.len(), 0, "unknown ips must decode to nothing");
+    assert_eq!(
+        out.trace.accesses.len(),
+        0,
+        "unknown ips must decode to nothing"
+    );
     assert_eq!(out.unknown_packets, scrambled.len() as u64);
 
     let reversed: Vec<PtwPacket> = packets.iter().rev().copied().collect();

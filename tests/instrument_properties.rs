@@ -32,7 +32,12 @@ fn arb_compose() -> impl Strategy<Value = Compose> {
 }
 
 fn arb_spec() -> impl Strategy<Value = UKernelSpec> {
-    (arb_compose(), 16u32..256, 1u32..4, prop_oneof![Just(OptLevel::O0), Just(OptLevel::O3)])
+    (
+        arb_compose(),
+        16u32..256,
+        1u32..4,
+        prop_oneof![Just(OptLevel::O0), Just(OptLevel::O3)],
+    )
         .prop_map(|(compose, elems, reps, opt)| UKernelSpec {
             compose,
             elems,

@@ -141,7 +141,10 @@ fn analyzer_finds_kernel_as_hotspot() {
     let report = mg.run_microbench(&bench).unwrap();
     let analyzer = report.analyzer(cfg.analysis);
     let rows = analyzer.function_table();
-    assert_eq!(rows[0].name, "kernel", "hottest function must be the kernel");
+    assert_eq!(
+        rows[0].name, "kernel",
+        "hottest function must be the kernel"
+    );
     // The gather benchmark has both strided (index array) and irregular
     // (data) footprint.
     assert!(rows[0].f_str_pct > 0.0 && rows[0].f_str_pct < 100.0);

@@ -43,9 +43,7 @@ fn minivite_variants_shift_strided_fraction() {
     let sampler = SamplerConfig::application(10_000);
     let mut fstr = Vec::new();
     for variant in [MapVariant::V1, MapVariant::V2, MapVariant::V3] {
-        let (report, _) = trace_workload("mv", &sampler, |s| {
-            minivite::run(s, &mv_cfg(variant))
-        });
+        let (report, _) = trace_workload("mv", &sampler, |s| minivite::run(s, &mv_cfg(variant)));
         let analyzer = report.analyzer(AnalysisConfig::default());
         let rows = analyzer.function_table();
         let insert = rows
@@ -98,7 +96,11 @@ fn gap_pr_beats_spmv_on_reuse_distance() {
         let (lo, hi) = report.label_range("o-score").expect("o-score allocated");
         // pr-spmv also allocates o-score-next; restrict to the primary.
         let row = analyzer.region_row_for(lo, hi);
-        assert!(row.accesses > 0, "{}: o-score never sampled", kernel.label());
+        assert!(
+            row.accesses > 0,
+            "{}: o-score never sampled",
+            kernel.label()
+        );
         ds.push(row.reuse_d);
     }
     assert!(
@@ -134,13 +136,14 @@ fn gap_cc_variants_differ_as_in_table_ix() {
 #[test]
 fn darknet_gemm_dominates_and_is_strided() {
     let sampler = SamplerConfig::application(20_000);
-    let (report, _) = trace_workload("darknet", &sampler, |s| {
-        darknet::run(s, Network::AlexNet)
-    });
+    let (report, _) = trace_workload("darknet", &sampler, |s| darknet::run(s, Network::AlexNet));
     let analyzer = report.analyzer(AnalysisConfig::default());
     let rows = analyzer.function_table();
     assert_eq!(rows[0].name, "gemm", "gemm must dominate: {:?}", rows[0]);
-    assert!((rows[0].f_str_pct - 100.0).abs() < 1e-9, "gemm is all strided");
+    assert!(
+        (rows[0].f_str_pct - 100.0).abs() < 1e-9,
+        "gemm is all strided"
+    );
     // gemm dominates total footprint (> 90% in the paper).
     let total: f64 = rows.iter().map(|r| r.f_hat_bytes).sum();
     assert!(rows[0].f_hat_bytes > 0.7 * total);
@@ -150,9 +153,7 @@ fn darknet_gemm_dominates_and_is_strided() {
 fn darknet_interval_reuse_distance_increases_over_time() {
     // Table VIII: D over all objects increases over time as N shrinks.
     let sampler = SamplerConfig::application(20_000);
-    let (report, _) = trace_workload("darknet", &sampler, |s| {
-        darknet::run(s, Network::AlexNet)
-    });
+    let (report, _) = trace_workload("darknet", &sampler, |s| darknet::run(s, Network::AlexNet));
     let analyzer = report.analyzer(AnalysisConfig::default());
     let rows = analyzer.interval_rows(8);
     assert_eq!(rows.len(), 8);

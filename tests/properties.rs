@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) of the core invariants across crates.
 
 use memgaze::analysis::{self, BlockReuse, IntervalTree, NodeKind, ZoomConfig, ZoomRegion};
-use memgaze::model::{io, Access, AuxAnnotations, BlockSize, Sample, SampledTrace, SymbolTable, TraceMeta};
+use memgaze::model::{
+    io, Access, AuxAnnotations, BlockSize, Sample, SampledTrace, SymbolTable, TraceMeta,
+};
 use memgaze::ptsim::{SamplerConfig, StreamSampler};
 use proptest::prelude::*;
 

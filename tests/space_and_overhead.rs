@@ -109,7 +109,11 @@ fn overhead_continuous_vs_opt_matches_fig7_bands() {
             c.phase,
             c.overhead
         );
-        assert!(o.overhead < c.overhead, "{}: opt must beat continuous", o.phase);
+        assert!(
+            o.overhead < c.overhead,
+            "{}: opt must beat continuous",
+            o.phase
+        );
         assert!(
             (0.02..=0.5).contains(&o.overhead),
             "{}: opt overhead {:.2}",

@@ -1,0 +1,257 @@
+//! Vendored stand-in for `criterion` (the build environment is offline).
+//!
+//! Source-compatible with the subset the benches use — groups,
+//! `bench_with_input`, `Throughput`, `criterion_group!`/`criterion_main!`
+//! — and does real wall-clock measurement: per-sample batches sized from
+//! a calibration pass, median-of-samples reporting, and throughput
+//! rates. There are no statistical regressions reports or plots; each
+//! benchmark prints one summary line.
+//!
+//! Environment knobs:
+//! - `MEMGAZE_BENCH_FAST=1` shrinks warmup/measurement budgets (CI smoke).
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier within a group, e.g. a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Collects timing samples for one benchmark via `iter`.
+pub struct Bencher {
+    /// Iterations per sample batch (calibrated by the harness).
+    batch: u64,
+    /// Total elapsed across the most recent `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Budget {
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+}
+
+impl Budget {
+    fn new(sample_size: usize) -> Budget {
+        let fast = std::env::var("MEMGAZE_BENCH_FAST").is_ok_and(|v| v != "0");
+        if fast {
+            Budget {
+                warmup: Duration::from_millis(20),
+                measure: Duration::from_millis(80),
+                samples: sample_size.min(10),
+            }
+        } else {
+            Budget {
+                warmup: Duration::from_millis(150),
+                measure: Duration::from_millis(750),
+                samples: sample_size,
+            }
+        }
+    }
+}
+
+/// One measured benchmark result, reported as the median over samples.
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    budget: &Budget,
+    mut routine: F,
+) {
+    let mut b = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Calibration/warmup: grow the batch until one batch fills a slice
+    // of the warmup budget, so per-sample overhead is amortized.
+    let warm_start = Instant::now();
+    loop {
+        routine(&mut b);
+        if warm_start.elapsed() >= budget.warmup {
+            break;
+        }
+        if b.elapsed < budget.warmup / 10 {
+            b.batch = (b.batch * 2).min(1 << 30);
+        }
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(budget.samples);
+    let measure_start = Instant::now();
+    for _ in 0..budget.samples {
+        routine(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / b.batch as f64);
+        if measure_start.elapsed() >= budget.measure {
+            break;
+        }
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.3} Melem/s", n as f64 / median / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.3} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench: {name:<48} {:>12.3} us/iter ({} samples x {} iters){rate}",
+        median * 1e6,
+        per_iter.len(),
+        b.batch
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(
+            &name,
+            self.throughput,
+            &Budget::new(self.sample_size),
+            routine,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_bench(
+            &name,
+            self.throughput,
+            &Budget::new(self.sample_size),
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level bench harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_bench(id, None, &Budget::new(50), routine);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        std::env::set_var("MEMGAZE_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.throughput(Throughput::Elements(64)).sample_size(5);
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+                b.iter(|| {
+                    calls += 1;
+                    (0..n).sum::<u64>()
+                })
+            });
+            g.finish();
+        }
+        assert!(calls > 0, "bencher never invoked the routine");
+        c.bench_function("smoke_fn", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,361 @@
+//! Vendored stand-in for `serde` (the build environment is offline; see
+//! DESIGN.md §6). It keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations and `serde_json::to_string*` entry points
+//! working with a deliberately small surface: `Serialize` writes JSON
+//! directly through [`JsonWriter`]; `Deserialize` derives are accepted
+//! and expand to nothing (nothing here parses artifacts back).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialize by writing JSON into a [`JsonWriter`].
+///
+/// Unlike real serde there is no serializer abstraction: every consumer
+/// in this workspace emits JSON, so the trait goes straight there.
+pub trait Serialize {
+    fn write_json(&self, w: &mut JsonWriter);
+}
+
+/// A JSON emitter with optional pretty-printing and automatic comma
+/// placement.
+pub struct JsonWriter {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether the current nesting level has already emitted an entry.
+    has_entry: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new(pretty: bool) -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            pretty,
+            depth: 0,
+            has_entry: Vec::new(),
+        }
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn open(&mut self, c: char) {
+        self.out.push(c);
+        self.depth += 1;
+        self.has_entry.push(false);
+    }
+
+    fn close(&mut self, c: char) {
+        self.depth -= 1;
+        if self.has_entry.pop() == Some(true) {
+            self.newline_indent();
+        }
+        self.out.push(c);
+    }
+
+    /// Start a new entry at the current level: comma (if needed) plus
+    /// pretty-printing whitespace.
+    fn entry(&mut self) {
+        if let Some(has) = self.has_entry.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        self.newline_indent();
+    }
+
+    pub fn begin_object(&mut self) {
+        self.open('{');
+    }
+
+    pub fn end_object(&mut self) {
+        self.close('}');
+    }
+
+    pub fn begin_array(&mut self) {
+        self.open('[');
+    }
+
+    pub fn end_array(&mut self) {
+        self.close(']');
+    }
+
+    /// Begin an object member: `"name":`.
+    pub fn key(&mut self, name: &str) {
+        self.entry();
+        self.string(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Begin an array element.
+    pub fn elem(&mut self) {
+        self.entry();
+    }
+
+    pub fn null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub fn num_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn num_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn num_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            // JSON has no NaN/Inf; serde_json emits null.
+            self.null();
+        }
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, w: &mut JsonWriter) {
+                w.num_u64(*self as u64);
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, w: &mut JsonWriter) {
+                w.num_i64(*self as i64);
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.num_f64(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.num_f64(*self as f64);
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.bool(*self);
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.string(&self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, w: &mut JsonWriter) {
+        (**self).write_json(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.write_json(w),
+            None => w.null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        self.as_slice().write_json(w);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.elem();
+            v.write_json(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, w: &mut JsonWriter) {
+        self.as_slice().write_json(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        (**self).write_json(w);
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, w: &mut JsonWriter) {
+                w.begin_array();
+                $(w.elem(); self.$idx.write_json(w);)+
+                w.end_array();
+            }
+        }
+    };
+}
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Maps serialize as arrays of `[key, value]` pairs: JSON object keys
+/// must be strings, and the map keys in this workspace are numeric.
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for (k, v) in self {
+            w.elem();
+            w.begin_array();
+            w.elem();
+            k.write_json(w);
+            w.elem();
+            v.write_json(w);
+            w.end_array();
+        }
+        w.end_array();
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for (k, v) in self {
+            w.elem();
+            w.begin_array();
+            w.elem();
+            k.write_json(w);
+            w.elem();
+            v.write_json(w);
+            w.end_array();
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.elem();
+            v.write_json(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.elem();
+            v.write_json(w);
+        }
+        w.end_array();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut w = JsonWriter::new(false);
+        w.begin_array();
+        w.elem();
+        1u64.write_json(&mut w);
+        w.elem();
+        (-2i64).write_json(&mut w);
+        w.elem();
+        2.5f64.write_json(&mut w);
+        w.elem();
+        "a\"b".write_json(&mut w);
+        w.elem();
+        f64::NAN.write_json(&mut w);
+        w.end_array();
+        assert_eq!(w.finish(), r#"[1,-2,2.5,"a\"b",null]"#);
+    }
+
+    #[test]
+    fn nested_pretty() {
+        let mut w = JsonWriter::new(true);
+        w.begin_object();
+        w.key("xs");
+        vec![1u64, 2].write_json(&mut w);
+        w.end_object();
+        let s = w.finish();
+        assert!(s.contains("\"xs\""));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+}

@@ -1,0 +1,309 @@
+//! Vendored stand-in for `serde_derive`, written against `proc_macro`
+//! alone (no `syn`/`quote` — the build environment is offline).
+//!
+//! `#[derive(Serialize)]` generates a real `serde::Serialize` impl that
+//! writes JSON through `serde::JsonWriter`; `#[derive(Deserialize)]` is
+//! accepted and expands to nothing (nothing in this workspace parses
+//! serialized artifacts back).
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named-field structs, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("w.begin_object();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "w.key({f:?}); ::serde::Serialize::write_json(&self.{f}, w);\n"
+                ));
+            }
+            s.push_str("w.end_object();");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            // Newtype structs serialize as their inner value, as serde does.
+            "::serde::Serialize::write_json(&self.0, w);".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("w.begin_array();\n");
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "w.elem(); ::serde::Serialize::write_json(&self.{i}, w);\n"
+                ));
+            }
+            s.push_str("w.end_array();");
+            s
+        }
+        Shape::UnitStruct => "w.null();".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        s.push_str(&format!(
+                            "{name}::{v} => {{ w.string({v:?}); }}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        s.push_str(&format!(
+                            "{name}::{v}(f0) => {{ w.begin_object(); w.key({v:?}); \
+                             ::serde::Serialize::write_json(f0, w); w.end_object(); }}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v}({b}) => {{ w.begin_object(); w.key({v:?}); w.begin_array();\n",
+                            v = v.name,
+                            b = binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "w.elem(); ::serde::Serialize::write_json({b}, w);\n"
+                            ));
+                        }
+                        arm.push_str("w.end_array(); w.end_object(); }\n");
+                        s.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{v} {{ {b} }} => {{ w.begin_object(); w.key({v:?}); w.begin_object();\n",
+                            v = v.name,
+                            b = fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "w.key({f:?}); ::serde::Serialize::write_json({f}, w);\n"
+                            ));
+                        }
+                        arm.push_str("w.end_object(); w.end_object(); }\n");
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, w: &mut ::serde::JsonWriter) {{\n{body}\n}}\n}}\n",
+        name = item.name
+    );
+    out.parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type {name})");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = toks.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to a top-level comma (angle-bracket aware).
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    n += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(vname)) = toks.next() else {
+            break;
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            kind,
+        });
+        // Consume an optional discriminant and the trailing comma.
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,40 @@
+//! Vendored stand-in for `serde_json` over the vendored `serde`'s
+//! direct-to-JSON `Serialize` trait (the build environment is offline).
+
+use serde::{JsonWriter, Serialize};
+
+/// Serialization error. The vendored writer is infallible, but the
+/// signature mirrors `serde_json` so call sites stay unchanged.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(false);
+    value.write_json(&mut w);
+    Ok(w.finish())
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(true);
+    value.write_json(&mut w);
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(super::to_string(&v).unwrap(), r#"[[1,"a"],[2,"b"]]"#);
+        let p = super::to_string_pretty(&v).unwrap();
+        assert!(p.contains('\n'));
+    }
+}
