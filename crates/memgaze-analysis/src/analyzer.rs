@@ -149,6 +149,9 @@ pub struct CacheStats {
     pub code_windows: u64,
     /// Sorted function-table rows.
     pub function_rows: u64,
+    /// Artifacts seeded by merging streamed shard partials instead of
+    /// full recomputation (see [`Analyzer::with_streamed_artifacts`]).
+    pub merges: u64,
 }
 
 /// Interior-mutability memoization of the analyzer's artifacts.
@@ -179,6 +182,7 @@ struct Counters {
     zoom: AtomicU64,
     code_windows: AtomicU64,
     function_rows: AtomicU64,
+    merges: AtomicU64,
 }
 
 impl Counters {
@@ -253,7 +257,41 @@ impl<'a> Analyzer<'a> {
             zoom: c.zoom.load(Ordering::Relaxed),
             code_windows: c.code_windows.load(Ordering::Relaxed),
             function_rows: c.function_rows.load(Ordering::Relaxed),
+            merges: c.merges.load(Ordering::Relaxed),
         }
+    }
+
+    /// Seed the artifact cache with the merged artifacts of a streaming
+    /// ingest pass, so a follow-up resident analysis serves them without
+    /// recomputing. The report must come from the same trace, annotation
+    /// file, symbols, and configuration this analyzer holds — like
+    /// [`with_config`](Self::with_config), artifact validity is the
+    /// caller's contract. Each seeded slot counts as a merge (not a
+    /// compute) in [`cache_stats`](Self::cache_stats).
+    pub fn with_streamed_artifacts(
+        self,
+        report: &crate::streaming::StreamingReport,
+    ) -> Analyzer<'a> {
+        if self.cache.decompression.set(report.decompression).is_ok() {
+            Counters::bump(&self.cache.computes.merges);
+        }
+        if self
+            .cache
+            .block_reuse
+            .set(report.block_reuse.clone())
+            .is_ok()
+        {
+            Counters::bump(&self.cache.computes.merges);
+        }
+        if self
+            .cache
+            .function_rows
+            .set(report.function_rows.clone())
+            .is_ok()
+        {
+            Counters::bump(&self.cache.computes.merges);
+        }
+        self
     }
 
     /// ρ/κ decompression facts of the trace.
@@ -315,19 +353,22 @@ impl<'a> Analyzer<'a> {
             let cw = self.code_windows();
             let fb = self.cfg.footprint_block;
             let rb = self.cfg.reuse_block;
-            let chunk = self.trace.mean_window().max(1.0) as usize;
-            let funcs: Vec<(&str, &[Access], u64)> = cw.iter().collect();
-            let mut rows = par::par_map(&funcs, self.cfg.threads, |&(name, accesses, _runs)| {
+            let funcs: Vec<(&str, &[Access], &[usize])> = cw
+                .iter_with_samples()
+                .map(|(name, accesses, _runs, ends)| (name, accesses, ends))
+                .collect();
+            let mut rows = par::par_map(&funcs, self.cfg.threads, |&(name, accesses, ends)| {
                 let diag = FootprintDiagnostics::compute(accesses, self.annots, fb);
                 let r = reuse::analyze_window(accesses, rb);
                 // Per-sample footprint observations for the confidence
-                // interval: slice the function's accesses by sample
-                // boundaries (time gaps ≥ one period apart is enough of a
-                // proxy: we use fixed chunks of the mean window instead).
-                let obs: Vec<f64> = accesses
-                    .chunks(chunk)
-                    .map(|c| crate::footprint::footprint(c, fb) as f64)
-                    .collect();
+                // interval: slice the function's accesses at the sample
+                // boundaries the code windows recorded.
+                let mut obs = Vec::with_capacity(ends.len());
+                let mut start = 0usize;
+                for &end in ends {
+                    obs.push(crate::footprint::footprint(&accesses[start..end], fb) as f64);
+                    start = end;
+                }
                 FunctionRow {
                     name: name.to_string(),
                     f_hat_bytes: rho * diag.footprint as f64 * fb.bytes() as f64,

@@ -7,7 +7,7 @@
 use crate::diagnostics::FootprintDiagnostics;
 use crate::par;
 use crate::reuse::{self, ReuseAnalysis};
-use memgaze_model::{AuxAnnotations, BlockSize, SampledTrace};
+use memgaze_model::{Access, AuxAnnotations, BlockSize, SampledTrace};
 use serde::{Deserialize, Serialize};
 
 /// A log₂-binned histogram of nonnegative values.
@@ -136,20 +136,7 @@ pub fn locality_vs_interval_with(
         let chunk = size.max(1) as usize;
         // Per-sample partials (windows, Σd, Σg, Σf), merged in order.
         let partials = par::par_map(&trace.samples, threads, |s| {
-            let mut n = 0u64;
-            let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
-            for w in s.accesses.chunks(chunk) {
-                if w.len() < chunk.div_ceil(2) {
-                    continue;
-                }
-                let r = reuse::analyze_window(w, reuse_block);
-                let d = FootprintDiagnostics::compute(w, annots, reuse_block);
-                n += 1;
-                sum_d += r.mean_distance();
-                sum_g += d.delta_f();
-                sum_f += d.footprint as f64;
-            }
-            (n, sum_d, sum_g, sum_f)
+            locality_sample_partial(&s.accesses, annots, reuse_block, chunk)
         });
         let mut n = 0u64;
         let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
@@ -170,6 +157,33 @@ pub fn locality_vs_interval_with(
         }
     }
     out
+}
+
+/// One sample's partial sums for a locality-vs-interval point:
+/// `(windows, Σ mean-D, Σ ΔF, Σ F)` over the sample's `chunk`-sized
+/// intervals. Shared by the resident series above and the streaming
+/// analyzer, so both fold identical per-sample terms and agree bit for
+/// bit.
+pub fn locality_sample_partial(
+    accesses: &[Access],
+    annots: &AuxAnnotations,
+    reuse_block: BlockSize,
+    chunk: usize,
+) -> (u64, f64, f64, f64) {
+    let mut n = 0u64;
+    let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
+    for w in accesses.chunks(chunk) {
+        if w.len() < chunk.div_ceil(2) {
+            continue;
+        }
+        let r = reuse::analyze_window(w, reuse_block);
+        let d = FootprintDiagnostics::compute(w, annots, reuse_block);
+        n += 1;
+        sum_d += r.mean_distance();
+        sum_g += d.delta_f();
+        sum_f += d.footprint as f64;
+    }
+    (n, sum_d, sum_g, sum_f)
 }
 
 /// Reuse-distance histogram over all intra-sample windows.

@@ -33,6 +33,7 @@ pub mod mape;
 pub mod par;
 pub mod report;
 pub mod reuse;
+pub mod streaming;
 pub mod window;
 pub mod workingset;
 pub mod zoom;
@@ -54,6 +55,9 @@ pub use interval_tree::{IntervalNode, IntervalTree, NodeKind};
 pub use mape::{compare_window_series, mape, pct_error, MapeReport};
 pub use report::{fmt_f3, fmt_pct, fmt_si, Table};
 pub use reuse::{analyze_window, analyze_window_naive, BlockReuse, ReuseAnalysis, ReuseEvent};
+pub use streaming::{
+    stream_resident_trace, IngestStats, ReuseTracker, StreamingAnalyzer, StreamingReport,
+};
 pub use window::{pow2_sizes, window_series, window_series_with, CodeWindows, WindowPoint};
 pub use workingset::{working_set, WorkingSet};
 pub use zoom::{

@@ -1,0 +1,723 @@
+//! Incremental (streaming) trace analysis over shard frames.
+//!
+//! The resident [`Analyzer`](crate::Analyzer) assumes the whole
+//! `SampledTrace` is in memory before any pass runs. This module
+//! consumes a trace one shard of samples at a time — e.g. straight off
+//! a [`ShardReader`](memgaze_model::ShardReader) — and folds per-shard
+//! partial artifacts with the same order-preserving merges the resident
+//! passes use, so the final [`StreamingReport`] is **bit-identical** to
+//! the resident results for any shard size and worker count, while
+//! holding only one decoded shard plus O(partials) state.
+//!
+//! The merge laws that make this exact:
+//!
+//! * integer accumulations (access counts, footprint set unions,
+//!   histogram bins) are associative, so any shard grouping agrees;
+//! * every `f64` reduction folds *per-sample* terms in global sample
+//!   order — never per-shard subtotals — reproducing the resident fold
+//!   addition for addition;
+//! * [`BlockReuse::merge`] is the pairwise form of
+//!   [`BlockReuse::from_parts`], which the resident pass uses;
+//! * per-function exact reuse distances cross shard boundaries via
+//!   [`ReuseTracker`], an incremental engine whose event sequence (and
+//!   thus `f64` distance sum) matches
+//!   [`reuse::analyze_window`](crate::reuse::analyze_window) on the
+//!   concatenated stream.
+//!
+//! Artifacts that need the whole trace by construction (location zoom,
+//! window series keyed on the global κ, time-range heatmaps) are out of
+//! scope here; run them on a resident trace, optionally seeding the
+//! analyzer with [`Analyzer::with_streamed_artifacts`] so everything
+//! already merged is served from the cache.
+
+use crate::analyzer::{AnalysisConfig, FunctionRow, IntervalRow, RegionRow};
+use crate::confidence::Confidence;
+use crate::diagnostics::FootprintDiagnostics;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::histogram::{locality_sample_partial, LocalityPoint, Log2Histogram};
+use crate::par;
+use crate::reuse::{self, BlockReuse};
+use memgaze_model::{
+    compression_ratio, AuxAnnotations, BlockSize, DecompressionInfo, LoadClass, Sample,
+    SampledTrace, SymbolTable, TraceMeta,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Ingest accounting of a streaming pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Shards ingested.
+    pub shards: u64,
+    /// Samples ingested.
+    pub samples: u64,
+    /// Partial-artifact merge events (one per shard-level fold).
+    pub merge_events: u64,
+    /// Largest shard seen, in samples.
+    pub peak_shard_samples: usize,
+    /// Largest shard seen, in decoded access bytes — the peak trace
+    /// memory a streaming consumer holds at once.
+    pub peak_shard_bytes: usize,
+}
+
+/// Per-sample reuse summary retained for interval rows: enough to
+/// replay the resident `Σ mean·count / Σ count` fold exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct SampleReuseSummary {
+    events: usize,
+    mean_d: f64,
+}
+
+/// Incremental exact reuse-distance tracker over an unbounded block
+/// stream, O(distinct blocks) memory.
+///
+/// Feeding the concatenation of a function's accesses (one
+/// [`feed`](Self::feed) per access, in order) produces the same event
+/// count and the same event-order `f64` distance sum as
+/// [`reuse::analyze_window`] over the whole slice, so
+/// [`mean_distance`](Self::mean_distance) is bit-identical — including
+/// across shard boundaries, which a windowed analysis cannot see.
+///
+/// Positions live in a Fenwick tree indexed by a monotonically growing
+/// slot counter; when the slots fill up, live markers (one per distinct
+/// block) are compacted order-preservingly, which leaves every
+/// between-marker count — and hence every distance — unchanged.
+pub struct ReuseTracker {
+    fen: Vec<i64>,
+    last: FxHashMap<u64, usize>,
+    next_slot: usize,
+    cap: usize,
+    events: u64,
+    dist_sum: f64,
+}
+
+impl Default for ReuseTracker {
+    fn default() -> Self {
+        ReuseTracker::new()
+    }
+}
+
+impl ReuseTracker {
+    /// A tracker with the default slot capacity.
+    pub fn new() -> ReuseTracker {
+        ReuseTracker::with_slot_capacity(1024)
+    }
+
+    /// A tracker that compacts after `cap` slots — exposed so tests can
+    /// force frequent compactions.
+    pub fn with_slot_capacity(cap: usize) -> ReuseTracker {
+        let cap = cap.max(2);
+        ReuseTracker {
+            fen: vec![0; cap + 1],
+            last: FxHashMap::default(),
+            next_slot: 0,
+            cap,
+            events: 0,
+            dist_sum: 0.0,
+        }
+    }
+
+    fn add(&mut self, pos: usize, delta: i64) {
+        let mut i = pos + 1;
+        while i < self.fen.len() {
+            self.fen[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, pos: usize) -> i64 {
+        let mut i = pos + 1;
+        let mut s = 0i64;
+        while i > 0 {
+            s += self.fen[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Observe the next block in the stream.
+    pub fn feed(&mut self, block: u64) {
+        if self.next_slot == self.cap {
+            self.compact();
+        }
+        let pos = self.next_slot;
+        self.next_slot += 1;
+        match self.last.get(&block).copied() {
+            Some(prev) => {
+                // Distinct blocks touched strictly between the previous
+                // access to this block and now — same definition as
+                // `analyze_window`, queried before the marker moves.
+                let distance = if pos > prev + 1 {
+                    (self.prefix(pos - 1) - self.prefix(prev)) as u64
+                } else {
+                    0
+                };
+                self.events += 1;
+                self.dist_sum += distance as f64;
+                self.add(prev, -1);
+                self.add(pos, 1);
+                self.last.insert(block, pos);
+            }
+            None => {
+                self.add(pos, 1);
+                self.last.insert(block, pos);
+            }
+        }
+    }
+
+    /// Remap live markers onto consecutive slots, preserving order.
+    fn compact(&mut self) {
+        let mut live: Vec<(u64, usize)> = self.last.iter().map(|(&b, &s)| (b, s)).collect();
+        live.sort_unstable_by_key(|&(_, slot)| slot);
+        if live.len() * 2 > self.cap {
+            self.cap *= 2;
+        }
+        self.fen = vec![0; self.cap + 1];
+        self.last.clear();
+        self.next_slot = live.len();
+        for (i, (block, _)) in live.into_iter().enumerate() {
+            self.add(i, 1);
+            self.last.insert(block, i);
+        }
+    }
+
+    /// Reuse events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean reuse distance so far (0 when no reuse occurred), identical
+    /// to `ReuseAnalysis::mean_distance` over the same stream.
+    pub fn mean_distance(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.dist_sum / self.events as f64
+        }
+    }
+}
+
+/// Per-function accumulators mirroring what the resident function table
+/// derives from a whole code window.
+struct FuncState {
+    name: String,
+    all: FxHashSet<u64>,
+    strided: FxHashSet<u64>,
+    irregular: FxHashSet<u64>,
+    observed: u64,
+    implied_const: u64,
+    tracker: ReuseTracker,
+    /// Per-sample footprint observations, in sample order.
+    obs: Vec<f64>,
+    /// Footprint blocks of the sample currently being ingested.
+    cur: FxHashSet<u64>,
+}
+
+impl FuncState {
+    fn new(name: &str) -> FuncState {
+        FuncState {
+            name: name.to_string(),
+            all: FxHashSet::default(),
+            strided: FxHashSet::default(),
+            irregular: FxHashSet::default(),
+            observed: 0,
+            implied_const: 0,
+            tracker: ReuseTracker::new(),
+            obs: Vec::new(),
+            cur: FxHashSet::default(),
+        }
+    }
+}
+
+/// Streaming counterpart of the resident [`Analyzer`](crate::Analyzer):
+/// feed shards in trace order via [`ingest_shard`](Self::ingest_shard),
+/// then [`finish`](Self::finish) into a [`StreamingReport`].
+pub struct StreamingAnalyzer<'a> {
+    annots: &'a AuxAnnotations,
+    symbols: &'a SymbolTable,
+    cfg: AnalysisConfig,
+    locality_sizes: Vec<u64>,
+    num_samples: u64,
+    observed: u64,
+    implied_const: u64,
+    per_sample_diags: Vec<FootprintDiagnostics>,
+    per_sample_reuse: Vec<SampleReuseSummary>,
+    block_reuse: BlockReuse,
+    histogram: Log2Histogram,
+    /// One `(windows, Σd, Σg, Σf)` accumulator per locality size.
+    locality: Vec<(u64, f64, f64, f64)>,
+    funcs: BTreeMap<u32, FuncState>,
+    touched: Vec<u32>,
+    stats: IngestStats,
+}
+
+impl<'a> StreamingAnalyzer<'a> {
+    /// A streaming analyzer over the given annotations and symbols.
+    pub fn new(
+        annots: &'a AuxAnnotations,
+        symbols: &'a SymbolTable,
+        cfg: AnalysisConfig,
+    ) -> StreamingAnalyzer<'a> {
+        StreamingAnalyzer {
+            annots,
+            symbols,
+            cfg,
+            locality_sizes: Vec::new(),
+            num_samples: 0,
+            observed: 0,
+            implied_const: 0,
+            per_sample_diags: Vec::new(),
+            per_sample_reuse: Vec::new(),
+            block_reuse: BlockReuse::default(),
+            histogram: Log2Histogram::new(),
+            locality: Vec::new(),
+            funcs: BTreeMap::new(),
+            touched: Vec::new(),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Also accumulate the locality-vs-interval series for these sizes
+    /// (must be set before the first shard).
+    pub fn with_locality_sizes(mut self, sizes: &[u64]) -> StreamingAnalyzer<'a> {
+        assert_eq!(self.stats.shards, 0, "set locality sizes before ingesting");
+        self.locality_sizes = sizes.to_vec();
+        self.locality = vec![(0, 0.0, 0.0, 0.0); sizes.len()];
+        self
+    }
+
+    /// Ingest the next shard of samples, which must continue the trace's
+    /// global time order. The per-sample heavy analyses run in parallel
+    /// (`cfg.threads`); all folds happen sequentially in sample order.
+    pub fn ingest_shard(&mut self, samples: &[Sample]) {
+        let rb = self.cfg.reuse_block;
+        let fb = self.cfg.footprint_block;
+        let annots = self.annots;
+        let sizes = &self.locality_sizes;
+        let arts = par::par_map(samples, self.cfg.threads, |s| {
+            let r = reuse::analyze_window(&s.accesses, rb);
+            let diag = FootprintDiagnostics::compute(&s.accesses, annots, fb);
+            let part = BlockReuse::from_analysis(&s.accesses, rb, &r);
+            let loc: Vec<(u64, f64, f64, f64)> = sizes
+                .iter()
+                .map(|&size| locality_sample_partial(&s.accesses, annots, rb, size.max(1) as usize))
+                .collect();
+            (r, diag, part, loc)
+        });
+
+        let mut shard_bytes = 0usize;
+        let mut parts = Vec::with_capacity(samples.len());
+        for (s, (r, diag, part, loc)) in samples.iter().zip(arts) {
+            shard_bytes += std::mem::size_of_val(s.accesses.as_slice());
+            self.num_samples += 1;
+            self.observed += diag.observed;
+            self.implied_const += diag.implied_const;
+            for e in &r.events {
+                self.histogram.insert(e.distance);
+            }
+            self.per_sample_reuse.push(SampleReuseSummary {
+                events: r.events.len(),
+                mean_d: r.mean_distance(),
+            });
+            self.per_sample_diags.push(diag);
+            parts.push(part);
+            for (acc, p) in self.locality.iter_mut().zip(loc) {
+                acc.0 += p.0;
+                acc.1 += p.1;
+                acc.2 += p.2;
+                acc.3 += p.3;
+            }
+            self.ingest_sample_functions(s);
+        }
+        // One shard-level BlockReuse merge: `from_parts` over the shard
+        // equals folding per-sample merges, and merging shard summaries
+        // equals `from_parts` over everything (integer absorption is
+        // associative).
+        if !parts.is_empty() {
+            let shard_summary = BlockReuse::from_parts(parts);
+            self.block_reuse.merge(&shard_summary);
+            self.stats.merge_events += 1;
+        }
+        self.stats.shards += 1;
+        self.stats.samples += samples.len() as u64;
+        self.stats.peak_shard_samples = self.stats.peak_shard_samples.max(samples.len());
+        self.stats.peak_shard_bytes = self.stats.peak_shard_bytes.max(shard_bytes);
+    }
+
+    /// Sequential per-access function pass, mirroring what the resident
+    /// code-window grouping + per-function analyses compute.
+    fn ingest_sample_functions(&mut self, s: &Sample) {
+        let fb = self.cfg.footprint_block;
+        let rb = self.cfg.reuse_block;
+        self.touched.clear();
+        for a in &s.accesses {
+            let (id, name) = match self.symbols.lookup(a.ip) {
+                Some(f) => (f.id.0, f.name.as_str()),
+                None => (u32::MAX, "<unknown>"),
+            };
+            let st = self.funcs.entry(id).or_insert_with(|| FuncState::new(name));
+            let fb_block = a.addr.block(fb);
+            st.all.insert(fb_block);
+            match self.annots.class_of(a.ip) {
+                LoadClass::Strided => {
+                    st.strided.insert(fb_block);
+                }
+                LoadClass::Irregular => {
+                    st.irregular.insert(fb_block);
+                }
+                LoadClass::Constant => {}
+            }
+            st.implied_const += self.annots.implied_const_of(a.ip);
+            st.observed += 1;
+            st.tracker.feed(a.addr.block(rb));
+            if st.cur.is_empty() {
+                self.touched.push(id);
+            }
+            st.cur.insert(fb_block);
+        }
+        for &id in &self.touched {
+            let st = self.funcs.get_mut(&id).expect("touched id exists");
+            st.obs.push(st.cur.len() as f64);
+            st.cur.clear();
+        }
+    }
+
+    /// Ingest accounting so far.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Fold the accumulated partials into the final report. `meta` is
+    /// the trace metadata (with trailer-patched totals when reading a
+    /// sharded container).
+    pub fn finish(self, meta: &TraceMeta) -> StreamingReport {
+        let decompression = DecompressionInfo {
+            num_samples: self.num_samples,
+            period: meta.period,
+            observed: self.observed,
+            implied_const: self.implied_const,
+        };
+        let rho = decompression.rho();
+        let fb = self.cfg.footprint_block;
+
+        let mut function_rows: Vec<FunctionRow> = self
+            .funcs
+            .into_values()
+            .map(|st| {
+                let kappa = compression_ratio(st.observed, st.implied_const);
+                let diag = FootprintDiagnostics {
+                    observed: st.observed,
+                    implied_const: st.implied_const,
+                    footprint: st.all.len() as u64,
+                    f_str: st.strided.len() as u64,
+                    f_irr: st.irregular.len() as u64,
+                    kappa,
+                };
+                FunctionRow {
+                    name: st.name,
+                    f_hat_bytes: rho * diag.footprint as f64 * fb.bytes() as f64,
+                    delta_f: diag.delta_f(),
+                    f_str_pct: diag.delta_f_str_pct(),
+                    accesses_decompressed: diag.kappa * diag.observed as f64,
+                    observed: diag.observed,
+                    mean_d: st.tracker.mean_distance(),
+                    confidence: Confidence::from_observations(&st.obs),
+                }
+            })
+            .collect();
+        function_rows.sort_by(|a, b| b.accesses_decompressed.total_cmp(&a.accesses_decompressed));
+
+        let locality_series: Vec<LocalityPoint> = self
+            .locality_sizes
+            .iter()
+            .zip(&self.locality)
+            .filter(|&(_, &(n, _, _, _))| n > 0)
+            .map(|(&size, &(n, sum_d, sum_g, sum_f))| LocalityPoint {
+                interval: size,
+                mean_d: sum_d / n as f64,
+                mean_delta_f: sum_g / n as f64,
+                mean_f: sum_f / n as f64,
+                windows: n,
+            })
+            .collect();
+
+        StreamingReport {
+            decompression,
+            function_rows,
+            block_reuse: self.block_reuse,
+            reuse_histogram: self.histogram,
+            locality_series,
+            ingest: self.stats,
+            footprint_block: fb,
+            reuse_block: self.cfg.reuse_block,
+            per_sample_diags: self.per_sample_diags,
+            per_sample_reuse: self.per_sample_reuse,
+        }
+    }
+}
+
+/// Merged artifacts of a streaming pass. Every field and derived table
+/// is bit-identical to its resident [`Analyzer`](crate::Analyzer)
+/// counterpart for the same trace and configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingReport {
+    /// ρ/κ decompression facts (== `Analyzer::decompression`).
+    pub decompression: DecompressionInfo,
+    /// Function table (== `Analyzer::function_table`).
+    pub function_rows: Vec<FunctionRow>,
+    /// Trace-wide block reuse summary (== `Analyzer::block_reuse`).
+    pub block_reuse: BlockReuse,
+    /// Reuse-distance histogram over samples (==
+    /// `reuse_histogram_from(Analyzer::sample_reuse())`).
+    pub reuse_histogram: Log2Histogram,
+    /// Locality-vs-interval series (== `Analyzer::locality_series`) for
+    /// the configured sizes.
+    pub locality_series: Vec<LocalityPoint>,
+    /// Ingest accounting (shards, merges, peak shard memory).
+    pub ingest: IngestStats,
+    footprint_block: BlockSize,
+    reuse_block: BlockSize,
+    per_sample_diags: Vec<FootprintDiagnostics>,
+    per_sample_reuse: Vec<SampleReuseSummary>,
+}
+
+impl StreamingReport {
+    /// Locality over time, replaying the resident
+    /// [`Analyzer::interval_rows`](crate::Analyzer::interval_rows) fold
+    /// from the retained per-sample summaries.
+    pub fn interval_rows(&self, n: usize) -> Vec<IntervalRow> {
+        if self.per_sample_diags.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let rho = self.decompression.rho();
+        let fb = self.footprint_block;
+        let per_interval = self.per_sample_diags.len().div_ceil(n);
+        self.per_sample_diags
+            .chunks(per_interval)
+            .zip(self.per_sample_reuse.chunks(per_interval))
+            .enumerate()
+            .map(|(i, (dgroup, rgroup))| {
+                let mut diag: Option<FootprintDiagnostics> = None;
+                for d in dgroup {
+                    match &mut diag {
+                        Some(m) => m.merge(d),
+                        None => diag = Some(*d),
+                    }
+                }
+                let mut d_sum = 0.0;
+                let mut d_n = 0u64;
+                for r in rgroup {
+                    if r.events > 0 {
+                        d_sum += r.mean_d * r.events as f64;
+                        d_n += r.events as u64;
+                    }
+                }
+                let diag = diag.unwrap_or_default();
+                IntervalRow {
+                    interval: i,
+                    f_hat_bytes: rho * diag.footprint as f64 * fb.bytes() as f64,
+                    delta_f: diag.delta_f(),
+                    mean_d: if d_n == 0 { 0.0 } else { d_sum / d_n as f64 },
+                    accesses_decompressed: diag.kappa * diag.observed as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Reuse metrics of an address region (==
+    /// [`Analyzer::region_row_for`](crate::Analyzer::region_row_for),
+    /// sans code attribution, which needs the resident access stream).
+    pub fn region_row_for(&self, lo: u64, hi: u64) -> RegionRow {
+        let rb = self.reuse_block;
+        let lo_b = lo >> rb.log2();
+        let hi_b = (hi + rb.bytes() - 1) >> rb.log2();
+        let accesses = self.block_reuse.region_accesses(lo_b, hi_b);
+        let total = self.decompression.observed;
+        RegionRow {
+            range: (lo, hi),
+            reuse_d: self.block_reuse.region_mean_distance(lo_b, hi_b),
+            max_d: self.block_reuse.region_max_distance(lo_b, hi_b),
+            blocks: self.block_reuse.region_blocks(lo_b, hi_b),
+            accesses,
+            pct_of_total: if total == 0 {
+                0.0
+            } else {
+                100.0 * accesses as f64 / total as f64
+            },
+            code: Vec::new(),
+        }
+    }
+}
+
+/// Convenience: stream a resident trace through a [`StreamingAnalyzer`]
+/// in `shard_samples`-sized shards. Mostly useful for tests and
+/// benchmarks; real streaming callers feed a
+/// [`ShardReader`](memgaze_model::ShardReader) instead.
+pub fn stream_resident_trace<'a>(
+    trace: &SampledTrace,
+    annots: &'a AuxAnnotations,
+    symbols: &'a SymbolTable,
+    cfg: AnalysisConfig,
+    locality_sizes: &[u64],
+    shard_samples: usize,
+) -> StreamingReport {
+    let mut sa = StreamingAnalyzer::new(annots, symbols, cfg).with_locality_sizes(locality_sizes);
+    for shard in trace.samples.chunks(shard_samples.max(1)) {
+        sa.ingest_shard(shard);
+    }
+    sa.finish(&trace.meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+    use crate::histogram::{locality_vs_interval_with, reuse_histogram_from};
+    use memgaze_model::{Access, FunctionId, Ip, IpAnnot};
+
+    fn synthetic_setup() -> (SampledTrace, AuxAnnotations, SymbolTable) {
+        let mut t = SampledTrace::new(TraceMeta::new("stream-test", 10_000, 16 << 10));
+        t.meta.total_loads = 160_000;
+        t.meta.total_instrumented_loads = 1600;
+        for s in 0..16u64 {
+            let base = s * 10_000;
+            let mut accesses = Vec::new();
+            for i in 0..100u64 {
+                // Two code regions: a streaming function and a cyclic one.
+                let (ip, addr) = if i % 4 == 0 {
+                    (0x500 + (i % 3) * 4, 0x20_0000 + (i % 16) * 64)
+                } else {
+                    (0x400 + (i % 5) * 4, 0x10_0000 + (s * 100 + i) * 8)
+                };
+                accesses.push(Access::new(ip, addr, base + i));
+            }
+            t.push_sample(Sample::new(accesses, base + 100)).unwrap();
+        }
+        let mut annots = AuxAnnotations::new();
+        for k in 0..5u64 {
+            let mut an = IpAnnot::of_class(LoadClass::Strided, FunctionId(0));
+            an.implied_const = 3;
+            annots.insert(Ip(0x400 + k * 4), an);
+        }
+        annots.insert(
+            Ip(0x500),
+            IpAnnot::of_class(LoadClass::Irregular, FunctionId(1)),
+        );
+        let mut constant = IpAnnot::of_class(LoadClass::Constant, FunctionId(1));
+        constant.implied_const = 1;
+        annots.insert(Ip(0x504), constant);
+        let mut symbols = SymbolTable::new();
+        symbols.add_function("stream_fn", Ip(0x400), Ip(0x500), "a.c");
+        symbols.add_function("cycle_fn", Ip(0x500), Ip(0x600), "a.c");
+        (t, annots, symbols)
+    }
+
+    #[test]
+    fn tracker_matches_windowed_analysis() {
+        // A stream with heavy reuse and a tiny slot capacity, forcing
+        // many compactions.
+        let accesses: Vec<Access> = (0..600u64)
+            .map(|i| Access::new(0x400u64, ((i * 7 + i / 13) % 41) * 64, i))
+            .collect();
+        let bs = BlockSize::CACHE_LINE;
+        let r = reuse::analyze_window(&accesses, bs);
+        for cap in [2usize, 8, 64, 4096] {
+            let mut tr = ReuseTracker::with_slot_capacity(cap);
+            for a in &accesses {
+                tr.feed(a.addr.block(bs));
+            }
+            assert_eq!(tr.events(), r.events.len() as u64, "cap {cap}");
+            assert_eq!(tr.mean_distance(), r.mean_distance(), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn report_matches_resident_for_all_shard_sizes_and_threads() {
+        let (t, annots, symbols) = synthetic_setup();
+        let sizes = [8u64, 32];
+        let cfg = AnalysisConfig::default();
+        let resident =
+            Analyzer::new(&t, &annots, &symbols).with_config(AnalysisConfig { threads: 1, ..cfg });
+        let res_hist = reuse_histogram_from(resident.sample_reuse());
+        let res_loc = locality_vs_interval_with(&t, &annots, cfg.reuse_block, &sizes, 1);
+        for shard in [1usize, 3, 7, 16, 64] {
+            for threads in [1usize, 4] {
+                let report = stream_resident_trace(
+                    &t,
+                    &annots,
+                    &symbols,
+                    AnalysisConfig { threads, ..cfg },
+                    &sizes,
+                    shard,
+                );
+                let tag = format!("shard {shard} threads {threads}");
+                assert_eq!(report.decompression, resident.decompression(), "{tag}");
+                assert_eq!(report.function_rows, resident.function_table(), "{tag}");
+                assert_eq!(&report.block_reuse, resident.block_reuse(), "{tag}");
+                assert_eq!(report.reuse_histogram, res_hist, "{tag}");
+                assert_eq!(report.locality_series, res_loc, "{tag}");
+                for n in [1usize, 3, 8] {
+                    assert_eq!(report.interval_rows(n), resident.interval_rows(n), "{tag}");
+                }
+                let row = report.region_row_for(0x10_0000, 0x10_4000);
+                let mut want = resident.region_row_for(0x10_0000, 0x10_4000);
+                want.code = Vec::new();
+                assert_eq!(row, want, "{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_matches_resident() {
+        let t = SampledTrace::new(TraceMeta::new("empty", 1000, 4096));
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let cfg = AnalysisConfig::default();
+        let report = stream_resident_trace(&t, &annots, &symbols, cfg, &[8], 4);
+        let resident = Analyzer::new(&t, &annots, &symbols);
+        assert_eq!(report.decompression, resident.decompression());
+        assert_eq!(report.function_rows, resident.function_table());
+        assert_eq!(&report.block_reuse, resident.block_reuse());
+        assert!(report.locality_series.is_empty());
+        assert!(report.interval_rows(4).is_empty());
+        assert_eq!(report.ingest.merge_events, 0);
+    }
+
+    #[test]
+    fn ingest_stats_track_shards_and_peaks() {
+        let (t, annots, symbols) = synthetic_setup();
+        let report =
+            stream_resident_trace(&t, &annots, &symbols, AnalysisConfig::default(), &[], 5);
+        assert_eq!(report.ingest.shards, 4); // 16 samples / 5 per shard
+        assert_eq!(report.ingest.samples, 16);
+        assert_eq!(report.ingest.merge_events, 4);
+        assert_eq!(report.ingest.peak_shard_samples, 5);
+        assert_eq!(
+            report.ingest.peak_shard_bytes,
+            5 * 100 * std::mem::size_of::<Access>()
+        );
+    }
+
+    #[test]
+    fn seeded_analyzer_serves_merged_artifacts() {
+        let (t, annots, symbols) = synthetic_setup();
+        let report =
+            stream_resident_trace(&t, &annots, &symbols, AnalysisConfig::default(), &[], 4);
+        let a = Analyzer::new(&t, &annots, &symbols).with_streamed_artifacts(&report);
+        let stats = a.cache_stats();
+        assert_eq!(stats.merges, 3);
+        // Seeded slots are served without recomputation...
+        let _ = a.decompression();
+        let _ = a.function_table();
+        let _ = a.region_rows();
+        let stats = a.cache_stats();
+        assert_eq!(stats.merges, 3);
+        assert_eq!(stats.decompression, 0);
+        assert_eq!(stats.function_rows, 0);
+        assert_eq!(stats.block_reuse, 0);
+        // ...and agree with a fresh resident analyzer.
+        let fresh = Analyzer::new(&t, &annots, &symbols);
+        assert_eq!(a.function_table(), fresh.function_table());
+        assert_eq!(a.decompression(), fresh.decompression());
+    }
+}

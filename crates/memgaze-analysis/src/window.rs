@@ -200,11 +200,23 @@ pub fn window_series_with(
         .collect()
 }
 
+/// One function's code window: concatenated accesses plus structure.
+#[derive(Debug, Clone, Default)]
+struct FuncWindow {
+    name: String,
+    /// The function's accesses across all samples, in time order.
+    accesses: Vec<Access>,
+    /// Number of contiguous access runs.
+    runs: u64,
+    /// End offset into `accesses` after each sample the function
+    /// appears in; `accesses[ends[i-1]..ends[i]]` is one sample's worth.
+    sample_ends: Vec<usize>,
+}
+
 /// Access runs grouped by function — code windows.
 #[derive(Debug, Clone, Default)]
 pub struct CodeWindows {
-    /// Per function: concatenated accesses (in time order) and run count.
-    per_func: BTreeMap<u32, (String, Vec<Access>, u64)>,
+    per_func: BTreeMap<u32, FuncWindow>,
 }
 
 impl CodeWindows {
@@ -212,7 +224,7 @@ impl CodeWindows {
     /// Accesses outside any known function are grouped under
     /// `"<unknown>"` with id `u32::MAX`.
     pub fn build(trace: &SampledTrace, symbols: &SymbolTable) -> CodeWindows {
-        let mut per_func: BTreeMap<u32, (String, Vec<Access>, u64)> = BTreeMap::new();
+        let mut per_func: BTreeMap<u32, FuncWindow> = BTreeMap::new();
         for s in &trace.samples {
             let mut prev: Option<u32> = None;
             for a in &s.accesses {
@@ -220,12 +232,22 @@ impl CodeWindows {
                     Some(f) => (f.id.0, f.name.clone()),
                     None => (u32::MAX, "<unknown>".to_string()),
                 };
-                let entry = per_func.entry(id).or_insert_with(|| (name, Vec::new(), 0));
-                entry.1.push(*a);
+                let entry = per_func.entry(id).or_insert_with(|| FuncWindow {
+                    name,
+                    ..FuncWindow::default()
+                });
+                entry.accesses.push(*a);
                 if prev != Some(id) {
-                    entry.2 += 1; // a new run begins
+                    entry.runs += 1; // a new run begins
                 }
                 prev = Some(id);
+            }
+            // Record the sample boundary for every function this sample
+            // touched.
+            for fw in per_func.values_mut() {
+                if fw.accesses.len() > fw.sample_ends.last().copied().unwrap_or(0) {
+                    fw.sample_ends.push(fw.accesses.len());
+                }
             }
         }
         CodeWindows { per_func }
@@ -235,15 +257,29 @@ impl CodeWindows {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[Access], u64)> + '_ {
         self.per_func
             .values()
-            .map(|(n, a, r)| (n.as_str(), a.as_slice(), *r))
+            .map(|f| (f.name.as_str(), f.accesses.as_slice(), f.runs))
+    }
+
+    /// Like [`iter`](Self::iter) but also yielding each function's
+    /// per-sample end offsets, so callers can slice the accesses at
+    /// sample boundaries.
+    pub fn iter_with_samples(&self) -> impl Iterator<Item = (&str, &[Access], u64, &[usize])> + '_ {
+        self.per_func.values().map(|f| {
+            (
+                f.name.as_str(),
+                f.accesses.as_slice(),
+                f.runs,
+                f.sample_ends.as_slice(),
+            )
+        })
     }
 
     /// The accesses attributed to the named function.
     pub fn function(&self, name: &str) -> Option<&[Access]> {
         self.per_func
             .values()
-            .find(|(n, _, _)| n == name)
-            .map(|(_, a, _)| a.as_slice())
+            .find(|f| f.name == name)
+            .map(|f| f.accesses.as_slice())
     }
 
     /// Number of functions with at least one access.
@@ -356,6 +392,42 @@ mod tests {
         assert_eq!(cw.function("<unknown>").unwrap().len(), 1);
         let a_runs = cw.iter().find(|(n, _, _)| *n == "a").unwrap().2;
         assert_eq!(a_runs, 2);
+    }
+
+    #[test]
+    fn code_windows_record_sample_boundaries() {
+        let mut symbols = SymbolTable::new();
+        symbols.add_function("a", Ip(0x100), Ip(0x200), "a.c");
+        symbols.add_function("b", Ip(0x200), Ip(0x300), "a.c");
+        let mut t = SampledTrace::new(TraceMeta::new("t", 100, 8192));
+        // Sample 0: a ×2, b ×1. Sample 1: b ×2. Sample 2: a ×1.
+        t.push_sample(Sample::new(
+            vec![
+                Access::new(Ip(0x100), 0u64, 0),
+                Access::new(Ip(0x110), 64u64, 1),
+                Access::new(Ip(0x210), 128u64, 2),
+            ],
+            3,
+        ))
+        .unwrap();
+        t.push_sample(Sample::new(
+            vec![
+                Access::new(Ip(0x220), 192u64, 10),
+                Access::new(Ip(0x230), 256u64, 11),
+            ],
+            12,
+        ))
+        .unwrap();
+        t.push_sample(Sample::new(vec![Access::new(Ip(0x120), 0u64, 20)], 21))
+            .unwrap();
+        let cw = CodeWindows::build(&t, &symbols);
+        let ends: Vec<(&str, Vec<usize>)> = cw
+            .iter_with_samples()
+            .map(|(n, _, _, e)| (n, e.to_vec()))
+            .collect();
+        // Function "a": 2 accesses in sample 0, 1 in sample 2 → [2, 3].
+        // Function "b": 1 in sample 0, 2 in sample 1 → [1, 3].
+        assert_eq!(ends, vec![("a", vec![2, 3]), ("b", vec![1, 3])]);
     }
 
     #[test]

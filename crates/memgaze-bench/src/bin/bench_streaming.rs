@@ -1,0 +1,200 @@
+//! BENCH_streaming: resident vs streaming/sharded trace analysis.
+//!
+//! The streaming path encodes the trace into a sharded v2 container, then
+//! decodes and analyzes it one shard at a time ([`ShardReader`] →
+//! [`StreamingAnalyzer`]), holding at most one shard of decoded trace
+//! data plus O(partials) accumulator state. This binary measures the
+//! cost of that bounded-memory pass against the resident analyzer across
+//! shard sizes and verifies the two produce bit-identical reports.
+
+use memgaze_analysis::{
+    locality_vs_interval_with, reuse_histogram_from, AnalysisConfig, Analyzer, IngestStats,
+    StreamingAnalyzer,
+};
+use memgaze_bench::{emit, scales, timed};
+use memgaze_model::{
+    encode_sharded, Access, AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass, Sample,
+    SampledTrace, ShardReader, SymbolTable, TraceMeta,
+};
+use serde::Serialize;
+
+const LOCALITY_SIZES: [u64; 2] = [16, 64];
+
+/// A synthetic trace with two annotated code regions: a strided
+/// streaming function and a cyclic-reuse function, so the function
+/// table, reuse summary, and locality series all have real work to do.
+fn synthetic_setup(samples: usize, window: usize) -> (SampledTrace, AuxAnnotations, SymbolTable) {
+    let mut t = SampledTrace::new(TraceMeta::new("bench-stream", 10_000, 16 << 10));
+    t.meta.total_loads = (samples * 10_000) as u64;
+    t.meta.total_instrumented_loads = (samples * window) as u64;
+    for s in 0..samples as u64 {
+        let base = s * 10_000;
+        let accesses: Vec<Access> = (0..window as u64)
+            .map(|i| {
+                let (ip, addr) = if i % 4 == 0 {
+                    (0x500 + (i % 3) * 4, 0x20_0000 + (i % 128) * 64)
+                } else {
+                    (0x400 + (i % 5) * 4, 0x10_0000 + (s * window as u64 + i) * 8)
+                };
+                Access::new(ip, addr, base + i)
+            })
+            .collect();
+        t.push_sample(Sample::new(accesses, base + window as u64))
+            .unwrap();
+    }
+    let mut annots = AuxAnnotations::new();
+    for k in 0..5u64 {
+        let mut an = IpAnnot::of_class(LoadClass::Strided, FunctionId(0));
+        an.implied_const = 3;
+        annots.insert(Ip(0x400 + k * 4), an);
+    }
+    for k in 0..3u64 {
+        annots.insert(
+            Ip(0x500 + k * 4),
+            IpAnnot::of_class(LoadClass::Irregular, FunctionId(1)),
+        );
+    }
+    let mut symbols = SymbolTable::new();
+    symbols.add_function("stream_fn", Ip(0x400), Ip(0x500), "a.c");
+    symbols.add_function("cycle_fn", Ip(0x500), Ip(0x600), "a.c");
+    (t, annots, symbols)
+}
+
+#[derive(Serialize)]
+struct Variant {
+    shard_samples: usize,
+    stream_ms: f64,
+    peak_resident_bytes: usize,
+    merge_events: u64,
+    ingest: IngestStats,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    samples: usize,
+    window: usize,
+    threads: usize,
+    resident_ms: f64,
+    resident_peak_bytes: usize,
+    variants: Vec<Variant>,
+}
+
+fn main() {
+    let sc = scales::from_env();
+    let samples = (sc.micro_elems as usize / 16).clamp(64, 512);
+    let window = 512usize;
+    let (trace, annots, symbols) = synthetic_setup(samples, window);
+    let cfg = AnalysisConfig::default();
+
+    // The resident report path: function table, block summary, interval
+    // table, reuse histogram, locality series — all from an in-memory
+    // trace.
+    let resident_path = || {
+        let a = Analyzer::new(&trace, &annots, &symbols).with_config(cfg);
+        let rows = a.function_table().to_vec();
+        let reuse = a.block_reuse().clone();
+        let intervals = a.interval_rows(8);
+        let hist = reuse_histogram_from(a.sample_reuse());
+        let loc = locality_vs_interval_with(&trace, &annots, cfg.reuse_block, &LOCALITY_SIZES, 1);
+        (a.decompression(), rows, reuse, intervals, hist, loc)
+    };
+    let _ = resident_path(); // warm up
+    let mut resident_ms = f64::INFINITY;
+    let mut resident = None;
+    for _ in 0..3 {
+        let (ms, out) = timed(resident_path);
+        resident_ms = resident_ms.min(ms);
+        resident = Some(out);
+    }
+    let (res_dec, res_rows, res_reuse, res_intervals, res_hist, res_loc) = resident.unwrap();
+    let total_accesses: usize = trace.samples.iter().map(|s| s.accesses.len()).sum();
+    let resident_peak_bytes = total_accesses * std::mem::size_of::<Access>();
+
+    let mut variants = Vec::new();
+    for shard_samples in [1usize, 16, 256] {
+        let container = encode_sharded(&trace, shard_samples);
+        // The streaming path: decode shard by shard and fold partials;
+        // the timed region covers decode + incremental analysis +
+        // finish, i.e. everything downstream of the container bytes.
+        let stream_path = || {
+            let mut reader = ShardReader::new(container.as_slice()).expect("valid container");
+            let mut an =
+                StreamingAnalyzer::new(&annots, &symbols, cfg).with_locality_sizes(&LOCALITY_SIZES);
+            for shard in reader.by_ref() {
+                an.ingest_shard(&shard.expect("valid container").samples);
+            }
+            let meta = reader.meta().clone();
+            an.finish(&meta)
+        };
+        let _ = stream_path(); // warm up
+        let mut stream_ms = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let (ms, out) = timed(stream_path);
+            stream_ms = stream_ms.min(ms);
+            report = Some(out);
+        }
+        let report = report.unwrap();
+
+        // Bit-identity with the resident analyzer, per shard size.
+        assert_eq!(report.decompression, res_dec, "shard {shard_samples}");
+        assert_eq!(report.function_rows, res_rows, "shard {shard_samples}");
+        assert_eq!(report.block_reuse, res_reuse, "shard {shard_samples}");
+        assert_eq!(
+            report.interval_rows(8),
+            res_intervals,
+            "shard {shard_samples}"
+        );
+        assert_eq!(report.reuse_histogram, res_hist, "shard {shard_samples}");
+        assert_eq!(report.locality_series, res_loc, "shard {shard_samples}");
+        assert!(
+            report.ingest.peak_shard_bytes
+                <= shard_samples * window * std::mem::size_of::<Access>()
+        );
+
+        variants.push(Variant {
+            shard_samples,
+            stream_ms,
+            peak_resident_bytes: report.ingest.peak_shard_bytes,
+            merge_events: report.ingest.merge_events,
+            ingest: report.ingest,
+        });
+    }
+
+    let mut table = memgaze_analysis::Table::new(
+        "BENCH_streaming: resident vs streaming analysis (bit-identical reports)",
+        &["path", "shard", "time (ms)", "peak trace bytes", "merges"],
+    );
+    table.push_row(vec![
+        "resident".into(),
+        "-".into(),
+        format!("{resident_ms:.2}"),
+        format!("{resident_peak_bytes}"),
+        "-".into(),
+    ]);
+    for v in &variants {
+        table.push_row(vec![
+            "streaming".into(),
+            format!("{}", v.shard_samples),
+            format!("{:.2}", v.stream_ms),
+            format!("{}", v.peak_resident_bytes),
+            format!("{}", v.merge_events),
+        ]);
+    }
+    let payload = Payload {
+        samples,
+        window,
+        threads: cfg.threads,
+        resident_ms,
+        resident_peak_bytes,
+        variants,
+    };
+    emit("BENCH_streaming", &table, &payload);
+
+    let best = payload
+        .variants
+        .iter()
+        .map(|v| resident_peak_bytes as f64 / v.peak_resident_bytes.max(1) as f64)
+        .fold(0.0, f64::max);
+    println!("peak trace memory reduction (best shard size): {best:.1}x");
+}

@@ -23,7 +23,7 @@ pub mod recorders;
 pub use hotspot::{profile_hotspots, HotspotReport};
 pub use overheads::{phase_profiles, PhaseOverhead};
 pub use pipeline::{
-    full_trace_workload, trace_workload, FullWorkloadReport, MemGaze, MicroReport, PipelineConfig,
-    WorkloadReport,
+    full_trace_workload, trace_workload, trace_workload_streaming, FullWorkloadReport, MemGaze,
+    MicroReport, PipelineConfig, StreamingWorkloadReport, WorkloadReport,
 };
-pub use recorders::{FullRecorder, SamplerRecorder, TeeRecorder};
+pub use recorders::{FullRecorder, SamplerRecorder, StreamingRecorder, TeeRecorder};

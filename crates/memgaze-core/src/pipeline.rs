@@ -1,9 +1,9 @@
 //! The end-to-end pipeline drivers.
 
-use crate::recorders::SamplerRecorder;
-use memgaze_analysis::{AnalysisConfig, Analyzer};
+use crate::recorders::{SamplerRecorder, StreamingRecorder};
+use memgaze_analysis::{AnalysisConfig, Analyzer, StreamingAnalyzer, StreamingReport};
 use memgaze_instrument::{InstrumentConfig, Instrumented, Instrumenter};
-use memgaze_model::{AuxAnnotations, FullTrace, SampledTrace, SymbolTable};
+use memgaze_model::{AuxAnnotations, FullTrace, SampledTrace, ShardReader, SymbolTable, TraceMeta};
 use memgaze_ptsim::{
     BandwidthModel, OverheadModel, RunStats, SamplerConfig, StreamFull, StreamSampler, StreamStats,
 };
@@ -217,6 +217,82 @@ pub fn trace_workload<T>(
     )
 }
 
+/// Result of the streaming workload path: a finished incremental analysis
+/// plus the sharded container it was computed from. Unlike
+/// [`WorkloadReport`] there is no resident [`SampledTrace`] — the trace
+/// only ever existed one shard at a time.
+pub struct StreamingWorkloadReport {
+    /// The finished incremental analysis (bit-identical to the resident
+    /// analyzer over the same trace).
+    pub report: StreamingReport,
+    /// Final trace metadata (trailer-patched totals).
+    pub meta: TraceMeta,
+    /// Annotation file from the site registry.
+    pub annots: AuxAnnotations,
+    /// Symbols from the site registry.
+    pub symbols: SymbolTable,
+    /// Per-phase execution counters.
+    pub phases: Vec<Phase>,
+    /// Collection statistics.
+    pub stream: StreamStats,
+    /// Simulated allocations (object → address range).
+    pub allocations: Vec<Allocation>,
+    /// The sharded v2 container the analysis consumed; kept so callers
+    /// can persist it or re-run other analyses shard by shard.
+    pub container: Vec<u8>,
+}
+
+/// Trace a native workload through the streaming path: completed samples
+/// are encoded into sharded container frames as the workload runs, then
+/// decoded one shard at a time into a [`StreamingAnalyzer`], so the full
+/// trace is never materialized. The analysis runs after the workload
+/// because annotations and symbols only exist once the run completes.
+pub fn trace_workload_streaming<T>(
+    name: &str,
+    cfg: &SamplerConfig,
+    shard_samples: usize,
+    analysis: AnalysisConfig,
+    locality_sizes: &[u64],
+    run: impl FnOnce(&mut TracedSpace<StreamingRecorder>) -> T,
+) -> (StreamingWorkloadReport, T) {
+    let provisional = TraceMeta::new(name, cfg.period, cfg.buffer_bytes);
+    let recorder =
+        StreamingRecorder::new(StreamSampler::new(cfg.clone()), &provisional, shard_samples);
+    let mut space = TracedSpace::new(recorder);
+    let value = run(&mut space);
+    let annots = space.annotations();
+    let symbols = space.symbols();
+    let phases = space.phases().to_vec();
+    let allocations = space.allocations().to_vec();
+    let (container, _meta, stream) = space.into_recorder().finish(name);
+
+    let mut reader = ShardReader::new(container.as_slice())
+        .expect("a container this pipeline just wrote has a valid header");
+    let mut analyzer = StreamingAnalyzer::new(&annots, &symbols, analysis);
+    if !locality_sizes.is_empty() {
+        analyzer = analyzer.with_locality_sizes(locality_sizes);
+    }
+    for shard in reader.by_ref() {
+        let shard = shard.expect("a container this pipeline just wrote decodes cleanly");
+        analyzer.ingest_shard(&shard.samples);
+    }
+    let meta = reader.meta().clone();
+    let report = analyzer.finish(&meta);
+    (
+        StreamingWorkloadReport {
+            report,
+            meta,
+            annots,
+            symbols,
+            phases,
+            stream,
+            allocations,
+            container,
+        },
+        value,
+    )
+}
+
 /// Collect a full trace of a native workload ('Rec' with a bandwidth
 /// model, 'All' with `None`).
 pub fn full_trace_workload<T>(
@@ -310,6 +386,59 @@ mod tests {
             "hot functions: {:?}",
             rows.iter().map(|r| r.name.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn streaming_workload_matches_resident_pipeline() {
+        let mut cfg = SamplerConfig::application(20_000);
+        cfg.seed = 9;
+        let mv = MiniViteConfig {
+            scale: 7,
+            degree: 6,
+            iterations: 1,
+            variant: MapVariant::V2,
+            seed: 3,
+            v2_default_capacity: 64,
+        };
+        let sizes = [16u64, 64];
+        let (resident, _) = trace_workload("miniVite-v2", &cfg, |space| minivite::run(space, &mv));
+        let (streamed, result) = trace_workload_streaming(
+            "miniVite-v2",
+            &cfg,
+            2,
+            AnalysisConfig::default(),
+            &sizes,
+            |space| minivite::run(space, &mv),
+        );
+        assert!(!result.communities.is_empty());
+        // Deterministic workload + same seed → identical trace, so the
+        // container decodes back to the resident trace exactly.
+        let decoded = memgaze_model::decode_sharded(&streamed.container).unwrap();
+        assert_eq!(decoded, resident.trace);
+        assert_eq!(streamed.meta, resident.trace.meta);
+        assert_eq!(streamed.phases, resident.phases);
+        assert_eq!(streamed.stream.total_loads, resident.stream.total_loads);
+
+        // And the incremental analysis matches the resident analyzer bit
+        // for bit.
+        let analyzer = resident.analyzer(AnalysisConfig::default());
+        assert_eq!(streamed.report.decompression, analyzer.decompression());
+        assert_eq!(streamed.report.function_rows, analyzer.function_table());
+        assert_eq!(&streamed.report.block_reuse, analyzer.block_reuse());
+        assert_eq!(
+            streamed.report.locality_series,
+            memgaze_analysis::locality_vs_interval_with(
+                &resident.trace,
+                &resident.annots,
+                AnalysisConfig::default().reuse_block,
+                &sizes,
+                1,
+            )
+        );
+        assert_eq!(streamed.report.interval_rows(8), analyzer.interval_rows(8));
+        let n = resident.trace.num_samples() as u64;
+        assert_eq!(streamed.report.ingest.shards, n.div_ceil(2));
+        assert_eq!(streamed.report.ingest.samples, n);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Bridges between the workloads' [`LoadRecorder`] trait and the
 //! Processor-Tracing stream collectors.
 
-use memgaze_model::Ip;
-use memgaze_ptsim::{StreamFull, StreamSampler};
+use memgaze_model::{Ip, Sample, ShardWriter, TraceMeta};
+use memgaze_ptsim::{StreamFull, StreamSampler, StreamStats};
 use memgaze_workloads::LoadRecorder;
 
 /// Routes workload loads into the sampled PT collector.
@@ -40,6 +40,83 @@ impl FullRecorder {
 impl LoadRecorder for FullRecorder {
     fn record(&mut self, ip: Ip, addr: u64, instrumented: bool, packets: u8) {
         self.full.on_load(ip, addr, instrumented, packets);
+    }
+}
+
+/// Routes workload loads into the sampled collector and encodes completed
+/// samples into sharded container frames as they retire, so the run never
+/// holds more than one in-flight shard of decoded trace data.
+pub struct StreamingRecorder {
+    sampler: StreamSampler,
+    writer: ShardWriter<Vec<u8>>,
+    pending: Vec<Sample>,
+    shard_samples: usize,
+}
+
+impl StreamingRecorder {
+    /// Wrap a sampler, writing `shard_samples`-sample frames against the
+    /// provisional `meta` (totals are patched by the trailer at finish).
+    pub fn new(
+        sampler: StreamSampler,
+        meta: &TraceMeta,
+        shard_samples: usize,
+    ) -> StreamingRecorder {
+        let writer = ShardWriter::new(Vec::new(), meta)
+            .expect("writing a container header to a Vec cannot fail");
+        StreamingRecorder {
+            sampler,
+            writer,
+            pending: Vec::new(),
+            shard_samples: shard_samples.max(1),
+        }
+    }
+
+    /// Shard frames written so far.
+    pub fn shards_written(&self) -> u64 {
+        self.writer.shards()
+    }
+
+    fn flush_full_shards(&mut self) {
+        while self.pending.len() >= self.shard_samples {
+            let shard: Vec<Sample> = self.pending.drain(..self.shard_samples).collect();
+            self.writer
+                .write_shard(&shard)
+                .expect("writing a shard frame to a Vec cannot fail");
+        }
+    }
+
+    /// Flush the trailing partial sample and any undrained samples, then
+    /// seal the container. Returns the encoded container bytes, the final
+    /// trace metadata, and collection stats.
+    pub fn finish(self, workload: &str) -> (Vec<u8>, TraceMeta, StreamStats) {
+        let StreamingRecorder {
+            sampler,
+            mut writer,
+            mut pending,
+            shard_samples,
+        } = self;
+        let (meta, samples, stats) = sampler.finish_parts(workload);
+        pending.extend(samples);
+        for shard in pending.chunks(shard_samples) {
+            writer
+                .write_shard(shard)
+                .expect("writing a shard frame to a Vec cannot fail");
+        }
+        let container = writer
+            .finish(meta.total_loads, meta.total_instrumented_loads)
+            .expect("sealing a Vec-backed container cannot fail");
+        (container, meta, stats)
+    }
+}
+
+impl LoadRecorder for StreamingRecorder {
+    fn record(&mut self, ip: Ip, addr: u64, instrumented: bool, packets: u8) {
+        self.sampler.on_load(ip, addr, instrumented, packets);
+        if self.sampler.completed_samples() > 0 {
+            let drained = self.sampler.take_completed();
+            self.pending.extend(drained);
+            self.flush_full_shards();
+        }
     }
 }
 
@@ -97,5 +174,26 @@ mod tests {
         for a in trace.accesses() {
             assert!(set.contains(&(a.time, a.addr.raw())));
         }
+    }
+
+    #[test]
+    fn streaming_recorder_container_matches_resident_trace() {
+        let mut cfg = SamplerConfig::microbench();
+        cfg.period = 100;
+        let provisional = TraceMeta::new("t", cfg.period, cfg.buffer_bytes);
+        let mut resident = SamplerRecorder::new(StreamSampler::new(cfg.clone()));
+        let mut streaming = StreamingRecorder::new(StreamSampler::new(cfg), &provisional, 3);
+        for t in 0..5000u64 {
+            let addr = (t * 37) % 4096 * 64;
+            resident.record(Ip(0x400 + t % 7), addr, true, 1);
+            streaming.record(Ip(0x400 + t % 7), addr, true, 1);
+        }
+        let (trace, res_stats) = resident.sampler.finish("t");
+        assert!(streaming.shards_written() > 1);
+        let (container, meta, stats) = streaming.finish("t");
+        assert_eq!(meta, trace.meta);
+        assert_eq!(stats.total_loads, res_stats.total_loads);
+        let decoded = memgaze_model::decode_sharded(&container).unwrap();
+        assert_eq!(decoded, trace);
     }
 }

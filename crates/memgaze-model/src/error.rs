@@ -20,8 +20,35 @@ pub enum ModelError {
         /// Index of the offending sample.
         index: usize,
     },
+    /// A sample failed to decode; wraps the underlying error so callers
+    /// can tell which sample of a payload was corrupt.
+    InSample {
+        /// Index of the failing sample within its payload.
+        index: usize,
+        /// What went wrong inside the sample.
+        source: Box<ModelError>,
+    },
+    /// A shard frame failed to decode; wraps the underlying error so
+    /// streaming callers can tell how far a container was readable.
+    InShard {
+        /// Index of the failing shard frame.
+        shard: u64,
+        /// What went wrong inside the frame.
+        source: Box<ModelError>,
+    },
     /// Underlying I/O error.
     Io(std::io::Error),
+}
+
+impl ModelError {
+    /// The shard index a decode failure occurred in, if this error came
+    /// from a sharded container.
+    pub fn shard_index(&self) -> Option<u64> {
+        match self {
+            ModelError::InShard { shard, .. } => Some(*shard),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ModelError {
@@ -37,6 +64,12 @@ impl std::fmt::Display for ModelError {
             ModelError::UnorderedSamples { index } => {
                 write!(f, "sample {index} is out of time order")
             }
+            ModelError::InSample { index, source } => {
+                write!(f, "sample {index}: {source}")
+            }
+            ModelError::InShard { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -46,6 +79,9 @@ impl std::error::Error for ModelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ModelError::Io(e) => Some(e),
+            ModelError::InSample { source, .. } | ModelError::InShard { source, .. } => {
+                Some(source.as_ref())
+            }
             _ => None,
         }
     }
@@ -74,5 +110,23 @@ mod tests {
         use std::error::Error;
         let e = ModelError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn wrapped_errors_chain_and_locate() {
+        use std::error::Error;
+        let inner = ModelError::Truncated { context: "access" };
+        let e = ModelError::InShard {
+            shard: 3,
+            source: Box::new(ModelError::InSample {
+                index: 7,
+                source: Box::new(inner),
+            }),
+        };
+        assert_eq!(e.shard_index(), Some(3));
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("sample 7"));
+        let mid = e.source().unwrap();
+        assert!(mid.source().unwrap().to_string().contains("access"));
     }
 }

@@ -23,13 +23,13 @@ use crate::error::ModelError;
 use crate::sample::{FullTrace, Sample, SampledTrace, TraceMeta};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-const MAGIC: &[u8; 4] = b"MGZT";
+pub(crate) const MAGIC: &[u8; 4] = b"MGZT";
 const VERSION: u16 = 1;
 const KIND_SAMPLED: u8 = 0;
 const KIND_FULL: u8 = 1;
 
 /// Append an unsigned LEB128 varint.
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -42,7 +42,7 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
 }
 
 /// Read an unsigned LEB128 varint.
-fn get_varint(buf: &mut Bytes, context: &'static str) -> Result<u64, ModelError> {
+pub(crate) fn get_varint(buf: &mut Bytes, context: &'static str) -> Result<u64, ModelError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -91,7 +91,7 @@ fn get_string(buf: &mut Bytes, context: &'static str) -> Result<String, ModelErr
     })
 }
 
-fn put_meta(buf: &mut BytesMut, meta: &TraceMeta) {
+pub(crate) fn put_meta(buf: &mut BytesMut, meta: &TraceMeta) {
     put_string(buf, &meta.workload);
     put_varint(buf, meta.period);
     put_varint(buf, meta.buffer_bytes);
@@ -99,7 +99,7 @@ fn put_meta(buf: &mut BytesMut, meta: &TraceMeta) {
     put_varint(buf, meta.total_instrumented_loads);
 }
 
-fn get_meta(buf: &mut Bytes) -> Result<TraceMeta, ModelError> {
+pub(crate) fn get_meta(buf: &mut Bytes) -> Result<TraceMeta, ModelError> {
     Ok(TraceMeta {
         workload: get_string(buf, "meta.workload")?,
         period: get_varint(buf, "meta.period")?,
@@ -140,9 +140,9 @@ fn get_access(buf: &mut Bytes, st: &mut DeltaState) -> Result<Access, ModelError
     })
 }
 
-fn put_header(buf: &mut BytesMut, kind: u8) {
+pub(crate) fn put_header(buf: &mut BytesMut, version: u16, kind: u8) {
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(version);
     buf.put_u8(kind);
 }
 
@@ -172,21 +172,49 @@ fn check_header(buf: &mut Bytes, want_kind: u8) -> Result<(), ModelError> {
     Ok(())
 }
 
+/// Append one sample: trigger delta from `prev_trigger`, window length,
+/// then delta-coded accesses with a fresh [`DeltaState`]. Shared by the
+/// v1 monolithic payload and the v2 shard frames.
+pub(crate) fn put_sample(buf: &mut BytesMut, prev_trigger: u64, s: &Sample) {
+    put_varint(buf, s.trigger_time.wrapping_sub(prev_trigger));
+    put_varint(buf, s.accesses.len() as u64);
+    let mut st = DeltaState::default();
+    for a in &s.accesses {
+        put_access(buf, &mut st, a);
+    }
+}
+
+/// Decode one sample written by [`put_sample`]. The claimed window
+/// length is validated against the remaining payload before any
+/// allocation, so a corrupt count errors instead of reserving memory
+/// for it.
+pub(crate) fn get_sample(buf: &mut Bytes, prev_trigger: u64) -> Result<Sample, ModelError> {
+    let trigger = prev_trigger.wrapping_add(get_varint(buf, "trigger_time")?);
+    let w = get_varint(buf, "window")? as usize;
+    // Every encoded access costs at least three bytes (three varints).
+    if w > buf.remaining() / 3 {
+        return Err(ModelError::Truncated {
+            context: "sample accesses",
+        });
+    }
+    let mut st = DeltaState::default();
+    let mut accesses = Vec::with_capacity(w);
+    for _ in 0..w {
+        accesses.push(get_access(buf, &mut st)?);
+    }
+    Ok(Sample::new(accesses, trigger))
+}
+
 /// Encode a sampled trace to its compact byte representation.
 pub fn encode_sampled(trace: &SampledTrace) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + trace.observed_accesses() as usize * 4);
-    put_header(&mut buf, KIND_SAMPLED);
+    put_header(&mut buf, VERSION, KIND_SAMPLED);
     put_meta(&mut buf, &trace.meta);
     put_varint(&mut buf, trace.samples.len() as u64);
     let mut prev_trigger = 0u64;
     for s in &trace.samples {
-        put_varint(&mut buf, s.trigger_time.wrapping_sub(prev_trigger));
+        put_sample(&mut buf, prev_trigger, s);
         prev_trigger = s.trigger_time;
-        put_varint(&mut buf, s.accesses.len() as u64);
-        let mut st = DeltaState::default();
-        for a in &s.accesses {
-            put_access(&mut buf, &mut st, a);
-        }
     }
     buf.freeze()
 }
@@ -196,17 +224,20 @@ pub fn decode_sampled(mut data: Bytes) -> Result<SampledTrace, ModelError> {
     check_header(&mut data, KIND_SAMPLED)?;
     let meta = get_meta(&mut data)?;
     let n = get_varint(&mut data, "num_samples")? as usize;
+    // Every encoded sample costs at least two bytes (two varints), so a
+    // claimed count beyond that is corrupt; reject it before allocating.
+    if n > data.remaining() / 2 {
+        return Err(ModelError::Truncated { context: "samples" });
+    }
     let mut trace = SampledTrace::new(meta);
     let mut trigger = 0u64;
-    for _ in 0..n {
-        trigger = trigger.wrapping_add(get_varint(&mut data, "trigger_time")?);
-        let w = get_varint(&mut data, "window")? as usize;
-        let mut st = DeltaState::default();
-        let mut accesses = Vec::with_capacity(w);
-        for _ in 0..w {
-            accesses.push(get_access(&mut data, &mut st)?);
-        }
-        trace.push_sample(Sample::new(accesses, trigger))?;
+    for index in 0..n {
+        let s = get_sample(&mut data, trigger).map_err(|e| ModelError::InSample {
+            index,
+            source: Box::new(e),
+        })?;
+        trigger = s.trigger_time;
+        trace.push_sample(s)?;
     }
     Ok(trace)
 }
@@ -214,7 +245,7 @@ pub fn decode_sampled(mut data: Bytes) -> Result<SampledTrace, ModelError> {
 /// Encode a full trace.
 pub fn encode_full(trace: &FullTrace) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + trace.accesses.len() * 4);
-    put_header(&mut buf, KIND_FULL);
+    put_header(&mut buf, VERSION, KIND_FULL);
     put_meta(&mut buf, &trace.meta);
     put_varint(&mut buf, trace.dropped);
     put_varint(&mut buf, trace.accesses.len() as u64);
@@ -231,6 +262,11 @@ pub fn decode_full(mut data: Bytes) -> Result<FullTrace, ModelError> {
     let meta = get_meta(&mut data)?;
     let dropped = get_varint(&mut data, "dropped")?;
     let n = get_varint(&mut data, "num_accesses")? as usize;
+    if n > data.remaining() / 3 {
+        return Err(ModelError::Truncated {
+            context: "accesses",
+        });
+    }
     let mut st = DeltaState::default();
     let mut accesses = Vec::with_capacity(n);
     for _ in 0..n {
@@ -319,6 +355,80 @@ mod tests {
             let sliced = bytes.slice(0..cut);
             assert!(decode_sampled(sliced).is_err(), "cut at {cut} must fail");
         }
+    }
+
+    #[test]
+    fn truncation_mid_sample_names_the_sample() {
+        let t = mk_trace(3, 50);
+        let bytes = encode_sampled(&t);
+        // Cut deep into the payload: past the header, meta, and first
+        // sample, but before the end — the error must locate a sample.
+        let sliced = bytes.slice(0..bytes.len() - 10);
+        match decode_sampled(sliced) {
+            Err(ModelError::InSample { index, source }) => {
+                assert_eq!(index, 2);
+                assert!(matches!(
+                    *source,
+                    ModelError::Truncated { .. } | ModelError::BadHeader { .. }
+                ));
+            }
+            other => panic!("expected InSample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_sample_count_is_rejected_without_allocating() {
+        // Header + meta, then a sample count far beyond the payload: the
+        // decoder must refuse before reserving memory for it.
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, VERSION, KIND_SAMPLED);
+        put_meta(&mut buf, &TraceMeta::new("corrupt", 1000, 4096));
+        put_varint(&mut buf, u64::MAX >> 1);
+        assert!(matches!(
+            decode_sampled(buf.freeze()),
+            Err(ModelError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_window_count_is_rejected_without_allocating() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, VERSION, KIND_SAMPLED);
+        put_meta(&mut buf, &TraceMeta::new("corrupt", 1000, 4096));
+        put_varint(&mut buf, 1); // one sample
+        put_varint(&mut buf, 5); // trigger delta
+        put_varint(&mut buf, u64::MAX >> 1); // absurd window length
+        match decode_sampled(buf.freeze()) {
+            Err(ModelError::InSample { index: 0, source }) => {
+                assert!(matches!(*source, ModelError::Truncated { .. }));
+            }
+            other => panic!("expected InSample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_full_count_is_rejected() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, VERSION, KIND_FULL);
+        put_meta(&mut buf, &TraceMeta::new("corrupt", 0, 0));
+        put_varint(&mut buf, 0); // dropped
+        put_varint(&mut buf, u64::MAX >> 1); // absurd access count
+        assert!(matches!(
+            decode_full(buf.freeze()),
+            Err(ModelError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // Eleven continuation bytes cannot encode a u64.
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, VERSION, KIND_SAMPLED);
+        buf.put_slice(&[0xff; 11]);
+        assert!(matches!(
+            decode_sampled(buf.freeze()),
+            Err(ModelError::BadHeader { .. })
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod io;
 pub mod ops;
 pub mod ratio;
 pub mod sample;
+pub mod stream;
 pub mod symbols;
 
 pub use access::{Access, LoadClass};
@@ -27,4 +28,7 @@ pub use annot::{AuxAnnotations, IpAnnot};
 pub use error::ModelError;
 pub use ratio::{compression_ratio, sample_ratio, DecompressionInfo};
 pub use sample::{FullTrace, Sample, SampledTrace, TraceMeta};
+pub use stream::{
+    decode_sharded, encode_sharded, Shard, ShardReader, ShardWriter, DEFAULT_SHARD_SAMPLES,
+};
 pub use symbols::{FunctionId, FunctionSym, SymbolTable};

@@ -1,0 +1,514 @@
+//! Chunked (sharded) trace container for streaming ingest.
+//!
+//! The v1 MGZT payload is monolithic: sample count up front, every
+//! sample delta-chained to the previous one, so a decoder must walk the
+//! whole byte stream to recover anything. Real collectors (HMTT-style
+//! DMA windows, perf ring buffers) hand data over in bounded chunks;
+//! this module adds a v2 framing of the same codec whose payload is a
+//! sequence of self-delimiting *shard frames*, each decodable on its
+//! own with O(shard) memory:
+//!
+//! ```text
+//! magic "MGZT" | version u16 = 2 | kind u8 = 2 | meta | frames | trailer
+//! frame   := frame_len varint (> 0) | payload
+//! payload := nsamples varint | per sample as in v1, trigger delta
+//!            chain restarting at 0 for each frame
+//! trailer := 0 varint | total_loads varint | total_instr varint
+//! ```
+//!
+//! The header's meta is provisional — a live collector does not know
+//! the final load totals when it emits the header — and the trailer
+//! patches `total_loads` / `total_instrumented_loads` once the stream
+//! ends. A zero frame length is an unambiguous terminator because even
+//! an empty frame's payload is at least one byte (its sample count).
+//!
+//! [`ShardWriter`] appends frames to any [`Write`] sink; [`ShardReader`]
+//! iterates frames from any [`Read`] source, holding one decoded shard
+//! at a time. [`encode_sharded`] / [`decode_sharded`] are in-memory
+//! conveniences over the two.
+
+use crate::error::ModelError;
+use crate::io::{get_sample, get_varint, put_header, put_meta, put_sample, put_varint};
+use crate::sample::{Sample, SampledTrace, TraceMeta};
+use bytes::{Buf, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+const VERSION_SHARDED: u16 = 2;
+const KIND_SHARDED: u8 = 2;
+
+/// Default shard granularity for callers without a better-informed
+/// choice: small enough to bound memory, large enough that per-frame
+/// overhead (absolute first trigger, frame length) is negligible.
+pub const DEFAULT_SHARD_SAMPLES: usize = 64;
+
+/// Incremental writer for the v2 sharded container.
+pub struct ShardWriter<W: Write> {
+    sink: W,
+    shards: u64,
+    samples: u64,
+    scratch: BytesMut,
+}
+
+impl<W: Write> ShardWriter<W> {
+    /// Write the container header and provisional metadata. The load
+    /// totals in `meta` are placeholders; [`finish`](Self::finish)
+    /// writes the real values into the trailer.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> Result<ShardWriter<W>, ModelError> {
+        let mut buf = BytesMut::with_capacity(64);
+        put_header(&mut buf, VERSION_SHARDED, KIND_SHARDED);
+        put_meta(&mut buf, meta);
+        sink.write_all(&buf)?;
+        Ok(ShardWriter {
+            sink,
+            shards: 0,
+            samples: 0,
+            scratch: BytesMut::new(),
+        })
+    }
+
+    /// Append one shard frame holding `samples`, which must continue the
+    /// container's global time order. Returns the frame's payload size
+    /// in bytes.
+    pub fn write_shard(&mut self, samples: &[Sample]) -> Result<usize, ModelError> {
+        self.scratch.clear();
+        put_varint(&mut self.scratch, samples.len() as u64);
+        // The trigger delta chain restarts per frame so each frame is
+        // decodable without its predecessors.
+        let mut prev_trigger = 0u64;
+        for s in samples {
+            put_sample(&mut self.scratch, prev_trigger, s);
+            prev_trigger = s.trigger_time;
+        }
+        let mut head = BytesMut::with_capacity(10);
+        put_varint(&mut head, self.scratch.len() as u64);
+        self.sink.write_all(&head)?;
+        self.sink.write_all(&self.scratch)?;
+        self.shards += 1;
+        self.samples += samples.len() as u64;
+        Ok(self.scratch.len())
+    }
+
+    /// Write the terminator and trailer (the final load totals) and
+    /// return the sink.
+    pub fn finish(
+        mut self,
+        total_loads: u64,
+        total_instrumented_loads: u64,
+    ) -> Result<W, ModelError> {
+        let mut tail = BytesMut::with_capacity(24);
+        put_varint(&mut tail, 0);
+        put_varint(&mut tail, total_loads);
+        put_varint(&mut tail, total_instrumented_loads);
+        self.sink.write_all(&tail)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Frames written so far.
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Samples written so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// One decoded shard frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// Zero-based frame index within the container.
+    pub index: u64,
+    /// The shard's samples, in trace time order.
+    pub samples: Vec<Sample>,
+    /// Encoded payload size of this frame in bytes.
+    pub encoded_bytes: usize,
+}
+
+/// Iterator decoding one shard frame at a time from any [`Read`]
+/// source, holding O(shard) memory. Reads byte-at-a-time for varints,
+/// so wrap slow sources in a [`std::io::BufReader`].
+///
+/// After the iterator yields `None` for a well-formed container,
+/// [`meta`](Self::meta) reflects the trailer-patched load totals.
+/// Decode failures are wrapped in [`ModelError::InShard`] naming the
+/// failing frame, and the iterator fuses (yields `None` afterwards).
+pub struct ShardReader<R: Read> {
+    src: R,
+    meta: TraceMeta,
+    next_index: u64,
+    done: bool,
+}
+
+impl<R: Read> ShardReader<R> {
+    /// Read and validate the container header and provisional metadata.
+    pub fn new(mut src: R) -> Result<ShardReader<R>, ModelError> {
+        let mut hdr = [0u8; 7];
+        src.read_exact(&mut hdr).map_err(|e| map_eof(e, "header"))?;
+        if &hdr[..4] != crate::io::MAGIC {
+            return Err(ModelError::BadHeader {
+                detail: format!("magic {:?}", &hdr[..4]),
+            });
+        }
+        let ver = u16::from_le_bytes([hdr[4], hdr[5]]);
+        if ver != VERSION_SHARDED {
+            return Err(ModelError::BadHeader {
+                detail: format!("version {ver}, expected {VERSION_SHARDED}"),
+            });
+        }
+        if hdr[6] != KIND_SHARDED {
+            return Err(ModelError::BadHeader {
+                detail: format!("kind {}, expected {KIND_SHARDED}", hdr[6]),
+            });
+        }
+        let meta = read_meta(&mut src)?;
+        Ok(ShardReader {
+            src,
+            meta,
+            next_index: 0,
+            done: false,
+        })
+    }
+
+    /// Container metadata. Load totals are provisional until the
+    /// trailer has been read (i.e. the iterator returned `None`).
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Whether the terminator (or an error) has been reached.
+    pub fn is_finished(&self) -> bool {
+        self.done
+    }
+
+    fn next_shard(&mut self) -> Result<Option<Shard>, ModelError> {
+        let len = read_varint(&mut self.src, "frame length")?;
+        if len == 0 {
+            self.meta.total_loads = read_varint(&mut self.src, "trailer total_loads")?;
+            self.meta.total_instrumented_loads =
+                read_varint(&mut self.src, "trailer total_instrumented_loads")?;
+            return Ok(None);
+        }
+        // Read exactly `len` payload bytes. `take` + `read_to_end` grows
+        // the buffer only as data actually arrives, so a corrupt length
+        // on a truncated stream cannot trigger a giant allocation.
+        let mut payload = Vec::with_capacity((len as usize).min(1 << 20));
+        let got = (&mut self.src).take(len).read_to_end(&mut payload)?;
+        if got as u64 != len {
+            return Err(ModelError::Truncated {
+                context: "shard frame",
+            });
+        }
+        let mut buf = Bytes::from(payload);
+        let n = get_varint(&mut buf, "shard num_samples")? as usize;
+        if n > buf.remaining() / 2 {
+            return Err(ModelError::Truncated {
+                context: "shard samples",
+            });
+        }
+        let mut samples = Vec::with_capacity(n);
+        let mut prev_trigger = 0u64;
+        for index in 0..n {
+            let s = get_sample(&mut buf, prev_trigger).map_err(|e| ModelError::InSample {
+                index,
+                source: Box::new(e),
+            })?;
+            prev_trigger = s.trigger_time;
+            samples.push(s);
+        }
+        if buf.has_remaining() {
+            return Err(ModelError::BadHeader {
+                detail: format!("{} trailing bytes in shard frame", buf.remaining()),
+            });
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        Ok(Some(Shard {
+            index,
+            samples,
+            encoded_bytes: len as usize,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for ShardReader<R> {
+    type Item = Result<Shard, ModelError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_shard() {
+            Ok(Some(shard)) => Some(Ok(shard)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(ModelError::InShard {
+                    shard: self.next_index,
+                    source: Box::new(e),
+                }))
+            }
+        }
+    }
+}
+
+/// Encode a resident trace as a v2 sharded container with
+/// `shard_samples` samples per frame.
+pub fn encode_sharded(trace: &SampledTrace, shard_samples: usize) -> Vec<u8> {
+    let mut w = ShardWriter::new(Vec::new(), &trace.meta).expect("writing to a Vec cannot fail");
+    for chunk in trace.samples.chunks(shard_samples.max(1)) {
+        w.write_shard(chunk).expect("writing to a Vec cannot fail");
+    }
+    w.finish(trace.meta.total_loads, trace.meta.total_instrumented_loads)
+        .expect("writing to a Vec cannot fail")
+}
+
+/// Decode a v2 sharded container back into a resident trace.
+pub fn decode_sharded(data: &[u8]) -> Result<SampledTrace, ModelError> {
+    let mut reader = ShardReader::new(data)?;
+    let mut samples = Vec::new();
+    for shard in reader.by_ref() {
+        samples.extend(shard?.samples);
+    }
+    let mut trace = SampledTrace::new(reader.meta().clone());
+    for s in samples {
+        trace.push_sample(s)?;
+    }
+    Ok(trace)
+}
+
+fn map_eof(e: std::io::Error, context: &'static str) -> ModelError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        ModelError::Truncated { context }
+    } else {
+        ModelError::Io(e)
+    }
+}
+
+fn read_byte<R: Read>(src: &mut R, context: &'static str) -> Result<u8, ModelError> {
+    let mut b = [0u8; 1];
+    src.read_exact(&mut b).map_err(|e| map_eof(e, context))?;
+    Ok(b[0])
+}
+
+fn read_varint<R: Read>(src: &mut R, context: &'static str) -> Result<u64, ModelError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = read_byte(src, context)?;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(ModelError::BadHeader {
+                detail: format!("varint overflow in {context}"),
+            });
+        }
+    }
+}
+
+fn read_string<R: Read>(src: &mut R, context: &'static str) -> Result<String, ModelError> {
+    let len = read_varint(src, context)? as usize;
+    let mut raw = Vec::with_capacity(len.min(1 << 16));
+    let got = src.take(len as u64).read_to_end(&mut raw)?;
+    if got != len {
+        return Err(ModelError::Truncated { context });
+    }
+    String::from_utf8(raw).map_err(|_| ModelError::BadHeader {
+        detail: format!("non-utf8 string in {context}"),
+    })
+}
+
+fn read_meta<R: Read>(src: &mut R) -> Result<TraceMeta, ModelError> {
+    Ok(TraceMeta {
+        workload: read_string(src, "meta.workload")?,
+        period: read_varint(src, "meta.period")?,
+        buffer_bytes: read_varint(src, "meta.buffer_bytes")?,
+        total_loads: read_varint(src, "meta.total_loads")?,
+        total_instrumented_loads: read_varint(src, "meta.total_instr")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use crate::io::encode_sampled;
+
+    fn mk_trace(samples: usize, w: usize) -> SampledTrace {
+        let mut t = SampledTrace::new(TraceMeta::new("stream-unit", 10_000, 16 << 10));
+        t.meta.total_loads = (samples * 10_000) as u64;
+        t.meta.total_instrumented_loads = (samples * 100) as u64;
+        for s in 0..samples {
+            let base = (s as u64) * 10_000;
+            let accesses = (0..w)
+                .map(|i| {
+                    Access::new(
+                        0x400u64 + (i as u64 % 7) * 4,
+                        0x10_0000u64 + (i as u64) * 64,
+                        base + i as u64,
+                    )
+                })
+                .collect();
+            t.push_sample(Sample::new(accesses, base + w as u64))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_across_shard_sizes() {
+        let t = mk_trace(13, 37);
+        for shard in [1usize, 2, 5, 13, 100] {
+            let bytes = encode_sharded(&t, shard);
+            let back = decode_sharded(&bytes).unwrap();
+            assert_eq!(t, back, "shard size {shard}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = SampledTrace::new(TraceMeta::new("empty", 1000, 4096));
+        let bytes = encode_sharded(&t, 16);
+        let back = decode_sharded(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn reader_yields_expected_shard_shapes() {
+        let t = mk_trace(10, 8);
+        let bytes = encode_sharded(&t, 4);
+        let mut reader = ShardReader::new(&bytes[..]).unwrap();
+        // Provisional meta is readable before any frame.
+        assert_eq!(reader.meta().workload, "stream-unit");
+        let shards: Vec<Shard> = reader.by_ref().map(|s| s.unwrap()).collect();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(
+            shards.iter().map(|s| s.samples.len()).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        assert_eq!(shards[2].index, 2);
+        assert!(reader.is_finished());
+        // Trailer patched the totals.
+        assert_eq!(reader.meta().total_loads, t.meta.total_loads);
+        assert_eq!(
+            reader.meta().total_instrumented_loads,
+            t.meta.total_instrumented_loads
+        );
+    }
+
+    #[test]
+    fn trailer_patches_provisional_totals() {
+        // Simulate a live collector: provisional meta with zero totals,
+        // real totals only in the trailer.
+        let t = mk_trace(6, 5);
+        let mut provisional = t.meta.clone();
+        provisional.total_loads = 0;
+        provisional.total_instrumented_loads = 0;
+        let mut w = ShardWriter::new(Vec::new(), &provisional).unwrap();
+        for chunk in t.samples.chunks(2) {
+            w.write_shard(chunk).unwrap();
+        }
+        assert_eq!(w.shards(), 3);
+        assert_eq!(w.samples(), 6);
+        let bytes = w.finish(42_000, 777).unwrap();
+        let mut r = ShardReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.meta().total_loads, 0);
+        for s in r.by_ref() {
+            s.unwrap();
+        }
+        assert_eq!(r.meta().total_loads, 42_000);
+        assert_eq!(r.meta().total_instrumented_loads, 777);
+    }
+
+    #[test]
+    fn truncated_frame_names_failing_shard() {
+        let t = mk_trace(9, 20);
+        let bytes = encode_sharded(&t, 3);
+        let cut = &bytes[..bytes.len() - 30];
+        let reader = ShardReader::new(cut).unwrap();
+        let results: Vec<Result<Shard, ModelError>> = reader.collect();
+        let last = results.last().unwrap();
+        match last {
+            Err(e) => {
+                assert_eq!(e.shard_index(), Some(2), "got {e}");
+            }
+            Ok(_) => panic!("truncated container must error"),
+        }
+        // Earlier shards still decoded.
+        assert!(results[0].is_ok() && results[1].is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_is_an_error_not_silence() {
+        let t = mk_trace(4, 10);
+        let full = encode_sharded(&t, 2);
+        // Drop the terminator + trailer entirely.
+        let bytes = &full[..full.len() - 3];
+        let reader = ShardReader::new(bytes).unwrap();
+        let results: Vec<Result<Shard, ModelError>> = reader.collect();
+        assert!(results.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn corrupt_frame_count_is_rejected_without_allocating() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, VERSION_SHARDED, KIND_SHARDED);
+        put_meta(&mut buf, &TraceMeta::new("corrupt", 1000, 4096));
+        // Frame of 3 bytes claiming an absurd sample count.
+        let mut payload = BytesMut::new();
+        put_varint(&mut payload, u64::MAX >> 1);
+        put_varint(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(&payload);
+        let reader = ShardReader::new(&buf[..]).unwrap();
+        let results: Vec<Result<Shard, ModelError>> = reader.collect();
+        match results.last().unwrap() {
+            Err(e) => assert_eq!(e.shard_index(), Some(0)),
+            Ok(_) => panic!("corrupt count must error"),
+        }
+    }
+
+    #[test]
+    fn v1_container_is_rejected_with_version_error() {
+        let t = mk_trace(2, 4);
+        let v1 = encode_sampled(&t);
+        match ShardReader::new(v1.as_slice()) {
+            Err(ModelError::BadHeader { detail }) => assert!(detail.contains("version")),
+            Err(other) => panic!("expected BadHeader, got {other:?}"),
+            Ok(_) => panic!("v1 container must be rejected"),
+        }
+    }
+
+    #[test]
+    fn v2_container_is_rejected_by_v1_decoder() {
+        let t = mk_trace(2, 4);
+        let v2 = encode_sharded(&t, 2);
+        assert!(matches!(
+            crate::io::decode_sampled(Bytes::from(v2)),
+            Err(ModelError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_fuses_after_error() {
+        let t = mk_trace(4, 10);
+        let bytes = encode_sharded(&t, 2);
+        let cut = &bytes[..bytes.len() - 20];
+        let mut reader = ShardReader::new(cut).unwrap();
+        let mut saw_err = false;
+        for s in reader.by_ref() {
+            if s.is_err() {
+                saw_err = true;
+            }
+        }
+        assert!(saw_err);
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none());
+    }
+}

@@ -114,8 +114,22 @@ impl StreamSampler {
         self.loads
     }
 
-    /// Finish: flush a trailing partial sample and build the trace.
-    pub fn finish(mut self, workload: &str) -> (SampledTrace, StreamStats) {
+    /// Number of completed samples awaiting collection.
+    pub fn completed_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Drain the samples completed so far without ending collection —
+    /// the streaming ingest path encodes them shard-by-shard as they
+    /// appear instead of letting the whole trace pile up here.
+    pub fn take_completed(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// Finish, returning the trace parts instead of an assembled trace:
+    /// final metadata, any samples not yet drained (including the
+    /// flushed trailing partial sample), and collection stats.
+    pub fn finish_parts(mut self, workload: &str) -> (TraceMeta, Vec<Sample>, StreamStats) {
         if !self.items.is_empty() {
             let accesses = self.snapshot();
             self.samples.push(Sample::new(accesses, self.loads));
@@ -123,19 +137,23 @@ impl StreamSampler {
         let mut meta = TraceMeta::new(workload, self.cfg.period, self.cfg.buffer_bytes);
         meta.total_loads = self.loads;
         meta.total_instrumented_loads = self.ptwrites_executed;
+        let stats = StreamStats {
+            packets: self.stats,
+            total_loads: self.loads,
+            ptwrites_executed: self.ptwrites_executed,
+            ptwrites_enabled: self.ptwrites_enabled,
+        };
+        (meta, self.samples, stats)
+    }
+
+    /// Finish: flush a trailing partial sample and build the trace.
+    pub fn finish(self, workload: &str) -> (SampledTrace, StreamStats) {
+        let (meta, samples, stats) = self.finish_parts(workload);
         let mut trace = SampledTrace::new(meta);
-        for s in self.samples {
+        for s in samples {
             trace.push_sample(s).expect("samples are produced in order");
         }
-        (
-            trace,
-            StreamStats {
-                packets: self.stats,
-                total_loads: self.loads,
-                ptwrites_executed: self.ptwrites_executed,
-                ptwrites_enabled: self.ptwrites_enabled,
-            },
-        )
+        (trace, stats)
     }
 }
 
@@ -241,6 +259,28 @@ mod tests {
         for t in 0..n {
             s.on_load(Ip(0x400), 0x10_0000 + (t % 256) * 64, true, 1);
         }
+    }
+
+    #[test]
+    fn drained_samples_match_monolithic_finish() {
+        let mut cfg = SamplerConfig::microbench();
+        cfg.period = 1000;
+        let mut whole = StreamSampler::new(cfg.clone());
+        let mut drained = StreamSampler::new(cfg);
+        let mut collected = Vec::new();
+        for t in 0..10_000u64 {
+            whole.on_load(Ip(0x400), 0x10_0000 + (t % 256) * 64, true, 1);
+            drained.on_load(Ip(0x400), 0x10_0000 + (t % 256) * 64, true, 1);
+            if drained.completed_samples() >= 3 {
+                collected.extend(drained.take_completed());
+            }
+        }
+        let (trace, whole_stats) = whole.finish("w");
+        let (meta, tail, drained_stats) = drained.finish_parts("w");
+        collected.extend(tail);
+        assert_eq!(meta, trace.meta);
+        assert_eq!(collected, trace.samples);
+        assert_eq!(drained_stats.total_loads, whole_stats.total_loads);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property-based equivalence of the streaming/sharded ingest path:
+//! the sharded v2 container round-trips arbitrary traces, and the
+//! incremental `StreamingAnalyzer` reproduces the resident `Analyzer`
+//! field for field, bit for bit, for any shard size and thread count.
+
+use memgaze::analysis::{
+    locality_vs_interval_with, reuse_histogram_from, stream_resident_trace, AnalysisConfig,
+    Analyzer,
+};
+use memgaze::model::{
+    decode_sharded, encode_sharded, Access, AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass,
+    Sample, SampledTrace, ShardReader, SymbolTable, TraceMeta,
+};
+use proptest::prelude::*;
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    (0u64..64, 0u64..(1 << 16), 0u64..(1 << 20))
+        .prop_map(|(ip, addr, t)| Access::new(0x400 + ip * 4, 0x10_0000 + addr * 8, t))
+}
+
+fn arb_window(max: usize) -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec(arb_access(), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|a| a.time);
+        v
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = SampledTrace> {
+    prop::collection::vec(arb_window(120), 0..10).prop_map(|windows| {
+        let mut t = SampledTrace::new(TraceMeta::new("prop", 10_000, 8192));
+        let mut offset = 0u64;
+        for w in windows {
+            let shifted: Vec<Access> = w
+                .iter()
+                .map(|a| Access::new(a.ip, a.addr, a.time + offset))
+                .collect();
+            let trigger = shifted.last().map_or(offset, |a| a.time + 1);
+            t.push_sample(Sample::new(shifted, trigger)).unwrap();
+            offset = trigger + 10_000;
+        }
+        t.meta.total_loads = offset;
+        t
+    })
+}
+
+/// Annotations and symbols covering the ip range `arb_access` draws
+/// from, mixing strided/irregular/constant classes across two functions.
+fn fixtures() -> (AuxAnnotations, SymbolTable) {
+    let mut annots = AuxAnnotations::new();
+    for k in 0..64u64 {
+        let ip = Ip(0x400 + k * 4);
+        let (class, func) = match k % 3 {
+            0 => (LoadClass::Strided, FunctionId(0)),
+            1 => (LoadClass::Irregular, FunctionId(if k < 32 { 0 } else { 1 })),
+            _ => (LoadClass::Constant, FunctionId(1)),
+        };
+        let mut an = IpAnnot::of_class(class, func);
+        an.implied_const = (k % 5) as u32;
+        annots.insert(ip, an);
+    }
+    let mut symbols = SymbolTable::new();
+    symbols.add_function("alpha", Ip(0x400), Ip(0x480), "p.c");
+    symbols.add_function("beta", Ip(0x480), Ip(0x500), "p.c");
+    (annots, symbols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The sharded v2 container round-trips arbitrary traces at any
+    /// shard size, and the shard iterator re-yields the exact samples.
+    #[test]
+    fn sharded_container_roundtrips(t in arb_trace(), shard in 1usize..40) {
+        let bytes = encode_sharded(&t, shard);
+        let back = decode_sharded(&bytes).unwrap();
+        prop_assert_eq!(&back, &t);
+
+        let mut reader = ShardReader::new(bytes.as_slice()).unwrap();
+        let mut samples = Vec::new();
+        for s in reader.by_ref() {
+            samples.extend(s.unwrap().samples);
+        }
+        prop_assert_eq!(&samples, &t.samples);
+        prop_assert_eq!(reader.meta(), &t.meta);
+    }
+
+    /// Streaming analysis equals resident analysis field for field, for
+    /// random traces, shard sizes, and worker counts.
+    #[test]
+    fn streaming_report_matches_resident(
+        t in arb_trace(),
+        shard in 1usize..24,
+        threads in 1usize..5,
+    ) {
+        let (annots, symbols) = fixtures();
+        let cfg = AnalysisConfig::default();
+        let sizes = [8u64, 32];
+        let resident = Analyzer::new(&t, &annots, &symbols)
+            .with_config(AnalysisConfig { threads: 1, ..cfg });
+        let report = stream_resident_trace(
+            &t,
+            &annots,
+            &symbols,
+            AnalysisConfig { threads, ..cfg },
+            &sizes,
+            shard,
+        );
+        prop_assert_eq!(report.decompression, resident.decompression());
+        prop_assert_eq!(&report.function_rows[..], resident.function_table());
+        prop_assert_eq!(&report.block_reuse, resident.block_reuse());
+        prop_assert_eq!(
+            &report.reuse_histogram,
+            &reuse_histogram_from(resident.sample_reuse())
+        );
+        prop_assert_eq!(
+            &report.locality_series,
+            &locality_vs_interval_with(&t, &annots, cfg.reuse_block, &sizes, 1)
+        );
+        for n in [1usize, 4] {
+            prop_assert_eq!(report.interval_rows(n), resident.interval_rows(n));
+        }
+    }
+}

@@ -32,9 +32,33 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Drop the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
     /// Freeze into an immutable, shareable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.vec)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.vec
     }
 }
 
