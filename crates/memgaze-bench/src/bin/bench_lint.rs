@@ -1,0 +1,124 @@
+//! BENCH_lint: static verification + differential classification check
+//! over every generated module.
+//!
+//! Runs `lint_module` (IR verifier, abstract-interpretation differential
+//! against the dataflow classifier, instrumentation-plan checker) on the
+//! full O0/O3 microbenchmark suites and a set of synthetic
+//! application-shaped modules, and records per-module lint time, the
+//! oracle agreement rate, and — the acceptance bar — that there are zero
+//! unsound disagreements and zero error-severity diagnostics.
+
+use memgaze_analysis::Table;
+use memgaze_bench::{emit, scales, synthetic_module, timed};
+use memgaze_instrument::{lint_module, DiffSummary, InstrumentConfig};
+use memgaze_isa::codegen::{self, OptLevel};
+use memgaze_isa::{LoadModule, Severity};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LintRow {
+    module: String,
+    loads: u64,
+    agree: u64,
+    absint_unknown: u64,
+    lost_compression: u64,
+    unsound: u64,
+    errors: usize,
+    warnings: usize,
+    lint_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    rows: Vec<LintRow>,
+    total: DiffSummary,
+    agreement_rate: f64,
+    total_errors: usize,
+    total_warnings: usize,
+}
+
+fn modules() -> Vec<(String, LoadModule)> {
+    let sc = scales::from_env();
+    let mut out = Vec::new();
+    for opt in [OptLevel::O0, OptLevel::O3] {
+        for spec in codegen::standard_suite(opt, sc.micro_elems, sc.micro_reps) {
+            let m = codegen::generate(&spec);
+            out.push((m.name.clone(), m));
+        }
+    }
+    for (procs, loads) in [(4usize, 9usize), (16, 12), (64, 9), (256, 12)] {
+        let m = synthetic_module(procs, loads);
+        out.push((m.name.clone(), m));
+    }
+    out
+}
+
+fn main() {
+    let config = InstrumentConfig::default();
+    let mut rows = Vec::new();
+    let mut total = DiffSummary::default();
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+
+    for (name, module) in modules() {
+        let (lint_ms, report) = timed(|| lint_module(&module, &config));
+        let errors = report.count(Severity::Error);
+        let warnings = report.count(Severity::Warning);
+        for d in &report.diagnostics {
+            eprintln!("{d}");
+        }
+        total.merge(&report.differential);
+        total_errors += errors;
+        total_warnings += warnings;
+        let d = report.differential;
+        rows.push(LintRow {
+            module: name,
+            loads: d.loads,
+            agree: d.agree,
+            absint_unknown: d.absint_unknown,
+            lost_compression: d.lost_compression,
+            unsound: d.unsound,
+            errors,
+            warnings,
+            lint_ms,
+        });
+    }
+
+    let mut table = Table::new(
+        "BENCH_lint: verifier + differential classification check",
+        &[
+            "Module", "loads", "agree", "unknown", "lost", "unsound", "err", "warn", "ms",
+        ],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.module.clone(),
+            r.loads.to_string(),
+            r.agree.to_string(),
+            r.absint_unknown.to_string(),
+            r.lost_compression.to_string(),
+            r.unsound.to_string(),
+            r.errors.to_string(),
+            r.warnings.to_string(),
+            format!("{:.2}", r.lint_ms),
+        ]);
+    }
+
+    let payload = Payload {
+        agreement_rate: total.agreement_rate(),
+        total_errors,
+        total_warnings,
+        total,
+        rows,
+    };
+    emit("BENCH_lint", &table, &payload);
+    println!(
+        "agreement rate {:.3} over {} loads; {} unsound, {} errors",
+        payload.agreement_rate, payload.total.loads, payload.total.unsound, payload.total_errors
+    );
+    assert_eq!(
+        payload.total.unsound, 0,
+        "unsound differential disagreement"
+    );
+    assert_eq!(payload.total_errors, 0, "error-severity lint diagnostics");
+}

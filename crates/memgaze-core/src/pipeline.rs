@@ -159,6 +159,27 @@ impl MemGaze {
         bench: &MicroBench,
     ) -> Result<MicroReport, Box<dyn std::error::Error>> {
         let module = bench.module();
+        // Opt-in verification gate: with MEMGAZE_VERIFY=1, the module is
+        // linted (IR verifier + differential classification + plan
+        // checker) and the run aborts on any error-severity diagnostic.
+        if std::env::var("MEMGAZE_VERIFY").is_ok_and(|v| v == "1") {
+            let report = memgaze_instrument::lint_module(&module, &self.cfg.instrument);
+            if report.has_errors() {
+                let msgs: Vec<String> = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == memgaze_isa::Severity::Error)
+                    .map(|d| d.to_string())
+                    .collect();
+                return Err(format!(
+                    "MEMGAZE_VERIFY: {} lint error(s) in module '{}':\n{}",
+                    msgs.len(),
+                    module.name,
+                    msgs.join("\n")
+                )
+                .into());
+            }
+        }
         let inst = Instrumenter::new(self.cfg.instrument.clone()).instrument(&module);
         let main = inst
             .module

@@ -27,10 +27,12 @@
 //! ```
 
 pub mod classify;
+pub mod lint;
 pub mod plan;
 pub mod rewrite;
 
 pub use classify::{ClassifiedLoad, ModuleClassification};
+pub use lint::{lint_module, DiffSummary, LintReport};
 pub use plan::{InstrPlan, PlannedLoad};
 pub use rewrite::{Instrumented, PtwInfo, PtwRole};
 

@@ -1,0 +1,665 @@
+//! Lint framework: differential classification checking and the
+//! instrumentation-plan checker.
+//!
+//! Three layers of defense against silent instrumentation bugs (a load
+//! misclassified as Constant is dropped from the trace and corrupts every
+//! downstream metric — paper §III-B):
+//!
+//! 1. the multi-pass IR verifier of `memgaze_isa::verify`, run over both
+//!    the original and the rewritten module;
+//! 2. a **differential classification pass**: the affine
+//!    abstract-interpretation oracle (`memgaze_isa::absint`) re-derives
+//!    every load's class independently of `dataflow`. Where the oracle
+//!    has a *proof* and the classifier disagrees, that is a bug: a
+//!    provably-striding load classified Constant ([`LintId::UnsoundConstant`])
+//!    would be compressed away unsoundly; a provably-regular load
+//!    classified Irregular ([`LintId::LostCompression`]) costs trace
+//!    bandwidth. Where the oracle has no proof it stays silent —
+//!    `Unknown` is compatible with everything;
+//! 3. an **instrumentation-plan checker** over `rewrite::apply` output:
+//!    `ptwrite` groups are complete and well-ordered, the address remap
+//!    is injective and order-preserving, source-map recovery round-trips
+//!    into the original module, and annotation implied-Constant counts
+//!    reconcile with the plan and per-block load counts.
+
+use crate::classify::ModuleClassification;
+use crate::plan::InstrPlan;
+use crate::rewrite::{Instrumented, PtwInfo, PtwRole};
+use crate::{InstrumentConfig, Instrumenter};
+use memgaze_isa::absint::{AbsInterp, AbsResult};
+use memgaze_isa::verify::{self, Diagnostic, LintId, Severity, Site};
+use memgaze_isa::{AddrKind, DataflowAnalysis, Instr, LoadModule};
+use memgaze_model::{Ip, LoadClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate outcome of the differential classification pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffSummary {
+    /// Static loads compared.
+    pub loads: u64,
+    /// Both oracles prove the same class (and stride, when strided).
+    pub agree: u64,
+    /// The abstract interpreter has no proof (compatible, not counted as
+    /// agreement).
+    pub absint_unknown: u64,
+    /// The oracle proves a strictly more regular class than assigned
+    /// (warnings: compression left on the table).
+    pub lost_compression: u64,
+    /// The oracle's proof contradicts the assigned class or stride
+    /// (errors: the compression would be unsound).
+    pub unsound: u64,
+}
+
+impl DiffSummary {
+    /// Fraction of compared loads where both oracles agree outright.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.loads == 0 {
+            1.0
+        } else {
+            self.agree as f64 / self.loads as f64
+        }
+    }
+
+    /// Fold another summary into this one.
+    pub fn merge(&mut self, other: &DiffSummary) {
+        self.loads += other.loads;
+        self.agree += other.agree;
+        self.absint_unknown += other.absint_unknown;
+        self.lost_compression += other.lost_compression;
+        self.unsound += other.unsound;
+    }
+}
+
+/// Result of linting one module end to end.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Module name.
+    pub module: String,
+    /// All diagnostics from every pass, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Differential classification summary.
+    pub differential: DiffSummary,
+}
+
+impl LintReport {
+    /// Whether any error-severity diagnostic was produced.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Count diagnostics of a severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+}
+
+fn regularity(class: LoadClass) -> u8 {
+    match class {
+        LoadClass::Constant => 2,
+        LoadClass::Strided => 1,
+        LoadClass::Irregular => 0,
+    }
+}
+
+/// Run the differential classification pass over every load of `module`.
+pub fn differential_pass(module: &LoadModule) -> (Vec<Diagnostic>, DiffSummary) {
+    let layout = module.layout();
+    let mut diags = Vec::new();
+    let mut summary = DiffSummary::default();
+    for proc in &module.procs {
+        let df = DataflowAnalysis::analyze(proc);
+        let ai = AbsInterp::analyze(proc);
+        for block in &proc.blocks {
+            for (idx, ins) in block.instrs.iter().enumerate() {
+                let Instr::Load { addr, .. } = ins else {
+                    continue;
+                };
+                let kind = df.load_kind(block.id, idx).expect("classified load");
+                let res = ai.load_result(block.id, idx).expect("analyzed load");
+                summary.loads += 1;
+                let site = || {
+                    Site::instr(
+                        &module.name,
+                        proc.id,
+                        block.id,
+                        idx,
+                        Some(layout.ip_of(proc.id, block.id, idx)),
+                    )
+                };
+                let Some(ai_class) = AbsInterp::proven_class(res, addr) else {
+                    summary.absint_unknown += 1;
+                    continue;
+                };
+                let df_class = kind.to_load_class();
+                if ai_class == df_class {
+                    // Same class; for Strided both sides carry a stride —
+                    // they must be the same number.
+                    if let (AddrKind::Strided { stride }, AbsResult::Proven { stride: s }) =
+                        (kind, res)
+                    {
+                        if stride != s {
+                            summary.unsound += 1;
+                            diags.push(Diagnostic::error(
+                                LintId::StrideMismatch,
+                                site(),
+                                format!(
+                                    "{}: classifier stride {stride} but abstract \
+                                     interpretation proves {s}",
+                                    proc.name
+                                ),
+                            ));
+                            continue;
+                        }
+                    }
+                    summary.agree += 1;
+                } else if regularity(ai_class) < regularity(df_class) {
+                    // Oracle proves the address is LESS regular than the
+                    // classifier claims: compression would drop packets.
+                    summary.unsound += 1;
+                    let lint = if df_class == LoadClass::Constant {
+                        LintId::UnsoundConstant
+                    } else {
+                        LintId::UnsoundStrided
+                    };
+                    diags.push(Diagnostic::error(
+                        lint,
+                        site(),
+                        format!(
+                            "{}: classified {df_class:?} but abstract interpretation \
+                             proves {ai_class:?} ({res:?})",
+                            proc.name
+                        ),
+                    ));
+                } else {
+                    summary.lost_compression += 1;
+                    diags.push(Diagnostic::warning(
+                        LintId::LostCompression,
+                        site(),
+                        format!(
+                            "{}: classified {df_class:?} but abstract interpretation \
+                             proves {ai_class:?} ({res:?}) — compression left unused",
+                            proc.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    (diags, summary)
+}
+
+/// Check `rewrite::apply` output against the plan it was built from.
+///
+/// `classification` and `plan` must be recomputed from the *original*
+/// module with the same `config` (they are deterministic).
+pub fn check_instrumented(
+    orig: &LoadModule,
+    inst: &Instrumented,
+    classification: &ModuleClassification,
+    plan: &InstrPlan,
+    config: &InstrumentConfig,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let name = &inst.module.name;
+    let orig_layout = orig.layout();
+    let new_layout = inst.module.layout();
+
+    // --- ptwrite groups ---------------------------------------------------
+    // Group ptw_map entries by the load they instrument; BTreeMap keys are
+    // new addresses, so each group comes out in address order.
+    let mut groups: BTreeMap<Ip, Vec<(Ip, PtwInfo)>> = BTreeMap::new();
+    for (&ip, &info) in &inst.ptw_map {
+        groups.entry(info.load_ip).or_default().push((ip, info));
+    }
+    for (&load_ip, decision) in plan.iter() {
+        let cl = classification
+            .get(load_ip)
+            .expect("planned load classified");
+        let site = || Site::instr(name, cl.proc, cl.block, cl.idx, Some(load_ip));
+        let expected = if decision.instrument {
+            cl.num_sources
+        } else {
+            0
+        };
+        let group = groups.remove(&load_ip).unwrap_or_default();
+        if group.len() < expected {
+            diags.push(Diagnostic::error(
+                LintId::MissingPtwrite,
+                site(),
+                format!(
+                    "load has {} ptwrites, plan requires {expected}",
+                    group.len()
+                ),
+            ));
+            continue;
+        }
+        if group.len() > expected {
+            diags.push(Diagnostic::error(
+                LintId::DuplicatePtwrite,
+                site(),
+                format!(
+                    "load has {} ptwrites, plan requires {expected}",
+                    group.len()
+                ),
+            ));
+            continue;
+        }
+        // Role order (Base before Index), exactly one `last` on the final
+        // entry, and payload registers matching the addressing mode.
+        let roles: Vec<PtwRole> = group.iter().map(|(_, i)| i.role).collect();
+        let mut expected_roles: Vec<PtwRole> = Vec::new();
+        if base_reg_of(orig, cl.proc, cl.block, cl.idx).is_some() {
+            expected_roles.push(PtwRole::Base);
+        }
+        if index_reg_of(orig, cl.proc, cl.block, cl.idx).is_some() {
+            expected_roles.push(PtwRole::Index);
+        }
+        if expected > 0 && roles != expected_roles {
+            diags.push(Diagnostic::error(
+                LintId::PtwriteGroupOrder,
+                site(),
+                format!("ptwrite roles {roles:?}, expected {expected_roles:?}"),
+            ));
+        }
+        let lasts: Vec<bool> = group.iter().map(|(_, i)| i.last).collect();
+        if expected > 0
+            && (lasts.iter().filter(|&&l| l).count() != 1 || lasts.last() != Some(&true))
+        {
+            diags.push(Diagnostic::error(
+                LintId::PtwriteGroupOrder,
+                site(),
+                format!("bad `last` marking {lasts:?} in ptwrite group"),
+            ));
+        }
+        // Each entry must point at an actual Ptwrite of the right register
+        // placed before the load in the same block.
+        for (ptw_ip, info) in &group {
+            match located_instr(&inst.module, &new_layout, *ptw_ip) {
+                Some(Instr::Ptwrite { src }) => {
+                    let want = match info.role {
+                        PtwRole::Base => base_reg_of(orig, cl.proc, cl.block, cl.idx),
+                        PtwRole::Index => index_reg_of(orig, cl.proc, cl.block, cl.idx),
+                    };
+                    if want != Some(src) {
+                        diags.push(Diagnostic::error(
+                            LintId::OrphanPtwrite,
+                            site(),
+                            format!(
+                                "ptwrite at {ptw_ip} writes {src}, expected {want:?} for \
+                                 role {:?}",
+                                info.role
+                            ),
+                        ));
+                    }
+                }
+                other => diags.push(Diagnostic::error(
+                    LintId::OrphanPtwrite,
+                    site(),
+                    format!("ptw_map entry {ptw_ip} points at {other:?}, not a ptwrite"),
+                )),
+            }
+        }
+    }
+    // Groups not consumed above instrument a load the plan doesn't know.
+    for (load_ip, group) in groups {
+        diags.push(Diagnostic::error(
+            LintId::OrphanPtwrite,
+            Site::module(name),
+            format!("{} ptwrites for unplanned load {load_ip}", group.len()),
+        ));
+    }
+    // Reverse direction: every Ptwrite instruction has a ptw_map entry.
+    for proc in &inst.module.procs {
+        for block in &proc.blocks {
+            for (idx, ins) in block.instrs.iter().enumerate() {
+                if ins.is_ptwrite() {
+                    let ip = new_layout.ip_of(proc.id, block.id, idx);
+                    if !inst.ptw_map.contains_key(&ip) {
+                        diags.push(Diagnostic::error(
+                            LintId::OrphanPtwrite,
+                            Site::instr(name, proc.id, block.id, idx, Some(ip)),
+                            "ptwrite instruction missing from ptw_map".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- source map: total, round-tripping, injective, order-preserving ---
+    let mut remap: Vec<Ip> = Vec::new();
+    for proc in &inst.module.procs {
+        for block in &proc.blocks {
+            for idx in 0..block.len() {
+                let new_ip = new_layout.ip_of(proc.id, block.id, idx);
+                let Some(loc) = inst.source_map.resolve(new_ip) else {
+                    diags.push(Diagnostic::error(
+                        LintId::SourceMapMissing,
+                        Site::instr(name, proc.id, block.id, idx, Some(new_ip)),
+                        "new instruction has no source-map entry".to_string(),
+                    ));
+                    continue;
+                };
+                if orig_layout.locate(loc.orig_ip).is_none() {
+                    diags.push(Diagnostic::error(
+                        LintId::SourceMapDangling,
+                        Site::instr(name, proc.id, block.id, idx, Some(new_ip)),
+                        format!(
+                            "source-map target {} is not an original instruction",
+                            loc.orig_ip
+                        ),
+                    ));
+                    continue;
+                }
+                // Inserted ptwrites legitimately share their load's origin;
+                // every other instruction must map to a distinct original
+                // in the original order.
+                let is_ptw = idx < block.instrs.len() && block.instrs[idx].is_ptwrite();
+                if !is_ptw {
+                    remap.push(loc.orig_ip);
+                }
+            }
+        }
+    }
+    for w in remap.windows(2) {
+        if w[1] == w[0] {
+            diags.push(Diagnostic::error(
+                LintId::RemapNotInjective,
+                Site::module(name),
+                format!("two non-inserted instructions map to original {}", w[0]),
+            ));
+        } else if w[1] < w[0] {
+            diags.push(Diagnostic::error(
+                LintId::RemapOrderViolation,
+                Site::module(name),
+                format!("original order inverted: {} after {}", w[1], w[0]),
+            ));
+        }
+    }
+
+    // --- annotations reconcile with classification and plan ---------------
+    for cl in classification.loads() {
+        let site = || Site::instr(name, cl.proc, cl.block, cl.idx, Some(cl.ip));
+        let Some(a) = inst.annots.get(cl.ip) else {
+            diags.push(Diagnostic::error(
+                LintId::AnnotationMismatch,
+                site(),
+                "load has no annotation".to_string(),
+            ));
+            continue;
+        };
+        if a.class != cl.class() || a.scale != cl.scale || a.offset != cl.disp {
+            diags.push(Diagnostic::error(
+                LintId::AnnotationMismatch,
+                site(),
+                format!(
+                    "annotation (class {:?}, scale {}, offset {}) disagrees with \
+                     classification (class {:?}, scale {}, offset {})",
+                    a.class,
+                    a.scale,
+                    a.offset,
+                    cl.class(),
+                    cl.scale,
+                    cl.disp
+                ),
+            ));
+        }
+        let planned = plan.get(cl.ip).expect("classified load planned");
+        if a.implied_const != planned.implied_const {
+            diags.push(Diagnostic::error(
+                LintId::ImpliedCountMismatch,
+                site(),
+                format!(
+                    "annotation implies {} constant loads, plan says {}",
+                    a.implied_const, planned.implied_const
+                ),
+            ));
+        }
+    }
+    if inst.annots.len() != classification.len() {
+        diags.push(Diagnostic::error(
+            LintId::AnnotationMismatch,
+            Site::module(name),
+            format!(
+                "{} annotations for {} classified loads",
+                inst.annots.len(),
+                classification.len()
+            ),
+        ));
+    }
+    // Per-block conservation (Fig. 2): in a compressed ROI block with any
+    // instrumentation, observed + implied loads reconstruct the block's
+    // static load count.
+    if config.compresses() {
+        for proc in &orig.procs {
+            if !config.in_roi(&proc.name) {
+                continue;
+            }
+            for block in &proc.blocks {
+                let loads: Vec<Ip> = block
+                    .load_positions()
+                    .map(|idx| orig_layout.ip_of(proc.id, block.id, idx))
+                    .collect();
+                if loads.is_empty() {
+                    continue;
+                }
+                let decisions: Vec<_> = loads
+                    .iter()
+                    .map(|ip| plan.get(*ip).expect("planned"))
+                    .collect();
+                let instrumented = decisions.iter().filter(|d| d.instrument).count() as u64;
+                let implied: u64 = decisions.iter().map(|d| d.implied_const as u64).sum();
+                if instrumented > 0 && instrumented + implied != loads.len() as u64 {
+                    diags.push(Diagnostic::error(
+                        LintId::ImpliedCountMismatch,
+                        Site {
+                            proc: Some(proc.id),
+                            block: Some(block.id),
+                            ..Site::module(name)
+                        },
+                        format!(
+                            "{}: block observes {instrumented} + implies {implied} loads \
+                             but contains {}",
+                            proc.name,
+                            loads.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- stats reconcile ---------------------------------------------------
+    let mut counts = (0u64, 0u64, 0u64);
+    for cl in classification.loads() {
+        if !config.in_roi(&orig.proc(cl.proc).name) {
+            continue;
+        }
+        match cl.kind {
+            AddrKind::Constant => counts.0 += 1,
+            AddrKind::Strided { .. } => counts.1 += 1,
+            AddrKind::Irregular => counts.2 += 1,
+        }
+    }
+    let s = &inst.stats;
+    let expect = [
+        ("constant_loads", s.constant_loads, counts.0),
+        ("strided_loads", s.strided_loads, counts.1),
+        ("irregular_loads", s.irregular_loads, counts.2),
+        (
+            "instrumented_loads",
+            s.instrumented_loads,
+            plan.num_instrumented(),
+        ),
+        (
+            "ptwrites_inserted",
+            s.ptwrites_inserted,
+            inst.ptw_map.len() as u64,
+        ),
+        (
+            "blocks",
+            s.blocks,
+            orig.procs.iter().map(|p| p.blocks.len() as u64).sum(),
+        ),
+    ];
+    for (field, got, want) in expect {
+        if got != want {
+            diags.push(Diagnostic::error(
+                LintId::StatsMismatch,
+                Site::module(name),
+                format!("stats.{field} = {got}, recomputed {want}"),
+            ));
+        }
+    }
+    diags
+}
+
+fn located_instr(
+    module: &LoadModule,
+    layout: &memgaze_isa::module::ModuleLayout,
+    ip: Ip,
+) -> Option<Instr> {
+    let (p, b, idx) = layout.locate(ip)?;
+    module.proc(p).block(b).instrs.get(idx).copied()
+}
+
+fn base_reg_of(
+    module: &LoadModule,
+    proc: memgaze_isa::ProcId,
+    block: memgaze_isa::BlockId,
+    idx: usize,
+) -> Option<memgaze_isa::Reg> {
+    module.proc(proc).block(block).instrs[idx]
+        .addr_mode()
+        .and_then(|a| a.base)
+}
+
+fn index_reg_of(
+    module: &LoadModule,
+    proc: memgaze_isa::ProcId,
+    block: memgaze_isa::BlockId,
+    idx: usize,
+) -> Option<memgaze_isa::Reg> {
+    module.proc(proc).block(block).instrs[idx]
+        .addr_mode()
+        .and_then(|a| a.index)
+}
+
+/// Lint a module end to end: verify the original IR, run the differential
+/// classification pass, instrument under `config`, verify the rewritten
+/// module, and check the plan artifacts.
+pub fn lint_module(module: &LoadModule, config: &InstrumentConfig) -> LintReport {
+    let mut diagnostics = verify::verify_module(module);
+    let structural_errors = diagnostics.iter().any(|d| d.severity == Severity::Error);
+    let mut differential = DiffSummary::default();
+    // Instrumenting a structurally broken module would panic; stop at the
+    // verifier's findings in that case.
+    if !structural_errors {
+        let (diff_diags, summary) = differential_pass(module);
+        diagnostics.extend(diff_diags);
+        differential = summary;
+
+        let classification = ModuleClassification::analyze(module);
+        let plan = InstrPlan::build(module, &classification, config);
+        let inst = Instrumenter::new(config.clone()).instrument(module);
+        diagnostics.extend(verify::verify_module(&inst.module));
+        diagnostics.extend(check_instrumented(
+            module,
+            &inst,
+            &classification,
+            &plan,
+            config,
+        ));
+    }
+    LintReport {
+        module: module.name.clone(),
+        diagnostics,
+        differential,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_isa::codegen::{self, Compose, OptLevel, Pattern, UKernelSpec};
+
+    fn gen(compose: Compose, opt: OptLevel) -> LoadModule {
+        codegen::generate(&UKernelSpec {
+            compose,
+            elems: 64,
+            reps: 2,
+            opt,
+        })
+    }
+
+    #[test]
+    fn clean_generated_modules_lint_without_errors() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            for compose in [
+                Compose::Single(Pattern::strided(1)),
+                Compose::Single(Pattern::Irregular),
+                Compose::Serial(vec![Pattern::strided(2), Pattern::Irregular]),
+            ] {
+                let m = gen(compose.clone(), opt);
+                let report = lint_module(&m, &InstrumentConfig::default());
+                let errors: Vec<_> = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .collect();
+                assert!(errors.is_empty(), "{opt:?} {compose:?}: {errors:?}");
+                assert_eq!(report.differential.unsound, 0);
+                assert!(report.differential.loads > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn differential_flags_corrupted_annotation() {
+        use memgaze_model::LoadClass;
+        let m = gen(Compose::Single(Pattern::strided(1)), OptLevel::O0);
+        let config = InstrumentConfig::default();
+        let classification = ModuleClassification::analyze(&m);
+        let plan = InstrPlan::build(&m, &classification, &config);
+        let mut inst = Instrumenter::default().instrument(&m);
+        // Flip one annotation's class.
+        let (&ip, annot) = inst.annots.iter().next().expect("has annotations");
+        let mut bad = *annot;
+        bad.class = match bad.class {
+            LoadClass::Constant => LoadClass::Irregular,
+            _ => LoadClass::Constant,
+        };
+        inst.annots.insert(ip, bad);
+        let diags = check_instrumented(&m, &inst, &classification, &plan, &config);
+        assert!(diags.iter().any(|d| d.lint == LintId::AnnotationMismatch));
+    }
+
+    #[test]
+    fn checker_flags_remapped_ptwrite() {
+        let m = gen(Compose::Single(Pattern::Irregular), OptLevel::O3);
+        let config = InstrumentConfig::default();
+        let classification = ModuleClassification::analyze(&m);
+        let plan = InstrPlan::build(&m, &classification, &config);
+        let mut inst = Instrumenter::default().instrument(&m);
+        // Point one ptwrite at a different load.
+        let ips: Vec<Ip> = inst.ptw_map.keys().copied().collect();
+        let loads: Vec<Ip> = inst.ptw_map.values().map(|i| i.load_ip).collect();
+        let victim = ips[0];
+        let other_load = loads.iter().find(|&&l| l != loads[0]).copied().unwrap();
+        inst.ptw_map.get_mut(&victim).unwrap().load_ip = other_load;
+        let diags = check_instrumented(&m, &inst, &classification, &plan, &config);
+        assert!(
+            diags.iter().any(|d| matches!(
+                d.lint,
+                LintId::MissingPtwrite | LintId::DuplicatePtwrite | LintId::PtwriteGroupOrder
+            )),
+            "{diags:?}"
+        );
+    }
+}

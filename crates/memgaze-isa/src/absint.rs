@@ -1,0 +1,780 @@
+//! Abstract interpretation of register values: an affine stride domain
+//! used as a second, independent classification oracle.
+//!
+//! [`crate::dataflow`] classifies loads by pattern-matching induction
+//! variables (single def site `r ← r ± imm`, one level of derivation).
+//! This module proves the same facts a different way: each register is
+//! tracked as an **affine form** over the symbolic register values at
+//! loop-header entry,
+//!
+//! ```text
+//! v  =  Σ_r  coef[r] · r_H  +  konst
+//! ```
+//!
+//! or ⊤ ("no proof"). A fixpoint over the loop body yields, at each
+//! latch, every register's end-of-iteration value in terms of its
+//! header-entry value; a register `r` has a **proven per-iteration
+//! delta** `d` iff every latch ends with `r = r_H + d` (the unit-coef
+//! self-recurrence). A load's address is affine in header values with
+//! coefficients `a`, so its per-iteration stride is `Σ_r a_r · d_r` —
+//! *proven* exactly when every register with `a_r ≠ 0` has a proven
+//! delta.
+//!
+//! Soundness: ⊤ is contagious (any unmodeled operation, memory load,
+//! or call-clobbered scratch register produces ⊤), joins of unequal
+//! forms go to ⊤, body blocks entered from outside the loop are
+//! pessimized to ⊤, and all arithmetic is wrapping (mod 2⁶⁴), matching
+//! the interpreter. The domain therefore never *claims* a stride it
+//! cannot prove; disagreements with `dataflow` where this oracle has a
+//! proof are real classification bugs (see `memgaze-instrument::lint`).
+
+use crate::cfg::Cfg;
+use crate::instr::{AddrMode, BinOp, Instr, Operand};
+use crate::loops::{Loop, LoopForest};
+use crate::proc::{BlockId, Procedure};
+use crate::reg::{Reg, NUM_REGS};
+use serde::{Deserialize, Serialize};
+
+/// An abstract register value: affine over loop-header register values,
+/// or ⊤ (unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// `Σ coef[r] · r_header + konst`, all arithmetic wrapping.
+    Affine {
+        /// Coefficient per register.
+        coef: [i64; NUM_REGS],
+        /// Constant term.
+        konst: i64,
+    },
+    /// No information.
+    Top,
+}
+
+impl AbsVal {
+    fn konst(k: i64) -> AbsVal {
+        AbsVal::Affine {
+            coef: [0; NUM_REGS],
+            konst: k,
+        }
+    }
+
+    /// The symbolic header-entry value of `r`.
+    fn ident(r: Reg) -> AbsVal {
+        let mut coef = [0i64; NUM_REGS];
+        coef[r.index()] = 1;
+        AbsVal::Affine { coef, konst: 0 }
+    }
+
+    fn add(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (
+                AbsVal::Affine { coef: a, konst: x },
+                AbsVal::Affine {
+                    coef: mut b,
+                    konst: y,
+                },
+            ) => {
+                for (bi, ai) in b.iter_mut().zip(a.iter()) {
+                    *bi = bi.wrapping_add(*ai);
+                }
+                AbsVal::Affine {
+                    coef: b,
+                    konst: x.wrapping_add(y),
+                }
+            }
+            _ => AbsVal::Top,
+        }
+    }
+
+    fn scale(self, k: i64) -> AbsVal {
+        match self {
+            AbsVal::Affine { mut coef, konst } => {
+                for c in coef.iter_mut() {
+                    *c = c.wrapping_mul(k);
+                }
+                AbsVal::Affine {
+                    coef,
+                    konst: konst.wrapping_mul(k),
+                }
+            }
+            AbsVal::Top => AbsVal::Top,
+        }
+    }
+
+    fn neg(self) -> AbsVal {
+        self.scale(-1)
+    }
+
+    /// Constant term of a coefficient-free form, if this is one.
+    fn as_const(self) -> Option<i64> {
+        match self {
+            AbsVal::Affine { coef, konst } if coef.iter().all(|&c| c == 0) => Some(konst),
+            _ => None,
+        }
+    }
+
+    /// Flat-lattice join: equal forms survive, anything else is ⊤.
+    fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Top
+        }
+    }
+}
+
+/// Abstract machine state: one value per register.
+type State = [AbsVal; NUM_REGS];
+
+fn identity_state() -> State {
+    std::array::from_fn(|i| AbsVal::ident(Reg(i as u8)))
+}
+
+fn top_state() -> State {
+    [AbsVal::Top; NUM_REGS]
+}
+
+fn join_states(a: &State, b: &State) -> State {
+    std::array::from_fn(|i| a[i].join(b[i]))
+}
+
+/// Evaluate an address expression in a state.
+fn eval_addr(addr: &AddrMode, st: &State) -> AbsVal {
+    let mut v = AbsVal::konst(addr.disp);
+    if let Some(b) = addr.base {
+        v = v.add(st[b.index()]);
+    }
+    if let Some(i) = addr.index {
+        v = v.add(st[i.index()].scale(addr.scale as i64));
+    }
+    v
+}
+
+/// Transfer one instruction.
+fn transfer(ins: &Instr, st: &mut State) {
+    match ins {
+        Instr::Load { dst, .. } => st[dst.index()] = AbsVal::Top,
+        Instr::Store { .. } | Instr::Ptwrite { .. } | Instr::Nop => {}
+        Instr::MovImm { dst, imm } => st[dst.index()] = AbsVal::konst(*imm),
+        Instr::Mov { dst, src } => st[dst.index()] = st[src.index()],
+        Instr::Lea { dst, addr } => st[dst.index()] = eval_addr(addr, st),
+        Instr::Bin { op, dst, rhs } => {
+            let lhs = st[dst.index()];
+            let rhs_val = match rhs {
+                Operand::Imm(i) => AbsVal::konst(*i),
+                Operand::Reg(r) => st[r.index()],
+            };
+            st[dst.index()] = match op {
+                BinOp::Add => lhs.add(rhs_val),
+                BinOp::Sub => lhs.add(rhs_val.neg()),
+                BinOp::Mul => match (lhs.as_const(), rhs_val.as_const()) {
+                    (_, Some(k)) => lhs.scale(k),
+                    (Some(k), _) => rhs_val.scale(k),
+                    _ => AbsVal::Top,
+                },
+                BinOp::Shl => match rhs_val.as_const() {
+                    Some(k) if (0..64).contains(&k) => lhs.scale(1i64.wrapping_shl(k as u32)),
+                    _ => AbsVal::Top,
+                },
+                // Bitwise/shift-right/remainder: foldable only when both
+                // sides are literal constants; otherwise no affine form.
+                BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shr | BinOp::Rem => {
+                    match (lhs.as_const(), rhs_val.as_const()) {
+                        (Some(a), Some(b)) => {
+                            let (a, b) = (a as u64, b as u64);
+                            let v = match op {
+                                BinOp::And => a & b,
+                                BinOp::Or => a | b,
+                                BinOp::Xor => a ^ b,
+                                BinOp::Shr => {
+                                    if b < 64 {
+                                        a >> b
+                                    } else {
+                                        0
+                                    }
+                                }
+                                BinOp::Rem => {
+                                    if b == 0 {
+                                        0
+                                    } else {
+                                        a % b
+                                    }
+                                }
+                                _ => unreachable!(),
+                            };
+                            AbsVal::konst(v as i64)
+                        }
+                        _ => AbsVal::Top,
+                    }
+                }
+            };
+        }
+        Instr::Call { .. } => {
+            // Calls clobber the conventional scratch registers r0–r5.
+            for v in st.iter_mut().take(6) {
+                *v = AbsVal::Top;
+            }
+        }
+    }
+}
+
+/// What the abstract interpreter proves about one load's address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbsResult {
+    /// The address is affine in proven-recurrence registers: its
+    /// per-iteration delta in the innermost enclosing loop is exactly
+    /// `stride` bytes (0 means the address repeats every iteration).
+    Proven {
+        /// Per-iteration address delta in bytes.
+        stride: i64,
+    },
+    /// In a loop, but no proof (some contributing register is ⊤ or has
+    /// no self-recurrence).
+    Unknown,
+    /// Not inside any natural loop.
+    NoLoop,
+}
+
+/// Per-procedure abstract-interpretation results for every load.
+#[derive(Debug, Clone)]
+pub struct AbsInterp {
+    /// `results[block][instr]` is `Some(result)` iff that instruction is
+    /// a load.
+    results: Vec<Vec<Option<AbsResult>>>,
+}
+
+/// Per-loop analysis: block in-states and proven per-register deltas.
+struct LoopStates {
+    /// Fixpoint in-state per body block (indexed by block id).
+    in_states: Vec<Option<State>>,
+    /// Proven per-iteration delta per register (`None` = no proof).
+    deltas: [Option<i64>; NUM_REGS],
+}
+
+fn analyze_loop(proc: &Procedure, cfg: &Cfg, l: &Loop) -> LoopStates {
+    let n = proc.blocks.len();
+    let mut in_states: Vec<Option<State>> = vec![None; n];
+    in_states[l.header.index()] = Some(identity_state());
+    // Body blocks entered from outside the loop (other than the header)
+    // get no guarantees.
+    for &b in &l.body {
+        if b != l.header && cfg.preds(b).iter().any(|p| !l.body.contains(p)) {
+            in_states[b.index()] = Some(top_state());
+        }
+    }
+    let order: Vec<BlockId> = cfg
+        .rpo()
+        .iter()
+        .copied()
+        .filter(|b| l.contains(*b))
+        .collect();
+    // Flat lattice (unvisited → affine → ⊤) with monotone transfers:
+    // the fixpoint terminates in O(body · NUM_REGS) joins.
+    let mut out_states: Vec<Option<State>> = vec![None; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let inn = if b == l.header {
+                identity_state()
+            } else if cfg.preds(b).iter().any(|p| !l.body.contains(p)) {
+                top_state()
+            } else {
+                let mut acc: Option<State> = None;
+                for &p in cfg.preds(b) {
+                    if let Some(ref o) = out_states[p.index()] {
+                        acc = Some(match acc {
+                            None => *o,
+                            Some(a) => join_states(&a, o),
+                        });
+                    }
+                }
+                match acc {
+                    Some(a) => a,
+                    None => continue, // no pred processed yet
+                }
+            };
+            if in_states[b.index()] != Some(inn) {
+                in_states[b.index()] = Some(inn);
+                changed = true;
+            }
+            let mut st = inn;
+            for ins in &proc.block(b).instrs {
+                transfer(ins, &mut st);
+            }
+            if out_states[b.index()] != Some(st) {
+                out_states[b.index()] = Some(st);
+                changed = true;
+            }
+        }
+    }
+    // A register's delta is proven iff every latch (body block branching
+    // back to the header) ends the iteration with the unit-coefficient
+    // self-recurrence `r = r_header + d`, with one `d` across latches.
+    let mut deltas: [Option<i64>; NUM_REGS] = [None; NUM_REGS];
+    let latches: Vec<BlockId> = l
+        .body
+        .iter()
+        .copied()
+        .filter(|&b| cfg.succs(b).contains(&l.header))
+        .collect();
+    for r in 0..NUM_REGS {
+        let mut proven: Option<i64> = None;
+        let mut ok = !latches.is_empty();
+        for &latch in &latches {
+            let d = out_states[latch.index()]
+                .as_ref()
+                .and_then(|st| match st[r] {
+                    AbsVal::Affine { coef, konst } => {
+                        let unit = coef
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &c)| c == i64::from(i == r));
+                        unit.then_some(konst)
+                    }
+                    AbsVal::Top => None,
+                });
+            match (d, proven) {
+                (Some(d), None) => proven = Some(d),
+                (Some(d), Some(p)) if d == p => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            deltas[r] = proven;
+        }
+    }
+    LoopStates { in_states, deltas }
+}
+
+impl AbsInterp {
+    /// Analyze a procedure.
+    pub fn analyze(proc: &Procedure) -> AbsInterp {
+        let cfg = Cfg::build(proc);
+        let forest = LoopForest::build(proc, &cfg);
+        Self::analyze_with(proc, &cfg, &forest)
+    }
+
+    /// Analyze with a precomputed CFG and loop forest.
+    pub fn analyze_with(proc: &Procedure, cfg: &Cfg, forest: &LoopForest) -> AbsInterp {
+        // One fixpoint per loop that is innermost for at least one block.
+        let mut per_loop: Vec<Option<LoopStates>> = (0..forest.loops.len()).map(|_| None).collect();
+        for b in &proc.blocks {
+            if let Some(l) = forest.innermost(b.id) {
+                let li = forest
+                    .loops
+                    .iter()
+                    .position(|x| std::ptr::eq(x, l))
+                    .expect("loop from forest");
+                if per_loop[li].is_none() {
+                    per_loop[li] = Some(analyze_loop(proc, cfg, l));
+                }
+            }
+        }
+
+        let mut results = Vec::with_capacity(proc.blocks.len());
+        for blk in &proc.blocks {
+            let mut row = Vec::with_capacity(blk.instrs.len());
+            let states = forest.innermost(blk.id).and_then(|l| {
+                let li = forest.loops.iter().position(|x| std::ptr::eq(x, l))?;
+                per_loop[li].as_ref()
+            });
+            match states {
+                None => {
+                    for ins in &blk.instrs {
+                        row.push(ins.is_load().then_some(AbsResult::NoLoop));
+                    }
+                }
+                Some(ls) => {
+                    let mut st = match ls.in_states[blk.id.index()] {
+                        Some(s) => s,
+                        None => top_state(),
+                    };
+                    for ins in &blk.instrs {
+                        let res = if let Instr::Load { addr, .. } = ins {
+                            Some(match eval_addr(addr, &st) {
+                                AbsVal::Affine { coef, .. } => {
+                                    let mut stride = Some(0i64);
+                                    for (r, &c) in coef.iter().enumerate() {
+                                        if c == 0 {
+                                            continue;
+                                        }
+                                        stride = match (stride, ls.deltas[r]) {
+                                            (Some(s), Some(d)) => {
+                                                Some(s.wrapping_add(c.wrapping_mul(d)))
+                                            }
+                                            _ => None,
+                                        };
+                                    }
+                                    match stride {
+                                        Some(s) => AbsResult::Proven { stride: s },
+                                        None => AbsResult::Unknown,
+                                    }
+                                }
+                                AbsVal::Top => AbsResult::Unknown,
+                            })
+                        } else {
+                            None
+                        };
+                        row.push(res);
+                        transfer(ins, &mut st);
+                    }
+                }
+            }
+            results.push(row);
+        }
+        AbsInterp { results }
+    }
+
+    /// The result for the load at `(block, idx)`, or `None` if that
+    /// instruction is not a load.
+    pub fn load_result(&self, block: BlockId, idx: usize) -> Option<AbsResult> {
+        self.results
+            .get(block.index())
+            .and_then(|row| row.get(idx))
+            .copied()
+            .flatten()
+    }
+
+    /// Collapse a result to a definite load class, when one is proven.
+    ///
+    /// Applies the same structural rule as `dataflow`: a zero-stride
+    /// (loop-invariant) or loop-free address is Constant only for scalar
+    /// frame/global addressing, Irregular otherwise. `Unknown` yields
+    /// `None` — the oracle declines to classify rather than guess.
+    pub fn proven_class(res: AbsResult, addr: &AddrMode) -> Option<memgaze_model::LoadClass> {
+        use memgaze_model::LoadClass;
+        match res {
+            AbsResult::Proven { stride: 0 } | AbsResult::NoLoop => {
+                Some(if addr.is_scalar_frame_or_global() {
+                    LoadClass::Constant
+                } else {
+                    LoadClass::Irregular
+                })
+            }
+            AbsResult::Proven { .. } => Some(LoadClass::Strided),
+            AbsResult::Unknown => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{CmpOp, Terminator};
+    use crate::proc::{BasicBlock, ProcId};
+
+    fn loop_proc(body_instrs: Vec<Instr>, latch_reg: Reg) -> Procedure {
+        Procedure {
+            id: ProcId(0),
+            name: "k".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: BlockId(0),
+                    instrs: vec![
+                        Instr::MovImm {
+                            dst: Reg::gp(0),
+                            imm: 0,
+                        },
+                        Instr::MovImm {
+                            dst: Reg::gp(1),
+                            imm: 0x1000,
+                        },
+                    ],
+                    term: Terminator::Jmp(BlockId(1)),
+                    src_line: 1,
+                },
+                BasicBlock {
+                    id: BlockId(1),
+                    instrs: body_instrs,
+                    term: Terminator::Br {
+                        lhs: latch_reg,
+                        op: CmpOp::Lt,
+                        rhs: Operand::Imm(100),
+                        taken: BlockId(1),
+                        not_taken: BlockId(2),
+                    },
+                    src_line: 2,
+                },
+                BasicBlock {
+                    id: BlockId(2),
+                    instrs: vec![],
+                    term: Terminator::Ret,
+                    src_line: 3,
+                },
+            ],
+            entry: BlockId(0),
+            src_file: "k.c".into(),
+        }
+    }
+
+    #[test]
+    fn proves_index_iv_stride() {
+        let (i, a, x) = (Reg::gp(0), Reg::gp(1), Reg::gp(2));
+        let p = loop_proc(
+            vec![
+                Instr::Load {
+                    dst: x,
+                    addr: AddrMode::base_index(a, i, 8, 0),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: i,
+                    rhs: Operand::Imm(1),
+                },
+            ],
+            i,
+        );
+        let ai = AbsInterp::analyze(&p);
+        assert_eq!(
+            ai.load_result(BlockId(1), 0),
+            Some(AbsResult::Proven { stride: 8 })
+        );
+    }
+
+    #[test]
+    fn proves_through_mov_copy() {
+        // j ← mov i; load [a + j*8]; i += 1 — the dataflow analysis
+        // handles this via derived IVs, the affine domain natively.
+        let (i, a, j, x) = (Reg::gp(0), Reg::gp(1), Reg::gp(2), Reg::gp(3));
+        let p = loop_proc(
+            vec![
+                Instr::Mov { dst: j, src: i },
+                Instr::Load {
+                    dst: x,
+                    addr: AddrMode::base_index(a, j, 8, 0),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: i,
+                    rhs: Operand::Imm(1),
+                },
+            ],
+            i,
+        );
+        let ai = AbsInterp::analyze(&p);
+        assert_eq!(
+            ai.load_result(BlockId(1), 1),
+            Some(AbsResult::Proven { stride: 8 })
+        );
+    }
+
+    #[test]
+    fn pointer_chase_is_unknown() {
+        // x ← load [x]: the loaded value is ⊤, so no claim is made.
+        let (i, x, y) = (Reg::gp(0), Reg::gp(1), Reg::gp(2));
+        let p = loop_proc(
+            vec![
+                Instr::Load {
+                    dst: y,
+                    addr: AddrMode::base_disp(x, 0),
+                },
+                Instr::Mov { dst: x, src: y },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: i,
+                    rhs: Operand::Imm(1),
+                },
+            ],
+            i,
+        );
+        let ai = AbsInterp::analyze(&p);
+        assert_eq!(ai.load_result(BlockId(1), 0), Some(AbsResult::Unknown));
+    }
+
+    #[test]
+    fn frame_reload_is_invariant_constant() {
+        let (i, s) = (Reg::gp(0), Reg::gp(2));
+        let p = loop_proc(
+            vec![
+                Instr::Load {
+                    dst: s,
+                    addr: AddrMode::base_disp(Reg::FP, -8),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: i,
+                    rhs: Operand::Imm(1),
+                },
+            ],
+            i,
+        );
+        let ai = AbsInterp::analyze(&p);
+        let res = ai.load_result(BlockId(1), 0).unwrap();
+        assert_eq!(res, AbsResult::Proven { stride: 0 });
+        assert_eq!(
+            AbsInterp::proven_class(res, &AddrMode::base_disp(Reg::FP, -8)),
+            Some(memgaze_model::LoadClass::Constant)
+        );
+    }
+
+    #[test]
+    fn scaled_pointer_bump_proves_wide_stride() {
+        // p += 16 via two +8 increments: still one proven recurrence.
+        let (i, p_reg, x) = (Reg::gp(0), Reg::gp(1), Reg::gp(2));
+        let p = loop_proc(
+            vec![
+                Instr::Load {
+                    dst: x,
+                    addr: AddrMode::base_disp(p_reg, 0),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: p_reg,
+                    rhs: Operand::Imm(8),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: p_reg,
+                    rhs: Operand::Imm(8),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: i,
+                    rhs: Operand::Imm(1),
+                },
+            ],
+            i,
+        );
+        let ai = AbsInterp::analyze(&p);
+        // Two def sites defeat the dataflow IV pattern; the affine domain
+        // composes them into one +16 recurrence.
+        assert_eq!(
+            ai.load_result(BlockId(1), 0),
+            Some(AbsResult::Proven { stride: 16 })
+        );
+        let df = crate::dataflow::DataflowAnalysis::analyze(&p);
+        assert_eq!(
+            df.load_kind(BlockId(1), 0),
+            Some(crate::dataflow::AddrKind::Irregular)
+        );
+    }
+
+    #[test]
+    fn no_loop_loads_are_flagged_no_loop() {
+        let p = Procedure {
+            id: ProcId(0),
+            name: "s".into(),
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                instrs: vec![Instr::Load {
+                    dst: Reg::gp(0),
+                    addr: AddrMode::base_disp(Reg::FP, -16),
+                }],
+                term: Terminator::Ret,
+                src_line: 1,
+            }],
+            entry: BlockId(0),
+            src_file: "s.c".into(),
+        };
+        let ai = AbsInterp::analyze(&p);
+        assert_eq!(ai.load_result(BlockId(0), 0), Some(AbsResult::NoLoop));
+    }
+
+    #[test]
+    fn call_clobbers_scratch() {
+        // Load through r0 after a call in the loop: no claim.
+        let (i, x) = (Reg::gp(6), Reg::gp(7));
+        let p = loop_proc(
+            vec![
+                Instr::Call { proc: ProcId(0) },
+                Instr::Load {
+                    dst: x,
+                    addr: AddrMode::base_disp(Reg::gp(0), 0),
+                },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    dst: i,
+                    rhs: Operand::Imm(1),
+                },
+            ],
+            i,
+        );
+        let ai = AbsInterp::analyze(&p);
+        assert_eq!(ai.load_result(BlockId(1), 1), Some(AbsResult::Unknown));
+    }
+
+    #[test]
+    fn conditional_reset_defeats_invariance_claim() {
+        // i is reset to 0 on one path: joins drive it to ⊤, so a load
+        // indexed by it makes no claim (a naive "invariant" call here
+        // would be unsound).
+        let (i, a, x) = (Reg::gp(0), Reg::gp(1), Reg::gp(2));
+        let p = Procedure {
+            id: ProcId(0),
+            name: "k".into(),
+            blocks: vec![
+                BasicBlock {
+                    id: BlockId(0),
+                    instrs: vec![
+                        Instr::MovImm { dst: i, imm: 0 },
+                        Instr::MovImm {
+                            dst: a,
+                            imm: 0x1000,
+                        },
+                    ],
+                    term: Terminator::Jmp(BlockId(1)),
+                    src_line: 1,
+                },
+                // header: branch on x to 2 or 3
+                BasicBlock {
+                    id: BlockId(1),
+                    instrs: vec![Instr::Load {
+                        dst: x,
+                        addr: AddrMode::base_index(a, i, 8, 0),
+                    }],
+                    term: Terminator::Br {
+                        lhs: x,
+                        op: CmpOp::Eq,
+                        rhs: Operand::Imm(0),
+                        taken: BlockId(2),
+                        not_taken: BlockId(3),
+                    },
+                    src_line: 2,
+                },
+                BasicBlock {
+                    id: BlockId(2),
+                    instrs: vec![Instr::MovImm { dst: i, imm: 0 }],
+                    term: Terminator::Jmp(BlockId(4)),
+                    src_line: 3,
+                },
+                BasicBlock {
+                    id: BlockId(3),
+                    instrs: vec![Instr::Bin {
+                        op: BinOp::Add,
+                        dst: i,
+                        rhs: Operand::Imm(1),
+                    }],
+                    term: Terminator::Jmp(BlockId(4)),
+                    src_line: 4,
+                },
+                // latch
+                BasicBlock {
+                    id: BlockId(4),
+                    instrs: vec![],
+                    term: Terminator::Br {
+                        lhs: i,
+                        op: CmpOp::Lt,
+                        rhs: Operand::Imm(100),
+                        taken: BlockId(1),
+                        not_taken: BlockId(5),
+                    },
+                    src_line: 5,
+                },
+                BasicBlock {
+                    id: BlockId(5),
+                    instrs: vec![],
+                    term: Terminator::Ret,
+                    src_line: 6,
+                },
+            ],
+            entry: BlockId(0),
+            src_file: "k.c".into(),
+        };
+        let ai = AbsInterp::analyze(&p);
+        assert_eq!(ai.load_result(BlockId(1), 0), Some(AbsResult::Unknown));
+    }
+}

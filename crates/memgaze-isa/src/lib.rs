@@ -10,9 +10,12 @@
 //! control-flow analysis (dominators and natural loops, [`cfg`] and
 //! [`loops`]), induction-variable/data-dependence analysis ([`dataflow`]),
 //! an IR [`builder`], microbenchmark code generation at O0/O3 ([`codegen`]),
-//! and an interpreter that executes modules and streams load/`ptwrite`
-//! events ([`interp`]).
+//! an interpreter that executes modules and streams load/`ptwrite` events
+//! ([`interp`]), a multi-pass IR verifier with typed diagnostics
+//! ([`verify`]), and an abstract-interpretation stride domain that serves
+//! as a second classification oracle ([`absint`]).
 
+pub mod absint;
 pub mod builder;
 pub mod cfg;
 pub mod codegen;
@@ -24,7 +27,9 @@ pub mod loops;
 pub mod module;
 pub mod proc;
 pub mod reg;
+pub mod verify;
 
+pub use absint::{AbsInterp, AbsResult};
 pub use builder::{ModuleBuilder, ProcBuilder};
 pub use cfg::Cfg;
 pub use dataflow::{AddrKind, DataflowAnalysis};
@@ -34,3 +39,4 @@ pub use loops::{Loop, LoopForest};
 pub use module::{DataInit, LoadModule};
 pub use proc::{BasicBlock, BlockId, ProcId, Procedure};
 pub use reg::Reg;
+pub use verify::{verify_module, Diagnostic, LintId, Severity, Site, VerifyError};

@@ -14,6 +14,12 @@ use serde::{Deserialize, Serialize};
 /// Bytes occupied by one instruction in the synthetic layout.
 pub const INSTR_BYTES: u64 = 4;
 
+/// Alignment of each procedure's base address. Real linkers align
+/// function entries, so consecutive procedures are separated by padding
+/// whenever code size is not a multiple of this; those padding addresses
+/// belong to no instruction and must not resolve.
+pub const PROC_ALIGN: u64 = 16;
+
 /// Initial contents for a region of the module's data space.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DataInit {
@@ -49,6 +55,9 @@ pub struct ModuleLayout {
     block_base: Vec<Vec<u64>>,
     /// Per procedure, instruction count of each block.
     block_len: Vec<Vec<u64>>,
+    /// One past each procedure's last instruction (excludes the alignment
+    /// padding that may follow before the next procedure's base).
+    proc_code_end: Vec<u64>,
     /// One past the last instruction address.
     end_ip: u64,
 }
@@ -65,14 +74,15 @@ impl ModuleLayout {
         Ip(self.proc_base[proc.index()])
     }
 
-    /// One past the last address of a procedure.
+    /// One past the last instruction of a procedure.
+    ///
+    /// This is the procedure's *code* end, not the next procedure's base:
+    /// with aligned procedure bases the two differ by up to
+    /// `PROC_ALIGN - INSTR_BYTES` bytes of padding, and attributing that
+    /// padding to the preceding procedure would corrupt symbol ranges and
+    /// `locate`.
     pub fn proc_end(&self, proc: ProcId) -> Ip {
-        let i = proc.index();
-        if i + 1 < self.proc_base.len() {
-            Ip(self.proc_base[i + 1])
-        } else {
-            Ip(self.end_ip)
-        }
+        Ip(self.proc_code_end[proc.index()])
     }
 
     /// Locate an instruction address: `(proc, block, index)`.
@@ -86,6 +96,11 @@ impl ModuleLayout {
             return None;
         }
         let proc = p - 1;
+        // Inter-procedure padding: addresses past the proc's last
+        // instruction but before the next proc's base belong to nothing.
+        if raw >= self.proc_code_end[proc] {
+            return None;
+        }
         let blocks = &self.block_base[proc];
         let b = blocks.partition_point(|&bb| bb <= raw);
         if b == 0 {
@@ -176,13 +191,18 @@ impl LoadModule {
         region.words[..words.len()].copy_from_slice(words);
     }
 
-    /// Compute the instruction-address layout.
+    /// Compute the instruction-address layout. Procedure bases are aligned
+    /// to [`PROC_ALIGN`]; the padding between a procedure's code end and
+    /// the next base maps to no instruction.
     pub fn layout(&self) -> ModuleLayout {
         let mut proc_base = Vec::with_capacity(self.procs.len());
         let mut block_base = Vec::with_capacity(self.procs.len());
         let mut block_len = Vec::with_capacity(self.procs.len());
+        let mut proc_code_end = Vec::with_capacity(self.procs.len());
+        debug_assert!(self.base_ip.is_multiple_of(PROC_ALIGN));
         let mut cur = self.base_ip;
         for p in &self.procs {
+            cur = cur.next_multiple_of(PROC_ALIGN);
             proc_base.push(cur);
             let mut bases = Vec::with_capacity(p.blocks.len());
             let mut lens = Vec::with_capacity(p.blocks.len());
@@ -193,11 +213,13 @@ impl LoadModule {
             }
             block_base.push(bases);
             block_len.push(lens);
+            proc_code_end.push(cur);
         }
         ModuleLayout {
             proc_base,
             block_base,
             block_len,
+            proc_code_end,
             end_ip: cur,
         }
     }
@@ -235,24 +257,11 @@ impl LoadModule {
         code + data
     }
 
-    /// Validate all procedures.
-    pub fn validate(&self) -> Result<(), String> {
-        for (i, p) in self.procs.iter().enumerate() {
-            if p.id.index() != i {
-                return Err(format!("proc {i} has id {}", p.id));
-            }
-            p.validate()?;
-            for b in &p.blocks {
-                for ins in &b.instrs {
-                    if let crate::instr::Instr::Call { proc } = ins {
-                        if proc.index() >= self.procs.len() {
-                            return Err(format!("{}: call to missing {proc}", p.name));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
+    /// Validate module structure (proc id density, per-proc structure,
+    /// call targets). Returns the first error as a typed diagnostic; the
+    /// full multi-pass verifier is [`crate::verify::verify_module`].
+    pub fn validate(&self) -> Result<(), crate::verify::VerifyError> {
+        crate::verify::check_structure(self)
     }
 }
 
@@ -313,6 +322,55 @@ mod tests {
         assert_eq!(l.locate(Ip(m.base_ip + 1)), None);
         assert_eq!(l.locate(Ip(0)), None);
         assert_eq!(l.locate(Ip(m.base_ip + l.code_bytes())), None);
+    }
+
+    /// Procs whose code size is not a multiple of `PROC_ALIGN` leave
+    /// padding gaps; gap addresses must resolve to no instruction and no
+    /// symbol (regression: `locate`/`proc_end` used to attribute the gap
+    /// to the preceding procedure).
+    #[test]
+    fn padding_gap_is_rejected() {
+        let mut m = LoadModule::new("m");
+        for (i, name) in ["f", "g"].iter().enumerate() {
+            // 2 instrs + terminator = 3 instructions = 12 bytes → 4-byte
+            // gap before the next 16-aligned proc base.
+            m.add_proc(Procedure {
+                id: ProcId(i as u32),
+                name: (*name).into(),
+                blocks: vec![BasicBlock {
+                    id: BlockId(0),
+                    instrs: vec![
+                        Instr::MovImm {
+                            dst: Reg::gp(0),
+                            imm: 0,
+                        },
+                        Instr::Load {
+                            dst: Reg::gp(1),
+                            addr: AddrMode::base_disp(Reg::gp(0), 0),
+                        },
+                    ],
+                    term: Terminator::Ret,
+                    src_line: 1,
+                }],
+                entry: BlockId(0),
+                src_file: "m.c".into(),
+            });
+        }
+        let l = m.layout();
+        let f_end = l.proc_end(ProcId(0)).raw();
+        let g_base = l.proc_base(ProcId(1)).raw();
+        assert_eq!(f_end, m.base_ip + 3 * INSTR_BYTES);
+        assert_eq!(g_base, m.base_ip + PROC_ALIGN);
+        assert!(f_end < g_base, "expected a padding gap");
+        // Every gap address (aligned or not) resolves to nothing.
+        for gap in f_end..g_base {
+            assert_eq!(l.locate(Ip(gap)), None, "gap ip {gap:#x}");
+        }
+        // And the symbol table does not claim the gap for `f`.
+        let t = m.symbol_table();
+        assert_eq!(t.lookup(Ip(f_end)), None);
+        assert_eq!(t.lookup(Ip(f_end - INSTR_BYTES)).unwrap().name, "f");
+        assert_eq!(t.lookup(Ip(g_base)).unwrap().name, "g");
     }
 
     #[test]

@@ -110,21 +110,9 @@ impl Procedure {
     }
 
     /// Verify structural invariants (ids dense, terminator targets valid).
-    pub fn validate(&self) -> Result<(), String> {
-        if self.entry.index() >= self.blocks.len() {
-            return Err(format!("{}: entry {} out of range", self.name, self.entry));
-        }
-        for (i, b) in self.blocks.iter().enumerate() {
-            if b.id.index() != i {
-                return Err(format!("{}: block {i} has id {}", self.name, b.id));
-            }
-            for s in b.term.successors() {
-                if s.index() >= self.blocks.len() {
-                    return Err(format!("{}: {} targets missing {}", self.name, b.id, s));
-                }
-            }
-        }
-        Ok(())
+    /// Returns the first violation as a typed diagnostic.
+    pub fn validate(&self) -> Result<(), crate::verify::VerifyError> {
+        crate::verify::check_procedure(self, "<proc>")
     }
 }
 

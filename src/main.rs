@@ -73,10 +73,78 @@ fn usage() -> ! {
          memgaze minivite [v1|v2|v3] [--scale N] [--degree N] [--iters N] [--period N]\n  \
          memgaze gap <pr|pr-spmv|cc|cc-sv> [--scale N] [--degree N] [--period N]\n  \
          memgaze darknet <alexnet|resnet152> [--period N]\n  \
+         memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N]\n  \
          memgaze list\n\n\
-         patterns: str<k>, irr, a|b (serial), a/b (conditional), e.g. \"str2|irr\""
+         patterns: str<k>, irr, a|b (serial), a/b (conditional), e.g. \"str2|irr\"\n\
+         lint with no pattern verifies the full O0+O3 suites plus the synthetic\n\
+         workload modules and exits nonzero on any error-severity diagnostic"
     );
     std::process::exit(2);
+}
+
+/// `memgaze lint`: run the IR verifier, the differential classification
+/// pass, and the instrumentation-plan checker over generated modules.
+fn run_lint(args: &Args) -> ! {
+    let elems = args.num("elems", 4096u32);
+    let reps = args.num("reps", 50u32);
+    let mut modules: Vec<memgaze::isa::LoadModule> = Vec::new();
+    if let Some(pattern) = args.positional.get(1) {
+        let opt = match args.get("opt") {
+            Some("O0") => OptLevel::O0,
+            _ => OptLevel::O3,
+        };
+        let bench = MicroBench::parse(pattern, elems, reps, opt).unwrap_or_else(|| usage());
+        modules.push(bench.module());
+    } else {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            for bench in memgaze::workloads::ubench::suite(opt) {
+                modules.push(bench.module());
+            }
+        }
+        // Synthetic application-shaped modules (Table II sizing).
+        for (procs, loads) in [(4, 9), (16, 12), (64, 9)] {
+            modules.push(memgaze_bench::synthetic_module(procs, loads));
+        }
+    }
+
+    let config = memgaze::instrument::InstrumentConfig::default();
+    let mut table = Table::new(
+        "Lint results",
+        &[
+            "Module", "loads", "agree", "unknown", "lost", "unsound", "errors", "warnings",
+        ],
+    );
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut reports = Vec::new();
+    for module in &modules {
+        let report = memgaze::instrument::lint_module(module, &config);
+        let d = &report.differential;
+        table.push_row(vec![
+            report.module.clone(),
+            d.loads.to_string(),
+            d.agree.to_string(),
+            d.absint_unknown.to_string(),
+            d.lost_compression.to_string(),
+            d.unsound.to_string(),
+            report.count(memgaze::isa::Severity::Error).to_string(),
+            report.count(memgaze::isa::Severity::Warning).to_string(),
+        ]);
+        errors += report.count(memgaze::isa::Severity::Error);
+        warnings += report.count(memgaze::isa::Severity::Warning);
+        reports.push(report);
+    }
+    print!("{}", table.render());
+    for report in &reports {
+        for diag in &report.diagnostics {
+            println!("{diag}");
+        }
+    }
+    println!(
+        "\n{} modules linted: {errors} errors, {warnings} warnings",
+        modules.len()
+    );
+    std::process::exit(if errors > 0 { 1 } else { 0 });
 }
 
 fn print_analysis(analyzer: &Analyzer<'_>, name: &str) {
@@ -239,12 +307,14 @@ fn main() {
                 },
             );
         }
+        "lint" => run_lint(&args),
         "list" => {
             println!("workloads:");
             println!("  ubench    — microbenchmarks (str<k>, irr, a|b, a/b) on the IR path");
             println!("  minivite  — Louvain community detection, map variants v1/v2/v3");
             println!("  gap       — PageRank (pr, pr-spmv) and Connected Components (cc, cc-sv)");
             println!("  darknet   — gemm/im2col inference (alexnet, resnet152)");
+            println!("  lint      — static verification of generated modules (no execution)");
         }
         _ => usage(),
     }
