@@ -1,0 +1,1204 @@
+//! Partial-report algebra and wire codec for multi-process fan-out.
+//!
+//! A fan-out coordinator partitions a sharded container's frame ranges
+//! across workers (threads or `memgaze analyze-shard` subprocesses);
+//! each worker runs a [`StreamingAnalyzer`] over its contiguous range
+//! and snapshots it into a [`PartialReport`]
+//! ([`StreamingAnalyzer::into_partial`]). The coordinator folds the
+//! partials **in shard order** with [`PartialReport::merge`] and calls
+//! [`PartialReport::finish`] — the *same* fold the resident streaming
+//! path uses — so fan-out reports are bit-identical to the resident
+//! [`Analyzer`](crate::Analyzer) for every worker count and shard size.
+//!
+//! The merge laws, per artifact:
+//!
+//! * integer counters, footprint set unions, histogram bins, and
+//!   [`BlockReuse`] stats are associative — any grouping agrees;
+//! * `f64` per-sample rows (diagnostics, reuse summaries, locality
+//!   partials) are **concatenated**, never pre-summed, and folded once
+//!   at finish in global sample order;
+//! * cross-boundary exact reuse distances merge through
+//!   [`ReusePartial`]: a segment is summarized by its distinct blocks
+//!   in first-touch order and in last-access order plus its integer
+//!   event/distance sums, which is exactly enough to replay the
+//!   boundary events of two adjacent segments (see
+//!   [`ReusePartial::absorb`]).
+//!
+//! Everything crossing a process boundary uses a hand-rolled,
+//! length-prefixed, FNV-checksummed binary codec (varints + `f64` as
+//! IEEE-754 bits), because serialization here must round-trip **bit
+//! exactly** — JSON would not.
+
+use crate::analyzer::{AnalysisConfig, FunctionRow};
+use crate::confidence::Confidence;
+use crate::diagnostics::FootprintDiagnostics;
+use crate::fxhash::FxHashSet;
+use crate::histogram::{LocalityPoint, Log2Histogram};
+use crate::reuse::BlockReuse;
+use crate::streaming::{
+    IngestStats, ReuseTracker, SampleReuseSummary, StreamingAnalyzer, StreamingReport,
+};
+use memgaze_model::{
+    compression_ratio, fnv1a64, AuxAnnotations, BlockSize, DecompressionInfo, FrameIndex,
+    FunctionId, Ip, IpAnnot, LoadClass, ModelError, SymbolTable, TraceMeta,
+};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+const PARTIAL_MAGIC: &[u8; 4] = b"MGZP";
+const PARTIAL_VERSION: u16 = 1;
+const SPEC_MAGIC: &[u8; 4] = b"MGZS";
+const SPEC_VERSION: u16 = 1;
+
+/// Errors of the partial-report algebra and its wire codec.
+#[derive(Debug)]
+pub enum PartialError {
+    /// Wire data ended prematurely.
+    Truncated {
+        /// What was being decoded when input ran out.
+        context: &'static str,
+    },
+    /// Wire data failed a checksum or structural validation.
+    Corrupt {
+        /// What was wrong.
+        detail: String,
+    },
+    /// Two partials built under different analysis configurations.
+    ConfigMismatch {
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PartialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartialError::Truncated { context } => {
+                write!(f, "truncated fan-out data while decoding {context}")
+            }
+            PartialError::Corrupt { detail } => write!(f, "corrupt fan-out data: {detail}"),
+            PartialError::ConfigMismatch { detail } => {
+                write!(f, "partial-report config mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartialError {}
+
+/// Exact-merge summary of a [`ReuseTracker`] over one stream segment.
+///
+/// `firsts` holds the segment's distinct blocks in first-touch order,
+/// `lru` the same set in last-access order; `events`/`dist_sum` are the
+/// segment-internal reuse totals. This is precisely the information
+/// needed to merge two adjacent segments exactly — see
+/// [`absorb`](Self::absorb).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReusePartial {
+    pub(crate) firsts: Vec<u64>,
+    pub(crate) lru: Vec<u64>,
+    pub(crate) events: u64,
+    pub(crate) dist_sum: u64,
+}
+
+impl ReusePartial {
+    /// Snapshot a tracker's state.
+    pub fn from_tracker(tracker: &ReuseTracker) -> ReusePartial {
+        ReusePartial {
+            firsts: tracker.first_touch_order().to_vec(),
+            lru: tracker.lru_order(),
+            events: tracker.events(),
+            dist_sum: tracker.distance_sum(),
+        }
+    }
+
+    /// Reuse events in the summarized stream.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean reuse distance, identical to
+    /// [`ReuseTracker::mean_distance`] over the same stream.
+    pub fn mean_distance(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.dist_sum as f64 / self.events as f64
+        }
+    }
+
+    /// Merge the summary of the *immediately following* stream segment
+    /// into this one, exactly.
+    ///
+    /// Boundary events — the first access in `other` to a block already
+    /// seen in `self` — are replayed through a fresh tracker: feed
+    /// `self.lru` (all distinct, so no events), then `other.firsts` in
+    /// order. For such a block `b`, the distinct blocks between its two
+    /// accesses in the concatenated stream are (a) the `self` blocks
+    /// accessed after `b`'s last `self` access — exactly those behind
+    /// it in `self.lru` — and (b) the `other` blocks first touched
+    /// before `b` — exactly those fed earlier from `other.firsts`; the
+    /// tracker's marker moves dedupe the union. Events wholly inside
+    /// either segment are already counted in that segment's sums.
+    ///
+    /// The merged orderings are built structurally (the replay
+    /// tracker's post-state does not see `other`'s internal
+    /// reorderings): first-touch order is `self.firsts` then `other`'s
+    /// new blocks; last-access order is `self.lru` minus `other`'s
+    /// blocks, then `other.lru`.
+    pub fn absorb(&mut self, other: &ReusePartial) {
+        if other.firsts.is_empty() {
+            return;
+        }
+        if self.firsts.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        let mut replay = ReuseTracker::new();
+        for &b in &self.lru {
+            replay.feed(b);
+        }
+        debug_assert_eq!(replay.events(), 0, "lru blocks are distinct");
+        for &b in &other.firsts {
+            replay.feed(b);
+        }
+        let boundary_events = replay.events();
+        let boundary_dist = replay.distance_sum();
+
+        let self_blocks: FxHashSet<u64> = self.lru.iter().copied().collect();
+        let other_blocks: FxHashSet<u64> = other.lru.iter().copied().collect();
+        self.firsts.extend(
+            other
+                .firsts
+                .iter()
+                .copied()
+                .filter(|b| !self_blocks.contains(b)),
+        );
+        let mut lru: Vec<u64> = self
+            .lru
+            .iter()
+            .copied()
+            .filter(|b| !other_blocks.contains(b))
+            .collect();
+        lru.extend_from_slice(&other.lru);
+        self.lru = lru;
+        self.events += other.events + boundary_events;
+        self.dist_sum += other.dist_sum + boundary_dist;
+    }
+}
+
+/// Per-function partial artifacts of one shard range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncPartial {
+    pub(crate) name: String,
+    /// Footprint blocks touched, sorted.
+    pub(crate) all: Vec<u64>,
+    pub(crate) strided: Vec<u64>,
+    pub(crate) irregular: Vec<u64>,
+    pub(crate) observed: u64,
+    pub(crate) implied_const: u64,
+    pub(crate) reuse: ReusePartial,
+    /// Per-sample footprint observations, in sample order.
+    pub(crate) obs: Vec<f64>,
+}
+
+impl FuncPartial {
+    /// Merge the partial of the immediately following shard range.
+    fn absorb(&mut self, other: FuncPartial) {
+        union_sorted(&mut self.all, &other.all);
+        union_sorted(&mut self.strided, &other.strided);
+        union_sorted(&mut self.irregular, &other.irregular);
+        self.observed += other.observed;
+        self.implied_const += other.implied_const;
+        self.reuse.absorb(&other.reuse);
+        self.obs.extend(other.obs);
+    }
+}
+
+/// Union of two sorted, deduplicated block lists.
+fn union_sorted(a: &mut Vec<u64>, b: &[u64]) {
+    if b.is_empty() {
+        return;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            if j < b.len() && b[j] == a[i] {
+                j += 1;
+            }
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    *a = out;
+}
+
+/// The mergeable snapshot of a [`StreamingAnalyzer`] over one shard
+/// range: everything [`finish`](Self::finish) needs, in a form where
+/// per-sample rows concatenate and aggregates fold associatively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialReport {
+    pub(crate) footprint_block: BlockSize,
+    pub(crate) reuse_block: BlockSize,
+    pub(crate) locality_sizes: Vec<u64>,
+    pub(crate) num_samples: u64,
+    pub(crate) observed: u64,
+    pub(crate) implied_const: u64,
+    pub(crate) per_sample_diags: Vec<FootprintDiagnostics>,
+    pub(crate) per_sample_reuse: Vec<SampleReuseSummary>,
+    /// Per locality size, one `(windows, Σd, Σg, Σf)` row per sample.
+    pub(crate) locality: Vec<Vec<(u64, f64, f64, f64)>>,
+    pub(crate) block_reuse: BlockReuse,
+    pub(crate) histogram: Log2Histogram,
+    pub(crate) funcs: BTreeMap<u32, FuncPartial>,
+    pub(crate) stats: IngestStats,
+}
+
+impl PartialReport {
+    /// The merge identity for a given configuration: merging any
+    /// partial into it yields that partial.
+    pub fn empty(
+        footprint_block: BlockSize,
+        reuse_block: BlockSize,
+        locality_sizes: &[u64],
+    ) -> PartialReport {
+        PartialReport {
+            footprint_block,
+            reuse_block,
+            locality_sizes: locality_sizes.to_vec(),
+            num_samples: 0,
+            observed: 0,
+            implied_const: 0,
+            per_sample_diags: Vec::new(),
+            per_sample_reuse: Vec::new(),
+            locality: vec![Vec::new(); locality_sizes.len()],
+            block_reuse: BlockReuse::default(),
+            histogram: Log2Histogram::new(),
+            funcs: BTreeMap::new(),
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Samples summarized by this partial.
+    pub fn num_samples(&self) -> u64 {
+        self.num_samples
+    }
+
+    /// Ingest accounting of the pass that produced this partial
+    /// (rolled up across merges: counters sum, peaks take the max).
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Merge the partial of the **immediately following** shard range
+    /// into this one. Merging in any other order silently computes a
+    /// different (wrong) trace, so the coordinator keys partials by
+    /// range index and folds them in ascending order.
+    pub fn merge(&mut self, other: PartialReport) -> Result<(), PartialError> {
+        if self.footprint_block != other.footprint_block || self.reuse_block != other.reuse_block {
+            return Err(PartialError::ConfigMismatch {
+                detail: format!(
+                    "block sizes ({:?}/{:?}) vs ({:?}/{:?})",
+                    self.footprint_block,
+                    self.reuse_block,
+                    other.footprint_block,
+                    other.reuse_block
+                ),
+            });
+        }
+        if self.locality_sizes != other.locality_sizes {
+            return Err(PartialError::ConfigMismatch {
+                detail: format!(
+                    "locality sizes {:?} vs {:?}",
+                    self.locality_sizes, other.locality_sizes
+                ),
+            });
+        }
+        self.num_samples += other.num_samples;
+        self.observed += other.observed;
+        self.implied_const += other.implied_const;
+        self.per_sample_diags.extend(other.per_sample_diags);
+        self.per_sample_reuse.extend(other.per_sample_reuse);
+        for (rows, orows) in self.locality.iter_mut().zip(other.locality) {
+            rows.extend(orows);
+        }
+        self.block_reuse.merge(&other.block_reuse);
+        self.histogram.merge(&other.histogram);
+        for (id, fp) in other.funcs {
+            match self.funcs.entry(id) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().absorb(fp),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(fp);
+                }
+            }
+        }
+        self.stats.merge(&other.stats);
+        Ok(())
+    }
+
+    /// Fold into the final report — the single fold shared with
+    /// [`StreamingAnalyzer::finish`], which is what makes fan-out
+    /// reports bit-identical to resident streaming by construction.
+    pub fn finish(self, meta: &TraceMeta) -> StreamingReport {
+        let decompression = DecompressionInfo {
+            num_samples: self.num_samples,
+            period: meta.period,
+            observed: self.observed,
+            implied_const: self.implied_const,
+        };
+        let rho = decompression.rho();
+        let fb = self.footprint_block;
+
+        let mut function_rows: Vec<FunctionRow> = self
+            .funcs
+            .into_values()
+            .map(|fp| {
+                let kappa = compression_ratio(fp.observed, fp.implied_const);
+                let diag = FootprintDiagnostics {
+                    observed: fp.observed,
+                    implied_const: fp.implied_const,
+                    footprint: fp.all.len() as u64,
+                    f_str: fp.strided.len() as u64,
+                    f_irr: fp.irregular.len() as u64,
+                    kappa,
+                };
+                FunctionRow {
+                    name: fp.name,
+                    f_hat_bytes: rho * diag.footprint as f64 * fb.bytes() as f64,
+                    delta_f: diag.delta_f(),
+                    f_str_pct: diag.delta_f_str_pct(),
+                    accesses_decompressed: diag.kappa * diag.observed as f64,
+                    observed: diag.observed,
+                    mean_d: fp.reuse.mean_distance(),
+                    confidence: Confidence::from_observations(&fp.obs),
+                }
+            })
+            .collect();
+        function_rows.sort_by(|a, b| b.accesses_decompressed.total_cmp(&a.accesses_decompressed));
+
+        let locality_series: Vec<LocalityPoint> = self
+            .locality_sizes
+            .iter()
+            .zip(&self.locality)
+            .filter_map(|(&size, rows)| {
+                let mut n = 0u64;
+                let (mut sum_d, mut sum_g, mut sum_f) = (0.0, 0.0, 0.0);
+                for &(pn, pd, pg, pf) in rows {
+                    n += pn;
+                    sum_d += pd;
+                    sum_g += pg;
+                    sum_f += pf;
+                }
+                (n > 0).then(|| LocalityPoint {
+                    interval: size,
+                    mean_d: sum_d / n as f64,
+                    mean_delta_f: sum_g / n as f64,
+                    mean_f: sum_f / n as f64,
+                    windows: n,
+                })
+            })
+            .collect();
+
+        crate::streaming::StreamingReport {
+            decompression,
+            function_rows,
+            block_reuse: self.block_reuse,
+            reuse_histogram: self.histogram,
+            locality_series,
+            ingest: self.stats,
+            footprint_block: fb,
+            reuse_block: self.reuse_block,
+            per_sample_diags: self.per_sample_diags,
+            per_sample_reuse: self.per_sample_reuse,
+        }
+    }
+
+    /// Serialize for the worker→coordinator pipe (`MGZP` framing,
+    /// FNV-checksummed, `f64` as IEEE-754 bits — bit-exact round trip).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(1024);
+        buf.extend_from_slice(PARTIAL_MAGIC);
+        buf.extend_from_slice(&PARTIAL_VERSION.to_le_bytes());
+        buf.push(self.footprint_block.log2());
+        buf.push(self.reuse_block.log2());
+        put_u64s(&mut buf, &self.locality_sizes);
+        put_varint(&mut buf, self.num_samples);
+        put_varint(&mut buf, self.observed);
+        put_varint(&mut buf, self.implied_const);
+        put_varint(&mut buf, self.per_sample_diags.len() as u64);
+        for d in &self.per_sample_diags {
+            put_varint(&mut buf, d.observed);
+            put_varint(&mut buf, d.implied_const);
+            put_varint(&mut buf, d.footprint);
+            put_varint(&mut buf, d.f_str);
+            put_varint(&mut buf, d.f_irr);
+            put_f64(&mut buf, d.kappa);
+        }
+        put_varint(&mut buf, self.per_sample_reuse.len() as u64);
+        for r in &self.per_sample_reuse {
+            put_varint(&mut buf, r.events as u64);
+            put_f64(&mut buf, r.mean_d);
+        }
+        for rows in &self.locality {
+            put_varint(&mut buf, rows.len() as u64);
+            for &(n, d, g, fval) in rows {
+                put_varint(&mut buf, n);
+                put_f64(&mut buf, d);
+                put_f64(&mut buf, g);
+                put_f64(&mut buf, fval);
+            }
+        }
+        put_varint(&mut buf, self.block_reuse.len() as u64);
+        let mut prev_block = 0u64;
+        for (block, stats) in self.block_reuse.raw_rows() {
+            put_varint(&mut buf, block - prev_block);
+            prev_block = block;
+            for s in stats {
+                put_varint(&mut buf, s);
+            }
+        }
+        let (bins, count, sum) = self.histogram.raw_parts();
+        put_u64s(&mut buf, bins);
+        put_varint(&mut buf, count);
+        put_varint(&mut buf, sum);
+        put_varint(&mut buf, self.funcs.len() as u64);
+        for (&id, fp) in &self.funcs {
+            put_varint(&mut buf, u64::from(id));
+            put_str(&mut buf, &fp.name);
+            put_sorted(&mut buf, &fp.all);
+            put_sorted(&mut buf, &fp.strided);
+            put_sorted(&mut buf, &fp.irregular);
+            put_varint(&mut buf, fp.observed);
+            put_varint(&mut buf, fp.implied_const);
+            put_u64s(&mut buf, &fp.reuse.firsts);
+            put_u64s(&mut buf, &fp.reuse.lru);
+            put_varint(&mut buf, fp.reuse.events);
+            put_varint(&mut buf, fp.reuse.dist_sum);
+            put_varint(&mut buf, fp.obs.len() as u64);
+            for &o in &fp.obs {
+                put_f64(&mut buf, o);
+            }
+        }
+        put_varint(&mut buf, self.stats.shards);
+        put_varint(&mut buf, self.stats.samples);
+        put_varint(&mut buf, self.stats.merge_events);
+        put_varint(&mut buf, self.stats.peak_shard_samples as u64);
+        put_varint(&mut buf, self.stats.peak_shard_bytes as u64);
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decode a serialized partial, rejecting truncation, corruption,
+    /// and structural inconsistencies — a worker's garbled output must
+    /// surface as a typed error, never a bad merge.
+    pub fn decode(data: &[u8]) -> Result<PartialReport, PartialError> {
+        let body = check_frame(data, PARTIAL_MAGIC, PARTIAL_VERSION, "partial report")?;
+        let mut src = body;
+        let footprint_block = get_block_size(&mut src, "partial footprint block")?;
+        let reuse_block = get_block_size(&mut src, "partial reuse block")?;
+        let locality_sizes = get_u64s(&mut src, "partial locality sizes")?;
+        let num_samples = get_varint(&mut src, "partial num_samples")?;
+        let observed = get_varint(&mut src, "partial observed")?;
+        let implied_const = get_varint(&mut src, "partial implied_const")?;
+        let n = get_len(&mut src, "partial diag count")?;
+        let mut per_sample_diags = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_sample_diags.push(FootprintDiagnostics {
+                observed: get_varint(&mut src, "diag observed")?,
+                implied_const: get_varint(&mut src, "diag implied_const")?,
+                footprint: get_varint(&mut src, "diag footprint")?,
+                f_str: get_varint(&mut src, "diag f_str")?,
+                f_irr: get_varint(&mut src, "diag f_irr")?,
+                kappa: get_f64(&mut src, "diag kappa")?,
+            });
+        }
+        let n = get_len(&mut src, "partial reuse count")?;
+        let mut per_sample_reuse = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_sample_reuse.push(SampleReuseSummary {
+                events: get_varint(&mut src, "reuse events")? as usize,
+                mean_d: get_f64(&mut src, "reuse mean_d")?,
+            });
+        }
+        let mut locality = Vec::with_capacity(locality_sizes.len());
+        for _ in 0..locality_sizes.len() {
+            let n = get_len(&mut src, "locality row count")?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push((
+                    get_varint(&mut src, "locality windows")?,
+                    get_f64(&mut src, "locality d")?,
+                    get_f64(&mut src, "locality g")?,
+                    get_f64(&mut src, "locality f")?,
+                ));
+            }
+            locality.push(rows);
+        }
+        let n = get_len(&mut src, "block reuse count")?;
+        let mut rows = Vec::with_capacity(n);
+        let mut block = 0u64;
+        for _ in 0..n {
+            block += get_varint(&mut src, "block delta")?;
+            let mut stats = [0u64; 4];
+            for s in &mut stats {
+                *s = get_varint(&mut src, "block stat")?;
+            }
+            rows.push((block, stats));
+        }
+        let block_reuse = BlockReuse::from_raw_rows(rows).ok_or_else(|| PartialError::Corrupt {
+            detail: "block reuse rows out of order".to_string(),
+        })?;
+        let bins = get_u64s(&mut src, "histogram bins")?;
+        let count = get_varint(&mut src, "histogram count")?;
+        let sum = get_varint(&mut src, "histogram sum")?;
+        let histogram = Log2Histogram::from_raw_parts(bins, count, sum);
+        let n = get_len(&mut src, "function count")?;
+        let mut funcs = BTreeMap::new();
+        for _ in 0..n {
+            let id = get_varint(&mut src, "function id")?;
+            let id = u32::try_from(id).map_err(|_| PartialError::Corrupt {
+                detail: format!("function id {id} out of range"),
+            })?;
+            let fp = FuncPartial {
+                name: get_str(&mut src, "function name")?,
+                all: get_sorted(&mut src, "function footprint")?,
+                strided: get_sorted(&mut src, "function strided")?,
+                irregular: get_sorted(&mut src, "function irregular")?,
+                observed: get_varint(&mut src, "function observed")?,
+                implied_const: get_varint(&mut src, "function implied_const")?,
+                reuse: ReusePartial {
+                    firsts: get_u64s(&mut src, "function firsts")?,
+                    lru: get_u64s(&mut src, "function lru")?,
+                    events: get_varint(&mut src, "function events")?,
+                    dist_sum: get_varint(&mut src, "function dist_sum")?,
+                },
+                obs: {
+                    let n = get_len(&mut src, "function obs count")?;
+                    let mut obs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        obs.push(get_f64(&mut src, "function obs")?);
+                    }
+                    obs
+                },
+            };
+            funcs.insert(id, fp);
+        }
+        let stats = IngestStats {
+            shards: get_varint(&mut src, "stats shards")?,
+            samples: get_varint(&mut src, "stats samples")?,
+            merge_events: get_varint(&mut src, "stats merges")?,
+            peak_shard_samples: get_varint(&mut src, "stats peak samples")? as usize,
+            peak_shard_bytes: get_varint(&mut src, "stats peak bytes")? as usize,
+        };
+        if !src.is_empty() {
+            return Err(PartialError::Corrupt {
+                detail: format!("{} trailing bytes in partial report", src.len()),
+            });
+        }
+        Ok(PartialReport {
+            footprint_block,
+            reuse_block,
+            locality_sizes,
+            num_samples,
+            observed,
+            implied_const,
+            per_sample_diags,
+            per_sample_reuse,
+            locality,
+            block_reuse,
+            histogram,
+            funcs,
+            stats,
+        })
+    }
+}
+
+/// Everything a worker needs besides the container + index: the side
+/// tables and the analysis configuration. Shipped to workers as a spec
+/// file (`MGZS` framing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSpec {
+    /// Footprint block size.
+    pub footprint_block: BlockSize,
+    /// Reuse block size.
+    pub reuse_block: BlockSize,
+    /// Analysis threads per worker.
+    pub threads: usize,
+    /// Locality-vs-interval sizes.
+    pub locality_sizes: Vec<u64>,
+    /// The instrumentor's annotation side table.
+    pub annots: AuxAnnotations,
+    /// Function symbols.
+    pub symbols: SymbolTable,
+}
+
+impl WorkerSpec {
+    /// The analysis configuration this spec encodes. Zoom settings are
+    /// irrelevant to the streaming path and take their defaults.
+    pub fn analysis_config(&self) -> AnalysisConfig {
+        AnalysisConfig {
+            footprint_block: self.footprint_block,
+            reuse_block: self.reuse_block,
+            threads: self.threads.max(1),
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Serialize (`MGZS` framing, FNV-checksummed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(SPEC_MAGIC);
+        buf.extend_from_slice(&SPEC_VERSION.to_le_bytes());
+        buf.push(self.footprint_block.log2());
+        buf.push(self.reuse_block.log2());
+        put_varint(&mut buf, self.threads as u64);
+        put_u64s(&mut buf, &self.locality_sizes);
+        put_varint(&mut buf, self.annots.len() as u64);
+        for (ip, an) in self.annots.iter() {
+            put_varint(&mut buf, ip.raw());
+            buf.push(match an.class {
+                LoadClass::Constant => 0,
+                LoadClass::Strided => 1,
+                LoadClass::Irregular => 2,
+            });
+            put_varint(&mut buf, u64::from(an.implied_const));
+            buf.push(an.scale);
+            put_varint(&mut buf, zigzag(an.offset));
+            buf.push(u8::from(an.two_source));
+            put_varint(&mut buf, u64::from(an.func.0));
+            put_varint(&mut buf, u64::from(an.src_line));
+        }
+        put_varint(&mut buf, self.symbols.len() as u64);
+        for f in self.symbols.functions() {
+            put_str(&mut buf, &f.name);
+            put_varint(&mut buf, f.lo.raw());
+            put_varint(&mut buf, f.hi.raw());
+            put_str(&mut buf, &f.src_file);
+        }
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decode a serialized spec.
+    pub fn decode(data: &[u8]) -> Result<WorkerSpec, PartialError> {
+        let body = check_frame(data, SPEC_MAGIC, SPEC_VERSION, "worker spec")?;
+        let mut src = body;
+        let footprint_block = get_block_size(&mut src, "spec footprint block")?;
+        let reuse_block = get_block_size(&mut src, "spec reuse block")?;
+        let threads = get_varint(&mut src, "spec threads")? as usize;
+        let locality_sizes = get_u64s(&mut src, "spec locality sizes")?;
+        let n = get_len(&mut src, "spec annot count")?;
+        let mut annots = AuxAnnotations::new();
+        for _ in 0..n {
+            let ip = Ip(get_varint(&mut src, "annot ip")?);
+            let class = match get_byte(&mut src, "annot class")? {
+                0 => LoadClass::Constant,
+                1 => LoadClass::Strided,
+                2 => LoadClass::Irregular,
+                other => {
+                    return Err(PartialError::Corrupt {
+                        detail: format!("unknown load class {other}"),
+                    })
+                }
+            };
+            let implied_const = get_varint(&mut src, "annot implied_const")?;
+            let implied_const =
+                u32::try_from(implied_const).map_err(|_| PartialError::Corrupt {
+                    detail: format!("annot implied_const {implied_const} out of range"),
+                })?;
+            let scale = get_byte(&mut src, "annot scale")?;
+            let offset = unzigzag(get_varint(&mut src, "annot offset")?);
+            let two_source = get_byte(&mut src, "annot two_source")? != 0;
+            let func = get_varint(&mut src, "annot func")?;
+            let func = u32::try_from(func).map_err(|_| PartialError::Corrupt {
+                detail: format!("annot func id {func} out of range"),
+            })?;
+            let src_line = get_varint(&mut src, "annot src_line")?;
+            let src_line = u32::try_from(src_line).map_err(|_| PartialError::Corrupt {
+                detail: format!("annot src_line {src_line} out of range"),
+            })?;
+            let mut an = IpAnnot::of_class(class, FunctionId(func));
+            an.implied_const = implied_const;
+            an.scale = scale;
+            an.offset = offset;
+            an.two_source = two_source;
+            an.src_line = src_line;
+            annots.insert(ip, an);
+        }
+        let n = get_len(&mut src, "spec symbol count")?;
+        let mut symbols = SymbolTable::new();
+        for _ in 0..n {
+            let name = get_str(&mut src, "symbol name")?;
+            let lo = Ip(get_varint(&mut src, "symbol lo")?);
+            let hi = Ip(get_varint(&mut src, "symbol hi")?);
+            let src_file = get_str(&mut src, "symbol src_file")?;
+            if hi.raw() <= lo.raw() {
+                return Err(PartialError::Corrupt {
+                    detail: format!("symbol {name} has empty range"),
+                });
+            }
+            symbols.add_function(&name, lo, hi, &src_file);
+        }
+        if !src.is_empty() {
+            return Err(PartialError::Corrupt {
+                detail: format!("{} trailing bytes in worker spec", src.len()),
+            });
+        }
+        Ok(WorkerSpec {
+            footprint_block,
+            reuse_block,
+            threads,
+            locality_sizes,
+            annots,
+            symbols,
+        })
+    }
+}
+
+/// Run a [`StreamingAnalyzer`] over the contiguous frame range
+/// `frames` of an indexed container — the worker's whole job between
+/// decode and ship-back. Frames are fetched by seek via the index,
+/// never by scanning.
+pub fn analyze_frames(
+    container: &[u8],
+    index: &FrameIndex,
+    frames: Range<usize>,
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    cfg: AnalysisConfig,
+    locality_sizes: &[u64],
+) -> Result<PartialReport, ModelError> {
+    let mut sa = StreamingAnalyzer::new(annots, symbols, cfg).with_locality_sizes(locality_sizes);
+    for i in frames {
+        let samples = index.read_frame(container, i)?;
+        sa.ingest_shard(&samples);
+    }
+    Ok(sa.into_partial())
+}
+
+/// Partition the indexed frames into at most `workers` contiguous
+/// ranges, balanced by sample count (frames vary in size; samples are
+/// the unit of analysis work). Every returned range is non-empty;
+/// fewer than `workers` ranges come back when there are fewer frames.
+pub fn partition_frames(index: &FrameIndex, workers: usize) -> Vec<Range<usize>> {
+    let n = index.entries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let weights: Vec<u64> = index.entries.iter().map(|e| e.samples.max(1)).collect();
+    let total: u64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        let k = out.len() + 1;
+        if k < workers && i + 1 < n {
+            let quota_met = acc as u128 * workers as u128 >= total as u128 * k as u128;
+            let must_close = n - (i + 1) == workers - k;
+            if quota_met || must_close {
+                out.push(start..i + 1);
+                start = i + 1;
+            }
+        }
+    }
+    out.push(start..n);
+    out
+}
+
+// ---- wire primitives ----
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn get_varint(src: &mut &[u8], context: &'static str) -> Result<u64, PartialError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = get_byte(src, context)?;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(PartialError::Corrupt {
+                detail: format!("varint overflow in {context}"),
+            });
+        }
+    }
+}
+
+fn get_byte(src: &mut &[u8], context: &'static str) -> Result<u8, PartialError> {
+    let (&b, rest) = src
+        .split_first()
+        .ok_or(PartialError::Truncated { context })?;
+    *src = rest;
+    Ok(b)
+}
+
+/// A length prefix, bounded by the bytes actually remaining so corrupt
+/// counts cannot trigger giant allocations.
+fn get_len(src: &mut &[u8], context: &'static str) -> Result<usize, PartialError> {
+    let n = get_varint(src, context)? as usize;
+    if n > src.len() {
+        return Err(PartialError::Truncated { context });
+    }
+    Ok(n)
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn get_f64(src: &mut &[u8], context: &'static str) -> Result<f64, PartialError> {
+    if src.len() < 8 {
+        return Err(PartialError::Truncated { context });
+    }
+    let (bytes, rest) = src.split_at(8);
+    *src = rest;
+    Ok(f64::from_bits(u64::from_le_bytes(
+        bytes.try_into().expect("split_at gave 8 bytes"),
+    )))
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(src: &mut &[u8], context: &'static str) -> Result<String, PartialError> {
+    let n = get_len(src, context)?;
+    let (bytes, rest) = src.split_at(n);
+    *src = rest;
+    String::from_utf8(bytes.to_vec()).map_err(|_| PartialError::Corrupt {
+        detail: format!("non-utf8 string in {context}"),
+    })
+}
+
+fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_varint(buf, vs.len() as u64);
+    for &v in vs {
+        put_varint(buf, v);
+    }
+}
+
+fn get_u64s(src: &mut &[u8], context: &'static str) -> Result<Vec<u64>, PartialError> {
+    let n = get_len(src, context)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_varint(src, context)?);
+    }
+    Ok(out)
+}
+
+/// Sorted lists delta-encode; also validates order on decode.
+fn put_sorted(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_varint(buf, vs.len() as u64);
+    let mut prev = 0u64;
+    for &v in vs {
+        put_varint(buf, v - prev);
+        prev = v;
+    }
+}
+
+fn get_sorted(src: &mut &[u8], context: &'static str) -> Result<Vec<u64>, PartialError> {
+    let n = get_len(src, context)?;
+    let mut out = Vec::with_capacity(n);
+    let mut v = 0u64;
+    for i in 0..n {
+        let delta = get_varint(src, context)?;
+        if i > 0 && delta == 0 {
+            return Err(PartialError::Corrupt {
+                detail: format!("duplicate entry in sorted list ({context})"),
+            });
+        }
+        v += delta;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn get_block_size(src: &mut &[u8], context: &'static str) -> Result<BlockSize, PartialError> {
+    let log2 = get_byte(src, context)?;
+    if log2 >= 64 {
+        return Err(PartialError::Corrupt {
+            detail: format!("block size log2 {log2} out of range ({context})"),
+        });
+    }
+    Ok(BlockSize::from_log2(log2))
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Validate magic + version + trailing FNV checksum, returning the body.
+fn check_frame<'a>(
+    data: &'a [u8],
+    magic: &[u8; 4],
+    version: u16,
+    what: &'static str,
+) -> Result<&'a [u8], PartialError> {
+    if data.len() < 14 {
+        return Err(PartialError::Truncated { context: what });
+    }
+    let (body, sum_bytes) = data.split_at(data.len() - 8);
+    let want = u64::from_le_bytes(sum_bytes.try_into().expect("split_at gave 8 bytes"));
+    if fnv1a64(body) != want {
+        return Err(PartialError::Corrupt {
+            detail: format!("{what} checksum mismatch"),
+        });
+    }
+    if &body[..4] != magic {
+        return Err(PartialError::Corrupt {
+            detail: format!("{what} magic {:?}", &body[..4]),
+        });
+    }
+    let ver = u16::from_le_bytes([body[4], body[5]]);
+    if ver != version {
+        return Err(PartialError::Corrupt {
+            detail: format!("{what} version {ver}, expected {version}"),
+        });
+    }
+    Ok(&body[6..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::stream_resident_trace;
+    use memgaze_model::{encode_sharded_indexed, Access, Sample, SampledTrace};
+
+    fn mk_stream(seed: u64, n: usize) -> Vec<u64> {
+        // Deterministic pseudo-random block stream with heavy reuse.
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % 37
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reuse_partial_merge_is_exact() {
+        let stream = mk_stream(7, 400);
+        for splits in [
+            vec![400],
+            vec![0, 400],
+            vec![1, 399],
+            vec![130, 270],
+            vec![50, 50, 100, 200],
+        ] {
+            // Whole-stream reference.
+            let mut whole = ReuseTracker::new();
+            for &b in &stream {
+                whole.feed(b);
+            }
+            // Segment trackers merged via ReusePartial.
+            let mut merged = ReusePartial::default();
+            let mut lo = 0usize;
+            let mut segs = Vec::new();
+            for &len in &splits {
+                segs.push(&stream[lo..lo + len]);
+                lo += len;
+            }
+            segs.push(&stream[lo..]);
+            for seg in segs {
+                let mut t = ReuseTracker::with_slot_capacity(8); // force compactions
+                for &b in seg {
+                    t.feed(b);
+                }
+                merged.absorb(&ReusePartial::from_tracker(&t));
+            }
+            assert_eq!(merged.events, whole.events(), "{splits:?}");
+            assert_eq!(merged.dist_sum, whole.distance_sum(), "{splits:?}");
+            assert_eq!(merged.firsts, whole.first_touch_order(), "{splits:?}");
+            assert_eq!(merged.lru, whole.lru_order(), "{splits:?}");
+        }
+    }
+
+    fn synthetic_trace() -> (SampledTrace, AuxAnnotations, SymbolTable) {
+        let mut t = SampledTrace::new(TraceMeta::new("fanout-test", 10_000, 16 << 10));
+        t.meta.total_loads = 120_000;
+        t.meta.total_instrumented_loads = 1200;
+        for s in 0..12u64 {
+            let base = s * 10_000;
+            let mut accesses = Vec::new();
+            for i in 0..(60 + (s * 13) % 50) {
+                let (ip, addr) = if i % 3 == 0 {
+                    (0x500 + (i % 2) * 4, 0x20_0000 + (i % 23) * 64)
+                } else {
+                    (0x400 + (i % 5) * 4, 0x10_0000 + (s * 100 + i) * 16)
+                };
+                accesses.push(Access::new(ip, addr, base + i));
+            }
+            let n = accesses.len() as u64;
+            t.push_sample(Sample::new(accesses, base + n)).unwrap();
+        }
+        let mut annots = AuxAnnotations::new();
+        for k in 0..5u64 {
+            let mut an = IpAnnot::of_class(LoadClass::Strided, FunctionId(0));
+            an.implied_const = 2;
+            annots.insert(Ip(0x400 + k * 4), an);
+        }
+        annots.insert(
+            Ip(0x500),
+            IpAnnot::of_class(LoadClass::Irregular, FunctionId(1)),
+        );
+        let mut symbols = SymbolTable::new();
+        symbols.add_function("alpha", Ip(0x400), Ip(0x500), "a.c");
+        symbols.add_function("beta", Ip(0x500), Ip(0x600), "b.c");
+        (t, annots, symbols)
+    }
+
+    #[test]
+    fn merged_partials_match_single_pass_for_any_split() {
+        let (t, annots, symbols) = synthetic_trace();
+        let cfg = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let sizes = [8u64, 32];
+        let (container, index) = encode_sharded_indexed(&t, 3);
+        let whole = stream_resident_trace(&t, &annots, &symbols, cfg, &sizes, 3);
+        for workers in [1usize, 2, 3, 4, 7] {
+            let ranges = partition_frames(&index, workers);
+            let mut merged = PartialReport::empty(cfg.footprint_block, cfg.reuse_block, &sizes);
+            for r in ranges {
+                let p =
+                    analyze_frames(&container, &index, r, &annots, &symbols, cfg, &sizes).unwrap();
+                merged.merge(p).unwrap();
+            }
+            let report = merged.finish(&t.meta);
+            assert_eq!(
+                report.decompression, whole.decompression,
+                "workers {workers}"
+            );
+            assert_eq!(
+                report.function_rows, whole.function_rows,
+                "workers {workers}"
+            );
+            assert_eq!(report.block_reuse, whole.block_reuse, "workers {workers}");
+            assert_eq!(
+                report.reuse_histogram, whole.reuse_histogram,
+                "workers {workers}"
+            );
+            assert_eq!(
+                report.locality_series, whole.locality_series,
+                "workers {workers}"
+            );
+            for n in [1usize, 3, 5] {
+                assert_eq!(
+                    report.interval_rows(n),
+                    whole.interval_rows(n),
+                    "workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_report_roundtrips_through_codec() {
+        let (t, annots, symbols) = synthetic_trace();
+        let cfg = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let (container, index) = encode_sharded_indexed(&t, 4);
+        let p = analyze_frames(
+            &container,
+            &index,
+            0..index.entries.len(),
+            &annots,
+            &symbols,
+            cfg,
+            &[16],
+        )
+        .unwrap();
+        let wire = p.encode();
+        let back = PartialReport::decode(&wire).unwrap();
+        assert_eq!(p, back);
+        // Truncation and corruption are typed errors.
+        assert!(PartialReport::decode(&wire[..wire.len() - 3]).is_err());
+        let mut flipped = wire.clone();
+        flipped[20] ^= 0x10;
+        assert!(PartialReport::decode(&flipped).is_err());
+        assert!(PartialReport::decode(b"MGZP\x01\x00junk").is_err());
+    }
+
+    #[test]
+    fn worker_spec_roundtrips_through_codec() {
+        let (_, annots, symbols) = synthetic_trace();
+        let spec = WorkerSpec {
+            footprint_block: BlockSize::WORD,
+            reuse_block: BlockSize::CACHE_LINE,
+            threads: 2,
+            locality_sizes: vec![8, 64],
+            annots,
+            symbols,
+        };
+        let wire = spec.encode();
+        let back = WorkerSpec::decode(&wire).unwrap();
+        assert_eq!(spec, back);
+        assert!(WorkerSpec::decode(&wire[..wire.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn partition_covers_all_frames_without_overlap() {
+        let (t, _, _) = synthetic_trace();
+        for shard in [1usize, 2, 5] {
+            let (_, index) = encode_sharded_indexed(&t, shard);
+            for workers in [1usize, 2, 3, 4, 8, 64] {
+                let ranges = partition_frames(&index, workers);
+                assert!(ranges.len() <= workers.max(1));
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "shard {shard} workers {workers}");
+                    assert!(r.end > r.start, "empty range");
+                    next = r.end;
+                }
+                assert_eq!(next, index.entries.len());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configs() {
+        let a = PartialReport::empty(BlockSize::WORD, BlockSize::CACHE_LINE, &[8]);
+        let mut b = PartialReport::empty(BlockSize::WORD, BlockSize::CACHE_LINE, &[16]);
+        assert!(matches!(
+            b.merge(a.clone()),
+            Err(PartialError::ConfigMismatch { .. })
+        ));
+        let mut c = PartialReport::empty(BlockSize::OS_PAGE, BlockSize::CACHE_LINE, &[8]);
+        assert!(matches!(
+            c.merge(a),
+            Err(PartialError::ConfigMismatch { .. })
+        ));
+    }
+}

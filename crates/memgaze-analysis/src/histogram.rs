@@ -17,8 +17,9 @@ pub struct Log2Histogram {
     bins: Vec<u64>,
     /// Total count.
     count: u64,
-    /// Sum of raw values (for the mean).
-    sum: f64,
+    /// Sum of raw values (for the mean). Kept as an integer so merging
+    /// histograms is exactly associative regardless of shard grouping.
+    sum: u64,
 }
 
 impl Log2Histogram {
@@ -39,7 +40,7 @@ impl Log2Histogram {
         }
         self.bins[bin] += 1;
         self.count += 1;
-        self.sum += v as f64;
+        self.sum += v;
     }
 
     /// Fold another histogram's mass into this one (for merging
@@ -65,8 +66,18 @@ impl Log2Histogram {
         if self.count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Raw `(bins, count, sum)` for the fan-out wire codec.
+    pub(crate) fn raw_parts(&self) -> (&[u64], u64, u64) {
+        (&self.bins, self.count, self.sum)
+    }
+
+    /// Rebuild from raw parts (fan-out wire codec).
+    pub(crate) fn from_raw_parts(bins: Vec<u64>, count: u64, sum: u64) -> Log2Histogram {
+        Log2Histogram { bins, count, sum }
     }
 
     /// `(bin upper bound, count)` pairs for populated bins.

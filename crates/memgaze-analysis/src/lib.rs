@@ -24,6 +24,7 @@
 pub mod analyzer;
 pub mod confidence;
 pub mod diagnostics;
+pub mod fanout;
 pub mod footprint;
 pub mod fxhash;
 pub mod heatmap;
@@ -41,6 +42,10 @@ pub mod zoom;
 pub use analyzer::{AnalysisConfig, Analyzer, CacheStats, FunctionRow, IntervalRow, RegionRow};
 pub use confidence::Confidence;
 pub use diagnostics::FootprintDiagnostics;
+pub use fanout::{
+    analyze_frames, partition_frames, FuncPartial, PartialError, PartialReport, ReusePartial,
+    WorkerSpec,
+};
 pub use footprint::{
     captures_survivals, estimated_footprint, footprint, footprint_growth, CapturesSurvivals,
     WindowKind,

@@ -76,12 +76,14 @@ pub struct ReuseAnalysis {
 
 impl ReuseAnalysis {
     /// Mean reuse distance over all reuse events (first-touches excluded),
-    /// or 0 when nothing is reused.
+    /// or 0 when nothing is reused. The sum is taken in integers so the
+    /// result is independent of how the events were grouped — the same
+    /// invariant the streaming tracker and fan-out merges rely on.
     pub fn mean_distance(&self) -> f64 {
         if self.events.is_empty() {
             0.0
         } else {
-            self.events.iter().map(|e| e.distance as f64).sum::<f64>() / self.events.len() as f64
+            self.events.iter().map(|e| e.distance).sum::<u64>() as f64 / self.events.len() as f64
         }
     }
 
@@ -303,6 +305,43 @@ impl BlockReuse {
         }
         br.rebuild_index();
         br
+    }
+
+    /// Raw `(block, [accesses, dist_sum, reuse_cnt, max_dist])` rows in
+    /// block order, for the fan-out wire codec.
+    pub(crate) fn raw_rows(&self) -> impl Iterator<Item = (u64, [u64; 4])> + '_ {
+        self.blocks
+            .iter()
+            .zip(&self.stats)
+            .map(|(&b, s)| (b, [s.accesses, s.dist_sum, s.reuse_cnt, s.max_dist]))
+    }
+
+    /// Rebuild from raw rows (fan-out wire codec). Rows must be in
+    /// strictly increasing block order; returns `None` otherwise.
+    pub(crate) fn from_raw_rows(rows: Vec<(u64, [u64; 4])>) -> Option<BlockReuse> {
+        if !rows.windows(2).all(|w| w[0].0 < w[1].0) {
+            return None;
+        }
+        let mut br = BlockReuse {
+            blocks: rows.iter().map(|&(b, _)| b).collect(),
+            stats: rows
+                .into_iter()
+                .map(
+                    |(_, [accesses, dist_sum, reuse_cnt, max_dist])| BlockStats {
+                        accesses,
+                        dist_sum,
+                        reuse_cnt,
+                        max_dist,
+                    },
+                )
+                .collect(),
+            pre_accesses: Vec::new(),
+            pre_dist_sum: Vec::new(),
+            pre_reuse_cnt: Vec::new(),
+            max_table: Vec::new(),
+        };
+        br.rebuild_index();
+        Some(br)
     }
 
     /// Merge another window's summary into this one (sample aggregation,

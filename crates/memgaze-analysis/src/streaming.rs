@@ -20,9 +20,16 @@
 //!   [`BlockReuse::from_parts`], which the resident pass uses;
 //! * per-function exact reuse distances cross shard boundaries via
 //!   [`ReuseTracker`], an incremental engine whose event sequence (and
-//!   thus `f64` distance sum) matches
+//!   thus integer distance sum) matches
 //!   [`reuse::analyze_window`](crate::reuse::analyze_window) on the
 //!   concatenated stream.
+//!
+//! The same laws extend across *processes*: a shard range's partials
+//! can be snapshotted into a [`PartialReport`](crate::fanout::PartialReport)
+//! and merged in shard order by the fan-out coordinator (see
+//! [`fanout`](crate::fanout)), with [`finish`](StreamingAnalyzer::finish)
+//! itself implemented as `into_partial().finish(..)` so resident
+//! streaming and fan-out share one fold path.
 //!
 //! Artifacts that need the whole trace by construction (location zoom,
 //! window series keyed on the global κ, time-range heatmaps) are out of
@@ -31,15 +38,14 @@
 //! already merged is served from the cache.
 
 use crate::analyzer::{AnalysisConfig, FunctionRow, IntervalRow, RegionRow};
-use crate::confidence::Confidence;
 use crate::diagnostics::FootprintDiagnostics;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::histogram::{locality_sample_partial, LocalityPoint, Log2Histogram};
 use crate::par;
 use crate::reuse::{self, BlockReuse};
 use memgaze_model::{
-    compression_ratio, AuxAnnotations, BlockSize, DecompressionInfo, LoadClass, Sample,
-    SampledTrace, SymbolTable, TraceMeta,
+    AuxAnnotations, BlockSize, DecompressionInfo, LoadClass, Sample, SampledTrace, SymbolTable,
+    TraceMeta,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -60,12 +66,25 @@ pub struct IngestStats {
     pub peak_shard_bytes: usize,
 }
 
+impl IngestStats {
+    /// Roll another pass's accounting into this one: counters add,
+    /// peaks take the max — the fan-out coordinator's per-worker
+    /// rollup.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.shards += other.shards;
+        self.samples += other.samples;
+        self.merge_events += other.merge_events;
+        self.peak_shard_samples = self.peak_shard_samples.max(other.peak_shard_samples);
+        self.peak_shard_bytes = self.peak_shard_bytes.max(other.peak_shard_bytes);
+    }
+}
+
 /// Per-sample reuse summary retained for interval rows: enough to
 /// replay the resident `Σ mean·count / Σ count` fold exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct SampleReuseSummary {
-    events: usize,
-    mean_d: f64,
+pub(crate) struct SampleReuseSummary {
+    pub(crate) events: usize,
+    pub(crate) mean_d: f64,
 }
 
 /// Incremental exact reuse-distance tracker over an unbounded block
@@ -73,7 +92,7 @@ struct SampleReuseSummary {
 ///
 /// Feeding the concatenation of a function's accesses (one
 /// [`feed`](Self::feed) per access, in order) produces the same event
-/// count and the same event-order `f64` distance sum as
+/// count and the same integer distance sum as
 /// [`reuse::analyze_window`] over the whole slice, so
 /// [`mean_distance`](Self::mean_distance) is bit-identical — including
 /// across shard boundaries, which a windowed analysis cannot see.
@@ -82,13 +101,22 @@ struct SampleReuseSummary {
 /// slot counter; when the slots fill up, live markers (one per distinct
 /// block) are compacted order-preservingly, which leaves every
 /// between-marker count — and hence every distance — unchanged.
+///
+/// Beyond the running sums, the tracker records its blocks in
+/// first-touch order ([`first_touch_order`](Self::first_touch_order))
+/// and can report them in last-access order
+/// ([`lru_order`](Self::lru_order)); together these summarize the
+/// stream well enough that two trackers over adjacent stream segments
+/// merge *exactly* — see
+/// [`ReusePartial`](crate::fanout::ReusePartial).
 pub struct ReuseTracker {
     fen: Vec<i64>,
     last: FxHashMap<u64, usize>,
     next_slot: usize,
     cap: usize,
     events: u64,
-    dist_sum: f64,
+    dist_sum: u64,
+    firsts: Vec<u64>,
 }
 
 impl Default for ReuseTracker {
@@ -113,7 +141,8 @@ impl ReuseTracker {
             next_slot: 0,
             cap,
             events: 0,
-            dist_sum: 0.0,
+            dist_sum: 0,
+            firsts: Vec::new(),
         }
     }
 
@@ -153,7 +182,7 @@ impl ReuseTracker {
                     0
                 };
                 self.events += 1;
-                self.dist_sum += distance as f64;
+                self.dist_sum += distance;
                 self.add(prev, -1);
                 self.add(pos, 1);
                 self.last.insert(block, pos);
@@ -161,6 +190,7 @@ impl ReuseTracker {
             None => {
                 self.add(pos, 1);
                 self.last.insert(block, pos);
+                self.firsts.push(block);
             }
         }
     }
@@ -186,13 +216,33 @@ impl ReuseTracker {
         self.events
     }
 
+    /// Integer sum of all event distances so far.
+    pub fn distance_sum(&self) -> u64 {
+        self.dist_sum
+    }
+
+    /// Distinct blocks in the order they were first fed.
+    pub fn first_touch_order(&self) -> &[u64] {
+        &self.firsts
+    }
+
+    /// Distinct blocks in last-access order (least recently fed
+    /// first). Compaction preserves relative slot order, so sorting the
+    /// live markers by slot recovers the true last-access order even
+    /// across any number of compactions.
+    pub fn lru_order(&self) -> Vec<u64> {
+        let mut live: Vec<(u64, usize)> = self.last.iter().map(|(&b, &s)| (b, s)).collect();
+        live.sort_unstable_by_key(|&(_, slot)| slot);
+        live.into_iter().map(|(b, _)| b).collect()
+    }
+
     /// Mean reuse distance so far (0 when no reuse occurred), identical
     /// to `ReuseAnalysis::mean_distance` over the same stream.
     pub fn mean_distance(&self) -> f64 {
         if self.events == 0 {
             0.0
         } else {
-            self.dist_sum / self.events as f64
+            self.dist_sum as f64 / self.events as f64
         }
     }
 }
@@ -244,10 +294,12 @@ pub struct StreamingAnalyzer<'a> {
     per_sample_reuse: Vec<SampleReuseSummary>,
     block_reuse: BlockReuse,
     histogram: Log2Histogram,
-    /// One `(windows, Σd, Σg, Σf)` accumulator per locality size.
-    locality: Vec<(u64, f64, f64, f64)>,
+    /// Per locality size, one `(windows, Σd, Σg, Σf)` row *per sample*,
+    /// retained (not pre-summed) so fan-out merges concatenate rows and
+    /// the final fold runs once, in global sample order — `f64` sums of
+    /// per-shard subtotals would not be associative.
+    locality: Vec<Vec<(u64, f64, f64, f64)>>,
     funcs: BTreeMap<u32, FuncState>,
-    touched: Vec<u32>,
     stats: IngestStats,
 }
 
@@ -272,7 +324,6 @@ impl<'a> StreamingAnalyzer<'a> {
             histogram: Log2Histogram::new(),
             locality: Vec::new(),
             funcs: BTreeMap::new(),
-            touched: Vec::new(),
             stats: IngestStats::default(),
         }
     }
@@ -282,7 +333,7 @@ impl<'a> StreamingAnalyzer<'a> {
     pub fn with_locality_sizes(mut self, sizes: &[u64]) -> StreamingAnalyzer<'a> {
         assert_eq!(self.stats.shards, 0, "set locality sizes before ingesting");
         self.locality_sizes = sizes.to_vec();
-        self.locality = vec![(0, 0.0, 0.0, 0.0); sizes.len()];
+        self.locality = vec![Vec::new(); sizes.len()];
         self
     }
 
@@ -321,11 +372,8 @@ impl<'a> StreamingAnalyzer<'a> {
             });
             self.per_sample_diags.push(diag);
             parts.push(part);
-            for (acc, p) in self.locality.iter_mut().zip(loc) {
-                acc.0 += p.0;
-                acc.1 += p.1;
-                acc.2 += p.2;
-                acc.3 += p.3;
+            for (rows, p) in self.locality.iter_mut().zip(loc) {
+                rows.push(p);
             }
             self.ingest_sample_functions(s);
         }
@@ -349,7 +397,6 @@ impl<'a> StreamingAnalyzer<'a> {
     fn ingest_sample_functions(&mut self, s: &Sample) {
         let fb = self.cfg.footprint_block;
         let rb = self.cfg.reuse_block;
-        self.touched.clear();
         for a in &s.accesses {
             let (id, name) = match self.symbols.lookup(a.ip) {
                 Some(f) => (f.id.0, f.name.as_str()),
@@ -370,15 +417,18 @@ impl<'a> StreamingAnalyzer<'a> {
             st.implied_const += self.annots.implied_const_of(a.ip);
             st.observed += 1;
             st.tracker.feed(a.addr.block(rb));
-            if st.cur.is_empty() {
-                self.touched.push(id);
-            }
             st.cur.insert(fb_block);
         }
-        for &id in &self.touched {
-            let st = self.funcs.get_mut(&id).expect("touched id exists");
-            st.obs.push(st.cur.len() as f64);
-            st.cur.clear();
+        // A non-empty `cur` marks exactly the functions this sample
+        // touched; iterating the map directly (instead of a side list
+        // of touched ids) makes the invariant hold by construction —
+        // there is no id list to fall out of sync with `funcs`, however
+        // partial-merge paths order their insertions.
+        for st in self.funcs.values_mut() {
+            if !st.cur.is_empty() {
+                st.obs.push(st.cur.len() as f64);
+                st.cur.clear();
+            }
         }
     }
 
@@ -387,72 +437,62 @@ impl<'a> StreamingAnalyzer<'a> {
         &self.stats
     }
 
+    /// Snapshot everything accumulated so far into a mergeable
+    /// [`PartialReport`](crate::fanout::PartialReport). The partial of
+    /// a shard range is exactly what a fan-out worker ships back to the
+    /// coordinator.
+    pub fn into_partial(self) -> crate::fanout::PartialReport {
+        let funcs = self
+            .funcs
+            .into_iter()
+            .map(|(id, st)| {
+                let sort = |set: FxHashSet<u64>| {
+                    let mut v: Vec<u64> = set.into_iter().collect();
+                    v.sort_unstable();
+                    v
+                };
+                let reuse = crate::fanout::ReusePartial::from_tracker(&st.tracker);
+                (
+                    id,
+                    crate::fanout::FuncPartial {
+                        name: st.name,
+                        all: sort(st.all),
+                        strided: sort(st.strided),
+                        irregular: sort(st.irregular),
+                        observed: st.observed,
+                        implied_const: st.implied_const,
+                        reuse,
+                        obs: st.obs,
+                    },
+                )
+            })
+            .collect();
+        crate::fanout::PartialReport {
+            footprint_block: self.cfg.footprint_block,
+            reuse_block: self.cfg.reuse_block,
+            locality_sizes: self.locality_sizes,
+            num_samples: self.num_samples,
+            observed: self.observed,
+            implied_const: self.implied_const,
+            per_sample_diags: self.per_sample_diags,
+            per_sample_reuse: self.per_sample_reuse,
+            locality: self.locality,
+            block_reuse: self.block_reuse,
+            histogram: self.histogram,
+            funcs,
+            stats: self.stats,
+        }
+    }
+
     /// Fold the accumulated partials into the final report. `meta` is
     /// the trace metadata (with trailer-patched totals when reading a
     /// sharded container).
+    ///
+    /// Implemented as `into_partial().finish(meta)` so the resident
+    /// streaming path and the fan-out merge path share one fold,
+    /// keeping their reports bit-identical by construction.
     pub fn finish(self, meta: &TraceMeta) -> StreamingReport {
-        let decompression = DecompressionInfo {
-            num_samples: self.num_samples,
-            period: meta.period,
-            observed: self.observed,
-            implied_const: self.implied_const,
-        };
-        let rho = decompression.rho();
-        let fb = self.cfg.footprint_block;
-
-        let mut function_rows: Vec<FunctionRow> = self
-            .funcs
-            .into_values()
-            .map(|st| {
-                let kappa = compression_ratio(st.observed, st.implied_const);
-                let diag = FootprintDiagnostics {
-                    observed: st.observed,
-                    implied_const: st.implied_const,
-                    footprint: st.all.len() as u64,
-                    f_str: st.strided.len() as u64,
-                    f_irr: st.irregular.len() as u64,
-                    kappa,
-                };
-                FunctionRow {
-                    name: st.name,
-                    f_hat_bytes: rho * diag.footprint as f64 * fb.bytes() as f64,
-                    delta_f: diag.delta_f(),
-                    f_str_pct: diag.delta_f_str_pct(),
-                    accesses_decompressed: diag.kappa * diag.observed as f64,
-                    observed: diag.observed,
-                    mean_d: st.tracker.mean_distance(),
-                    confidence: Confidence::from_observations(&st.obs),
-                }
-            })
-            .collect();
-        function_rows.sort_by(|a, b| b.accesses_decompressed.total_cmp(&a.accesses_decompressed));
-
-        let locality_series: Vec<LocalityPoint> = self
-            .locality_sizes
-            .iter()
-            .zip(&self.locality)
-            .filter(|&(_, &(n, _, _, _))| n > 0)
-            .map(|(&size, &(n, sum_d, sum_g, sum_f))| LocalityPoint {
-                interval: size,
-                mean_d: sum_d / n as f64,
-                mean_delta_f: sum_g / n as f64,
-                mean_f: sum_f / n as f64,
-                windows: n,
-            })
-            .collect();
-
-        StreamingReport {
-            decompression,
-            function_rows,
-            block_reuse: self.block_reuse,
-            reuse_histogram: self.histogram,
-            locality_series,
-            ingest: self.stats,
-            footprint_block: fb,
-            reuse_block: self.cfg.reuse_block,
-            per_sample_diags: self.per_sample_diags,
-            per_sample_reuse: self.per_sample_reuse,
-        }
+        self.into_partial().finish(meta)
     }
 }
 
@@ -475,10 +515,10 @@ pub struct StreamingReport {
     pub locality_series: Vec<LocalityPoint>,
     /// Ingest accounting (shards, merges, peak shard memory).
     pub ingest: IngestStats,
-    footprint_block: BlockSize,
-    reuse_block: BlockSize,
-    per_sample_diags: Vec<FootprintDiagnostics>,
-    per_sample_reuse: Vec<SampleReuseSummary>,
+    pub(crate) footprint_block: BlockSize,
+    pub(crate) reuse_block: BlockSize,
+    pub(crate) per_sample_diags: Vec<FootprintDiagnostics>,
+    pub(crate) per_sample_reuse: Vec<SampleReuseSummary>,
 }
 
 impl StreamingReport {

@@ -1,0 +1,322 @@
+//! BENCH_fanout: single-process streaming vs multi-process fan-out.
+//!
+//! Builds a large-window synthetic trace, encodes it into an indexed
+//! sharded container, and measures wall-clock for the resident
+//! single-threaded streaming pass against `run_fanout` at 1/2/4/8
+//! workers. Every fan-out report is asserted bit-identical to the
+//! baseline before its timing counts. Workers run as `memgaze
+//! analyze-shard` subprocesses when the sibling `memgaze` binary exists
+//! next to this one; otherwise the in-process backend is used (and
+//! recorded in the payload).
+//!
+//! Two speedup figures are reported per worker count: the measured
+//! wall-clock speedup, which is capped by the host's core count
+//! (recorded as `host_cpus`), and the critical-path speedup — the
+//! slowest single range plus the serial merge/finish tail — which is
+//! what wall-clock converges to once the host has at least as many
+//! cores as workers.
+
+use memgaze_analysis::{
+    analyze_frames, partition_frames, AnalysisConfig, IngestStats, PartialReport, StreamingAnalyzer,
+};
+use memgaze_bench::{emit, scales, timed};
+use memgaze_core::{run_fanout, FanoutBackend, FanoutConfig};
+use memgaze_model::{
+    encode_sharded_indexed, Access, AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass, Sample,
+    SampledTrace, ShardReader, SymbolTable, TraceMeta,
+};
+use serde::Serialize;
+
+const LOCALITY_SIZES: [u64; 3] = [16, 64, 256];
+const SHARD_SAMPLES: usize = 4;
+
+/// The large-window scenario: every sample carries a wide access window
+/// mixing a strided stream with cyclic reuse, so per-sample analysis —
+/// the work fan-out parallelizes — dominates.
+fn synthetic_setup(samples: usize, window: usize) -> (SampledTrace, AuxAnnotations, SymbolTable) {
+    let mut t = SampledTrace::new(TraceMeta::new("bench-fanout", 10_000, 16 << 10));
+    t.meta.total_loads = (samples * 10_000) as u64;
+    t.meta.total_instrumented_loads = (samples * window) as u64;
+    for s in 0..samples as u64 {
+        let base = s * 10_000;
+        let accesses: Vec<Access> = (0..window as u64)
+            .map(|i| {
+                let (ip, addr) = if i % 4 == 0 {
+                    (0x500 + (i % 3) * 4, 0x20_0000 + (i % 512) * 64)
+                } else {
+                    (0x400 + (i % 5) * 4, 0x10_0000 + (s * window as u64 + i) * 8)
+                };
+                Access::new(ip, addr, base + i)
+            })
+            .collect();
+        t.push_sample(Sample::new(accesses, base + window as u64))
+            .unwrap();
+    }
+    let mut annots = AuxAnnotations::new();
+    for k in 0..5u64 {
+        let mut an = IpAnnot::of_class(LoadClass::Strided, FunctionId(0));
+        an.implied_const = 3;
+        annots.insert(Ip(0x400 + k * 4), an);
+    }
+    for k in 0..3u64 {
+        annots.insert(
+            Ip(0x500 + k * 4),
+            IpAnnot::of_class(LoadClass::Irregular, FunctionId(1)),
+        );
+    }
+    let mut symbols = SymbolTable::new();
+    symbols.add_function("stream_fn", Ip(0x400), Ip(0x500), "a.c");
+    symbols.add_function("cycle_fn", Ip(0x500), Ip(0x600), "a.c");
+    (t, annots, symbols)
+}
+
+#[derive(Serialize)]
+struct Variant {
+    workers: usize,
+    /// Wall-clock of the full fan-out run on this host.
+    fanout_ms: f64,
+    /// `baseline_stream_ms / fanout_ms` — bounded by the host's cores.
+    wall_speedup: f64,
+    /// Longest single range's analysis time plus merge + finish: the
+    /// run's critical path, i.e. the wall-clock a host with >= `workers`
+    /// cores converges to.
+    critical_path_ms: f64,
+    /// `baseline_stream_ms / critical_path_ms`.
+    critical_path_speedup: f64,
+    ranges: usize,
+    retries: u32,
+    ingest: IngestStats,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    samples: usize,
+    window: usize,
+    shard_samples: usize,
+    backend: String,
+    /// Cores available to this process; wall-clock speedups cannot
+    /// exceed this no matter how well the fan-out scales.
+    host_cpus: usize,
+    baseline_stream_ms: f64,
+    variants: Vec<Variant>,
+}
+
+fn main() {
+    let sc = scales::from_env();
+    let samples = (sc.micro_elems as usize / 64).clamp(12, 128);
+    let window = if sc.micro_elems <= 1024 {
+        1024
+    } else if sc.micro_elems >= 8192 {
+        4096
+    } else {
+        2048
+    };
+    let (trace, annots, symbols) = synthetic_setup(samples, window);
+    let cfg = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let (container, index) = encode_sharded_indexed(&trace, SHARD_SAMPLES);
+
+    // Baseline: the single-process, single-threaded streaming pass over
+    // the same container bytes — decode, incremental analysis, finish.
+    let baseline_path = || {
+        let mut reader = ShardReader::new(container.as_slice()).expect("valid container");
+        let mut an =
+            StreamingAnalyzer::new(&annots, &symbols, cfg).with_locality_sizes(&LOCALITY_SIZES);
+        for shard in reader.by_ref() {
+            an.ingest_shard(&shard.expect("valid container").samples);
+        }
+        let meta = reader.meta().clone();
+        an.finish(&meta)
+    };
+    let _ = baseline_path(); // warm up
+    let mut baseline_ms = f64::INFINITY;
+    let mut baseline = None;
+    for _ in 0..3 {
+        let (ms, out) = timed(baseline_path);
+        baseline_ms = baseline_ms.min(ms);
+        baseline = Some(out);
+    }
+    let baseline = baseline.unwrap();
+
+    // Prefer real subprocess workers: the memgaze binary sits next to
+    // this bench binary when both were built by the same cargo profile.
+    // MEMGAZE_FANOUT_BACKEND=in-process forces the thread backend.
+    let sibling = std::env::current_exe().ok().and_then(|p| {
+        let exe = p.parent()?.join(if cfg!(windows) {
+            "memgaze.exe"
+        } else {
+            "memgaze"
+        });
+        exe.is_file().then_some(exe)
+    });
+    let forced_in_process =
+        std::env::var("MEMGAZE_FANOUT_BACKEND").is_ok_and(|v| v == "in-process");
+    let (backend, backend_name) = match (forced_in_process, sibling) {
+        (false, Some(exe)) => (FanoutBackend::Subprocess { exe }, "subprocess"),
+        _ => (FanoutBackend::InProcess, "in-process"),
+    };
+
+    let mut variants = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let fan_cfg = FanoutConfig {
+            workers,
+            threads_per_worker: 1,
+            locality_sizes: LOCALITY_SIZES.to_vec(),
+            ..FanoutConfig::default()
+        };
+        let fan_path = || {
+            run_fanout(
+                &container, &index, &annots, &symbols, cfg, &fan_cfg, &backend,
+            )
+            .expect("fan-out over a freshly indexed container")
+        };
+        let _ = fan_path(); // warm up
+        let mut fanout_ms = f64::INFINITY;
+        let mut run = None;
+        for _ in 0..3 {
+            let (ms, out) = timed(fan_path);
+            fanout_ms = fanout_ms.min(ms);
+            run = Some(out);
+        }
+        let run = run.unwrap();
+
+        // Bit-identity with the baseline, per worker count. The ingest
+        // field legitimately differs (per-worker peaks and merge
+        // counts), so it is excluded.
+        assert_eq!(
+            run.report.decompression, baseline.decompression,
+            "w{workers}"
+        );
+        assert_eq!(
+            run.report.function_rows, baseline.function_rows,
+            "w{workers}"
+        );
+        assert_eq!(run.report.block_reuse, baseline.block_reuse, "w{workers}");
+        assert_eq!(
+            run.report.reuse_histogram, baseline.reuse_histogram,
+            "w{workers}"
+        );
+        assert_eq!(
+            run.report.locality_series, baseline.locality_series,
+            "w{workers}"
+        );
+        assert_eq!(
+            run.report.interval_rows(8),
+            baseline.interval_rows(8),
+            "w{workers}"
+        );
+        assert_eq!(run.retries, 0, "no failures expected in the benchmark");
+
+        // Critical path: the slowest range analyzed alone, plus the
+        // serial merge + finish tail. Ranges run concurrently, so this
+        // is the wall-clock floor a sufficiently-parallel host hits.
+        let ranges = partition_frames(&index, workers);
+        let critical_path_ms = {
+            let mut worst_range_ms = 0.0f64;
+            let mut partials = Vec::with_capacity(ranges.len());
+            for r in &ranges {
+                let mut best = f64::INFINITY;
+                let mut kept = None;
+                for _ in 0..3 {
+                    let (ms, p) = timed(|| {
+                        analyze_frames(
+                            &container,
+                            &index,
+                            r.clone(),
+                            &annots,
+                            &symbols,
+                            cfg,
+                            &LOCALITY_SIZES,
+                        )
+                        .expect("range analysis over a freshly indexed container")
+                    });
+                    best = best.min(ms);
+                    kept = Some(p);
+                }
+                worst_range_ms = worst_range_ms.max(best);
+                partials.push(kept.unwrap());
+            }
+            let meta = run.meta.clone();
+            let (tail_ms, _) = timed(move || {
+                let mut acc =
+                    PartialReport::empty(cfg.footprint_block, cfg.reuse_block, &LOCALITY_SIZES);
+                for p in partials {
+                    acc.merge(p).expect("uniform worker configs");
+                }
+                acc.finish(&meta)
+            });
+            worst_range_ms + tail_ms
+        };
+
+        variants.push(Variant {
+            workers,
+            fanout_ms,
+            wall_speedup: baseline_ms / fanout_ms,
+            critical_path_ms,
+            critical_path_speedup: baseline_ms / critical_path_ms,
+            ranges: ranges.len(),
+            retries: run.retries,
+            ingest: run.report.ingest,
+        });
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut table = memgaze_analysis::Table::new(
+        "BENCH_fanout: streaming baseline vs multi-process fan-out (bit-identical reports)",
+        &[
+            "path",
+            "workers",
+            "wall (ms)",
+            "wall speedup",
+            "crit path (ms)",
+            "crit speedup",
+            "ranges",
+        ],
+    );
+    table.push_row(vec![
+        "streaming".into(),
+        "1".into(),
+        format!("{baseline_ms:.2}"),
+        "1.00x".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    for v in &variants {
+        table.push_row(vec![
+            "fan-out".into(),
+            format!("{}", v.workers),
+            format!("{:.2}", v.fanout_ms),
+            format!("{:.2}x", v.wall_speedup),
+            format!("{:.2}", v.critical_path_ms),
+            format!("{:.2}x", v.critical_path_speedup),
+            format!("{}", v.ranges),
+        ]);
+    }
+    let payload = Payload {
+        samples,
+        window,
+        shard_samples: SHARD_SAMPLES,
+        backend: backend_name.to_string(),
+        host_cpus,
+        baseline_stream_ms: baseline_ms,
+        variants,
+    };
+    emit("BENCH_fanout", &table, &payload);
+
+    let at4 = payload.variants.iter().find(|v| v.workers == 4);
+    let wall4 = at4.map_or(0.0, |v| v.wall_speedup);
+    let crit4 = at4.map_or(0.0, |v| v.critical_path_speedup);
+    println!(
+        "fan-out at 4 workers ({backend_name}, {host_cpus} host cpu(s)): \
+         wall {wall4:.2}x, critical path {crit4:.2}x"
+    );
+    if host_cpus < 4 {
+        println!(
+            "note: wall-clock speedup is capped by the {host_cpus} available core(s); \
+             the critical-path column is the wall-clock a >=4-core host converges to"
+        );
+    }
+}

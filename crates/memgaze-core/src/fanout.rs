@@ -1,0 +1,663 @@
+//! Multi-process fan-out coordinator: partition an indexed sharded
+//! container across workers, retry crashed or hung workers, and fold the
+//! partial reports in shard order into a [`StreamingReport`] that is
+//! bit-identical to the resident analyzer.
+//!
+//! Two backends share every other moving part:
+//!
+//! * [`FanoutBackend::InProcess`] runs each range on a coordinator
+//!   thread — no serialization, no processes; the reference backend for
+//!   tests and the fallback when no worker binary is available;
+//! * [`FanoutBackend::Subprocess`] spawns `<exe> analyze-shard`
+//!   subprocesses that seek into the container via the frame-index
+//!   sidecar and ship [`PartialReport`]s back over a pipe (`MGZW`
+//!   framing). A worker that exits nonzero, produces garbage, or
+//!   exceeds the timeout is killed and its range re-run in a fresh
+//!   subprocess, up to [`FanoutConfig::max_attempts`] tries.
+//!
+//! Crash-path tests inject failures via environment variables passed to
+//! workers ([`FanoutConfig::worker_env`]): `MEMGAZE_FANOUT_CRASH_ONCE`
+//! names a marker file; the first worker to see it absent creates it,
+//! emits garbage, and exits nonzero — so exactly one attempt fails and
+//! the retry succeeds. `MEMGAZE_FANOUT_HANG_ONCE` does the same but
+//! sleeps past any reasonable timeout instead.
+
+use memgaze_analysis::{
+    analyze_frames, partition_frames, AnalysisConfig, PartialError, PartialReport, StreamingReport,
+    WorkerSpec,
+};
+use memgaze_model::{AuxAnnotations, FrameIndex, ModelError, ShardReader, SymbolTable, TraceMeta};
+use std::io::{Read, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Magic framing the worker's stdout payload.
+const WORKER_MAGIC: &[u8; 4] = b"MGZW";
+
+/// Crash-injection env var: a marker-file path; first worker to find it
+/// absent creates it, writes garbage, and exits nonzero.
+pub const CRASH_ONCE_ENV: &str = "MEMGAZE_FANOUT_CRASH_ONCE";
+/// Hang-injection env var: like [`CRASH_ONCE_ENV`] but sleeps instead.
+pub const HANG_ONCE_ENV: &str = "MEMGAZE_FANOUT_HANG_ONCE";
+
+/// Fan-out run parameters.
+#[derive(Debug, Clone)]
+pub struct FanoutConfig {
+    /// Worker slots (and the target number of frame ranges).
+    pub workers: usize,
+    /// Analysis threads inside each worker.
+    pub threads_per_worker: usize,
+    /// Attempts per range before the run fails.
+    pub max_attempts: u32,
+    /// Wall-clock budget per worker attempt.
+    pub timeout: Duration,
+    /// Locality-vs-interval sizes to accumulate.
+    pub locality_sizes: Vec<u64>,
+    /// Extra environment for spawned workers (failure injection in
+    /// tests; empty in production).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl Default for FanoutConfig {
+    fn default() -> Self {
+        FanoutConfig {
+            workers: 4,
+            threads_per_worker: 1,
+            max_attempts: 3,
+            timeout: Duration::from_secs(120),
+            locality_sizes: Vec::new(),
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+/// Where worker ranges execute.
+#[derive(Debug, Clone)]
+pub enum FanoutBackend {
+    /// Coordinator threads calling [`analyze_frames`] directly.
+    InProcess,
+    /// `<exe> analyze-shard` subprocesses exchanging partials over
+    /// pipes.
+    Subprocess {
+        /// The `memgaze` binary to spawn (usually
+        /// `std::env::current_exe()`).
+        exe: PathBuf,
+    },
+}
+
+/// One failed worker attempt (the run may still succeed via retry).
+#[derive(Debug, Clone)]
+pub struct WorkerFailure {
+    /// The frame range the attempt was assigned.
+    pub range: (usize, usize),
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// A fan-out run's result: the merged report plus scheduling facts.
+#[derive(Debug)]
+pub struct FanoutRunReport {
+    /// The merged analysis, bit-identical to the resident analyzer.
+    pub report: StreamingReport,
+    /// Trace metadata with trailer-patched totals.
+    pub meta: TraceMeta,
+    /// The frame ranges that were dispatched.
+    pub ranges: Vec<Range<usize>>,
+    /// Worker attempts beyond the first, summed over ranges.
+    pub retries: u32,
+    /// Every failed attempt, in completion order.
+    pub failures: Vec<WorkerFailure>,
+}
+
+/// Fan-out failures.
+#[derive(Debug)]
+pub enum FanoutError {
+    /// Container or index rejected by the model layer.
+    Model(ModelError),
+    /// A partial report failed to decode or merge.
+    Partial(PartialError),
+    /// Scratch-file or pipe I/O failed.
+    Io(std::io::Error),
+    /// A frame range failed every attempt.
+    RangeFailed {
+        /// Range start (frame index).
+        lo: usize,
+        /// Range end (exclusive).
+        hi: usize,
+        /// Attempts made.
+        attempts: u32,
+        /// The last attempt's failure.
+        last: String,
+    },
+    /// A worker spoke the protocol wrong (bad framing, bad arguments).
+    Protocol {
+        /// What was malformed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FanoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FanoutError::Model(e) => write!(f, "fan-out model error: {e}"),
+            FanoutError::Partial(e) => write!(f, "fan-out partial-report error: {e}"),
+            FanoutError::Io(e) => write!(f, "fan-out i/o error: {e}"),
+            FanoutError::RangeFailed {
+                lo,
+                hi,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "frame range {lo}..{hi} failed all {attempts} attempts; last error: {last}"
+            ),
+            FanoutError::Protocol { detail } => write!(f, "fan-out protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FanoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FanoutError::Model(e) => Some(e),
+            FanoutError::Partial(e) => Some(e),
+            FanoutError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FanoutError {
+    fn from(e: ModelError) -> Self {
+        FanoutError::Model(e)
+    }
+}
+
+impl From<PartialError> for FanoutError {
+    fn from(e: PartialError) -> Self {
+        FanoutError::Partial(e)
+    }
+}
+
+impl From<std::io::Error> for FanoutError {
+    fn from(e: std::io::Error) -> Self {
+        FanoutError::Io(e)
+    }
+}
+
+/// Monotonic scratch-directory discriminator within this process.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Scratch files shared by all workers of one subprocess run; the
+/// directory is removed on drop, success or failure.
+struct Scratch {
+    dir: PathBuf,
+    spec: PathBuf,
+    container: PathBuf,
+    index: PathBuf,
+}
+
+impl Scratch {
+    fn write(container: &[u8], index: &FrameIndex, spec: &WorkerSpec) -> std::io::Result<Scratch> {
+        let dir = std::env::temp_dir().join(format!(
+            "memgaze-fanout-{}-{}",
+            std::process::id(),
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let s = Scratch {
+            spec: dir.join("spec.bin"),
+            container: dir.join("container.bin"),
+            index: dir.join("index.bin"),
+            dir,
+        };
+        std::fs::write(&s.spec, spec.encode())?;
+        std::fs::write(&s.container, container)?;
+        std::fs::write(&s.index, index.encode())?;
+        Ok(s)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Analyze an indexed container by fanning its frame ranges out across
+/// workers. The partials are merged **in shard order**, so the returned
+/// report is bit-identical to the resident [`StreamingAnalyzer`]
+/// (`memgaze_analysis::StreamingAnalyzer`) — and hence to the resident
+/// `Analyzer` — for every worker count and shard size.
+pub fn run_fanout(
+    container: &[u8],
+    index: &FrameIndex,
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    analysis: AnalysisConfig,
+    cfg: &FanoutConfig,
+    backend: &FanoutBackend,
+) -> Result<FanoutRunReport, FanoutError> {
+    // Reject a stale index before dispatching anything: every downstream
+    // read depends on it describing exactly these bytes.
+    index.validate(container)?;
+    let mut meta = ShardReader::new(container)?.meta().clone();
+    meta.total_loads = index.total_loads;
+    meta.total_instrumented_loads = index.total_instrumented_loads;
+
+    let worker_cfg = AnalysisConfig {
+        threads: cfg.threads_per_worker.max(1),
+        ..analysis
+    };
+    let ranges = partition_frames(index, cfg.workers);
+
+    let scratch = match backend {
+        FanoutBackend::Subprocess { .. } => {
+            let spec = WorkerSpec {
+                footprint_block: worker_cfg.footprint_block,
+                reuse_block: worker_cfg.reuse_block,
+                threads: worker_cfg.threads,
+                locality_sizes: cfg.locality_sizes.clone(),
+                annots: annots.clone(),
+                symbols: symbols.clone(),
+            };
+            Some(Scratch::write(container, index, &spec)?)
+        }
+        FanoutBackend::InProcess => None,
+    };
+
+    let queue: Mutex<Vec<Range<usize>>> = Mutex::new(ranges.clone());
+    let results: Mutex<Vec<Option<PartialReport>>> = Mutex::new(vec![None; ranges.len()]);
+    let failures: Mutex<Vec<WorkerFailure>> = Mutex::new(Vec::new());
+    let retries = AtomicU64::new(0);
+    let fatal: Mutex<Option<FanoutError>> = Mutex::new(None);
+    let slots = cfg.workers.clamp(1, ranges.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..slots {
+            scope.spawn(|| loop {
+                if fatal.lock().expect("fanout lock poisoned").is_some() {
+                    return;
+                }
+                let Some(range) = queue.lock().expect("fanout lock poisoned").pop() else {
+                    return;
+                };
+                // A range index is its position in the (contiguous,
+                // sorted) partition — recover it from the range starts.
+                let idx = ranges
+                    .iter()
+                    .position(|r| r.start == range.start)
+                    .expect("queued range comes from the partition");
+                let mut attempt = 0u32;
+                let outcome = loop {
+                    attempt += 1;
+                    let run = match (backend, &scratch) {
+                        (FanoutBackend::InProcess, _) => analyze_frames(
+                            container,
+                            index,
+                            range.clone(),
+                            annots,
+                            symbols,
+                            worker_cfg,
+                            &cfg.locality_sizes,
+                        )
+                        .map_err(|e| e.to_string()),
+                        (FanoutBackend::Subprocess { exe }, Some(s)) => {
+                            run_worker_subprocess(exe, s, &range, cfg)
+                        }
+                        (FanoutBackend::Subprocess { .. }, None) => {
+                            unreachable!("scratch exists for subprocess runs")
+                        }
+                    };
+                    match run {
+                        Ok(p) => break Ok(p),
+                        Err(detail) => {
+                            failures
+                                .lock()
+                                .expect("fanout lock poisoned")
+                                .push(WorkerFailure {
+                                    range: (range.start, range.end),
+                                    attempt,
+                                    detail: detail.clone(),
+                                });
+                            if attempt >= cfg.max_attempts.max(1) {
+                                break Err(detail);
+                            }
+                            retries.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                };
+                match outcome {
+                    Ok(p) => {
+                        results.lock().expect("fanout lock poisoned")[idx] = Some(p);
+                    }
+                    Err(last) => {
+                        let mut f = fatal.lock().expect("fanout lock poisoned");
+                        if f.is_none() {
+                            *f = Some(FanoutError::RangeFailed {
+                                lo: range.start,
+                                hi: range.end,
+                                attempts: attempt,
+                                last,
+                            });
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(err) = fatal.into_inner().expect("fanout lock poisoned") {
+        return Err(err);
+    }
+    let mut merged = PartialReport::empty(
+        worker_cfg.footprint_block,
+        worker_cfg.reuse_block,
+        &cfg.locality_sizes,
+    );
+    for (i, slot) in results
+        .into_inner()
+        .expect("fanout lock poisoned")
+        .into_iter()
+        .enumerate()
+    {
+        let partial = slot.ok_or_else(|| FanoutError::Protocol {
+            detail: format!("range {i} produced no partial report"),
+        })?;
+        merged.merge(partial)?;
+    }
+    let report = merged.finish(&meta);
+    Ok(FanoutRunReport {
+        report,
+        meta,
+        ranges,
+        retries: retries.into_inner() as u32,
+        failures: failures.into_inner().expect("fanout lock poisoned"),
+    })
+}
+
+/// One subprocess attempt over one frame range. Any failure — spawn,
+/// nonzero exit, timeout, bad framing, undecodable partial — comes back
+/// as a string so the slot loop can retry uniformly.
+fn run_worker_subprocess(
+    exe: &Path,
+    scratch: &Scratch,
+    range: &Range<usize>,
+    cfg: &FanoutConfig,
+) -> Result<PartialReport, String> {
+    let mut child = Command::new(exe)
+        .arg("analyze-shard")
+        .arg("--spec")
+        .arg(&scratch.spec)
+        .arg("--container")
+        .arg(&scratch.container)
+        .arg("--index")
+        .arg(&scratch.index)
+        .arg("--frames")
+        .arg(format!("{}:{}", range.start, range.end))
+        .envs(cfg.worker_env.iter().map(|(k, v)| (k.clone(), v.clone())))
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
+
+    // Drain the pipes on their own threads so a chatty worker can't
+    // deadlock against a full pipe buffer while we poll for exit.
+    let mut stdout_pipe = child.stdout.take().expect("stdout was piped");
+    let mut stderr_pipe = child.stderr.take().expect("stderr was piped");
+    let stdout_thread = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = stdout_pipe.read_to_end(&mut buf);
+        buf
+    });
+    let stderr_thread = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = stderr_pipe.read_to_end(&mut buf);
+        buf
+    });
+
+    let deadline = Instant::now() + cfg.timeout;
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = stdout_thread.join();
+                    let _ = stderr_thread.join();
+                    return Err(format!(
+                        "worker for frames {}..{} exceeded {:?} timeout and was killed",
+                        range.start, range.end, cfg.timeout
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = stdout_thread.join();
+                let _ = stderr_thread.join();
+                return Err(format!("wait on worker: {e}"));
+            }
+        }
+    };
+    let stdout = stdout_thread.join().unwrap_or_default();
+    let stderr = stderr_thread.join().unwrap_or_default();
+    if !status.success() {
+        return Err(format!(
+            "worker exited with {status}: {}",
+            String::from_utf8_lossy(&stderr).trim()
+        ));
+    }
+    decode_worker_output(&stdout).map_err(|e| e.to_string())
+}
+
+/// Parse a worker's framed stdout: `MGZW` + `u64` LE payload length +
+/// the encoded [`PartialReport`].
+fn decode_worker_output(out: &[u8]) -> Result<PartialReport, FanoutError> {
+    if out.len() < 12 || &out[..4] != WORKER_MAGIC {
+        return Err(FanoutError::Protocol {
+            detail: format!("bad worker framing ({} bytes)", out.len()),
+        });
+    }
+    let len = u64::from_le_bytes(out[4..12].try_into().expect("slice is 8 bytes")) as usize;
+    let payload = &out[12..];
+    if payload.len() != len {
+        return Err(FanoutError::Protocol {
+            detail: format!("worker payload length {} != framed {len}", payload.len()),
+        });
+    }
+    Ok(PartialReport::decode(payload)?)
+}
+
+/// Arguments of one `analyze-shard` worker invocation.
+#[derive(Debug, Clone)]
+pub struct WorkerArgs {
+    /// Path to the encoded [`WorkerSpec`].
+    pub spec: PathBuf,
+    /// Path to the sharded container.
+    pub container: PathBuf,
+    /// Path to the encoded [`FrameIndex`].
+    pub index: PathBuf,
+    /// The frame range to analyze.
+    pub frames: Range<usize>,
+}
+
+/// The `analyze-shard` worker body: load spec + container + index,
+/// re-validate the index against the container bytes (a stale sidecar
+/// must fail in the worker, not poison the merge), analyze the range,
+/// and write the framed partial to `out`.
+pub fn worker_main(args: &WorkerArgs, out: &mut impl Write) -> Result<(), FanoutError> {
+    maybe_inject_failure(out);
+    let spec_bytes = std::fs::read(&args.spec)?;
+    let spec = WorkerSpec::decode(&spec_bytes)?;
+    let container = std::fs::read(&args.container)?;
+    let index_bytes = std::fs::read(&args.index)?;
+    let index = FrameIndex::decode(&index_bytes)?;
+    index.validate(&container)?;
+    if args.frames.end > index.entries.len() || args.frames.start > args.frames.end {
+        return Err(FanoutError::Protocol {
+            detail: format!(
+                "frame range {}..{} out of bounds for {} frames",
+                args.frames.start,
+                args.frames.end,
+                index.entries.len()
+            ),
+        });
+    }
+    let partial = analyze_frames(
+        &container,
+        &index,
+        args.frames.clone(),
+        &spec.annots,
+        &spec.symbols,
+        spec.analysis_config(),
+        &spec.locality_sizes,
+    )?;
+    let payload = partial.encode();
+    out.write_all(WORKER_MAGIC)?;
+    out.write_all(&(payload.len() as u64).to_le_bytes())?;
+    out.write_all(&payload)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Failure injection for crash-path tests; a no-op unless the marker
+/// env vars are set (the coordinator only sets them via
+/// [`FanoutConfig::worker_env`]).
+fn maybe_inject_failure(out: &mut impl Write) {
+    if let Ok(marker) = std::env::var(CRASH_ONCE_ENV) {
+        let path = Path::new(&marker);
+        if !path.exists() {
+            let _ = std::fs::write(path, b"crashed");
+            let _ = out.write_all(b"garbage, not a partial report");
+            let _ = out.flush();
+            std::process::exit(3);
+        }
+    }
+    if let Ok(marker) = std::env::var(HANG_ONCE_ENV) {
+        let path = Path::new(&marker);
+        if !path.exists() {
+            let _ = std::fs::write(path, b"hung");
+            std::thread::sleep(Duration::from_secs(600));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memgaze_model::{encode_sharded_indexed, Access, Sample, SampledTrace};
+
+    fn mk_indexed_trace() -> (SampledTrace, Vec<u8>, FrameIndex) {
+        let mut t = SampledTrace::new(TraceMeta::new("fanout-core", 1000, 8192));
+        for s in 0..10u64 {
+            let n = 30 + (s * 7) % 40;
+            let acc: Vec<Access> = (0..n)
+                .map(|i| {
+                    Access::new(
+                        0x400 + (i % 4) * 4,
+                        ((s * 31 + i * 3) % 512) * 64,
+                        s * 1000 + i,
+                    )
+                })
+                .collect();
+            t.push_sample(Sample::new(acc, s * 1000 + n)).unwrap();
+        }
+        t.meta.total_loads = 10_000;
+        let (container, index) = encode_sharded_indexed(&t, 2);
+        (t, container, index)
+    }
+
+    #[test]
+    fn in_process_fanout_matches_resident_streaming() {
+        let (t, container, index) = mk_indexed_trace();
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let analysis = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let sizes = vec![8u64, 32];
+        let resident =
+            memgaze_analysis::stream_resident_trace(&t, &annots, &symbols, analysis, &sizes, 2);
+        for workers in [1usize, 2, 3, 8] {
+            let cfg = FanoutConfig {
+                workers,
+                locality_sizes: sizes.clone(),
+                ..FanoutConfig::default()
+            };
+            let run = run_fanout(
+                &container,
+                &index,
+                &annots,
+                &symbols,
+                analysis,
+                &cfg,
+                &FanoutBackend::InProcess,
+            )
+            .unwrap();
+            assert_eq!(run.meta, t.meta);
+            assert_eq!(run.report.decompression, resident.decompression);
+            assert_eq!(run.report.function_rows, resident.function_rows);
+            assert_eq!(run.report.block_reuse, resident.block_reuse);
+            assert_eq!(run.report.reuse_histogram, resident.reuse_histogram);
+            assert_eq!(run.report.locality_series, resident.locality_series);
+            assert_eq!(run.report.interval_rows(4), resident.interval_rows(4));
+            assert_eq!(run.retries, 0);
+            assert!(run.failures.is_empty());
+        }
+    }
+
+    #[test]
+    fn stale_index_is_rejected_before_dispatch() {
+        let (_, container, _) = mk_indexed_trace();
+        let mut t2 = SampledTrace::new(TraceMeta::new("other", 1000, 8192));
+        let acc = vec![Access::new(0x400u64, 64, 0)];
+        t2.push_sample(Sample::new(acc, 1)).unwrap();
+        t2.meta.total_loads = 1000;
+        let (_, stale) = encode_sharded_indexed(&t2, 1);
+        let err = run_fanout(
+            &container,
+            &stale,
+            &AuxAnnotations::new(),
+            &SymbolTable::new(),
+            AnalysisConfig::default(),
+            &FanoutConfig::default(),
+            &FanoutBackend::InProcess,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            FanoutError::Model(ModelError::StaleIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn worker_output_framing_is_validated() {
+        assert!(matches!(
+            decode_worker_output(b""),
+            Err(FanoutError::Protocol { .. })
+        ));
+        assert!(matches!(
+            decode_worker_output(b"garbage, not a partial report"),
+            Err(FanoutError::Protocol { .. })
+        ));
+        let mut framed = WORKER_MAGIC.to_vec();
+        framed.extend_from_slice(&99u64.to_le_bytes());
+        framed.extend_from_slice(b"short");
+        assert!(matches!(
+            decode_worker_output(&framed),
+            Err(FanoutError::Protocol { .. })
+        ));
+    }
+}

@@ -15,15 +15,21 @@
 //! Both yield a [`memgaze_model::SampledTrace`] plus annotations and
 //! symbols, which [`memgaze_analysis::Analyzer`] consumes.
 
+pub mod fanout;
 pub mod hotspot;
 pub mod overheads;
 pub mod pipeline;
 pub mod recorders;
 
+pub use fanout::{
+    run_fanout, worker_main, FanoutBackend, FanoutConfig, FanoutError, FanoutRunReport, WorkerArgs,
+    WorkerFailure,
+};
 pub use hotspot::{profile_hotspots, HotspotReport};
 pub use overheads::{phase_profiles, PhaseOverhead};
 pub use pipeline::{
-    full_trace_workload, trace_workload, trace_workload_streaming, FullWorkloadReport, MemGaze,
-    MicroReport, PipelineConfig, StreamingWorkloadReport, WorkloadReport,
+    analyze_shard_container, full_trace_workload, trace_workload, trace_workload_streaming,
+    FullWorkloadReport, MemGaze, MicroReport, PipelineConfig, PipelineError,
+    StreamingWorkloadReport, WorkloadReport,
 };
 pub use recorders::{FullRecorder, SamplerRecorder, StreamingRecorder, TeeRecorder};

@@ -3,7 +3,10 @@
 use crate::recorders::{SamplerRecorder, StreamingRecorder};
 use memgaze_analysis::{AnalysisConfig, Analyzer, StreamingAnalyzer, StreamingReport};
 use memgaze_instrument::{InstrumentConfig, Instrumented, Instrumenter};
-use memgaze_model::{AuxAnnotations, FullTrace, SampledTrace, ShardReader, SymbolTable, TraceMeta};
+use memgaze_model::{
+    AuxAnnotations, FrameIndex, FullTrace, ModelError, SampledTrace, ShardReader, SymbolTable,
+    TraceMeta,
+};
 use memgaze_ptsim::{
     BandwidthModel, OverheadModel, RunStats, SamplerConfig, StreamFull, StreamSampler, StreamStats,
 };
@@ -238,6 +241,40 @@ pub fn trace_workload<T>(
     )
 }
 
+/// A typed failure of the streaming pipeline. The streaming path decodes
+/// container bytes it wrote moments earlier, but "we just wrote it" is
+/// not a proof — a recorder bug, a torn buffer, or future persistence of
+/// containers across runs all make decode failures reachable, so they
+/// surface as errors rather than panics.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A container operation failed.
+    Container {
+        /// Which pipeline stage was running.
+        stage: &'static str,
+        /// The underlying model error.
+        source: ModelError,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Container { stage, source } => {
+                write!(f, "streaming pipeline failed at {stage}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Container { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Result of the streaming workload path: a finished incremental analysis
 /// plus the sharded container it was computed from. Unlike
 /// [`WorkloadReport`] there is no resident [`SampledTrace`] — the trace
@@ -261,6 +298,41 @@ pub struct StreamingWorkloadReport {
     /// The sharded v2 container the analysis consumed; kept so callers
     /// can persist it or re-run other analyses shard by shard.
     pub container: Vec<u8>,
+    /// Frame index sidecar for `container`, enabling seek-based fan-out
+    /// without rescanning the container.
+    pub index: FrameIndex,
+}
+
+/// Run a [`StreamingAnalyzer`] over every frame of a sharded container.
+/// This is the resident-side analysis step of
+/// [`trace_workload_streaming`], split out so callers holding persisted
+/// container bytes can analyze them too. Corrupt or truncated containers
+/// yield a typed [`PipelineError`], never a panic.
+pub fn analyze_shard_container(
+    container: &[u8],
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    analysis: AnalysisConfig,
+    locality_sizes: &[u64],
+) -> Result<(StreamingReport, TraceMeta), PipelineError> {
+    let mut reader = ShardReader::new(container).map_err(|source| PipelineError::Container {
+        stage: "container header decode",
+        source,
+    })?;
+    let mut analyzer = StreamingAnalyzer::new(annots, symbols, analysis);
+    if !locality_sizes.is_empty() {
+        analyzer = analyzer.with_locality_sizes(locality_sizes);
+    }
+    for shard in reader.by_ref() {
+        let shard = shard.map_err(|source| PipelineError::Container {
+            stage: "shard frame decode",
+            source,
+        })?;
+        analyzer.ingest_shard(&shard.samples);
+    }
+    let meta = reader.meta().clone();
+    let report = analyzer.finish(&meta);
+    Ok((report, meta))
 }
 
 /// Trace a native workload through the streaming path: completed samples
@@ -275,7 +347,7 @@ pub fn trace_workload_streaming<T>(
     analysis: AnalysisConfig,
     locality_sizes: &[u64],
     run: impl FnOnce(&mut TracedSpace<StreamingRecorder>) -> T,
-) -> (StreamingWorkloadReport, T) {
+) -> Result<(StreamingWorkloadReport, T), PipelineError> {
     let provisional = TraceMeta::new(name, cfg.period, cfg.buffer_bytes);
     let recorder =
         StreamingRecorder::new(StreamSampler::new(cfg.clone()), &provisional, shard_samples);
@@ -285,21 +357,18 @@ pub fn trace_workload_streaming<T>(
     let symbols = space.symbols();
     let phases = space.phases().to_vec();
     let allocations = space.allocations().to_vec();
-    let (container, _meta, stream) = space.into_recorder().finish(name);
+    let (container, index, _meta, stream) =
+        space
+            .into_recorder()
+            .finish(name)
+            .map_err(|source| PipelineError::Container {
+                stage: "container seal",
+                source,
+            })?;
 
-    let mut reader = ShardReader::new(container.as_slice())
-        .expect("a container this pipeline just wrote has a valid header");
-    let mut analyzer = StreamingAnalyzer::new(&annots, &symbols, analysis);
-    if !locality_sizes.is_empty() {
-        analyzer = analyzer.with_locality_sizes(locality_sizes);
-    }
-    for shard in reader.by_ref() {
-        let shard = shard.expect("a container this pipeline just wrote decodes cleanly");
-        analyzer.ingest_shard(&shard.samples);
-    }
-    let meta = reader.meta().clone();
-    let report = analyzer.finish(&meta);
-    (
+    let (report, meta) =
+        analyze_shard_container(&container, &annots, &symbols, analysis, locality_sizes)?;
+    Ok((
         StreamingWorkloadReport {
             report,
             meta,
@@ -309,9 +378,10 @@ pub fn trace_workload_streaming<T>(
             stream,
             allocations,
             container,
+            index,
         },
         value,
-    )
+    ))
 }
 
 /// Collect a full trace of a native workload ('Rec' with a bandwidth
@@ -430,8 +500,10 @@ mod tests {
             AnalysisConfig::default(),
             &sizes,
             |space| minivite::run(space, &mv),
-        );
+        )
+        .unwrap();
         assert!(!result.communities.is_empty());
+        streamed.index.validate(&streamed.container).unwrap();
         // Deterministic workload + same seed → identical trace, so the
         // container decodes back to the resident trace exactly.
         let decoded = memgaze_model::decode_sharded(&streamed.container).unwrap();
@@ -460,6 +532,45 @@ mod tests {
         let n = resident.trace.num_samples() as u64;
         assert_eq!(streamed.report.ingest.shards, n.div_ceil(2));
         assert_eq!(streamed.report.ingest.samples, n);
+    }
+
+    #[test]
+    fn corrupt_container_is_a_typed_error_not_a_panic() {
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let cfg = AnalysisConfig::default();
+        // Garbage bytes: header decode fails.
+        let err =
+            analyze_shard_container(b"not a container", &annots, &symbols, cfg, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Container {
+                stage: "container header decode",
+                ..
+            }
+        ));
+        // A valid container truncated mid-frame: frame decode fails.
+        let mut trace = SampledTrace::new(TraceMeta::new("t", 100, 8192));
+        for s in 0..6u64 {
+            let acc = (0..40)
+                .map(|i| memgaze_model::Access::new(0x400u64, (s * 64 + i) * 64, s * 100 + i))
+                .collect();
+            trace
+                .push_sample(memgaze_model::Sample::new(acc, s * 100 + 40))
+                .unwrap();
+        }
+        trace.meta.total_loads = 600;
+        let container = memgaze_model::encode_sharded(&trace, 2);
+        let truncated = &container[..container.len() - 10];
+        let err = analyze_shard_container(truncated, &annots, &symbols, cfg, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Container {
+                stage: "shard frame decode",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("shard frame decode"), "{err}");
     }
 
     #[test]

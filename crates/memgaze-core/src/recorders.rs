@@ -1,7 +1,7 @@
 //! Bridges between the workloads' [`LoadRecorder`] trait and the
 //! Processor-Tracing stream collectors.
 
-use memgaze_model::{Ip, Sample, ShardWriter, TraceMeta};
+use memgaze_model::{FrameIndex, Ip, ModelError, Sample, ShardWriter, TraceMeta};
 use memgaze_ptsim::{StreamFull, StreamSampler, StreamStats};
 use memgaze_workloads::LoadRecorder;
 
@@ -86,9 +86,16 @@ impl StreamingRecorder {
     }
 
     /// Flush the trailing partial sample and any undrained samples, then
-    /// seal the container. Returns the encoded container bytes, the final
-    /// trace metadata, and collection stats.
-    pub fn finish(self, workload: &str) -> (Vec<u8>, TraceMeta, StreamStats) {
+    /// seal the container. Returns the encoded container bytes, the frame
+    /// index sidecar, the final trace metadata, and collection stats.
+    ///
+    /// Sealing validates the trailer totals against the samples actually
+    /// written; an inconsistency is a typed [`ModelError`], not a panic —
+    /// the caller decides whether a bad recording is fatal.
+    pub fn finish(
+        self,
+        workload: &str,
+    ) -> Result<(Vec<u8>, FrameIndex, TraceMeta, StreamStats), ModelError> {
         let StreamingRecorder {
             sampler,
             mut writer,
@@ -102,10 +109,9 @@ impl StreamingRecorder {
                 .write_shard(shard)
                 .expect("writing a shard frame to a Vec cannot fail");
         }
-        let container = writer
-            .finish(meta.total_loads, meta.total_instrumented_loads)
-            .expect("sealing a Vec-backed container cannot fail");
-        (container, meta, stats)
+        let (container, index) =
+            writer.finish_indexed(meta.total_loads, meta.total_instrumented_loads)?;
+        Ok((container, index, meta, stats))
     }
 }
 
@@ -190,10 +196,13 @@ mod tests {
         }
         let (trace, res_stats) = resident.sampler.finish("t");
         assert!(streaming.shards_written() > 1);
-        let (container, meta, stats) = streaming.finish("t");
+        let (container, index, meta, stats) = streaming.finish("t").unwrap();
         assert_eq!(meta, trace.meta);
         assert_eq!(stats.total_loads, res_stats.total_loads);
         let decoded = memgaze_model::decode_sharded(&container).unwrap();
         assert_eq!(decoded, trace);
+        // The sidecar matches the container it was written alongside.
+        index.validate(&container).unwrap();
+        assert_eq!(index.total_samples(), trace.num_samples() as u64);
     }
 }

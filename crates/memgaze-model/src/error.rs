@@ -36,6 +36,23 @@ pub enum ModelError {
         /// What went wrong inside the frame.
         source: Box<ModelError>,
     },
+    /// Trailer totals that contradict what was actually streamed — e.g.
+    /// fewer total loads than samples written (each sample is triggered
+    /// by at least one load, so `total_loads >= samples` always holds
+    /// for a truthful trailer).
+    InconsistentTotals {
+        /// The `total_loads` the caller tried to seal into the trailer.
+        total_loads: u64,
+        /// Samples actually written to the container.
+        samples: u64,
+    },
+    /// A frame-index sidecar that does not describe the container it was
+    /// presented with (wrong length, wrong header, or a frame whose
+    /// bytes no longer match the indexed checksum).
+    StaleIndex {
+        /// What mismatched.
+        detail: String,
+    },
     /// Underlying I/O error.
     Io(std::io::Error),
 }
@@ -69,6 +86,16 @@ impl std::fmt::Display for ModelError {
             }
             ModelError::InShard { shard, source } => {
                 write!(f, "shard {shard}: {source}")
+            }
+            ModelError::InconsistentTotals {
+                total_loads,
+                samples,
+            } => write!(
+                f,
+                "inconsistent trailer totals: total_loads {total_loads} < {samples} samples written"
+            ),
+            ModelError::StaleIndex { detail } => {
+                write!(f, "stale frame index: {detail}")
             }
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
         }

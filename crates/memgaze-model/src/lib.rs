@@ -29,6 +29,7 @@ pub use error::ModelError;
 pub use ratio::{compression_ratio, sample_ratio, DecompressionInfo};
 pub use sample::{FullTrace, Sample, SampledTrace, TraceMeta};
 pub use stream::{
-    decode_sharded, encode_sharded, Shard, ShardReader, ShardWriter, DEFAULT_SHARD_SAMPLES,
+    decode_sharded, encode_sharded, encode_sharded_indexed, fnv1a64, FrameIndex, FrameIndexEntry,
+    Shard, ShardReader, ShardWriter, DEFAULT_SHARD_SAMPLES,
 };
 pub use symbols::{FunctionId, FunctionSym, SymbolTable};

@@ -26,6 +26,18 @@
 //! iterates frames from any [`Read`] source, holding one decoded shard
 //! at a time. [`encode_sharded`] / [`decode_sharded`] are in-memory
 //! conveniences over the two.
+//!
+//! # Frame-index sidecar
+//!
+//! Shard frames are self-delimiting but not self-locating: a reader
+//! must still scan the container front to back to find frame `k`. For
+//! fan-out — worker processes each analyzing a contiguous frame range —
+//! [`ShardWriter::finish_indexed`] additionally emits a [`FrameIndex`]
+//! sidecar recording, per frame, the payload byte offset, payload
+//! length, sample count, and an FNV-1a checksum, plus enough container
+//! identity (header checksum, total length, trailer totals) that
+//! [`FrameIndex::validate`] can detect a stale or mismatched
+//! index-vs-container pair before any worker seeks with it.
 
 use crate::error::ModelError;
 use crate::io::{get_sample, get_varint, put_header, put_meta, put_sample, put_varint};
@@ -36,10 +48,234 @@ use std::io::{Read, Write};
 const VERSION_SHARDED: u16 = 2;
 const KIND_SHARDED: u8 = 2;
 
+const INDEX_MAGIC: &[u8; 4] = b"MGZX";
+const INDEX_VERSION: u16 = 1;
+
+/// 64-bit FNV-1a over a byte slice; the checksum used by the sidecar
+/// and the fan-out wire codec (fast, dependency-free, good dispersion —
+/// this is corruption detection, not cryptography).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Default shard granularity for callers without a better-informed
 /// choice: small enough to bound memory, large enough that per-frame
 /// overhead (absolute first trigger, frame length) is negligible.
 pub const DEFAULT_SHARD_SAMPLES: usize = 64;
+
+/// Location and identity of one shard frame inside a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameIndexEntry {
+    /// Byte offset of the frame's payload (past its length varint).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Samples encoded in the frame.
+    pub samples: u64,
+    /// FNV-1a checksum of the payload bytes.
+    pub checksum: u64,
+}
+
+/// Sidecar index over a v2 sharded container: per-frame seek table plus
+/// enough container identity to reject a stale or mismatched pairing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameIndex {
+    /// Byte length of the container header + provisional meta.
+    pub header_len: u64,
+    /// FNV-1a checksum of those header bytes.
+    pub header_checksum: u64,
+    /// Total container length in bytes, trailer included.
+    pub container_len: u64,
+    /// Trailer `total_loads`, duplicated so workers need not scan to
+    /// the trailer.
+    pub total_loads: u64,
+    /// Trailer `total_instrumented_loads`.
+    pub total_instrumented_loads: u64,
+    /// One entry per frame, in container order.
+    pub entries: Vec<FrameIndexEntry>,
+}
+
+impl FrameIndex {
+    /// Total samples across all indexed frames.
+    pub fn total_samples(&self) -> u64 {
+        self.entries.iter().map(|e| e.samples).sum()
+    }
+
+    /// Check that this index describes `container`. Cheap — O(header) —
+    /// and catches the common staleness modes: a container rewritten
+    /// with different meta or different length, or an index presented
+    /// with the wrong container entirely. Per-frame payload corruption
+    /// is caught lazily by [`read_frame`](Self::read_frame).
+    pub fn validate(&self, container: &[u8]) -> Result<(), ModelError> {
+        if self.container_len != container.len() as u64 {
+            return Err(ModelError::StaleIndex {
+                detail: format!(
+                    "container is {} bytes, index describes {}",
+                    container.len(),
+                    self.container_len
+                ),
+            });
+        }
+        let hdr = self.header_len as usize;
+        if hdr > container.len() {
+            return Err(ModelError::StaleIndex {
+                detail: format!("header length {hdr} exceeds container"),
+            });
+        }
+        let got = fnv1a64(&container[..hdr]);
+        if got != self.header_checksum {
+            return Err(ModelError::StaleIndex {
+                detail: format!(
+                    "header checksum {got:#018x} != indexed {:#018x}",
+                    self.header_checksum
+                ),
+            });
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.offset
+                .checked_add(e.len)
+                .is_none_or(|end| end > self.container_len)
+            {
+                return Err(ModelError::StaleIndex {
+                    detail: format!("frame {i} spans past the container end"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Seek to frame `i` of `container` and decode its samples,
+    /// verifying the indexed checksum first. The container is not
+    /// scanned: only the indexed payload bytes are touched.
+    pub fn read_frame(&self, container: &[u8], i: usize) -> Result<Vec<Sample>, ModelError> {
+        let entry = self.entries.get(i).ok_or_else(|| ModelError::StaleIndex {
+            detail: format!("frame {i} out of range ({} indexed)", self.entries.len()),
+        })?;
+        let lo = entry.offset as usize;
+        let hi = lo
+            .checked_add(entry.len as usize)
+            .filter(|&hi| hi <= container.len());
+        let Some(hi) = hi else {
+            return Err(ModelError::StaleIndex {
+                detail: format!("frame {i} spans past the container end"),
+            });
+        };
+        let payload = &container[lo..hi];
+        let got = fnv1a64(payload);
+        if got != entry.checksum {
+            return Err(ModelError::StaleIndex {
+                detail: format!(
+                    "frame {i} checksum {got:#018x} != indexed {:#018x}",
+                    entry.checksum
+                ),
+            });
+        }
+        decode_frame_payload(Bytes::from(payload.to_vec())).map_err(|e| ModelError::InShard {
+            shard: i as u64,
+            source: Box::new(e),
+        })
+    }
+
+    /// Serialize the index (`MGZX` framing, FNV-checksummed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32 + self.entries.len() * 16);
+        buf.extend_from_slice(INDEX_MAGIC);
+        buf.extend_from_slice(&INDEX_VERSION.to_le_bytes());
+        put_varint(&mut buf, self.header_len);
+        buf.extend_from_slice(&self.header_checksum.to_le_bytes());
+        put_varint(&mut buf, self.container_len);
+        put_varint(&mut buf, self.total_loads);
+        put_varint(&mut buf, self.total_instrumented_loads);
+        put_varint(&mut buf, self.entries.len() as u64);
+        let mut prev_offset = 0u64;
+        for e in &self.entries {
+            // Offsets are strictly increasing, so delta-encode them.
+            put_varint(&mut buf, e.offset - prev_offset);
+            prev_offset = e.offset;
+            put_varint(&mut buf, e.len);
+            put_varint(&mut buf, e.samples);
+            buf.extend_from_slice(&e.checksum.to_le_bytes());
+        }
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf.to_vec()
+    }
+
+    /// Decode a serialized index, rejecting truncation and corruption.
+    pub fn decode(data: &[u8]) -> Result<FrameIndex, ModelError> {
+        if data.len() < 14 {
+            return Err(ModelError::Truncated {
+                context: "frame index",
+            });
+        }
+        let (body, sum_bytes) = data.split_at(data.len() - 8);
+        let want = u64::from_le_bytes(sum_bytes.try_into().expect("split_at gave 8 bytes"));
+        if fnv1a64(body) != want {
+            return Err(ModelError::BadHeader {
+                detail: "frame index checksum mismatch".to_string(),
+            });
+        }
+        let mut src = body;
+        let mut magic = [0u8; 4];
+        src.read_exact(&mut magic)
+            .map_err(|e| map_eof(e, "frame index magic"))?;
+        if &magic != INDEX_MAGIC {
+            return Err(ModelError::BadHeader {
+                detail: format!("frame index magic {magic:?}"),
+            });
+        }
+        let mut ver = [0u8; 2];
+        src.read_exact(&mut ver)
+            .map_err(|e| map_eof(e, "frame index version"))?;
+        let ver = u16::from_le_bytes(ver);
+        if ver != INDEX_VERSION {
+            return Err(ModelError::BadHeader {
+                detail: format!("frame index version {ver}, expected {INDEX_VERSION}"),
+            });
+        }
+        let header_len = read_varint(&mut src, "index header_len")?;
+        let header_checksum = read_u64_le(&mut src, "index header_checksum")?;
+        let container_len = read_varint(&mut src, "index container_len")?;
+        let total_loads = read_varint(&mut src, "index total_loads")?;
+        let total_instrumented_loads = read_varint(&mut src, "index total_instr")?;
+        let n = read_varint(&mut src, "index entry count")? as usize;
+        // Each entry is at least 11 bytes encoded; bound the allocation.
+        if n > body.len() / 11 {
+            return Err(ModelError::Truncated {
+                context: "frame index entries",
+            });
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut offset = 0u64;
+        for _ in 0..n {
+            offset += read_varint(&mut src, "index entry offset")?;
+            entries.push(FrameIndexEntry {
+                offset,
+                len: read_varint(&mut src, "index entry len")?,
+                samples: read_varint(&mut src, "index entry samples")?,
+                checksum: read_u64_le(&mut src, "index entry checksum")?,
+            });
+        }
+        if !src.is_empty() {
+            return Err(ModelError::BadHeader {
+                detail: format!("{} trailing bytes in frame index", src.len()),
+            });
+        }
+        Ok(FrameIndex {
+            header_len,
+            header_checksum,
+            container_len,
+            total_loads,
+            total_instrumented_loads,
+            entries,
+        })
+    }
+}
 
 /// Incremental writer for the v2 sharded container.
 pub struct ShardWriter<W: Write> {
@@ -47,6 +283,11 @@ pub struct ShardWriter<W: Write> {
     shards: u64,
     samples: u64,
     scratch: BytesMut,
+    /// Bytes written so far (header + frames).
+    pos: u64,
+    header_len: u64,
+    header_checksum: u64,
+    entries: Vec<FrameIndexEntry>,
 }
 
 impl<W: Write> ShardWriter<W> {
@@ -63,6 +304,10 @@ impl<W: Write> ShardWriter<W> {
             shards: 0,
             samples: 0,
             scratch: BytesMut::new(),
+            pos: buf.len() as u64,
+            header_len: buf.len() as u64,
+            header_checksum: fnv1a64(&buf),
+            entries: Vec::new(),
         })
     }
 
@@ -83,6 +328,13 @@ impl<W: Write> ShardWriter<W> {
         put_varint(&mut head, self.scratch.len() as u64);
         self.sink.write_all(&head)?;
         self.sink.write_all(&self.scratch)?;
+        self.entries.push(FrameIndexEntry {
+            offset: self.pos + head.len() as u64,
+            len: self.scratch.len() as u64,
+            samples: samples.len() as u64,
+            checksum: fnv1a64(&self.scratch),
+        });
+        self.pos += (head.len() + self.scratch.len()) as u64;
         self.shards += 1;
         self.samples += samples.len() as u64;
         Ok(self.scratch.len())
@@ -90,18 +342,45 @@ impl<W: Write> ShardWriter<W> {
 
     /// Write the terminator and trailer (the final load totals) and
     /// return the sink.
-    pub fn finish(
+    ///
+    /// Totals are validated against what was actually streamed: every
+    /// sample is triggered by at least one load, so a trailer claiming
+    /// `total_loads < samples()` would seal a self-inconsistent
+    /// container and is rejected with
+    /// [`ModelError::InconsistentTotals`].
+    pub fn finish(self, total_loads: u64, total_instrumented_loads: u64) -> Result<W, ModelError> {
+        self.finish_indexed(total_loads, total_instrumented_loads)
+            .map(|(sink, _)| sink)
+    }
+
+    /// Like [`finish`](Self::finish), but also return the
+    /// [`FrameIndex`] sidecar accumulated while writing.
+    pub fn finish_indexed(
         mut self,
         total_loads: u64,
         total_instrumented_loads: u64,
-    ) -> Result<W, ModelError> {
+    ) -> Result<(W, FrameIndex), ModelError> {
+        if total_loads < self.samples {
+            return Err(ModelError::InconsistentTotals {
+                total_loads,
+                samples: self.samples,
+            });
+        }
         let mut tail = BytesMut::with_capacity(24);
         put_varint(&mut tail, 0);
         put_varint(&mut tail, total_loads);
         put_varint(&mut tail, total_instrumented_loads);
         self.sink.write_all(&tail)?;
         self.sink.flush()?;
-        Ok(self.sink)
+        let index = FrameIndex {
+            header_len: self.header_len,
+            header_checksum: self.header_checksum,
+            container_len: self.pos + tail.len() as u64,
+            total_loads,
+            total_instrumented_loads,
+            entries: self.entries,
+        };
+        Ok((self.sink, index))
     }
 
     /// Frames written so far.
@@ -200,28 +479,7 @@ impl<R: Read> ShardReader<R> {
                 context: "shard frame",
             });
         }
-        let mut buf = Bytes::from(payload);
-        let n = get_varint(&mut buf, "shard num_samples")? as usize;
-        if n > buf.remaining() / 2 {
-            return Err(ModelError::Truncated {
-                context: "shard samples",
-            });
-        }
-        let mut samples = Vec::with_capacity(n);
-        let mut prev_trigger = 0u64;
-        for index in 0..n {
-            let s = get_sample(&mut buf, prev_trigger).map_err(|e| ModelError::InSample {
-                index,
-                source: Box::new(e),
-            })?;
-            prev_trigger = s.trigger_time;
-            samples.push(s);
-        }
-        if buf.has_remaining() {
-            return Err(ModelError::BadHeader {
-                detail: format!("{} trailing bytes in shard frame", buf.remaining()),
-            });
-        }
+        let samples = decode_frame_payload(Bytes::from(payload))?;
         let index = self.next_index;
         self.next_index += 1;
         Ok(Some(Shard {
@@ -256,15 +514,52 @@ impl<R: Read> Iterator for ShardReader<R> {
     }
 }
 
+/// Decode one frame payload: sample count, then the per-frame delta
+/// chain (trigger chain restarting at 0). Shared by the scanning
+/// [`ShardReader`] and the seeking [`FrameIndex::read_frame`].
+fn decode_frame_payload(mut buf: Bytes) -> Result<Vec<Sample>, ModelError> {
+    let n = get_varint(&mut buf, "shard num_samples")? as usize;
+    if n > buf.remaining() / 2 {
+        return Err(ModelError::Truncated {
+            context: "shard samples",
+        });
+    }
+    let mut samples = Vec::with_capacity(n);
+    let mut prev_trigger = 0u64;
+    for index in 0..n {
+        let s = get_sample(&mut buf, prev_trigger).map_err(|e| ModelError::InSample {
+            index,
+            source: Box::new(e),
+        })?;
+        prev_trigger = s.trigger_time;
+        samples.push(s);
+    }
+    if buf.has_remaining() {
+        return Err(ModelError::BadHeader {
+            detail: format!("{} trailing bytes in shard frame", buf.remaining()),
+        });
+    }
+    Ok(samples)
+}
+
 /// Encode a resident trace as a v2 sharded container with
 /// `shard_samples` samples per frame.
+///
+/// Panics if the trace's own meta totals are inconsistent with its
+/// sample count (see [`ShardWriter::finish`]); a resident
+/// [`SampledTrace`] carrying untruthful totals is a caller bug.
 pub fn encode_sharded(trace: &SampledTrace, shard_samples: usize) -> Vec<u8> {
+    encode_sharded_indexed(trace, shard_samples).0
+}
+
+/// Like [`encode_sharded`], but also return the [`FrameIndex`] sidecar.
+pub fn encode_sharded_indexed(trace: &SampledTrace, shard_samples: usize) -> (Vec<u8>, FrameIndex) {
     let mut w = ShardWriter::new(Vec::new(), &trace.meta).expect("writing to a Vec cannot fail");
     for chunk in trace.samples.chunks(shard_samples.max(1)) {
         w.write_shard(chunk).expect("writing to a Vec cannot fail");
     }
-    w.finish(trace.meta.total_loads, trace.meta.total_instrumented_loads)
-        .expect("writing to a Vec cannot fail")
+    w.finish_indexed(trace.meta.total_loads, trace.meta.total_instrumented_loads)
+        .expect("resident trace meta totals must be consistent with its samples")
 }
 
 /// Decode a v2 sharded container back into a resident trace.
@@ -311,6 +606,12 @@ fn read_varint<R: Read>(src: &mut R, context: &'static str) -> Result<u64, Model
             });
         }
     }
+}
+
+fn read_u64_le<R: Read>(src: &mut R, context: &'static str) -> Result<u64, ModelError> {
+    let mut b = [0u8; 8];
+    src.read_exact(&mut b).map_err(|e| map_eof(e, context))?;
+    Ok(u64::from_le_bytes(b))
 }
 
 fn read_string<R: Read>(src: &mut R, context: &'static str) -> Result<String, ModelError> {
@@ -493,6 +794,93 @@ mod tests {
             crate::io::decode_sampled(Bytes::from(v2)),
             Err(ModelError::BadHeader { .. })
         ));
+    }
+
+    #[test]
+    fn finish_rejects_inconsistent_totals() {
+        // Regression: a trailer claiming fewer total loads than samples
+        // written used to seal a self-inconsistent container silently.
+        let t = mk_trace(6, 5);
+        let mut w = ShardWriter::new(Vec::new(), &t.meta).unwrap();
+        for chunk in t.samples.chunks(2) {
+            w.write_shard(chunk).unwrap();
+        }
+        match w.finish(3, 100) {
+            Err(ModelError::InconsistentTotals {
+                total_loads,
+                samples,
+            }) => {
+                assert_eq!(total_loads, 3);
+                assert_eq!(samples, 6);
+            }
+            other => panic!("expected InconsistentTotals, got {other:?}"),
+        }
+        // Equal totals are the boundary case and are fine.
+        let mut w = ShardWriter::new(Vec::new(), &t.meta).unwrap();
+        w.write_shard(&t.samples).unwrap();
+        assert!(w.finish(6, 6).is_ok());
+    }
+
+    #[test]
+    fn frame_index_locates_every_frame() {
+        let t = mk_trace(11, 9);
+        for shard in [1usize, 3, 4, 11] {
+            let (bytes, index) = encode_sharded_indexed(&t, shard);
+            index.validate(&bytes).unwrap();
+            assert_eq!(index.entries.len(), t.samples.len().div_ceil(shard));
+            assert_eq!(index.total_samples(), t.samples.len() as u64);
+            assert_eq!(index.total_loads, t.meta.total_loads);
+            let mut all = Vec::new();
+            for i in 0..index.entries.len() {
+                all.extend(index.read_frame(&bytes, i).unwrap());
+            }
+            assert_eq!(all, t.samples, "shard size {shard}");
+        }
+    }
+
+    #[test]
+    fn frame_index_roundtrips_through_codec() {
+        let t = mk_trace(7, 12);
+        let (_, index) = encode_sharded_indexed(&t, 3);
+        let encoded = index.encode();
+        let back = FrameIndex::decode(&encoded).unwrap();
+        assert_eq!(index, back);
+        // Truncation and bit flips are rejected, never mis-decoded.
+        assert!(FrameIndex::decode(&encoded[..encoded.len() - 1]).is_err());
+        let mut flipped = encoded.clone();
+        flipped[10] ^= 0x40;
+        assert!(FrameIndex::decode(&flipped).is_err());
+    }
+
+    #[test]
+    fn stale_index_is_detected() {
+        let a = mk_trace(6, 8);
+        let mut b = mk_trace(6, 8);
+        b.meta.workload = "other-workload".to_string();
+        let (bytes_a, index_a) = encode_sharded_indexed(&a, 2);
+        let (bytes_b, _) = encode_sharded_indexed(&b, 2);
+        // Index from A does not validate against container B (different
+        // meta ⇒ different header bytes and checksum).
+        assert!(matches!(
+            index_a.validate(&bytes_b),
+            Err(ModelError::StaleIndex { .. })
+        ));
+        // A truncated container fails the length check.
+        assert!(matches!(
+            index_a.validate(&bytes_a[..bytes_a.len() - 1]),
+            Err(ModelError::StaleIndex { .. })
+        ));
+        // Payload corruption is caught at read_frame via the checksum.
+        let mut corrupt = bytes_a.clone();
+        let off = index_a.entries[1].offset as usize;
+        corrupt[off + 1] ^= 0xff;
+        index_a.validate(&corrupt).unwrap();
+        assert!(matches!(
+            index_a.read_frame(&corrupt, 1),
+            Err(ModelError::StaleIndex { .. })
+        ));
+        // Untouched frames still decode.
+        assert!(index_a.read_frame(&corrupt, 0).is_ok());
     }
 
     #[test]

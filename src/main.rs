@@ -14,7 +14,10 @@
 //! working set, and collection statistics.
 
 use memgaze::analysis::{fmt_f3, fmt_pct, fmt_si, AnalysisConfig, Analyzer, Table};
-use memgaze::core::{trace_workload, MemGaze, PipelineConfig};
+use memgaze::core::{
+    run_fanout, trace_workload, trace_workload_streaming, worker_main, FanoutBackend, FanoutConfig,
+    MemGaze, PipelineConfig, WorkerArgs,
+};
 use memgaze::model::DecompressionInfo;
 use memgaze::ptsim::SamplerConfig;
 use memgaze::workloads::darknet::{self, Network};
@@ -73,6 +76,8 @@ fn usage() -> ! {
          memgaze minivite [v1|v2|v3] [--scale N] [--degree N] [--iters N] [--period N]\n  \
          memgaze gap <pr|pr-spmv|cc|cc-sv> [--scale N] [--degree N] [--period N]\n  \
          memgaze darknet <alexnet|resnet152> [--period N]\n  \
+         memgaze fanout <pr|pr-spmv|cc|cc-sv> [--workers N] [--scale N] [--period N]\n  \
+         \u{20}                [--shard N] [--threads N] [--in-process yes] [--verify yes]\n  \
          memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N]\n  \
          memgaze list\n\n\
          patterns: str<k>, irr, a|b (serial), a/b (conditional), e.g. \"str2|irr\"\n\
@@ -213,6 +218,162 @@ fn run_workload(
     );
 }
 
+/// `memgaze fanout`: trace a GAP kernel through the streaming recorder,
+/// then analyze the indexed container across worker processes and print
+/// the merged report. `--verify yes` re-runs the analysis in-process and
+/// exits nonzero unless the two reports are identical.
+fn run_fanout_cmd(args: &Args) -> ! {
+    let kernel = match args.positional.get(1).map(String::as_str) {
+        Some("pr") => GapKernel::Pr,
+        Some("pr-spmv") => GapKernel::PrSpmv,
+        Some("cc") => GapKernel::Cc,
+        Some("cc-sv") => GapKernel::CcSv,
+        _ => usage(),
+    };
+    let gap_cfg = GapConfig {
+        scale: args.num("scale", 10u32),
+        degree: args.num("degree", 8usize),
+        kernel,
+        max_iters: args.num("iters", 9usize),
+        seed: args.num("seed", 9u64),
+    };
+    let name = format!("GAP-{}", kernel.label());
+    let sampler = SamplerConfig::application(args.num("period", 20_000u64));
+    let analysis = AnalysisConfig {
+        threads: args.num("threads", 1usize).max(1),
+        ..AnalysisConfig::default()
+    };
+    let sizes = [16u64, 64, 256];
+    let shard = args.num("shard", 8usize);
+    let (streamed, ()) = trace_workload_streaming(&name, &sampler, shard, analysis, &sizes, |s| {
+        gap::run(s, &gap_cfg);
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("streaming pipeline failed: {e}");
+        std::process::exit(1);
+    });
+
+    let fan_cfg = FanoutConfig {
+        workers: args.num("workers", 4usize).max(1),
+        threads_per_worker: analysis.threads,
+        locality_sizes: sizes.to_vec(),
+        ..FanoutConfig::default()
+    };
+    let backend = if args.get("in-process").is_some() {
+        FanoutBackend::InProcess
+    } else {
+        match std::env::current_exe() {
+            Ok(exe) => FanoutBackend::Subprocess { exe },
+            Err(e) => {
+                eprintln!("cannot locate own binary ({e}); falling back to in-process workers");
+                FanoutBackend::InProcess
+            }
+        }
+    };
+    let run = run_fanout(
+        &streamed.container,
+        &streamed.index,
+        &streamed.annots,
+        &streamed.symbols,
+        analysis,
+        &fan_cfg,
+        &backend,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fan-out failed: {e}");
+        std::process::exit(1);
+    });
+
+    let info = &run.report.decompression;
+    println!(
+        "{name}: {} samples over {} worker ranges ({} retries), A(σ) = {}, κ = {:.2}, ρ = {:.1}\n",
+        info.num_samples,
+        run.ranges.len(),
+        run.retries,
+        fmt_si(info.observed as f64),
+        info.kappa(),
+        info.rho()
+    );
+    let mut table = Table::new(
+        "Hot functions (fan-out)",
+        &["Function", "Â", "F̂", "ΔF̂", "Fstr%", "D", "±CI"],
+    );
+    for r in run.report.function_rows.iter().take(10) {
+        table.push_row(vec![
+            r.name.clone(),
+            fmt_si(r.accesses_decompressed),
+            fmt_si(r.f_hat_bytes),
+            fmt_f3(r.delta_f),
+            fmt_pct(r.f_str_pct),
+            fmt_f3(r.mean_d),
+            fmt_f3(r.confidence.ci_half_width),
+        ]);
+    }
+    print!("{}", table.render());
+    for f in &run.failures {
+        eprintln!(
+            "worker failure (recovered): frames {}..{} attempt {}: {}",
+            f.range.0, f.range.1, f.attempt, f.detail
+        );
+    }
+
+    if args.get("verify").is_some() {
+        let resident = &streamed.report;
+        let identical = run.report.decompression == resident.decompression
+            && run.report.function_rows == resident.function_rows
+            && run.report.block_reuse == resident.block_reuse
+            && run.report.reuse_histogram == resident.reuse_histogram
+            && run.report.locality_series == resident.locality_series
+            && run.report.interval_rows(8) == resident.interval_rows(8);
+        if identical {
+            println!("\nverify: fan-out report is identical to the resident streaming report");
+        } else {
+            eprintln!("\nverify FAILED: fan-out report differs from the resident streaming report");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
+/// `memgaze analyze-shard`: the fan-out worker. Reads the spec,
+/// container, and index files, analyzes the assigned frame range, and
+/// writes the framed partial report to stdout.
+fn run_analyze_shard(args: &Args) -> ! {
+    let path = |key: &str| -> std::path::PathBuf {
+        args.get(key)
+            .unwrap_or_else(|| {
+                eprintln!("analyze-shard: missing --{key}");
+                std::process::exit(2);
+            })
+            .into()
+    };
+    let frames = args.get("frames").unwrap_or_else(|| {
+        eprintln!("analyze-shard: missing --frames lo:hi");
+        std::process::exit(2);
+    });
+    let (lo, hi) = frames
+        .split_once(':')
+        .and_then(|(lo, hi)| Some((lo.parse().ok()?, hi.parse().ok()?)))
+        .unwrap_or_else(|| {
+            eprintln!("analyze-shard: bad --frames {frames}, expected lo:hi");
+            std::process::exit(2);
+        });
+    let worker = WorkerArgs {
+        spec: path("spec"),
+        container: path("container"),
+        index: path("index"),
+        frames: lo..hi,
+    };
+    let stdout = std::io::stdout();
+    match worker_main(&worker, &mut stdout.lock()) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("analyze-shard: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let cmd = args.positional.first().map(String::as_str).unwrap_or("");
@@ -307,6 +468,10 @@ fn main() {
                 },
             );
         }
+        "fanout" => run_fanout_cmd(&args),
+        // Hidden worker entry point spawned by the fan-out coordinator;
+        // not part of the user-facing surface, so absent from usage().
+        "analyze-shard" => run_analyze_shard(&args),
         "lint" => run_lint(&args),
         "list" => {
             println!("workloads:");

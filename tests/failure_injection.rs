@@ -2,11 +2,18 @@
 //! configurations, and empty inputs must degrade gracefully — never
 //! panic, never fabricate data.
 
-use memgaze::analysis::{AnalysisConfig, Analyzer};
-use memgaze::core::{full_trace_workload, trace_workload, MemGaze, PipelineConfig};
+use memgaze::analysis::{stream_resident_trace, AnalysisConfig, Analyzer};
+use memgaze::core::{
+    fanout::{CRASH_ONCE_ENV, HANG_ONCE_ENV},
+    full_trace_workload, run_fanout, trace_workload, FanoutBackend, FanoutConfig, FanoutError,
+    MemGaze, PipelineConfig,
+};
 use memgaze::instrument::Instrumenter;
 use memgaze::model::Ip;
-use memgaze::model::{AuxAnnotations, SampledTrace, SymbolTable, TraceMeta};
+use memgaze::model::{
+    encode_sharded_indexed, Access, AuxAnnotations, FrameIndex, ModelError, Sample, SampledTrace,
+    SymbolTable, TraceMeta,
+};
 use memgaze::ptsim::{decode_full, BandwidthModel, PtwPacket, SamplerConfig, StreamSampler};
 use memgaze::workloads::gap::{self, GapConfig, GapKernel};
 use memgaze::workloads::ubench::{MicroBench, OptLevel};
@@ -157,6 +164,210 @@ fn microbench_with_one_element_array() {
     let report = MemGaze::new(cfg).run_microbench(&bench).unwrap();
     // Almost nothing to sample, but nothing breaks.
     let _ = report.trace.mean_window();
+}
+
+/// A deterministic multi-sample trace with enough reuse structure that a
+/// wrong merge would change the report, plus its indexed container.
+fn fanout_fixture() -> (
+    SampledTrace,
+    Vec<u8>,
+    FrameIndex,
+    AuxAnnotations,
+    SymbolTable,
+) {
+    let mut t = SampledTrace::new(TraceMeta::new("fanout-fi", 1000, 8192));
+    for s in 0..14u64 {
+        let n = 25 + (s * 11) % 60;
+        let acc: Vec<Access> = (0..n)
+            .map(|i| {
+                Access::new(
+                    0x400 + (i % 6) * 4,
+                    ((s * 43 + i * 7) % 300) * 64,
+                    s * 1000 + i,
+                )
+            })
+            .collect();
+        t.push_sample(Sample::new(acc, s * 1000 + n)).unwrap();
+    }
+    t.meta.total_loads = 14_000;
+    let (container, index) = encode_sharded_indexed(&t, 3);
+    let mut annots = AuxAnnotations::new();
+    for k in 0..6u64 {
+        let class = match k % 3 {
+            0 => memgaze::model::LoadClass::Strided,
+            1 => memgaze::model::LoadClass::Irregular,
+            _ => memgaze::model::LoadClass::Constant,
+        };
+        let mut an = memgaze::model::IpAnnot::of_class(class, memgaze::model::FunctionId(0));
+        an.implied_const = (k % 4) as u32;
+        annots.insert(Ip(0x400 + k * 4), an);
+    }
+    let mut symbols = SymbolTable::new();
+    symbols.add_function("hot", Ip(0x400), Ip(0x500), "hot.c");
+    (t, container, index, annots, symbols)
+}
+
+fn assert_reports_identical(
+    run: &memgaze::core::FanoutRunReport,
+    resident: &memgaze::analysis::StreamingReport,
+    what: &str,
+) {
+    assert_eq!(run.report.decompression, resident.decompression, "{what}");
+    assert_eq!(run.report.function_rows, resident.function_rows, "{what}");
+    assert_eq!(run.report.block_reuse, resident.block_reuse, "{what}");
+    assert_eq!(
+        run.report.reuse_histogram, resident.reuse_histogram,
+        "{what}"
+    );
+    assert_eq!(
+        run.report.locality_series, resident.locality_series,
+        "{what}"
+    );
+    for n in [1usize, 4] {
+        assert_eq!(
+            run.report.interval_rows(n),
+            resident.interval_rows(n),
+            "{what}"
+        );
+    }
+}
+
+#[test]
+fn killed_worker_is_reassigned_and_report_stays_identical() {
+    let (t, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let sizes = vec![8u64, 32];
+    let resident = stream_resident_trace(&t, &annots, &symbols, analysis, &sizes, 3);
+    // One worker crashes mid-run (garbage output + nonzero exit); the
+    // coordinator must re-run its range and still produce the identical
+    // report.
+    let marker = std::env::temp_dir().join(format!("memgaze-crash-once-{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let cfg = FanoutConfig {
+        workers: 3,
+        locality_sizes: sizes.clone(),
+        worker_env: vec![(
+            CRASH_ONCE_ENV.to_string(),
+            marker.to_string_lossy().into_owned(),
+        )],
+        ..FanoutConfig::default()
+    };
+    let backend = FanoutBackend::Subprocess {
+        exe: env!("CARGO_BIN_EXE_memgaze").into(),
+    };
+    let run = run_fanout(
+        &container, &index, &annots, &symbols, analysis, &cfg, &backend,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&marker);
+    assert!(run.retries >= 1, "the injected crash must cost a retry");
+    assert!(!run.failures.is_empty());
+    assert!(
+        run.failures[0].detail.contains("exited"),
+        "{:?}",
+        run.failures
+    );
+    assert_reports_identical(&run, &resident, "crash-recovery run");
+}
+
+#[test]
+fn hung_worker_is_killed_and_reassigned() {
+    let (t, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let resident = stream_resident_trace(&t, &annots, &symbols, analysis, &[], 3);
+    let marker = std::env::temp_dir().join(format!("memgaze-hang-once-{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let cfg = FanoutConfig {
+        workers: 2,
+        timeout: std::time::Duration::from_secs(1),
+        worker_env: vec![(
+            HANG_ONCE_ENV.to_string(),
+            marker.to_string_lossy().into_owned(),
+        )],
+        ..FanoutConfig::default()
+    };
+    let backend = FanoutBackend::Subprocess {
+        exe: env!("CARGO_BIN_EXE_memgaze").into(),
+    };
+    let run = run_fanout(
+        &container, &index, &annots, &symbols, analysis, &cfg, &backend,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&marker);
+    assert!(run.retries >= 1);
+    assert!(
+        run.failures.iter().any(|f| f.detail.contains("timeout")),
+        "{:?}",
+        run.failures
+    );
+    assert_reports_identical(&run, &resident, "hang-recovery run");
+}
+
+#[test]
+fn stale_index_sidecar_is_a_typed_error() {
+    let (_, container, _, annots, symbols) = fanout_fixture();
+    // An index describing a *different* container must be rejected up
+    // front — before any worker is dispatched.
+    let mut other = SampledTrace::new(TraceMeta::new("other", 1000, 8192));
+    other
+        .push_sample(Sample::new(vec![Access::new(0x400u64, 64, 0)], 1))
+        .unwrap();
+    other.meta.total_loads = 1000;
+    let (_, stale) = encode_sharded_indexed(&other, 1);
+    let err = run_fanout(
+        &container,
+        &stale,
+        &annots,
+        &symbols,
+        AnalysisConfig::default(),
+        &FanoutConfig::default(),
+        &FanoutBackend::InProcess,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, FanoutError::Model(ModelError::StaleIndex { .. })),
+        "{err}"
+    );
+}
+
+#[test]
+fn truncated_frame_mid_range_fails_typed_after_retries() {
+    let (_, container, index, annots, symbols) = fanout_fixture();
+    // Flip a byte inside the middle frame's payload: the header still
+    // validates (so dispatch proceeds), but the per-frame checksum fails
+    // in whichever worker owns that frame — a persistent error that
+    // must exhaust retries and surface as RangeFailed, never a panic.
+    let mut corrupt = container.clone();
+    let victim = index.entries[index.entries.len() / 2];
+    corrupt[victim.offset as usize + 1] ^= 0x40;
+    let cfg = FanoutConfig {
+        workers: 4,
+        max_attempts: 2,
+        ..FanoutConfig::default()
+    };
+    let err = run_fanout(
+        &corrupt,
+        &index,
+        &annots,
+        &symbols,
+        AnalysisConfig::default(),
+        &cfg,
+        &FanoutBackend::InProcess,
+    )
+    .unwrap_err();
+    match err {
+        FanoutError::RangeFailed { attempts, last, .. } => {
+            assert_eq!(attempts, 2);
+            assert!(last.contains("stale frame index"), "{last}");
+        }
+        other => panic!("expected RangeFailed, got {other}"),
+    }
 }
 
 #[test]

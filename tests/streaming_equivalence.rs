@@ -7,9 +7,10 @@ use memgaze::analysis::{
     locality_vs_interval_with, reuse_histogram_from, stream_resident_trace, AnalysisConfig,
     Analyzer,
 };
+use memgaze::core::{run_fanout, FanoutBackend, FanoutConfig};
 use memgaze::model::{
-    decode_sharded, encode_sharded, Access, AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass,
-    Sample, SampledTrace, ShardReader, SymbolTable, TraceMeta,
+    decode_sharded, encode_sharded, encode_sharded_indexed, Access, AuxAnnotations, FunctionId, Ip,
+    IpAnnot, LoadClass, Sample, SampledTrace, ShardReader, SymbolTable, TraceMeta,
 };
 use proptest::prelude::*;
 
@@ -118,6 +119,46 @@ proptest! {
         );
         for n in [1usize, 4] {
             prop_assert_eq!(report.interval_rows(n), resident.interval_rows(n));
+        }
+    }
+
+    /// Fan-out over an indexed container reproduces the resident
+    /// streaming report field for field, for random traces, shard
+    /// sizes, and worker counts.
+    #[test]
+    fn fanout_report_matches_resident(
+        t in arb_trace(),
+        shard in 1usize..24,
+        workers in 1usize..7,
+    ) {
+        let (annots, symbols) = fixtures();
+        let cfg = AnalysisConfig { threads: 1, ..AnalysisConfig::default() };
+        let sizes = [8u64, 32];
+        let resident = stream_resident_trace(&t, &annots, &symbols, cfg, &sizes, shard);
+        let (container, index) = encode_sharded_indexed(&t, shard);
+        let fan_cfg = FanoutConfig {
+            workers,
+            locality_sizes: sizes.to_vec(),
+            ..FanoutConfig::default()
+        };
+        let run = run_fanout(
+            &container,
+            &index,
+            &annots,
+            &symbols,
+            cfg,
+            &fan_cfg,
+            &FanoutBackend::InProcess,
+        )
+        .unwrap();
+        prop_assert_eq!(&run.meta, &t.meta);
+        prop_assert_eq!(run.report.decompression, resident.decompression);
+        prop_assert_eq!(&run.report.function_rows, &resident.function_rows);
+        prop_assert_eq!(&run.report.block_reuse, &resident.block_reuse);
+        prop_assert_eq!(&run.report.reuse_histogram, &resident.reuse_histogram);
+        prop_assert_eq!(&run.report.locality_series, &resident.locality_series);
+        for n in [1usize, 4] {
+            prop_assert_eq!(run.report.interval_rows(n), resident.interval_rows(n));
         }
     }
 }
