@@ -775,6 +775,10 @@ pub fn analyze_frames(
     cfg: AnalysisConfig,
     locality_sizes: &[u64],
 ) -> Result<PartialReport, ModelError> {
+    let mut span = memgaze_obs::span("worker.analyze_frames");
+    if span.is_active() {
+        span.set_label(format!("frames {}..{}", frames.start, frames.end));
+    }
     let mut sa = StreamingAnalyzer::new(annots, symbols, cfg).with_locality_sizes(locality_sizes);
     for i in frames {
         let samples = index.read_frame(container, i)?;

@@ -43,17 +43,29 @@ where
     let next = AtomicUsize::new(0);
     let parts: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(num_chunks));
 
+    let obs = memgaze_obs::enabled();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(num_chunks) {
             let (next, parts, f) = (&next, &parts, &f);
-            scope.spawn(move || loop {
-                let start = next.fetch_add(1, Ordering::Relaxed) * chunk;
-                if start >= n {
-                    break;
+            scope.spawn(move || {
+                let mut claimed = 0u64;
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let start = idx * chunk;
+                    if start >= n {
+                        break;
+                    }
+                    if obs {
+                        claimed += 1;
+                        record_queue_depth(num_chunks, idx);
+                    }
+                    let end = (start + chunk).min(n);
+                    let vals: Vec<U> = items[start..end].iter().map(f).collect();
+                    parts.lock().unwrap().push((start, vals));
                 }
-                let end = (start + chunk).min(n);
-                let vals: Vec<U> = items[start..end].iter().map(f).collect();
-                parts.lock().unwrap().push((start, vals));
+                if obs {
+                    record_worker_claims(claimed);
+                }
             });
         }
     });
@@ -98,20 +110,30 @@ where
     let next = AtomicUsize::new(0);
     let accs: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
 
+    let obs = memgaze_obs::enabled();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(num_chunks) {
             let (next, accs, init, fold) = (&next, &accs, &init, &fold);
             scope.spawn(move || {
                 let mut acc = init();
+                let mut claimed = 0u64;
                 loop {
-                    let start = next.fetch_add(1, Ordering::Relaxed) * chunk;
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let start = idx * chunk;
                     if start >= n {
                         break;
+                    }
+                    if obs {
+                        claimed += 1;
+                        record_queue_depth(num_chunks, idx);
                     }
                     let end = (start + chunk).min(n);
                     for item in &items[start..end] {
                         fold(&mut acc, item);
                     }
+                }
+                if obs {
+                    record_worker_claims(claimed);
                 }
                 accs.lock().unwrap().push(acc);
             });
@@ -119,6 +141,26 @@ where
     });
 
     accs.into_inner().unwrap().into_iter().fold(init(), merge)
+}
+
+/// Record the work queue's remaining depth at claim time. `idx` is the
+/// claim ticket; anything past the last chunk means the queue was
+/// already drained.
+#[cold]
+fn record_queue_depth(num_chunks: usize, idx: usize) {
+    let remaining = num_chunks.saturating_sub(idx + 1) as u64;
+    memgaze_obs::histogram!("par.queue_depth").record(remaining);
+    memgaze_obs::counter!("par.chunks_claimed").add(1);
+}
+
+/// Record one worker's total claims. Every claim past the first means
+/// this worker came back for more instead of idling — the work-stealing
+/// signal ISSUE tracking cares about.
+#[cold]
+fn record_worker_claims(claimed: u64) {
+    if claimed > 1 {
+        memgaze_obs::counter!("par.steals").add(claimed - 1);
+    }
 }
 
 /// Default analysis parallelism: available cores capped at 8 (the

@@ -341,6 +341,14 @@ impl<'a> StreamingAnalyzer<'a> {
     /// global time order. The per-sample heavy analyses run in parallel
     /// (`cfg.threads`); all folds happen sequentially in sample order.
     pub fn ingest_shard(&mut self, samples: &[Sample]) {
+        let mut span = memgaze_obs::span("streaming.ingest_shard");
+        if span.is_active() {
+            span.set_label(format!(
+                "shard {} ({} samples)",
+                self.stats.shards,
+                samples.len()
+            ));
+        }
         let rb = self.cfg.reuse_block;
         let fb = self.cfg.footprint_block;
         let annots = self.annots;
@@ -385,11 +393,15 @@ impl<'a> StreamingAnalyzer<'a> {
             let shard_summary = BlockReuse::from_parts(parts);
             self.block_reuse.merge(&shard_summary);
             self.stats.merge_events += 1;
+            memgaze_obs::counter!("streaming.merges").add(1);
         }
         self.stats.shards += 1;
         self.stats.samples += samples.len() as u64;
         self.stats.peak_shard_samples = self.stats.peak_shard_samples.max(samples.len());
         self.stats.peak_shard_bytes = self.stats.peak_shard_bytes.max(shard_bytes);
+        memgaze_obs::counter!("streaming.shards").add(1);
+        memgaze_obs::counter!("streaming.samples").add(samples.len() as u64);
+        memgaze_obs::gauge!("streaming.peak_shard_bytes").set_max(shard_bytes as u64);
     }
 
     /// Sequential per-access function pass, mirroring what the resident

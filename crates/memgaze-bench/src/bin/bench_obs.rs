@@ -1,0 +1,188 @@
+//! BENCH_obs: observability overhead — the BENCH_analysis report path
+//! with the obs layer disabled vs. enabled (JSONL sink).
+//!
+//! The acceptance budget is <5% per scenario: disabled obs must cost a
+//! couple of atomic loads per instrumentation point, and enabled obs a
+//! sharded counter bump plus span open/close on the hot analysis path
+//! (per-sample parallel passes, work-stealing queue metrics).
+
+use memgaze_analysis::{reuse_histogram_from, AnalysisConfig, Analyzer, Table};
+use memgaze_bench::{emit, scales, timed};
+use memgaze_model::{Access, AuxAnnotations, Sample, SampledTrace, SymbolTable, TraceMeta};
+use memgaze_obs::ObsConfig;
+use serde::Serialize;
+
+/// The BENCH_analysis synthetic trace: a strided phase interleaved with
+/// cyclic reuse over four hot regions; `skew > 0` makes sample 0 that
+/// many times larger than the rest.
+fn synthetic_trace(samples: usize, window: usize, skew: usize) -> SampledTrace {
+    let mut t = SampledTrace::new(TraceMeta::new("bench", 10_000, 16 << 10));
+    t.meta.total_loads = (samples * 10_000) as u64;
+    for s in 0..samples {
+        let w = if s == 0 && skew > 0 {
+            window * skew
+        } else {
+            window
+        };
+        let base = (s * 10_000 * skew.max(1)) as u64;
+        let accesses: Vec<Access> = (0..w)
+            .map(|i| {
+                let addr = if i % 2 == 0 {
+                    0x10_0000 + ((s * w + i) as u64) * 64
+                } else {
+                    let hot = ((i / 2) % 4) as u64;
+                    0x80_0000 + hot * 0x100_0000 + ((i % 64) as u64) * 64
+                };
+                Access::new(0x400u64 + (i as u64 % 16) * 4, addr, base + i as u64)
+            })
+            .collect();
+        t.push_sample(Sample::new(accesses, base + w as u64))
+            .unwrap();
+    }
+    t
+}
+
+/// The multi-table report path from BENCH_analysis — the workload whose
+/// throughput PR 1 optimized and this layer must not claw back.
+fn report_path(a: &Analyzer<'_>) -> usize {
+    let mut touched = 0usize;
+    touched += a.function_table().len();
+    let regions = a.region_rows();
+    touched += regions.len();
+    for r in &regions {
+        touched += a.region_row_for(r.range.0, r.range.1).code.len();
+    }
+    touched += a.interval_rows(8).len();
+    for r in regions.iter().take(2) {
+        let (acc, _) = a.heatmaps(r.range, 16, 32);
+        touched += acc.dark_cells(0.5);
+    }
+    touched += reuse_histogram_from(a.sample_reuse()).count() as usize;
+    touched
+}
+
+#[derive(Serialize)]
+struct Scenario {
+    scenario: String,
+    samples: usize,
+    window: usize,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    threads: usize,
+    budget_pct: f64,
+    max_overhead_pct: f64,
+    within_budget: bool,
+    scenarios: Vec<Scenario>,
+}
+
+fn run_scenario(
+    name: &str,
+    samples: usize,
+    window: usize,
+    skew: usize,
+    jsonl: &std::path::Path,
+) -> Scenario {
+    let trace = synthetic_trace(samples, window, skew);
+    let annots = AuxAnnotations::new();
+    let symbols = SymbolTable::new();
+    let cfg = AnalysisConfig::default();
+    let run = || {
+        let a = Analyzer::new(&trace, &annots, &symbols).with_config(cfg);
+        report_path(&a)
+    };
+
+    // Warm up with obs off.
+    memgaze_obs::configure(ObsConfig::disabled());
+    let expect = run();
+
+    // Best of five per mode, interleaved so machine drift hits both
+    // modes alike. The enabled runs pay the full deal: span open/close,
+    // sharded counter bumps, and the JSONL flush of metric snapshots.
+    let mut disabled_ms = f64::INFINITY;
+    let mut enabled_ms = f64::INFINITY;
+    for _ in 0..5 {
+        memgaze_obs::configure(ObsConfig::disabled());
+        let (ms, n) = timed(run);
+        assert_eq!(n, expect, "disabled run must agree");
+        disabled_ms = disabled_ms.min(ms);
+
+        memgaze_obs::configure(ObsConfig {
+            jsonl_path: Some(jsonl.to_path_buf()),
+            ..ObsConfig::disabled()
+        });
+        let (ms, n) = timed(|| {
+            let n = run();
+            memgaze_obs::flush();
+            n
+        });
+        assert_eq!(n, expect, "enabled run must agree");
+        enabled_ms = enabled_ms.min(ms);
+    }
+    memgaze_obs::configure(ObsConfig::disabled());
+
+    Scenario {
+        scenario: name.to_string(),
+        samples,
+        window,
+        disabled_ms,
+        enabled_ms,
+        overhead_pct: (enabled_ms - disabled_ms) / disabled_ms.max(1e-9) * 100.0,
+    }
+}
+
+fn main() {
+    let sc = scales::from_env();
+    let samples = (sc.micro_elems as usize / 64).clamp(32, 256);
+    let jsonl =
+        std::env::temp_dir().join(format!("memgaze-bench-obs-{}.jsonl", std::process::id()));
+    let scenarios = vec![
+        run_scenario("uniform 64-sample report", samples, 512, 0, &jsonl),
+        run_scenario("large-window report", samples / 2, 2048, 0, &jsonl),
+        run_scenario(
+            "skewed sample sizes (1×32 larger)",
+            samples,
+            256,
+            32,
+            &jsonl,
+        ),
+    ];
+    let _ = std::fs::remove_file(&jsonl);
+
+    let mut table = Table::new(
+        "BENCH_obs: report path, obs disabled vs enabled (JSONL sink)",
+        &["scenario", "disabled (ms)", "enabled (ms)", "overhead"],
+    );
+    for s in &scenarios {
+        table.push_row(vec![
+            s.scenario.clone(),
+            format!("{:.2}", s.disabled_ms),
+            format!("{:.2}", s.enabled_ms),
+            format!("{:+.2}%", s.overhead_pct),
+        ]);
+    }
+    let max_overhead_pct = scenarios
+        .iter()
+        .map(|s| s.overhead_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let payload = Payload {
+        threads: AnalysisConfig::default().threads,
+        budget_pct: 5.0,
+        max_overhead_pct,
+        within_budget: max_overhead_pct < 5.0,
+        scenarios,
+    };
+    emit("BENCH_obs", &table, &payload);
+    println!(
+        "max overhead across scenarios: {max_overhead_pct:+.2}% (budget 5%): {}",
+        if payload.within_budget {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+}

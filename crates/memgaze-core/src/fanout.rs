@@ -20,7 +20,25 @@
 //! names a marker file; the first worker to see it absent creates it,
 //! emits garbage, and exits nonzero — so exactly one attempt fails and
 //! the retry succeeds. `MEMGAZE_FANOUT_HANG_ONCE` does the same but
-//! sleeps past any reasonable timeout instead.
+//! sleeps past any reasonable timeout instead;
+//! `MEMGAZE_FANOUT_SHORT_WRITE_ONCE` frames a payload longer than it
+//! writes; `MEMGAZE_FANOUT_STDERR_FLOOD_ONCE` floods stderr before
+//! exiting nonzero; and `MEMGAZE_FANOUT_PANIC_ONCE` panics an
+//! [`FanoutBackend::InProcess`] worker thread.
+//!
+//! The coordinator never panics on a worker's behalf: mutexes poisoned
+//! by a panicking in-process worker are recovered (the protected data
+//! is only ever mutated under short, non-panicking critical sections),
+//! the panic itself is caught and routed through the same retry path as
+//! a crashed subprocess, and malformed worker output is a typed
+//! [`FanoutError::Protocol`].
+//!
+//! With observability on (`MEMGAZE_OBS`), the run records a
+//! `fanout.run` span over per-range `fanout.range`/`fanout.attempt`
+//! spans plus `fanout.retry`/`fanout.kill` marks; each subprocess
+//! worker inherits the attempt span via `MEMGAZE_OBS_PARENT` and writes
+//! its own JSONL event file into the scratch directory, which the
+//! coordinator absorbs into one stitched trace.
 
 use memgaze_analysis::{
     analyze_frames, partition_frames, AnalysisConfig, PartialError, PartialReport, StreamingReport,
@@ -43,6 +61,30 @@ const WORKER_MAGIC: &[u8; 4] = b"MGZW";
 pub const CRASH_ONCE_ENV: &str = "MEMGAZE_FANOUT_CRASH_ONCE";
 /// Hang-injection env var: like [`CRASH_ONCE_ENV`] but sleeps instead.
 pub const HANG_ONCE_ENV: &str = "MEMGAZE_FANOUT_HANG_ONCE";
+/// Short-write injection: the worker frames a payload longer than what
+/// it actually writes, then exits 0 — exercising framing validation.
+pub const SHORT_WRITE_ONCE_ENV: &str = "MEMGAZE_FANOUT_SHORT_WRITE_ONCE";
+/// Stderr-flood injection: the worker writes megabytes of stderr before
+/// exiting nonzero — exercising the drain cap.
+pub const STDERR_FLOOD_ONCE_ENV: &str = "MEMGAZE_FANOUT_STDERR_FLOOD_ONCE";
+/// Panic injection for the [`FanoutBackend::InProcess`] backend: the
+/// first in-process worker to find the marker absent creates it and
+/// panics. Read from [`FanoutConfig::worker_env`], never the process
+/// environment, so parallel tests cannot contaminate each other.
+pub const PANIC_ONCE_ENV: &str = "MEMGAZE_FANOUT_PANIC_ONCE";
+
+/// Stderr bytes kept per worker attempt; the rest is drained (so the
+/// child cannot deadlock on a full pipe) but dropped, and the failure
+/// detail notes how much was truncated.
+const STDERR_KEEP: usize = 64 * 1024;
+
+/// Recover a possibly-poisoned fan-out mutex. Poisoning here means a
+/// worker thread panicked; the coordinator's critical sections only do
+/// plain pushes/stores, so the data is still consistent and the run
+/// must keep going rather than cascade the panic.
+fn lock_live<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Fan-out run parameters.
 #[derive(Debug, Clone)]
@@ -279,66 +321,93 @@ pub fn run_fanout(
     let fatal: Mutex<Option<FanoutError>> = Mutex::new(None);
     let slots = cfg.workers.clamp(1, ranges.len().max(1));
 
+    let mut run_span = memgaze_obs::span("fanout.run");
+    if run_span.is_active() {
+        run_span.set_label(format!(
+            "{} frames, {} ranges, {} slots",
+            index.entries.len(),
+            ranges.len(),
+            slots
+        ));
+    }
+    let run_ctx = run_span.ctx();
+
     std::thread::scope(|scope| {
         for _ in 0..slots {
             scope.spawn(|| loop {
-                if fatal.lock().expect("fanout lock poisoned").is_some() {
+                if lock_live(&fatal).is_some() {
                     return;
                 }
-                let Some(range) = queue.lock().expect("fanout lock poisoned").pop() else {
+                let Some(range) = lock_live(&queue).pop() else {
                     return;
                 };
                 // A range index is its position in the (contiguous,
                 // sorted) partition — recover it from the range starts.
-                let idx = ranges
-                    .iter()
-                    .position(|r| r.start == range.start)
-                    .expect("queued range comes from the partition");
+                let Some(idx) = ranges.iter().position(|r| r.start == range.start) else {
+                    let mut f = lock_live(&fatal);
+                    if f.is_none() {
+                        *f = Some(FanoutError::Protocol {
+                            detail: format!(
+                                "queued range {}..{} is not in the partition",
+                                range.start, range.end
+                            ),
+                        });
+                    }
+                    return;
+                };
+                let mut range_span = memgaze_obs::span_under("fanout.range", run_ctx);
+                if range_span.is_active() {
+                    range_span.set_label(format!("frames {}..{}", range.start, range.end));
+                }
                 let mut attempt = 0u32;
                 let outcome = loop {
                     attempt += 1;
-                    let run = match (backend, &scratch) {
-                        (FanoutBackend::InProcess, _) => analyze_frames(
-                            container,
-                            index,
-                            range.clone(),
-                            annots,
-                            symbols,
-                            worker_cfg,
-                            &cfg.locality_sizes,
-                        )
-                        .map_err(|e| e.to_string()),
-                        (FanoutBackend::Subprocess { exe }, Some(s)) => {
-                            run_worker_subprocess(exe, s, &range, cfg)
-                        }
-                        (FanoutBackend::Subprocess { .. }, None) => {
-                            unreachable!("scratch exists for subprocess runs")
+                    memgaze_obs::counter!("fanout.attempts").add(1);
+                    let run = {
+                        let _attempt_span = memgaze_obs::span("fanout.attempt");
+                        let parent = _attempt_span.ctx();
+                        match (backend, &scratch) {
+                            (FanoutBackend::InProcess, _) => run_worker_in_process(
+                                container, index, &range, annots, symbols, worker_cfg, cfg,
+                            ),
+                            (FanoutBackend::Subprocess { exe }, Some(s)) => {
+                                run_worker_subprocess(exe, s, &range, cfg, attempt, parent)
+                            }
+                            (FanoutBackend::Subprocess { .. }, None) => Err(
+                                "internal: subprocess backend dispatched without scratch files"
+                                    .to_string(),
+                            ),
                         }
                     };
                     match run {
                         Ok(p) => break Ok(p),
                         Err(detail) => {
-                            failures
-                                .lock()
-                                .expect("fanout lock poisoned")
-                                .push(WorkerFailure {
-                                    range: (range.start, range.end),
-                                    attempt,
-                                    detail: detail.clone(),
-                                });
+                            lock_live(&failures).push(WorkerFailure {
+                                range: (range.start, range.end),
+                                attempt,
+                                detail: detail.clone(),
+                            });
                             if attempt >= cfg.max_attempts.max(1) {
                                 break Err(detail);
                             }
+                            memgaze_obs::mark(
+                                "fanout.retry",
+                                &[
+                                    ("range", format!("{}..{}", range.start, range.end)),
+                                    ("attempt", attempt.to_string()),
+                                    ("detail", truncate_detail(&detail)),
+                                ],
+                            );
                             retries.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 };
                 match outcome {
                     Ok(p) => {
-                        results.lock().expect("fanout lock poisoned")[idx] = Some(p);
+                        lock_live(&results)[idx] = Some(p);
                     }
                     Err(last) => {
-                        let mut f = fatal.lock().expect("fanout lock poisoned");
+                        let mut f = lock_live(&fatal);
                         if f.is_none() {
                             *f = Some(FanoutError::RangeFailed {
                                 lo: range.start,
@@ -354,7 +423,7 @@ pub fn run_fanout(
         }
     });
 
-    if let Some(err) = fatal.into_inner().expect("fanout lock poisoned") {
+    if let Some(err) = fatal.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(err);
     }
     let mut merged = PartialReport::empty(
@@ -364,7 +433,7 @@ pub fn run_fanout(
     );
     for (i, slot) in results
         .into_inner()
-        .expect("fanout lock poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .enumerate()
     {
@@ -379,21 +448,129 @@ pub fn run_fanout(
         meta,
         ranges,
         retries: retries.into_inner() as u32,
-        failures: failures.into_inner().expect("fanout lock poisoned"),
+        failures: failures.into_inner().unwrap_or_else(|e| e.into_inner()),
     })
+}
+
+/// Clamp a failure detail for span marks: event payloads stay bounded
+/// even when a worker dumps a long stderr tail into the detail string.
+fn truncate_detail(detail: &str) -> String {
+    const MAX: usize = 200;
+    if detail.len() <= MAX {
+        return detail.to_string();
+    }
+    let mut cut = MAX;
+    while !detail.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}… ({} bytes)", &detail[..cut], detail.len())
+}
+
+/// Extract a panic payload's message, if it carries one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// One in-process attempt over one frame range. A panicking worker
+/// (analysis bug, injected via [`PANIC_ONCE_ENV`]) is caught here and
+/// routed through the same string-error retry path as a crashed
+/// subprocess — `std::thread::scope` would otherwise re-raise the panic
+/// at join and take the whole coordinator down.
+fn run_worker_in_process(
+    container: &[u8],
+    index: &FrameIndex,
+    range: &Range<usize>,
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    worker_cfg: AnalysisConfig,
+    cfg: &FanoutConfig,
+) -> Result<PartialReport, String> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        maybe_inject_inprocess_panic(&cfg.worker_env);
+        analyze_frames(
+            container,
+            index,
+            range.clone(),
+            annots,
+            symbols,
+            worker_cfg,
+            &cfg.locality_sizes,
+        )
+    }));
+    match caught {
+        Ok(run) => run.map_err(|e| e.to_string()),
+        Err(payload) => Err(format!(
+            "in-process worker for frames {}..{} panicked: {}",
+            range.start,
+            range.end,
+            panic_message(payload.as_ref())
+        )),
+    }
+}
+
+/// [`PANIC_ONCE_ENV`] injection for the in-process backend. The marker
+/// path comes from `worker_env` (the per-run config), not the process
+/// environment, so concurrent tests in one process cannot trip each
+/// other's injections.
+fn maybe_inject_inprocess_panic(worker_env: &[(String, String)]) {
+    let Some((_, marker)) = worker_env.iter().find(|(k, _)| k == PANIC_ONCE_ENV) else {
+        return;
+    };
+    let path = Path::new(marker);
+    if !path.exists() {
+        let _ = std::fs::write(path, b"panicked");
+        panic!("injected in-process worker panic");
+    }
 }
 
 /// One subprocess attempt over one frame range. Any failure — spawn,
 /// nonzero exit, timeout, bad framing, undecodable partial — comes back
-/// as a string so the slot loop can retry uniformly.
+/// as a string so the slot loop can retry uniformly. With observability
+/// on, the worker is handed `parent` as its remote span parent plus a
+/// scratch JSONL path, and its events are absorbed into this process's
+/// sinks whether the attempt succeeded or not.
 fn run_worker_subprocess(
     exe: &Path,
     scratch: &Scratch,
     range: &Range<usize>,
     cfg: &FanoutConfig,
+    attempt: u32,
+    parent: Option<memgaze_obs::SpanCtx>,
 ) -> Result<PartialReport, String> {
-    let mut child = Command::new(exe)
-        .arg("analyze-shard")
+    let obs_path = memgaze_obs::enabled().then(|| {
+        scratch.dir.join(format!(
+            "obs-{}-{}-a{attempt}.jsonl",
+            range.start, range.end
+        ))
+    });
+    let result = run_worker_subprocess_inner(exe, scratch, range, cfg, obs_path.as_deref(), parent);
+    if let Some(p) = &obs_path {
+        // A worker killed mid-write may leave a truncated final line;
+        // absorb keeps every complete event before it, and a missing
+        // file (worker died before its first event) is simply empty.
+        if let Ok(text) = std::fs::read_to_string(p) {
+            let _ = memgaze_obs::absorb_jsonl(&text);
+        }
+    }
+    result
+}
+
+fn run_worker_subprocess_inner(
+    exe: &Path,
+    scratch: &Scratch,
+    range: &Range<usize>,
+    cfg: &FanoutConfig,
+    obs_path: Option<&Path>,
+    parent: Option<memgaze_obs::SpanCtx>,
+) -> Result<PartialReport, String> {
+    let mut cmd = Command::new(exe);
+    cmd.arg("analyze-shard")
         .arg("--spec")
         .arg(&scratch.spec)
         .arg("--container")
@@ -405,23 +582,55 @@ fn run_worker_subprocess(
         .envs(cfg.worker_env.iter().map(|(k, v)| (k.clone(), v.clone())))
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let Some(p) = obs_path {
+        // Set after `worker_env` so the coordinator's sink choice wins:
+        // the worker must write JSONL to the scratch file (stdout is the
+        // MGZW result channel, so a summary sink there would corrupt it).
+        for (k, v) in memgaze_obs::worker_env(parent, p) {
+            cmd.env(k, v);
+        }
+    }
+    let mut child = cmd
         .spawn()
         .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
 
     // Drain the pipes on their own threads so a chatty worker can't
     // deadlock against a full pipe buffer while we poll for exit.
-    let mut stdout_pipe = child.stdout.take().expect("stdout was piped");
-    let mut stderr_pipe = child.stderr.take().expect("stderr was piped");
+    let Some(mut stdout_pipe) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("worker stdout pipe was not available".to_string());
+    };
+    let Some(mut stderr_pipe) = child.stderr.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("worker stderr pipe was not available".to_string());
+    };
     let stdout_thread = std::thread::spawn(move || {
         let mut buf = Vec::new();
         let _ = stdout_pipe.read_to_end(&mut buf);
         buf
     });
+    // Stderr is drained fully (never let the child block on a full
+    // pipe) but only the first `STDERR_KEEP` bytes are retained.
     let stderr_thread = std::thread::spawn(move || {
-        let mut buf = Vec::new();
-        let _ = stderr_pipe.read_to_end(&mut buf);
-        buf
+        let mut kept = Vec::new();
+        let mut total = 0usize;
+        let mut chunk = [0u8; 8192];
+        loop {
+            match stderr_pipe.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    total += n;
+                    if kept.len() < STDERR_KEEP {
+                        let take = n.min(STDERR_KEEP - kept.len());
+                        kept.extend_from_slice(&chunk[..take]);
+                    }
+                }
+            }
+        }
+        (kept, total)
     });
 
     let deadline = Instant::now() + cfg.timeout;
@@ -434,6 +643,13 @@ fn run_worker_subprocess(
                     let _ = child.wait();
                     let _ = stdout_thread.join();
                     let _ = stderr_thread.join();
+                    memgaze_obs::mark(
+                        "fanout.kill",
+                        &[
+                            ("range", format!("{}..{}", range.start, range.end)),
+                            ("timeout", format!("{:?}", cfg.timeout)),
+                        ],
+                    );
                     return Err(format!(
                         "worker for frames {}..{} exceeded {:?} timeout and was killed",
                         range.start, range.end, cfg.timeout
@@ -451,30 +667,48 @@ fn run_worker_subprocess(
         }
     };
     let stdout = stdout_thread.join().unwrap_or_default();
-    let stderr = stderr_thread.join().unwrap_or_default();
+    let (stderr, stderr_total) = stderr_thread.join().unwrap_or_default();
     if !status.success() {
-        return Err(format!(
-            "worker exited with {status}: {}",
-            String::from_utf8_lossy(&stderr).trim()
-        ));
+        let mut tail = String::from_utf8_lossy(&stderr).trim().to_string();
+        if stderr_total > stderr.len() {
+            tail.push_str(&format!(
+                " … ({} of {} stderr bytes truncated)",
+                stderr_total - stderr.len(),
+                stderr_total
+            ));
+        }
+        return Err(format!("worker exited with {status}: {tail}"));
     }
     decode_worker_output(&stdout).map_err(|e| e.to_string())
 }
 
 /// Parse a worker's framed stdout: `MGZW` + `u64` LE payload length +
-/// the encoded [`PartialReport`].
+/// the encoded [`PartialReport`]. Every malformation — missing magic,
+/// truncated header, a framed length that disagrees with the payload —
+/// is a typed [`FanoutError::Protocol`]; no slicing here can panic.
 fn decode_worker_output(out: &[u8]) -> Result<PartialReport, FanoutError> {
-    if out.len() < 12 || &out[..4] != WORKER_MAGIC {
-        return Err(FanoutError::Protocol {
-            detail: format!("bad worker framing ({} bytes)", out.len()),
-        });
+    let protocol = |detail: String| FanoutError::Protocol { detail };
+    let (magic, rest) = out
+        .split_at_checked(4)
+        .ok_or_else(|| protocol(format!("worker output too short ({} bytes)", out.len())))?;
+    if magic != WORKER_MAGIC {
+        return Err(protocol(format!(
+            "bad worker magic {magic:?} ({} bytes total)",
+            out.len()
+        )));
     }
-    let len = u64::from_le_bytes(out[4..12].try_into().expect("slice is 8 bytes")) as usize;
-    let payload = &out[12..];
-    if payload.len() != len {
-        return Err(FanoutError::Protocol {
-            detail: format!("worker payload length {} != framed {len}", payload.len()),
-        });
+    let (len_bytes, payload) = rest
+        .split_at_checked(8)
+        .ok_or_else(|| protocol(format!("worker framing truncated ({} bytes)", out.len())))?;
+    let len_arr: [u8; 8] = len_bytes
+        .try_into()
+        .map_err(|_| protocol("worker length field unreadable".to_string()))?;
+    let len = u64::from_le_bytes(len_arr);
+    if payload.len() as u64 != len {
+        return Err(protocol(format!(
+            "worker payload length {} != framed {len}",
+            payload.len()
+        )));
     }
     Ok(PartialReport::decode(payload)?)
 }
@@ -549,6 +783,35 @@ fn maybe_inject_failure(out: &mut impl Write) {
         if !path.exists() {
             let _ = std::fs::write(path, b"hung");
             std::thread::sleep(Duration::from_secs(600));
+        }
+    }
+    if let Ok(marker) = std::env::var(SHORT_WRITE_ONCE_ENV) {
+        let path = Path::new(&marker);
+        if !path.exists() {
+            let _ = std::fs::write(path, b"short-wrote");
+            // Valid magic, a length claiming 4096 payload bytes, but
+            // only a fragment actually written — then a clean exit, so
+            // only framing validation can catch it.
+            let _ = out.write_all(WORKER_MAGIC);
+            let _ = out.write_all(&4096u64.to_le_bytes());
+            let _ = out.write_all(b"truncated");
+            let _ = out.flush();
+            std::process::exit(0);
+        }
+    }
+    if let Ok(marker) = std::env::var(STDERR_FLOOD_ONCE_ENV) {
+        let path = Path::new(&marker);
+        if !path.exists() {
+            let _ = std::fs::write(path, b"flooded");
+            // Several MiB of stderr — far past the pipe buffer and the
+            // coordinator's STDERR_KEEP cap — then a nonzero exit.
+            let mut err = std::io::stderr().lock();
+            let line = [b'e'; 8192];
+            for _ in 0..512 {
+                let _ = err.write_all(&line);
+            }
+            let _ = err.flush();
+            std::process::exit(4);
         }
     }
 }

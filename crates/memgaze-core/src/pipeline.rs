@@ -161,11 +161,13 @@ impl MemGaze {
         &self,
         bench: &MicroBench,
     ) -> Result<MicroReport, Box<dyn std::error::Error>> {
+        let _run_span = memgaze_obs::span("pipeline.run_microbench");
         let module = bench.module();
         // Opt-in verification gate: with MEMGAZE_VERIFY=1, the module is
         // linted (IR verifier + differential classification + plan
         // checker) and the run aborts on any error-severity diagnostic.
         if std::env::var("MEMGAZE_VERIFY").is_ok_and(|v| v == "1") {
+            let _span = memgaze_obs::span("pipeline.verify");
             let report = memgaze_instrument::lint_module(&module, &self.cfg.instrument);
             if report.has_errors() {
                 let msgs: Vec<String> = report
@@ -183,13 +185,18 @@ impl MemGaze {
                 .into());
             }
         }
-        let inst = Instrumenter::new(self.cfg.instrument.clone()).instrument(&module);
+        let inst = {
+            let _span = memgaze_obs::span("pipeline.instrument");
+            Instrumenter::new(self.cfg.instrument.clone()).instrument(&module)
+        };
         let main = inst
             .module
             .find_proc("main")
             .ok_or("generated module lacks a main procedure")?;
-        let (trace, run, _outcome) =
-            memgaze_ptsim::collect_sampled(&inst, main, self.cfg.sampler.clone(), &bench.name())?;
+        let (trace, run, _outcome) = {
+            let _span = memgaze_obs::span("pipeline.collect");
+            memgaze_ptsim::collect_sampled(&inst, main, self.cfg.sampler.clone(), &bench.name())?
+        };
         Ok(MicroReport {
             trace,
             instrumented: inst,
@@ -221,7 +228,13 @@ pub fn trace_workload<T>(
 ) -> (WorkloadReport, T) {
     let recorder = SamplerRecorder::new(StreamSampler::new(cfg.clone()));
     let mut space = TracedSpace::new(recorder);
-    let value = run(&mut space);
+    let value = {
+        let mut span = memgaze_obs::span("pipeline.collect");
+        if span.is_active() {
+            span.set_label(name.to_string());
+        }
+        run(&mut space)
+    };
     let annots = space.annotations();
     let symbols = space.symbols();
     let phases = space.phases().to_vec();
@@ -315,6 +328,10 @@ pub fn analyze_shard_container(
     analysis: AnalysisConfig,
     locality_sizes: &[u64],
 ) -> Result<(StreamingReport, TraceMeta), PipelineError> {
+    let mut span = memgaze_obs::span("pipeline.analyze");
+    if span.is_active() {
+        span.set_label(format!("{} container bytes", container.len()));
+    }
     let mut reader = ShardReader::new(container).map_err(|source| PipelineError::Container {
         stage: "container header decode",
         source,
@@ -352,19 +369,27 @@ pub fn trace_workload_streaming<T>(
     let recorder =
         StreamingRecorder::new(StreamSampler::new(cfg.clone()), &provisional, shard_samples);
     let mut space = TracedSpace::new(recorder);
-    let value = run(&mut space);
+    let value = {
+        let mut span = memgaze_obs::span("pipeline.collect");
+        if span.is_active() {
+            span.set_label(name.to_string());
+        }
+        run(&mut space)
+    };
     let annots = space.annotations();
     let symbols = space.symbols();
     let phases = space.phases().to_vec();
     let allocations = space.allocations().to_vec();
-    let (container, index, _meta, stream) =
+    let (container, index, _meta, stream) = {
+        let _span = memgaze_obs::span("pipeline.seal");
         space
             .into_recorder()
             .finish(name)
             .map_err(|source| PipelineError::Container {
                 stage: "container seal",
                 source,
-            })?;
+            })?
+    };
 
     let (report, meta) =
         analyze_shard_container(&container, &annots, &symbols, analysis, locality_sizes)?;

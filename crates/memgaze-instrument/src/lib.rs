@@ -136,9 +136,15 @@ impl Instrumenter {
     /// plan, and insert `ptwrite`s, producing the new executable plus the
     /// auxiliary annotation file and source map.
     pub fn instrument(&self, module: &LoadModule) -> Instrumented {
-        let classification = ModuleClassification::analyze(module);
+        let classification = {
+            let _span = memgaze_obs::span("pipeline.classify");
+            ModuleClassification::analyze(module)
+        };
         let plan = InstrPlan::build(module, &classification, &self.config);
-        rewrite::apply(module, &classification, &plan, &self.config)
+        {
+            let _span = memgaze_obs::span("pipeline.rewrite");
+            rewrite::apply(module, &classification, &plan, &self.config)
+        }
     }
 }
 

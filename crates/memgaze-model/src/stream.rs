@@ -175,6 +175,8 @@ impl FrameIndex {
                 ),
             });
         }
+        memgaze_obs::counter!("model.frames_decoded").add(1);
+        memgaze_obs::counter!("model.frame_bytes").add(payload.len() as u64);
         decode_frame_payload(Bytes::from(payload.to_vec())).map_err(|e| ModelError::InShard {
             shard: i as u64,
             source: Box::new(e),
@@ -480,6 +482,8 @@ impl<R: Read> ShardReader<R> {
             });
         }
         let samples = decode_frame_payload(Bytes::from(payload))?;
+        memgaze_obs::counter!("model.frames_decoded").add(1);
+        memgaze_obs::counter!("model.frame_bytes").add(len);
         let index = self.next_index;
         self.next_index += 1;
         Ok(Some(Shard {

@@ -32,6 +32,8 @@ pub use memgaze_instrument as instrument;
 pub use memgaze_isa as isa;
 /// Trace model: accesses, samples, sampled traces, annotations, ρ/κ.
 pub use memgaze_model as model;
+/// Observability: spans, counters, histograms, JSONL trace sinks.
+pub use memgaze_obs as obs;
 /// Intel Processor Trace hardware model and perf-like collector.
 pub use memgaze_ptsim as ptsim;
 /// Traced workloads: microbenchmarks, miniVite, GAP, Darknet.

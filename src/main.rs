@@ -6,6 +6,7 @@
 //! memgaze minivite [v1|v2|v3] [--scale N] [--period N]
 //! memgaze gap <pr|pr-spmv|cc|cc-sv> [--scale N] [--period N]
 //! memgaze darknet <alexnet|resnet152> [--period N]
+//! memgaze profile <any subcommand...> [--obs-out FILE]
 //! memgaze list
 //! ```
 //!
@@ -79,6 +80,7 @@ fn usage() -> ! {
          memgaze fanout <pr|pr-spmv|cc|cc-sv> [--workers N] [--scale N] [--period N]\n  \
          \u{20}                [--shard N] [--threads N] [--in-process yes] [--verify yes]\n  \
          memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N]\n  \
+         memgaze profile <subcommand args...> [--obs-out FILE]\n  \
          memgaze list\n\n\
          patterns: str<k>, irr, a|b (serial), a/b (conditional), e.g. \"str2|irr\"\n\
          lint with no pattern verifies the full O0+O3 suites plus the synthetic\n\
@@ -89,7 +91,7 @@ fn usage() -> ! {
 
 /// `memgaze lint`: run the IR verifier, the differential classification
 /// pass, and the instrumentation-plan checker over generated modules.
-fn run_lint(args: &Args) -> ! {
+fn run_lint(args: &Args) -> i32 {
     let elems = args.num("elems", 4096u32);
     let reps = args.num("reps", 50u32);
     let mut modules: Vec<memgaze::isa::LoadModule> = Vec::new();
@@ -149,10 +151,18 @@ fn run_lint(args: &Args) -> ! {
         "\n{} modules linted: {errors} errors, {warnings} warnings",
         modules.len()
     );
-    std::process::exit(if errors > 0 { 1 } else { 0 });
+    if errors > 0 {
+        1
+    } else {
+        0
+    }
 }
 
 fn print_analysis(analyzer: &Analyzer<'_>, name: &str) {
+    let mut span = memgaze::obs::span("pipeline.analyze");
+    if span.is_active() {
+        span.set_label(name.to_string());
+    }
     let info = analyzer.decompression();
     println!(
         "{name}: {} samples, A(σ) = {}, κ = {:.2}, ρ = {:.1}\n",
@@ -222,7 +232,7 @@ fn run_workload(
 /// then analyze the indexed container across worker processes and print
 /// the merged report. `--verify yes` re-runs the analysis in-process and
 /// exits nonzero unless the two reports are identical.
-fn run_fanout_cmd(args: &Args) -> ! {
+fn run_fanout_cmd(args: &Args) -> i32 {
     let kernel = match args.positional.get(1).map(String::as_str) {
         Some("pr") => GapKernel::Pr,
         Some("pr-spmv") => GapKernel::PrSpmv,
@@ -245,13 +255,16 @@ fn run_fanout_cmd(args: &Args) -> ! {
     };
     let sizes = [16u64, 64, 256];
     let shard = args.num("shard", 8usize);
-    let (streamed, ()) = trace_workload_streaming(&name, &sampler, shard, analysis, &sizes, |s| {
-        gap::run(s, &gap_cfg);
-    })
-    .unwrap_or_else(|e| {
-        eprintln!("streaming pipeline failed: {e}");
-        std::process::exit(1);
-    });
+    let (streamed, ()) =
+        match trace_workload_streaming(&name, &sampler, shard, analysis, &sizes, |s| {
+            gap::run(s, &gap_cfg);
+        }) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("streaming pipeline failed: {e}");
+                return 1;
+            }
+        };
 
     let fan_cfg = FanoutConfig {
         workers: args.num("workers", 4usize).max(1),
@@ -270,7 +283,7 @@ fn run_fanout_cmd(args: &Args) -> ! {
             }
         }
     };
-    let run = run_fanout(
+    let run = match run_fanout(
         &streamed.container,
         &streamed.index,
         &streamed.annots,
@@ -278,11 +291,13 @@ fn run_fanout_cmd(args: &Args) -> ! {
         analysis,
         &fan_cfg,
         &backend,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("fan-out failed: {e}");
-        std::process::exit(1);
-    });
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("fan-out failed: {e}");
+            return 1;
+        }
+    };
 
     let info = &run.report.decompression;
     println!(
@@ -329,16 +344,18 @@ fn run_fanout_cmd(args: &Args) -> ! {
             println!("\nverify: fan-out report is identical to the resident streaming report");
         } else {
             eprintln!("\nverify FAILED: fan-out report differs from the resident streaming report");
-            std::process::exit(1);
+            return 1;
         }
     }
-    std::process::exit(0);
+    0
 }
 
 /// `memgaze analyze-shard`: the fan-out worker. Reads the spec,
 /// container, and index files, analyzes the assigned frame range, and
-/// writes the framed partial report to stdout.
-fn run_analyze_shard(args: &Args) -> ! {
+/// writes the framed partial report to stdout. Returns (rather than
+/// exits) so `main` can flush observability sinks — the coordinator
+/// stitches this worker's JSONL into its trace.
+fn run_analyze_shard(args: &Args) -> i32 {
     let path = |key: &str| -> std::path::PathBuf {
         args.get(key)
             .unwrap_or_else(|| {
@@ -366,16 +383,81 @@ fn run_analyze_shard(args: &Args) -> ! {
     };
     let stdout = std::io::stdout();
     match worker_main(&worker, &mut stdout.lock()) {
-        Ok(()) => std::process::exit(0),
+        Ok(()) => 0,
         Err(e) => {
             eprintln!("analyze-shard: {e}");
-            std::process::exit(1);
+            1
         }
     }
 }
 
+/// `memgaze profile <subcommand...>`: run any other subcommand with
+/// observability forced on (in-memory capture + a JSONL file), then
+/// render the span tree with inclusive/exclusive times, the recorded
+/// marks, and the top counters. `--obs-out FILE` chooses where the
+/// JSONL events land (default: a file under the temp dir, reported on
+/// completion). Exits nonzero if the run recorded no spans or the
+/// event file fails to parse.
+fn run_profile(args: &Args) -> i32 {
+    if args.positional.len() < 2 {
+        usage();
+    }
+    let obs_out: std::path::PathBuf = args.get("obs-out").map(Into::into).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("memgaze-profile-{}.jsonl", std::process::id()))
+    });
+    memgaze::obs::configure(memgaze::obs::ObsConfig {
+        jsonl_path: Some(obs_out.clone()),
+        capture: true,
+        summary: false,
+        remote_parent: None,
+    });
+    let inner = Args {
+        positional: args.positional[1..].to_vec(),
+        flags: args.flags.clone(),
+    };
+    let code = dispatch(&inner);
+    memgaze::obs::flush();
+    let events = memgaze::obs::take_capture();
+
+    // The file sink must replay exactly: every line parses back into an
+    // event (this is what downstream tooling consumes).
+    match std::fs::read_to_string(&obs_out) {
+        Ok(text) => match memgaze::obs::validate_jsonl(&text) {
+            Ok(n) => println!("\n{n} events written to {}", obs_out.display()),
+            Err(e) => {
+                eprintln!(
+                    "profile: event file {} is malformed: {e}",
+                    obs_out.display()
+                );
+                return 1;
+            }
+        },
+        Err(e) => {
+            eprintln!("profile: cannot read event file {}: {e}", obs_out.display());
+            return 1;
+        }
+    }
+
+    let stats = memgaze::obs::profile_stats(&events);
+    print!("\n{}", memgaze::obs::render_profile(&events));
+    if stats.spans == 0 {
+        eprintln!("profile: the run recorded no spans");
+        return 1;
+    }
+    code
+}
+
 fn main() {
     let args = Args::parse();
+    let code = dispatch(&args);
+    // Flush observability sinks on every path that returns here: the
+    // `analyze-shard` worker's JSONL must hit disk before the
+    // coordinator absorbs it, and `MEMGAZE_OBS=summary` prints now.
+    memgaze::obs::flush();
+    std::process::exit(code);
+}
+
+fn dispatch(args: &Args) -> i32 {
     let cmd = args.positional.first().map(String::as_str).unwrap_or("");
     match cmd {
         "ubench" => {
@@ -393,12 +475,13 @@ fn main() {
             let bench = MicroBench::parse(pattern, elems, reps, opt).unwrap_or_else(|| usage());
             let mut cfg = PipelineConfig::microbench();
             cfg.sampler.period = args.num("period", 10_000u64);
-            let report = MemGaze::new(cfg.clone())
-                .run_microbench(&bench)
-                .unwrap_or_else(|e| {
+            let report = match MemGaze::new(cfg.clone()).run_microbench(&bench) {
+                Ok(r) => r,
+                Err(e) => {
                     eprintln!("pipeline failed: {e}");
-                    std::process::exit(1);
-                });
+                    return 1;
+                }
+            };
             let analyzer = report.analyzer(cfg.analysis);
             print_analysis(&analyzer, &bench.name());
             let info = DecompressionInfo::from_trace(&report.trace, &report.instrumented.annots);
@@ -408,6 +491,7 @@ fn main() {
                 fmt_si(report.run.exec.loads as f64),
                 fmt_pct(100.0 / info.rho().max(1.0))
             );
+            0
         }
         "minivite" => {
             let variant = match args.positional.get(1).map(String::as_str) {
@@ -430,6 +514,7 @@ fn main() {
                     minivite::run(s, &cfg);
                 },
             );
+            0
         }
         "gap" => {
             let kernel = match args.positional.get(1).map(String::as_str) {
@@ -453,6 +538,7 @@ fn main() {
                     gap::run(s, &cfg);
                 },
             );
+            0
         }
         "darknet" => {
             let net = match args.positional.get(1).map(String::as_str) {
@@ -467,12 +553,14 @@ fn main() {
                     darknet::run(s, net);
                 },
             );
+            0
         }
-        "fanout" => run_fanout_cmd(&args),
+        "fanout" => run_fanout_cmd(args),
         // Hidden worker entry point spawned by the fan-out coordinator;
         // not part of the user-facing surface, so absent from usage().
-        "analyze-shard" => run_analyze_shard(&args),
-        "lint" => run_lint(&args),
+        "analyze-shard" => run_analyze_shard(args),
+        "lint" => run_lint(args),
+        "profile" => run_profile(args),
         "list" => {
             println!("workloads:");
             println!("  ubench    — microbenchmarks (str<k>, irr, a|b, a/b) on the IR path");
@@ -480,6 +568,8 @@ fn main() {
             println!("  gap       — PageRank (pr, pr-spmv) and Connected Components (cc, cc-sv)");
             println!("  darknet   — gemm/im2col inference (alexnet, resnet152)");
             println!("  lint      — static verification of generated modules (no execution)");
+            println!("  profile   — run any subcommand with span tracing on and render the trace");
+            0
         }
         _ => usage(),
     }

@@ -4,7 +4,9 @@
 
 use memgaze::analysis::{stream_resident_trace, AnalysisConfig, Analyzer};
 use memgaze::core::{
-    fanout::{CRASH_ONCE_ENV, HANG_ONCE_ENV},
+    fanout::{
+        CRASH_ONCE_ENV, HANG_ONCE_ENV, PANIC_ONCE_ENV, SHORT_WRITE_ONCE_ENV, STDERR_FLOOD_ONCE_ENV,
+    },
     full_trace_workload, run_fanout, trace_workload, FanoutBackend, FanoutConfig, FanoutError,
     MemGaze, PipelineConfig,
 };
@@ -307,6 +309,203 @@ fn hung_worker_is_killed_and_reassigned() {
         run.failures
     );
     assert_reports_identical(&run, &resident, "hang-recovery run");
+}
+
+#[test]
+fn short_write_worker_fails_typed_and_is_retried() {
+    let (t, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let resident = stream_resident_trace(&t, &annots, &symbols, analysis, &[], 3);
+    // One worker writes a valid magic + a length header claiming 4096
+    // payload bytes, then only a fragment, then exits 0 — so only the
+    // coordinator's framing validation can catch it. That must surface
+    // as a typed protocol failure and a clean retry, never a panic.
+    let marker =
+        std::env::temp_dir().join(format!("memgaze-shortwrite-once-{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let cfg = FanoutConfig {
+        workers: 3,
+        worker_env: vec![(
+            SHORT_WRITE_ONCE_ENV.to_string(),
+            marker.to_string_lossy().into_owned(),
+        )],
+        ..FanoutConfig::default()
+    };
+    let backend = FanoutBackend::Subprocess {
+        exe: env!("CARGO_BIN_EXE_memgaze").into(),
+    };
+    let run = run_fanout(
+        &container, &index, &annots, &symbols, analysis, &cfg, &backend,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&marker);
+    assert!(run.retries >= 1, "the short write must cost a retry");
+    assert!(
+        run.failures
+            .iter()
+            .any(|f| f.detail.contains("payload length")),
+        "{:?}",
+        run.failures
+    );
+    assert_reports_identical(&run, &resident, "short-write-recovery run");
+}
+
+#[test]
+fn panicking_in_process_worker_still_yields_complete_report() {
+    let (t, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let sizes = vec![8u64, 32];
+    let resident = stream_resident_trace(&t, &annots, &symbols, analysis, &sizes, 3);
+    // An in-process worker panics on its first attempt. The coordinator
+    // must catch the unwind (not die at scope join), recover any mutex
+    // the panicking thread poisoned, record the failure, retry, and
+    // still produce the identical report.
+    let marker = std::env::temp_dir().join(format!("memgaze-panic-once-{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let cfg = FanoutConfig {
+        workers: 2,
+        locality_sizes: sizes.clone(),
+        worker_env: vec![(
+            PANIC_ONCE_ENV.to_string(),
+            marker.to_string_lossy().into_owned(),
+        )],
+        ..FanoutConfig::default()
+    };
+    let run = run_fanout(
+        &container,
+        &index,
+        &annots,
+        &symbols,
+        analysis,
+        &cfg,
+        &FanoutBackend::InProcess,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&marker);
+    assert!(run.retries >= 1, "the injected panic must cost a retry");
+    assert!(
+        run.failures.iter().any(|f| f.detail.contains("panicked")),
+        "{:?}",
+        run.failures
+    );
+    assert_reports_identical(&run, &resident, "panic-recovery run");
+}
+
+#[test]
+fn stderr_flooding_worker_is_drained_capped_and_retried() {
+    let (t, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let resident = stream_resident_trace(&t, &annots, &symbols, analysis, &[], 3);
+    // One worker floods stderr with ~4 MiB (far past the pipe buffer)
+    // and exits nonzero. The coordinator must drain without deadlock,
+    // keep only a bounded prefix in the failure detail (noting the
+    // truncation), and recover via retry.
+    let marker = std::env::temp_dir().join(format!("memgaze-flood-once-{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let cfg = FanoutConfig {
+        workers: 2,
+        worker_env: vec![(
+            STDERR_FLOOD_ONCE_ENV.to_string(),
+            marker.to_string_lossy().into_owned(),
+        )],
+        ..FanoutConfig::default()
+    };
+    let backend = FanoutBackend::Subprocess {
+        exe: env!("CARGO_BIN_EXE_memgaze").into(),
+    };
+    let run = run_fanout(
+        &container, &index, &annots, &symbols, analysis, &cfg, &backend,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&marker);
+    assert!(run.retries >= 1);
+    let flood = run
+        .failures
+        .iter()
+        .find(|f| f.detail.contains("stderr bytes truncated"))
+        .unwrap_or_else(|| panic!("no truncation note in {:?}", run.failures));
+    // Bounded: the 64 KiB keep cap plus a little framing, not 4 MiB.
+    assert!(
+        flood.detail.len() < 70_000,
+        "failure detail not capped: {} bytes",
+        flood.detail.len()
+    );
+    assert_reports_identical(&run, &resident, "stderr-flood-recovery run");
+}
+
+#[test]
+fn fanout_with_obs_produces_stitched_trace_with_retry() {
+    use memgaze::obs::{self, Event, ObsConfig};
+
+    let (_, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    // Capture-sink observability plus one injected worker crash: the
+    // run must yield a single stitched trace holding the coordinator's
+    // spans, the subprocess workers' spans (absorbed from their JSONL
+    // scratch files, stitched via the remote-parent edge), and at least
+    // one retry mark.
+    obs::configure(ObsConfig {
+        capture: true,
+        ..ObsConfig::disabled()
+    });
+    let marker =
+        std::env::temp_dir().join(format!("memgaze-obs-crash-once-{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let cfg = FanoutConfig {
+        workers: 2,
+        worker_env: vec![(
+            CRASH_ONCE_ENV.to_string(),
+            marker.to_string_lossy().into_owned(),
+        )],
+        ..FanoutConfig::default()
+    };
+    let backend = FanoutBackend::Subprocess {
+        exe: env!("CARGO_BIN_EXE_memgaze").into(),
+    };
+    let run = run_fanout(
+        &container, &index, &annots, &symbols, analysis, &cfg, &backend,
+    );
+    let _ = std::fs::remove_file(&marker);
+    let events = obs::take_capture();
+    obs::configure(ObsConfig::disabled());
+    let run = run.unwrap();
+    assert!(run.retries >= 1);
+
+    let me = obs::own_pid();
+    assert!(
+        events.iter().any(
+            |e| matches!(e, Event::Span { pid, name, .. } if *pid == me && name == "fanout.run")
+        ),
+        "no coordinator fanout.run span among {} events",
+        events.len()
+    );
+    // Worker spans carry a different pid and stitch to a coordinator
+    // span through their remote-parent edge.
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::Span { pid, remote: Some(r), .. } if *pid != me && r.pid == me
+        )),
+        "no worker span stitched under a coordinator span"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::Mark { name, .. } if name == "fanout.retry")),
+        "no fanout.retry mark recorded"
+    );
 }
 
 #[test]
