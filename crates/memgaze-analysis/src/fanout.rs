@@ -46,9 +46,9 @@ use std::collections::BTreeMap;
 use std::ops::Range;
 
 const PARTIAL_MAGIC: &[u8; 4] = b"MGZP";
-const PARTIAL_VERSION: u16 = 1;
+const PARTIAL_VERSION: u16 = 2;
 const SPEC_MAGIC: &[u8; 4] = b"MGZS";
-const SPEC_VERSION: u16 = 1;
+const SPEC_VERSION: u16 = 2;
 
 /// Errors of the partial-report algebra and its wire codec.
 #[derive(Debug)]
@@ -147,6 +147,17 @@ impl ReusePartial {
     /// new blocks; last-access order is `self.lru` minus `other`'s
     /// blocks, then `other.lru`.
     pub fn absorb(&mut self, other: &ReusePartial) {
+        let mut replay = ReuseTracker::new();
+        self.absorb_with(other, &mut replay);
+    }
+
+    /// [`absorb`](Self::absorb) with a caller-supplied replay tracker,
+    /// so a fold over many functions reuses one set of Fenwick/marker
+    /// allocations. The tracker is reset here; any prior state is
+    /// discarded. Results are independent of the tracker's capacity
+    /// (compaction preserves every distance), so scratch reuse cannot
+    /// change the merge.
+    pub(crate) fn absorb_with(&mut self, other: &ReusePartial, replay: &mut ReuseTracker) {
         if other.firsts.is_empty() {
             return;
         }
@@ -154,10 +165,13 @@ impl ReusePartial {
             *self = other.clone();
             return;
         }
-        let mut replay = ReuseTracker::new();
-        for &b in &self.lru {
-            replay.feed(b);
-        }
+        replay.reset();
+        // The replay stream is `self.lru` then `other.firsts`; sizing the
+        // slot window to cover both makes the whole replay
+        // compaction-free, and the all-distinct LRU prefix loads in one
+        // O(n) batch instead of n Fenwick point updates.
+        replay.reserve_slots(self.lru.len() + other.firsts.len() + 1);
+        replay.preload_distinct(&self.lru);
         debug_assert_eq!(replay.events(), 0, "lru blocks are distinct");
         for &b in &other.firsts {
             replay.feed(b);
@@ -204,38 +218,71 @@ pub struct FuncPartial {
 
 impl FuncPartial {
     /// Merge the partial of the immediately following shard range.
-    fn absorb(&mut self, other: FuncPartial) {
+    /// `replay` is scratch for the reuse-summary merge, reused across
+    /// the per-function fold.
+    fn absorb(&mut self, other: FuncPartial, replay: &mut ReuseTracker) {
         union_sorted(&mut self.all, &other.all);
         union_sorted(&mut self.strided, &other.strided);
         union_sorted(&mut self.irregular, &other.irregular);
         self.observed += other.observed;
         self.implied_const += other.implied_const;
-        self.reuse.absorb(&other.reuse);
+        self.reuse.absorb_with(&other.reuse, replay);
         self.obs.extend(other.obs);
     }
 }
 
-/// Union of two sorted, deduplicated block lists.
+/// Union of two sorted, deduplicated block lists, by galloping
+/// (exponential-search) merge: each side's next run is located with a
+/// doubling probe plus a binary search and copied as a slice, so mostly
+/// disjoint or mostly overlapping inputs cost O(runs · log) instead of
+/// one comparison per element. Output is the sorted dedup union either
+/// way — identical to a two-pointer merge.
 fn union_sorted(a: &mut Vec<u64>, b: &[u64]) {
     if b.is_empty() {
         return;
     }
+    if a.is_empty() {
+        a.extend_from_slice(b);
+        return;
+    }
+    if a[a.len() - 1] < b[0] {
+        a.extend_from_slice(b);
+        return;
+    }
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() || j < b.len() {
-        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
-        if take_a {
-            if j < b.len() && b[j] == a[i] {
-                j += 1;
-            }
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            let run = gallop(&a[i..], b[j]);
+            out.extend_from_slice(&a[i..i + run]);
+            i += run;
+        } else if b[j] < a[i] {
+            let run = gallop(&b[j..], a[i]);
+            out.extend_from_slice(&b[j..j + run]);
+            j += run;
+        } else {
             out.push(a[i]);
             i += 1;
-        } else {
-            out.push(b[j]);
             j += 1;
         }
     }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
     *a = out;
+}
+
+/// First index in sorted `s` whose value is `>= key`, assuming
+/// `s[0] < key`: double an upper probe until it crosses `key`, then
+/// binary-search the last probed window.
+fn gallop(s: &[u64], key: u64) -> usize {
+    debug_assert!(!s.is_empty() && s[0] < key);
+    let mut hi = 1usize;
+    while hi < s.len() && s[hi] < key {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(s.len());
+    lo + s[lo..hi].partition_point(|&x| x < key)
 }
 
 /// The mergeable snapshot of a [`StreamingAnalyzer`] over one shard
@@ -300,6 +347,7 @@ impl PartialReport {
     /// different (wrong) trace, so the coordinator keys partials by
     /// range index and folds them in ascending order.
     pub fn merge(&mut self, other: PartialReport) -> Result<(), PartialError> {
+        let _span = memgaze_obs::span("fanout.merge");
         if self.footprint_block != other.footprint_block || self.reuse_block != other.reuse_block {
             return Err(PartialError::ConfigMismatch {
                 detail: format!(
@@ -319,6 +367,24 @@ impl PartialReport {
                 ),
             });
         }
+        // Merging into the identity is a move: the coordinator seeds its
+        // fold with `PartialReport::empty`, so without this the first —
+        // and for one worker, only — merge would clone the whole
+        // partial field by field.
+        if self.num_samples == 0
+            && self.observed == 0
+            && self.implied_const == 0
+            && self.per_sample_diags.is_empty()
+            && self.per_sample_reuse.is_empty()
+            && self.locality.iter().all(|rows| rows.is_empty())
+            && self.block_reuse.is_empty()
+            && self.funcs.is_empty()
+            && self.histogram == Log2Histogram::new()
+            && self.stats == IngestStats::default()
+        {
+            *self = other;
+            return Ok(());
+        }
         self.num_samples += other.num_samples;
         self.observed += other.observed;
         self.implied_const += other.implied_const;
@@ -329,9 +395,12 @@ impl PartialReport {
         }
         self.block_reuse.merge(&other.block_reuse);
         self.histogram.merge(&other.histogram);
+        let mut replay = ReuseTracker::new();
         for (id, fp) in other.funcs {
             match self.funcs.entry(id) {
-                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().absorb(fp),
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().absorb(fp, &mut replay)
+                }
                 std::collections::btree_map::Entry::Vacant(v) => {
                     v.insert(fp);
                 }
@@ -345,6 +414,7 @@ impl PartialReport {
     /// [`StreamingAnalyzer::finish`], which is what makes fan-out
     /// reports bit-identical to resident streaming by construction.
     pub fn finish(self, meta: &TraceMeta) -> StreamingReport {
+        let _span = memgaze_obs::span("fanout.finish");
         let decompression = DecompressionInfo {
             num_samples: self.num_samples,
             period: meta.period,
@@ -422,82 +492,126 @@ impl PartialReport {
     /// FNV-checksummed, `f64` as IEEE-754 bits — bit-exact round trip).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(1024);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the `MGZP` frame to `buf`, which may carry reused capacity
+    /// or earlier content — a persistent worker encodes every response
+    /// into one pooled buffer. The checksum covers only this frame's
+    /// bytes, so the encoding is byte-identical to [`encode`](Self::encode)
+    /// regardless of what precedes it.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let _span = memgaze_obs::span("codec.encode_partial");
+        let start = buf.len();
         buf.extend_from_slice(PARTIAL_MAGIC);
         buf.extend_from_slice(&PARTIAL_VERSION.to_le_bytes());
         buf.push(self.footprint_block.log2());
         buf.push(self.reuse_block.log2());
-        put_u64s(&mut buf, &self.locality_sizes);
-        put_varint(&mut buf, self.num_samples);
-        put_varint(&mut buf, self.observed);
-        put_varint(&mut buf, self.implied_const);
-        put_varint(&mut buf, self.per_sample_diags.len() as u64);
+        put_u64s(buf, &self.locality_sizes);
+        put_varint(buf, self.num_samples);
+        put_varint(buf, self.observed);
+        put_varint(buf, self.implied_const);
+        put_varint(buf, self.per_sample_diags.len() as u64);
         for d in &self.per_sample_diags {
-            put_varint(&mut buf, d.observed);
-            put_varint(&mut buf, d.implied_const);
-            put_varint(&mut buf, d.footprint);
-            put_varint(&mut buf, d.f_str);
-            put_varint(&mut buf, d.f_irr);
-            put_f64(&mut buf, d.kappa);
+            put_varint(buf, d.observed);
+            put_varint(buf, d.implied_const);
+            put_varint(buf, d.footprint);
+            put_varint(buf, d.f_str);
+            put_varint(buf, d.f_irr);
+            put_f64(buf, d.kappa);
         }
-        put_varint(&mut buf, self.per_sample_reuse.len() as u64);
+        put_varint(buf, self.per_sample_reuse.len() as u64);
         for r in &self.per_sample_reuse {
-            put_varint(&mut buf, r.events as u64);
-            put_f64(&mut buf, r.mean_d);
+            put_varint(buf, r.events as u64);
+            put_f64(buf, r.mean_d);
         }
         for rows in &self.locality {
-            put_varint(&mut buf, rows.len() as u64);
+            put_varint(buf, rows.len() as u64);
             for &(n, d, g, fval) in rows {
-                put_varint(&mut buf, n);
-                put_f64(&mut buf, d);
-                put_f64(&mut buf, g);
-                put_f64(&mut buf, fval);
+                put_varint(buf, n);
+                put_f64(buf, d);
+                put_f64(buf, g);
+                put_f64(buf, fval);
             }
         }
-        put_varint(&mut buf, self.block_reuse.len() as u64);
+        put_varint(buf, self.block_reuse.len() as u64);
+        // The first row is verbatim (its block number may be 0, so its
+        // delta may be too). After that, rows are strictly block-sorted
+        // — deltas are positive — so 0 escapes a repeat: `0, k` stands
+        // for `k` more rows with the previous row's delta *and* stats.
+        // A uniformly streamed region yields thousands of equal-stat
+        // rows one block apart, which all collapse into one escape.
         let mut prev_block = 0u64;
+        let mut prev_delta = 0u64;
+        let mut prev_stats = [u64::MAX; 4];
+        let mut repeat = 0u64;
+        let mut first = true;
         for (block, stats) in self.block_reuse.raw_rows() {
-            put_varint(&mut buf, block - prev_block);
+            let delta = block - prev_block;
             prev_block = block;
-            for s in stats {
-                put_varint(&mut buf, s);
+            if !first && delta == prev_delta && stats == prev_stats {
+                repeat += 1;
+                continue;
             }
+            if repeat > 0 {
+                put_varint(buf, 0);
+                put_varint(buf, repeat);
+                repeat = 0;
+            }
+            put_varint(buf, delta);
+            for s in stats {
+                put_varint(buf, s);
+            }
+            prev_delta = delta;
+            prev_stats = stats;
+            first = false;
+        }
+        if repeat > 0 {
+            put_varint(buf, 0);
+            put_varint(buf, repeat);
         }
         let (bins, count, sum) = self.histogram.raw_parts();
-        put_u64s(&mut buf, bins);
-        put_varint(&mut buf, count);
-        put_varint(&mut buf, sum);
-        put_varint(&mut buf, self.funcs.len() as u64);
+        put_u64s(buf, bins);
+        put_varint(buf, count);
+        put_varint(buf, sum);
+        put_varint(buf, self.funcs.len() as u64);
         for (&id, fp) in &self.funcs {
-            put_varint(&mut buf, u64::from(id));
-            put_str(&mut buf, &fp.name);
-            put_sorted(&mut buf, &fp.all);
-            put_sorted(&mut buf, &fp.strided);
-            put_sorted(&mut buf, &fp.irregular);
-            put_varint(&mut buf, fp.observed);
-            put_varint(&mut buf, fp.implied_const);
-            put_u64s(&mut buf, &fp.reuse.firsts);
-            put_u64s(&mut buf, &fp.reuse.lru);
-            put_varint(&mut buf, fp.reuse.events);
-            put_varint(&mut buf, fp.reuse.dist_sum);
-            put_varint(&mut buf, fp.obs.len() as u64);
+            put_varint(buf, u64::from(id));
+            put_str(buf, &fp.name);
+            put_sorted(buf, &fp.all);
+            // Class lists ride as a one-byte back-reference when they
+            // equal `all` — functions dominated by a single load class
+            // are the norm, and re-encoding (then re-decoding) the full
+            // word-granular footprint list doubles the frame's weight
+            // for no information.
+            put_class_list(buf, &fp.strided, &fp.all);
+            put_class_list(buf, &fp.irregular, &fp.all);
+            put_varint(buf, fp.observed);
+            put_varint(buf, fp.implied_const);
+            put_u64s(buf, &fp.reuse.firsts);
+            put_u64s(buf, &fp.reuse.lru);
+            put_varint(buf, fp.reuse.events);
+            put_varint(buf, fp.reuse.dist_sum);
+            put_varint(buf, fp.obs.len() as u64);
             for &o in &fp.obs {
-                put_f64(&mut buf, o);
+                put_f64(buf, o);
             }
         }
-        put_varint(&mut buf, self.stats.shards);
-        put_varint(&mut buf, self.stats.samples);
-        put_varint(&mut buf, self.stats.merge_events);
-        put_varint(&mut buf, self.stats.peak_shard_samples as u64);
-        put_varint(&mut buf, self.stats.peak_shard_bytes as u64);
-        let sum = fnv1a64(&buf);
+        put_varint(buf, self.stats.shards);
+        put_varint(buf, self.stats.samples);
+        put_varint(buf, self.stats.merge_events);
+        put_varint(buf, self.stats.peak_shard_samples as u64);
+        put_varint(buf, self.stats.peak_shard_bytes as u64);
+        let sum = fnv1a64(&buf[start..]);
         buf.extend_from_slice(&sum.to_le_bytes());
-        buf
     }
 
     /// Decode a serialized partial, rejecting truncation, corruption,
     /// and structural inconsistencies — a worker's garbled output must
     /// surface as a typed error, never a bad merge.
     pub fn decode(data: &[u8]) -> Result<PartialReport, PartialError> {
+        let _span = memgaze_obs::span("codec.decode_partial");
         let body = check_frame(data, PARTIAL_MAGIC, PARTIAL_VERSION, "partial report")?;
         let mut src = body;
         let footprint_block = get_block_size(&mut src, "partial footprint block")?;
@@ -540,11 +654,30 @@ impl PartialReport {
             }
             locality.push(rows);
         }
-        let n = get_len(&mut src, "block reuse count")?;
-        let mut rows = Vec::with_capacity(n);
+        let n = get_count(&mut src, "block reuse count")?;
+        let mut rows: Vec<(u64, [u64; 4])> = Vec::with_capacity(n);
         let mut block = 0u64;
-        for _ in 0..n {
-            block += get_varint(&mut src, "block delta")?;
+        let mut prev_delta = 0u64;
+        while rows.len() < n {
+            let delta = get_varint(&mut src, "block delta")?;
+            if delta == 0 && !rows.is_empty() {
+                // Repeat escape: `k` more rows with the previous delta
+                // and stats (see the encoder).
+                let k = get_varint(&mut src, "block repeat")? as usize;
+                let (_, stats) = *rows.last().expect("guarded non-empty");
+                if k == 0 || prev_delta == 0 || k > n - rows.len() {
+                    return Err(PartialError::Corrupt {
+                        detail: "bad block repeat run".to_string(),
+                    });
+                }
+                for _ in 0..k {
+                    block += prev_delta;
+                    rows.push((block, stats));
+                }
+                continue;
+            }
+            block += delta;
+            prev_delta = delta;
             let mut stats = [0u64; 4];
             for s in &mut stats {
                 *s = get_varint(&mut src, "block stat")?;
@@ -565,11 +698,15 @@ impl PartialReport {
             let id = u32::try_from(id).map_err(|_| PartialError::Corrupt {
                 detail: format!("function id {id} out of range"),
             })?;
+            let name = get_str(&mut src, "function name")?;
+            let all = get_sorted(&mut src, "function footprint")?;
+            let strided = get_class_list(&mut src, &all, "function strided")?;
+            let irregular = get_class_list(&mut src, &all, "function irregular")?;
             let fp = FuncPartial {
-                name: get_str(&mut src, "function name")?,
-                all: get_sorted(&mut src, "function footprint")?,
-                strided: get_sorted(&mut src, "function strided")?,
-                irregular: get_sorted(&mut src, "function irregular")?,
+                name,
+                all,
+                strided,
+                irregular,
                 observed: get_varint(&mut src, "function observed")?,
                 implied_const: get_varint(&mut src, "function implied_const")?,
                 reuse: ReusePartial {
@@ -653,37 +790,45 @@ impl WorkerSpec {
     /// Serialize (`MGZS` framing, FNV-checksummed).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(256);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the `MGZS` frame to a pooled buffer; the checksum covers
+    /// only this frame's bytes, so the encoding is byte-identical to
+    /// [`encode`](Self::encode) whatever precedes it.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
         buf.extend_from_slice(SPEC_MAGIC);
         buf.extend_from_slice(&SPEC_VERSION.to_le_bytes());
         buf.push(self.footprint_block.log2());
         buf.push(self.reuse_block.log2());
-        put_varint(&mut buf, self.threads as u64);
-        put_u64s(&mut buf, &self.locality_sizes);
-        put_varint(&mut buf, self.annots.len() as u64);
+        put_varint(buf, self.threads as u64);
+        put_u64s(buf, &self.locality_sizes);
+        put_varint(buf, self.annots.len() as u64);
         for (ip, an) in self.annots.iter() {
-            put_varint(&mut buf, ip.raw());
+            put_varint(buf, ip.raw());
             buf.push(match an.class {
                 LoadClass::Constant => 0,
                 LoadClass::Strided => 1,
                 LoadClass::Irregular => 2,
             });
-            put_varint(&mut buf, u64::from(an.implied_const));
+            put_varint(buf, u64::from(an.implied_const));
             buf.push(an.scale);
-            put_varint(&mut buf, zigzag(an.offset));
+            put_varint(buf, zigzag(an.offset));
             buf.push(u8::from(an.two_source));
-            put_varint(&mut buf, u64::from(an.func.0));
-            put_varint(&mut buf, u64::from(an.src_line));
+            put_varint(buf, u64::from(an.func.0));
+            put_varint(buf, u64::from(an.src_line));
         }
-        put_varint(&mut buf, self.symbols.len() as u64);
+        put_varint(buf, self.symbols.len() as u64);
         for f in self.symbols.functions() {
-            put_str(&mut buf, &f.name);
-            put_varint(&mut buf, f.lo.raw());
-            put_varint(&mut buf, f.hi.raw());
-            put_str(&mut buf, &f.src_file);
+            put_str(buf, &f.name);
+            put_varint(buf, f.lo.raw());
+            put_varint(buf, f.hi.raw());
+            put_str(buf, &f.src_file);
         }
-        let sum = fnv1a64(&buf);
+        let sum = fnv1a64(&buf[start..]);
         buf.extend_from_slice(&sum.to_le_bytes());
-        buf
     }
 
     /// Decode a serialized spec.
@@ -833,6 +978,25 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
 }
 
 fn get_varint(src: &mut &[u8], context: &'static str) -> Result<u64, PartialError> {
+    // Fast path: a u64 varint spans at most 10 bytes, so with that much
+    // input left the whole value decodes with one bounds decision
+    // instead of one per byte. The partial codec decodes hundreds of
+    // thousands of these per report, so the per-byte checks are a
+    // measurable share of coordinator decode time.
+    let s = *src;
+    if s.len() >= 10 {
+        let mut v: u64 = 0;
+        for (i, &byte) in s[..10].iter().enumerate() {
+            v |= u64::from(byte & 0x7f) << (7 * i as u32);
+            if byte & 0x80 == 0 {
+                *src = &s[i + 1..];
+                return Ok(v);
+            }
+        }
+        return Err(PartialError::Corrupt {
+            detail: format!("varint overflow in {context}"),
+        });
+    }
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -868,6 +1032,24 @@ fn get_len(src: &mut &[u8], context: &'static str) -> Result<usize, PartialError
     Ok(n)
 }
 
+/// Hard ceiling on entries in one run-length-encoded list. The
+/// `get_len` remaining-bytes guard does not apply to RLE lists — a run
+/// escape stores thousands of entries in three bytes — so this bounds
+/// the memory a corrupt (checksum-colliding) count can make the
+/// decoder commit.
+const MAX_RLE_ENTRIES: usize = 1 << 26;
+
+/// Length prefix of a run-length-encoded list; see [`MAX_RLE_ENTRIES`].
+fn get_count(src: &mut &[u8], context: &'static str) -> Result<usize, PartialError> {
+    let n = get_varint(src, context)? as usize;
+    if n > MAX_RLE_ENTRIES {
+        return Err(PartialError::Corrupt {
+            detail: format!("list of {n} entries exceeds decoder limit ({context})"),
+        });
+    }
+    Ok(n)
+}
+
 fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
 }
@@ -897,47 +1079,210 @@ fn get_str(src: &mut &[u8], context: &'static str) -> Result<String, PartialErro
     })
 }
 
+/// Encode an arbitrary-order `u64` list as zigzag deltas with
+/// run-length escapes: after a verbatim first element, each entry is
+/// the token `zigzag(v[i] - v[i-1]) + 1`; token `0` escapes a run —
+/// `0, zigzag(d), k` stands for `k` consecutive deltas of `d`. Block
+/// lists in first-touch or LRU order are near-sequential for streamed
+/// regions, so the dominant case is a handful of runs instead of one
+/// 3-byte absolute varint per block.
 fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
     put_varint(buf, vs.len() as u64);
-    for &v in vs {
-        put_varint(buf, v);
+    let Some((&first, rest)) = vs.split_first() else {
+        return;
+    };
+    put_varint(buf, first);
+    let mut prev = first;
+    let mut i = 0;
+    while i < rest.len() {
+        let delta = rest[i].wrapping_sub(prev);
+        let mut run = 1;
+        while i + run < rest.len() && rest[i + run].wrapping_sub(rest[i + run - 1]) == delta {
+            run += 1;
+        }
+        if run >= SORTED_RUN_MIN {
+            put_varint(buf, 0);
+            put_varint(buf, zigzag(delta as i64));
+            put_varint(buf, run as u64);
+        } else {
+            let mut p = prev;
+            for k in 0..run {
+                put_varint(buf, zigzag(rest[i + k].wrapping_sub(p) as i64) + 1);
+                p = rest[i + k];
+            }
+        }
+        prev = rest[i + run - 1];
+        i += run;
     }
 }
 
 fn get_u64s(src: &mut &[u8], context: &'static str) -> Result<Vec<u64>, PartialError> {
-    let n = get_len(src, context)?;
+    let n = get_count(src, context)?;
     let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(get_varint(src, context)?);
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut v = get_varint(src, context)?;
+    out.push(v);
+    while out.len() < n {
+        let token = get_varint(src, context)?;
+        if token == 0 {
+            let d = unzigzag(get_varint(src, context)?) as u64;
+            let k = get_varint(src, context)? as usize;
+            if k == 0 || k > n - out.len() {
+                return Err(PartialError::Corrupt {
+                    detail: format!("bad run in u64 list ({context})"),
+                });
+            }
+            for _ in 0..k {
+                v = v.wrapping_add(d);
+                out.push(v);
+            }
+        } else {
+            v = v.wrapping_add(unzigzag(token - 1) as u64);
+            out.push(v);
+        }
     }
     Ok(out)
 }
 
 /// Sorted lists delta-encode; also validates order on decode.
+/// Shortest run of equal deltas worth collapsing into an RLE escape
+/// (marker + delta + count = 3 varints, so 4 is the break-even point
+/// for one-byte deltas).
+const SORTED_RUN_MIN: usize = 4;
+
+/// Delta-encode a strictly sorted list with periodic-pattern escapes.
+///
+/// The first element is written verbatim (as its delta from zero).
+/// After that, deltas are strictly positive — the list has no
+/// duplicates — which frees `0` as an escape: `0, p, k, d1..dp` means
+/// "the delta pattern `d1..dp` repeated `k` times". Block footprints
+/// are dominated by short periodic stride patterns (a pure stream is
+/// period 1; a stream with every j-th slot classified elsewhere has
+/// period j-1), so this collapses the codec's largest lists from one
+/// varint per block to a few bytes per pattern.
+const SORTED_MAX_PERIOD: usize = 4;
+
 fn put_sorted(buf: &mut Vec<u8>, vs: &[u64]) {
     put_varint(buf, vs.len() as u64);
-    let mut prev = 0u64;
-    for &v in vs {
-        put_varint(buf, v - prev);
-        prev = v;
+    let Some((&first, rest)) = vs.split_first() else {
+        return;
+    };
+    put_varint(buf, first);
+    let mut prev = first;
+    let mut i = 0;
+    while i < rest.len() {
+        // Longest periodic cover starting here, over short periods.
+        let mut best_p = 0usize;
+        let mut best_cover = 0usize;
+        for p in 1..=SORTED_MAX_PERIOD.min(rest.len() - i) {
+            let mut j = i + p;
+            while j < rest.len()
+                && rest[j] - if j == 0 { prev } else { rest[j - 1] }
+                    == rest[j - p] - if j == p { prev } else { rest[j - p - 1] }
+            {
+                j += 1;
+            }
+            let cover = ((j - i) / p) * p;
+            if cover > best_cover {
+                best_cover = cover;
+                best_p = p;
+            }
+        }
+        if best_cover >= 2 * best_p && best_cover >= 8 {
+            put_varint(buf, 0);
+            put_varint(buf, best_p as u64);
+            put_varint(buf, (best_cover / best_p) as u64);
+            let mut p2 = prev;
+            for k in 0..best_p {
+                put_varint(buf, rest[i + k] - p2);
+                p2 = rest[i + k];
+            }
+            prev = rest[i + best_cover - 1];
+            i += best_cover;
+        } else {
+            put_varint(buf, rest[i] - prev);
+            prev = rest[i];
+            i += 1;
+        }
     }
 }
 
 fn get_sorted(src: &mut &[u8], context: &'static str) -> Result<Vec<u64>, PartialError> {
-    let n = get_len(src, context)?;
+    let n = get_count(src, context)?;
     let mut out = Vec::with_capacity(n);
-    let mut v = 0u64;
-    for i in 0..n {
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut v = get_varint(src, context)?;
+    out.push(v);
+    while out.len() < n {
         let delta = get_varint(src, context)?;
-        if i > 0 && delta == 0 {
-            return Err(PartialError::Corrupt {
-                detail: format!("duplicate entry in sorted list ({context})"),
-            });
+        if delta == 0 {
+            // Pattern escape: `k` repetitions of a `p`-delta pattern of
+            // strictly positive deltas.
+            let p = get_varint(src, context)? as usize;
+            let k = get_varint(src, context)? as usize;
+            if p == 0 || k == 0 || p.checked_mul(k).is_none_or(|t| t > n - out.len()) {
+                return Err(PartialError::Corrupt {
+                    detail: format!("bad pattern run in sorted list ({context})"),
+                });
+            }
+            let mut pat = [0u64; 16];
+            if p > pat.len() {
+                return Err(PartialError::Corrupt {
+                    detail: format!("pattern period {p} too long ({context})"),
+                });
+            }
+            for d in pat[..p].iter_mut() {
+                *d = get_varint(src, context)?;
+                if *d == 0 {
+                    return Err(PartialError::Corrupt {
+                        detail: format!("zero delta in sorted-list pattern ({context})"),
+                    });
+                }
+            }
+            for _ in 0..k {
+                for &d in &pat[..p] {
+                    v += d;
+                    out.push(v);
+                }
+            }
+        } else {
+            v += delta;
+            out.push(v);
         }
-        v += delta;
-        out.push(v);
     }
     Ok(out)
+}
+
+/// Encode a class footprint list, back-referencing `all` when they are
+/// equal: tag byte 0 means "same list as `all`" (nothing follows), tag
+/// byte 1 means a [`put_sorted`] list follows. Equality is checked on
+/// the full contents, so the compression never assumes the subset
+/// invariant the analyzer happens to maintain.
+fn put_class_list(buf: &mut Vec<u8>, vs: &[u64], all: &[u64]) {
+    if vs == all {
+        buf.push(0);
+    } else {
+        buf.push(1);
+        put_sorted(buf, vs);
+    }
+}
+
+fn get_class_list(
+    src: &mut &[u8],
+    all: &[u64],
+    context: &'static str,
+) -> Result<Vec<u64>, PartialError> {
+    match get_byte(src, context)? {
+        0 => Ok(all.to_vec()),
+        1 => get_sorted(src, context),
+        tag => Err(PartialError::Corrupt {
+            detail: format!("bad class-list tag {tag} ({context})"),
+        }),
+    }
 }
 
 fn get_block_size(src: &mut &[u8], context: &'static str) -> Result<BlockSize, PartialError> {
@@ -1124,6 +1469,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn list_codecs_roundtrip_at_scale() {
+        // Shapes the bench workload produces: long sequential runs,
+        // short-period stride patterns, reuse orders, and sparse lists.
+        let seq: Vec<u64> = (0..16384u64).map(|i| 0x8000 + i).collect();
+        let pattern: Vec<u64> = (0..98304u64).filter(|i| i % 4 != 0).collect();
+        let rev: Vec<u64> = (0..4096u64).rev().map(|i| i * 3 + 7).collect();
+        let dups: Vec<u64> = (0..1000u64).map(|i| i / 10).collect();
+        let small: Vec<u64> = vec![5, 6, 9];
+        for vs in [&seq, &pattern, &small, &Vec::new()] {
+            let mut buf = Vec::new();
+            put_sorted(&mut buf, vs);
+            let mut src = buf.as_slice();
+            assert_eq!(&get_sorted(&mut src, "t").unwrap(), vs);
+            assert!(src.is_empty());
+        }
+        for vs in [&seq, &pattern, &rev, &dups, &small, &Vec::new()] {
+            let mut buf = Vec::new();
+            put_u64s(&mut buf, vs);
+            let mut src = buf.as_slice();
+            assert_eq!(&get_u64s(&mut src, "t").unwrap(), vs);
+            assert!(src.is_empty());
+        }
+        // The run escapes actually engage: a 16K sequential list must
+        // collapse to bytes, not one varint per entry.
+        let mut buf = Vec::new();
+        put_u64s(&mut buf, &seq);
+        assert!(
+            buf.len() < 32,
+            "sequential list not run-compressed: {}",
+            buf.len()
+        );
     }
 
     #[test]

@@ -282,11 +282,29 @@ impl BlockReuse {
     /// O(n log n) — versus O(k·n) worth of index rebuilds when folding
     /// parts through [`BlockReuse::merge`] one by one.
     pub fn from_parts(parts: impl IntoIterator<Item = BlockReuse>) -> BlockReuse {
+        let mut br = BlockReuse::from_parts_unindexed(parts);
+        br.rebuild_index();
+        br
+    }
+
+    /// [`from_parts`](Self::from_parts) without rebuilding the query
+    /// index — for intermediate accumulator states that are only ever
+    /// merged again (`from_parts` consumes just `blocks`/`stats`),
+    /// never queried. Skipping the prefix sums and the O(n log n)
+    /// sparse max-table on every geometric fold is what keeps streaming
+    /// ingest's merge tax sublinear; a query against an unindexed state
+    /// panics on the empty prefix arrays rather than answering wrong.
+    pub(crate) fn from_parts_unindexed(parts: impl IntoIterator<Item = BlockReuse>) -> BlockReuse {
         let mut pairs: Vec<(u64, BlockStats)> = Vec::new();
         for p in parts {
             pairs.extend(p.blocks.into_iter().zip(p.stats));
         }
-        pairs.sort_unstable_by_key(|&(b, _)| b);
+        // Each part arrives with strictly increasing blocks, so the
+        // concatenation is a handful of pre-sorted runs — the stable
+        // sort's run detection merges them in near-linear time, where an
+        // unstable sort would pay the full comparison cost. Order among
+        // equal keys is irrelevant: `absorb` only sums and maxes.
+        pairs.sort_by_key(|&(b, _)| b);
         let mut br = BlockReuse {
             blocks: Vec::with_capacity(pairs.len()),
             stats: Vec::with_capacity(pairs.len()),
@@ -303,7 +321,6 @@ impl BlockReuse {
                 br.stats.push(s);
             }
         }
-        br.rebuild_index();
         br
     }
 

@@ -48,7 +48,6 @@ use memgaze_model::{
     TraceMeta,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Ingest accounting of a streaming pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,6 +116,8 @@ pub struct ReuseTracker {
     events: u64,
     dist_sum: u64,
     firsts: Vec<u64>,
+    /// Live-marker scratch reused across compaction rounds.
+    live_scratch: Vec<(u64, usize)>,
 }
 
 impl Default for ReuseTracker {
@@ -143,7 +144,60 @@ impl ReuseTracker {
             events: 0,
             dist_sum: 0,
             firsts: Vec::new(),
+            live_scratch: Vec::new(),
         }
+    }
+
+    /// Return to the fresh state while keeping every allocation (Fenwick
+    /// array, marker map, scratch), so one tracker can serve many replay
+    /// rounds without churning the allocator.
+    pub fn reset(&mut self) {
+        self.fen.clear();
+        self.fen.resize(self.cap + 1, 0);
+        self.last.clear();
+        self.next_slot = 0;
+        self.events = 0;
+        self.dist_sum = 0;
+        self.firsts.clear();
+    }
+
+    /// Grow the slot window of a fresh (or just-reset) tracker so the
+    /// next `n` feeds run without compaction. Capacity never changes
+    /// results (compaction preserves every distance); this only avoids
+    /// the work.
+    pub fn reserve_slots(&mut self, n: usize) {
+        debug_assert_eq!(self.next_slot, 0, "reserve requires a fresh tracker");
+        while self.cap < n {
+            self.cap *= 2;
+        }
+        self.fen.clear();
+        self.fen.resize(self.cap + 1, 0);
+    }
+
+    /// Seed a fresh tracker with blocks known to be pairwise distinct, in
+    /// first-touch order. Equivalent to feeding each block once, but the
+    /// Fenwick tree is built in one O(cap) pass instead of n point
+    /// updates. The partial-merge replay uses this for its LRU prefix,
+    /// which is distinct by construction.
+    pub fn preload_distinct(&mut self, blocks: &[u64]) {
+        debug_assert_eq!(self.next_slot, 0, "preload requires a fresh tracker");
+        debug_assert_eq!(self.events, 0, "preload requires a fresh tracker");
+        let n = blocks.len();
+        if n == 0 {
+            return;
+        }
+        // Same doubling a feed loop would have performed at each
+        // compaction, so the resulting capacity matches feeding exactly.
+        while self.cap < n {
+            self.cap *= 2;
+        }
+        self.rebuild_fen_for_prefix(n);
+        self.last.reserve(n);
+        for (i, &b) in blocks.iter().enumerate() {
+            self.last.insert(b, i);
+        }
+        self.firsts.extend_from_slice(blocks);
+        self.next_slot = n;
     }
 
     fn add(&mut self, pos: usize, delta: i64) {
@@ -195,19 +249,37 @@ impl ReuseTracker {
         }
     }
 
-    /// Remap live markers onto consecutive slots, preserving order.
+    /// Remap live markers onto consecutive slots, preserving order. The
+    /// marker list and Fenwick array are reused across rounds, and the
+    /// Fenwick tree is rebuilt in one O(cap) pass from the "markers
+    /// occupy slots 0..n" shape instead of n point updates.
     fn compact(&mut self) {
-        let mut live: Vec<(u64, usize)> = self.last.iter().map(|(&b, &s)| (b, s)).collect();
+        let mut live = std::mem::take(&mut self.live_scratch);
+        live.clear();
+        live.extend(self.last.iter().map(|(&b, &s)| (b, s)));
         live.sort_unstable_by_key(|&(_, slot)| slot);
         if live.len() * 2 > self.cap {
             self.cap *= 2;
         }
-        self.fen = vec![0; self.cap + 1];
+        self.rebuild_fen_for_prefix(live.len());
         self.last.clear();
         self.next_slot = live.len();
-        for (i, (block, _)) in live.into_iter().enumerate() {
-            self.add(i, 1);
+        for (i, &(block, _)) in live.iter().enumerate() {
             self.last.insert(block, i);
+        }
+        self.live_scratch = live;
+    }
+
+    /// Set the Fenwick array to the state where slots `0..n` each hold
+    /// exactly one marker: node `i` (1-based) covers slots
+    /// `[i - lowbit(i), i)`, so its value is how much of that range lies
+    /// below `n`. Identical to `add(pos, 1)` for every `pos < n`.
+    fn rebuild_fen_for_prefix(&mut self, n: usize) {
+        self.fen.clear();
+        self.fen.resize(self.cap + 1, 0);
+        for i in 1..=self.cap {
+            let lo = i - (i & i.wrapping_neg());
+            self.fen[i] = (i.min(n) - lo.min(n)) as i64;
         }
     }
 
@@ -250,6 +322,7 @@ impl ReuseTracker {
 /// Per-function accumulators mirroring what the resident function table
 /// derives from a whole code window.
 struct FuncState {
+    id: u32,
     name: String,
     all: FxHashSet<u64>,
     strided: FxHashSet<u64>,
@@ -264,8 +337,9 @@ struct FuncState {
 }
 
 impl FuncState {
-    fn new(name: &str) -> FuncState {
+    fn new(id: u32, name: &str) -> FuncState {
         FuncState {
+            id,
             name: name.to_string(),
             all: FxHashSet::default(),
             strided: FxHashSet::default(),
@@ -299,8 +373,32 @@ pub struct StreamingAnalyzer<'a> {
     /// the final fold runs once, in global sample order — `f64` sums of
     /// per-shard subtotals would not be associative.
     locality: Vec<Vec<(u64, f64, f64, f64)>>,
-    funcs: BTreeMap<u32, FuncState>,
+    /// Per-function accumulators in first-seen order; the hot loop
+    /// reaches them by slot index (via `ip_cache`), never by key lookup.
+    /// `into_partial` re-keys by function id into a `BTreeMap`, so this
+    /// order never reaches the report.
+    funcs: Vec<FuncState>,
+    /// Function id → slot in `funcs`; consulted only on `ip_cache`
+    /// misses.
+    func_slots: FxHashMap<u32, usize>,
     stats: IngestStats,
+    /// Shard-level [`BlockReuse`] summaries not yet folded into
+    /// `block_reuse`. Folding is deferred geometrically (see
+    /// [`fold_pending_block_reuse`](Self::fold_pending_block_reuse)) so
+    /// the O(n log n) index rebuild runs O(log shards) times instead of
+    /// once per shard; `BlockReuse::from_parts` equals any pairwise
+    /// merge order, so the report stays bit-identical.
+    pending_block_reuse: Vec<BlockReuse>,
+    /// Total entries across `pending_block_reuse`, driving the fold
+    /// threshold.
+    pending_blocks: usize,
+    /// Per-IP memo of `(function slot, load class, implied-const
+    /// weight)`, replacing three map/range lookups per access with one
+    /// hash probe — and, because it memoizes the *slot*, the per-access
+    /// function lookup becomes a vector index instead of a second hash
+    /// probe. Annotations and symbols are borrowed immutably for the
+    /// analyzer's lifetime, so entries can never go stale.
+    ip_cache: FxHashMap<memgaze_model::Ip, (usize, LoadClass, u64)>,
 }
 
 impl<'a> StreamingAnalyzer<'a> {
@@ -323,8 +421,12 @@ impl<'a> StreamingAnalyzer<'a> {
             block_reuse: BlockReuse::default(),
             histogram: Log2Histogram::new(),
             locality: Vec::new(),
-            funcs: BTreeMap::new(),
+            funcs: Vec::new(),
+            func_slots: FxHashMap::default(),
             stats: IngestStats::default(),
+            pending_block_reuse: Vec::new(),
+            pending_blocks: 0,
+            ip_cache: FxHashMap::default(),
         }
     }
 
@@ -385,13 +487,25 @@ impl<'a> StreamingAnalyzer<'a> {
             }
             self.ingest_sample_functions(s);
         }
-        // One shard-level BlockReuse merge: `from_parts` over the shard
-        // equals folding per-sample merges, and merging shard summaries
-        // equals `from_parts` over everything (integer absorption is
-        // associative).
+        // One shard-level BlockReuse merge event: `from_parts` over the
+        // shard equals folding per-sample merges, and merging shard
+        // summaries equals `from_parts` over everything (integer
+        // absorption is associative). The shard summary is queued rather
+        // than merged into the global summary here — rebuilding the
+        // global index once per shard was the top streaming hotspot —
+        // and folded geometrically in `fold_pending_block_reuse`.
         if !parts.is_empty() {
-            let shard_summary = BlockReuse::from_parts(parts);
-            self.block_reuse.merge(&shard_summary);
+            let shard_summary = if parts.len() == 1 {
+                parts.pop().expect("len checked")
+            } else {
+                // Queued, never queried: skip the index build.
+                BlockReuse::from_parts_unindexed(parts)
+            };
+            self.pending_blocks += shard_summary.len();
+            self.pending_block_reuse.push(shard_summary);
+            if self.pending_blocks > 4096.max(2 * self.block_reuse.len()) {
+                self.fold_pending_block_reuse();
+            }
             self.stats.merge_events += 1;
             memgaze_obs::counter!("streaming.merges").add(1);
         }
@@ -404,20 +518,66 @@ impl<'a> StreamingAnalyzer<'a> {
         memgaze_obs::gauge!("streaming.peak_shard_bytes").set_max(shard_bytes as u64);
     }
 
+    /// Fold every queued shard summary into the global `block_reuse` in
+    /// one `from_parts` pass (one index rebuild). Grouping is free to
+    /// vary: `from_parts` over any partition equals pairwise merges in
+    /// any order, so deferring changes nothing in the final report.
+    fn fold_pending_block_reuse(&mut self) {
+        if self.pending_block_reuse.is_empty() {
+            return;
+        }
+        let _span = memgaze_obs::span("streaming.fold_block_reuse");
+        let mut parts = Vec::with_capacity(self.pending_block_reuse.len() + 1);
+        if !self.block_reuse.is_empty() {
+            parts.push(std::mem::take(&mut self.block_reuse));
+        }
+        parts.append(&mut self.pending_block_reuse);
+        // Intermediate state: only ever re-merged by the next fold or
+        // the final one in `into_partial`, so the query index waits.
+        self.block_reuse = BlockReuse::from_parts_unindexed(parts);
+        self.pending_blocks = 0;
+    }
+
     /// Sequential per-access function pass, mirroring what the resident
     /// code-window grouping + per-function analyses compute.
     fn ingest_sample_functions(&mut self, s: &Sample) {
         let fb = self.cfg.footprint_block;
         let rb = self.cfg.reuse_block;
         for a in &s.accesses {
-            let (id, name) = match self.symbols.lookup(a.ip) {
-                Some(f) => (f.id.0, f.name.as_str()),
-                None => (u32::MAX, "<unknown>"),
+            let (slot, class, implied) = match self.ip_cache.get(&a.ip) {
+                Some(&hit) => hit,
+                None => {
+                    let (id, name) = match self.symbols.lookup(a.ip) {
+                        Some(f) => (f.id.0, f.name.as_str()),
+                        None => (u32::MAX, "<unknown>"),
+                    };
+                    let slot = match self.func_slots.get(&id) {
+                        Some(&slot) => slot,
+                        None => {
+                            self.funcs.push(FuncState::new(id, name));
+                            self.func_slots.insert(id, self.funcs.len() - 1);
+                            self.funcs.len() - 1
+                        }
+                    };
+                    let info = (
+                        slot,
+                        self.annots.class_of(a.ip),
+                        self.annots.implied_const_of(a.ip),
+                    );
+                    self.ip_cache.insert(a.ip, info);
+                    info
+                }
             };
-            let st = self.funcs.entry(id).or_insert_with(|| FuncState::new(name));
+            let st = &mut self.funcs[slot];
             let fb_block = a.addr.block(fb);
-            st.all.insert(fb_block);
-            match self.annots.class_of(a.ip) {
+            // `cur` dedups within the sample: a block already seen this
+            // sample is in `all` already. Class sets stay unconditional
+            // — two ips of *different* classes can hit the same block,
+            // and each class must still record it.
+            if st.cur.insert(fb_block) {
+                st.all.insert(fb_block);
+            }
+            match class {
                 LoadClass::Strided => {
                     st.strided.insert(fb_block);
                 }
@@ -426,17 +586,16 @@ impl<'a> StreamingAnalyzer<'a> {
                 }
                 LoadClass::Constant => {}
             }
-            st.implied_const += self.annots.implied_const_of(a.ip);
+            st.implied_const += implied;
             st.observed += 1;
             st.tracker.feed(a.addr.block(rb));
-            st.cur.insert(fb_block);
         }
         // A non-empty `cur` marks exactly the functions this sample
-        // touched; iterating the map directly (instead of a side list
-        // of touched ids) makes the invariant hold by construction —
-        // there is no id list to fall out of sync with `funcs`, however
-        // partial-merge paths order their insertions.
-        for st in self.funcs.values_mut() {
+        // touched; iterating the accumulators directly (instead of a
+        // side list of touched ids) makes the invariant hold by
+        // construction — there is no id list to fall out of sync with
+        // `funcs`.
+        for st in self.funcs.iter_mut() {
             if !st.cur.is_empty() {
                 st.obs.push(st.cur.len() as f64);
                 st.cur.clear();
@@ -453,24 +612,53 @@ impl<'a> StreamingAnalyzer<'a> {
     /// [`PartialReport`](crate::fanout::PartialReport). The partial of
     /// a shard range is exactly what a fan-out worker ships back to the
     /// coordinator.
-    pub fn into_partial(self) -> crate::fanout::PartialReport {
+    pub fn into_partial(mut self) -> crate::fanout::PartialReport {
+        let _span = memgaze_obs::span("streaming.into_partial");
+        // Final fold, always through the *indexed* `from_parts`: every
+        // earlier fold skipped the query index, so the last one must
+        // (re)build it even when nothing is pending.
+        {
+            let mut parts = Vec::with_capacity(self.pending_block_reuse.len() + 1);
+            if !self.block_reuse.is_empty() {
+                parts.push(std::mem::take(&mut self.block_reuse));
+            }
+            parts.append(&mut self.pending_block_reuse);
+            self.block_reuse = BlockReuse::from_parts(parts);
+            self.pending_blocks = 0;
+        }
         let funcs = self
             .funcs
             .into_iter()
-            .map(|(id, st)| {
+            .map(|st| {
                 let sort = |set: FxHashSet<u64>| {
                     let mut v: Vec<u64> = set.into_iter().collect();
                     v.sort_unstable();
                     v
                 };
                 let reuse = crate::fanout::ReusePartial::from_tracker(&st.tracker);
+                let all = sort(st.all);
+                // Every class set is a subset of `all` (the hot loop
+                // inserts into `all` for every first touch), so equal
+                // cardinality means set equality — the sorted vector is
+                // then a straight copy instead of another O(n log n)
+                // sort. Functions dominated by one class (the common
+                // case) skip their big class sort entirely.
+                let sorted_class = |set: FxHashSet<u64>, all: &[u64]| {
+                    if set.len() == all.len() {
+                        all.to_vec()
+                    } else {
+                        sort(set)
+                    }
+                };
+                let strided = sorted_class(st.strided, &all);
+                let irregular = sorted_class(st.irregular, &all);
                 (
-                    id,
+                    st.id,
                     crate::fanout::FuncPartial {
                         name: st.name,
-                        all: sort(st.all),
-                        strided: sort(st.strided),
-                        irregular: sort(st.irregular),
+                        all,
+                        strided,
+                        irregular,
                         observed: st.observed,
                         implied_const: st.implied_const,
                         reuse,

@@ -19,8 +19,8 @@
 use memgaze_analysis::{
     analyze_frames, partition_frames, AnalysisConfig, IngestStats, PartialReport, StreamingAnalyzer,
 };
-use memgaze_bench::{emit, scales, timed};
-use memgaze_core::{run_fanout, FanoutBackend, FanoutConfig};
+use memgaze_bench::{emit, scales, span_breakdown, timed, SpanShare};
+use memgaze_core::{run_fanout, FanoutBackend, FanoutConfig, FanoutPool};
 use memgaze_model::{
     encode_sharded_indexed, Access, AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass, Sample,
     SampledTrace, ShardReader, SymbolTable, TraceMeta,
@@ -85,7 +85,13 @@ struct Variant {
     critical_path_speedup: f64,
     ranges: usize,
     retries: u32,
+    /// Subprocesses spawned inside the measured runs — 0 once the pool
+    /// is warm; anything else means workers died and were respawned.
+    spawns_in_measured_runs: u32,
     ingest: IngestStats,
+    /// Per-span exclusive-time attribution of one untimed fan-out run
+    /// at this worker count.
+    breakdown: Vec<SpanShare>,
 }
 
 #[derive(Serialize)]
@@ -94,16 +100,21 @@ struct Payload {
     window: usize,
     shard_samples: usize,
     backend: String,
-    /// Cores available to this process; wall-clock speedups cannot
-    /// exceed this no matter how well the fan-out scales.
-    host_cpus: usize,
     baseline_stream_ms: f64,
+    /// Per-span exclusive-time attribution of one untimed baseline
+    /// streaming pass.
+    baseline_breakdown: Vec<SpanShare>,
     variants: Vec<Variant>,
 }
 
 fn main() {
     let sc = scales::from_env();
-    let samples = (sc.micro_elems as usize / 64).clamp(12, 128);
+    // Sized so one pass runs ~100ms at the default scale: the fixed
+    // per-run fan-out costs (request/response turnaround, partial
+    // decode, final merge) are low single-digit milliseconds, and the
+    // wall-clock comparison should measure the pipeline, not the
+    // constant.
+    let samples = (sc.micro_elems as usize / 32).clamp(12, 256);
     let window = if sc.micro_elems <= 1024 {
         1024
     } else if sc.micro_elems >= 8192 {
@@ -130,16 +141,6 @@ fn main() {
         let meta = reader.meta().clone();
         an.finish(&meta)
     };
-    let _ = baseline_path(); // warm up
-    let mut baseline_ms = f64::INFINITY;
-    let mut baseline = None;
-    for _ in 0..3 {
-        let (ms, out) = timed(baseline_path);
-        baseline_ms = baseline_ms.min(ms);
-        baseline = Some(out);
-    }
-    let baseline = baseline.unwrap();
-
     // Prefer real subprocess workers: the memgaze binary sits next to
     // this bench binary when both were built by the same cargo profile.
     // MEMGAZE_FANOUT_BACKEND=in-process forces the thread backend.
@@ -154,33 +155,88 @@ fn main() {
     let forced_in_process =
         std::env::var("MEMGAZE_FANOUT_BACKEND").is_ok_and(|v| v == "in-process");
     let (backend, backend_name) = match (forced_in_process, sibling) {
-        (false, Some(exe)) => (FanoutBackend::Subprocess { exe }, "subprocess"),
+        (false, Some(exe)) => (FanoutBackend::Subprocess { exe }, "persistent-subprocess"),
         _ => (FanoutBackend::InProcess, "in-process"),
     };
 
-    let mut variants = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
-        let fan_cfg = FanoutConfig {
-            workers,
-            threads_per_worker: 1,
-            locality_sizes: LOCALITY_SIZES.to_vec(),
-            ..FanoutConfig::default()
-        };
-        let fan_path = || {
-            run_fanout(
-                &container, &index, &annots, &symbols, cfg, &fan_cfg, &backend,
-            )
-            .expect("fan-out over a freshly indexed container")
-        };
-        let _ = fan_path(); // warm up
-        let mut fanout_ms = f64::INFINITY;
-        let mut run = None;
-        for _ in 0..3 {
-            let (ms, out) = timed(fan_path);
-            fanout_ms = fanout_ms.min(ms);
-            run = Some(out);
+    // Subprocess runs go through warm persistent-worker pools: spawn +
+    // container load happen once here, outside the measured window, and
+    // every measured run reuses the same workers — the steady state a
+    // long-lived analysis service runs in.
+    let worker_counts = [1usize, 2, 4, 8];
+    let prepared: Vec<(usize, FanoutConfig, Option<FanoutPool>)> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let fan_cfg = FanoutConfig {
+                workers,
+                threads_per_worker: 1,
+                locality_sizes: LOCALITY_SIZES.to_vec(),
+                ..FanoutConfig::default()
+            };
+            let pool = match &backend {
+                FanoutBackend::Subprocess { exe } => {
+                    let pool = FanoutPool::new(
+                        exe,
+                        &container,
+                        &index,
+                        &annots,
+                        &symbols,
+                        cfg,
+                        fan_cfg.clone(),
+                    )
+                    .expect("pool over a freshly indexed container");
+                    pool.prewarm().expect("prewarm persistent workers");
+                    Some(pool)
+                }
+                FanoutBackend::InProcess => None,
+            };
+            (workers, fan_cfg, pool)
+        })
+        .collect();
+    let run_one = |(_, fan_cfg, pool): &(usize, FanoutConfig, Option<FanoutPool>)| match pool {
+        Some(p) => p
+            .run()
+            .expect("pooled fan-out over a freshly indexed container"),
+        None => run_fanout(
+            &container, &index, &annots, &symbols, cfg, fan_cfg, &backend,
+        )
+        .expect("fan-out over a freshly indexed container"),
+    };
+
+    // Warm everything, then interleave the baseline with every variant
+    // inside each measurement round: wall-clock on a small shared host
+    // drifts over the life of the process, and timing the contenders
+    // back-to-back (keeping per-path minima across rounds) stops the
+    // reported speedups from absorbing that drift.
+    let _ = baseline_path();
+    for p in &prepared {
+        let _ = run_one(p);
+    }
+    let mut baseline_ms = f64::INFINITY;
+    let mut baseline = None;
+    let mut fan_ms = vec![f64::INFINITY; prepared.len()];
+    let mut runs: Vec<Option<_>> = prepared.iter().map(|_| None).collect();
+    let mut spawns_in_measured = vec![0u32; prepared.len()];
+    for _ in 0..5 {
+        let (ms, out) = timed(baseline_path);
+        baseline_ms = baseline_ms.min(ms);
+        baseline = Some(out);
+        for (k, p) in prepared.iter().enumerate() {
+            let (ms, out) = timed(|| run_one(p));
+            fan_ms[k] = fan_ms[k].min(ms);
+            spawns_in_measured[k] += out.spawns;
+            runs[k] = Some(out);
         }
-        let run = run.unwrap();
+    }
+    let baseline = baseline.unwrap();
+    let (_, baseline_breakdown) = span_breakdown(baseline_path);
+
+    let mut variants = Vec::new();
+    for (k, p) in prepared.iter().enumerate() {
+        let workers = p.0;
+        let run = runs[k].take().unwrap();
+        let fanout_ms = fan_ms[k];
+        let (_, fan_breakdown) = span_breakdown(|| run_one(p));
 
         // Bit-identity with the baseline, per worker count. The ingest
         // field legitimately differs (per-worker peaks and merge
@@ -258,7 +314,9 @@ fn main() {
             critical_path_speedup: baseline_ms / critical_path_ms,
             ranges: ranges.len(),
             retries: run.retries,
+            spawns_in_measured_runs: spawns_in_measured[k],
             ingest: run.report.ingest,
+            breakdown: fan_breakdown,
         });
     }
 
@@ -300,8 +358,8 @@ fn main() {
         window,
         shard_samples: SHARD_SAMPLES,
         backend: backend_name.to_string(),
-        host_cpus,
         baseline_stream_ms: baseline_ms,
+        baseline_breakdown,
         variants,
     };
     emit("BENCH_fanout", &table, &payload);

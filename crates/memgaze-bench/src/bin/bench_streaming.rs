@@ -11,7 +11,7 @@ use memgaze_analysis::{
     locality_vs_interval_with, reuse_histogram_from, AnalysisConfig, Analyzer, IngestStats,
     StreamingAnalyzer,
 };
-use memgaze_bench::{emit, scales, timed};
+use memgaze_bench::{emit, scales, span_breakdown, timed, SpanShare};
 use memgaze_model::{
     encode_sharded, Access, AuxAnnotations, FunctionId, Ip, IpAnnot, LoadClass, Sample,
     SampledTrace, ShardReader, SymbolTable, TraceMeta,
@@ -64,9 +64,15 @@ fn synthetic_setup(samples: usize, window: usize) -> (SampledTrace, AuxAnnotatio
 struct Variant {
     shard_samples: usize,
     stream_ms: f64,
+    /// stream_ms / resident_ms — the streaming overhead this bench
+    /// exists to bound.
+    overhead_vs_resident: f64,
     peak_resident_bytes: usize,
     merge_events: u64,
     ingest: IngestStats,
+    /// Per-span exclusive-time attribution of one untimed streaming
+    /// pass at this shard size.
+    breakdown: Vec<SpanShare>,
 }
 
 #[derive(Serialize)]
@@ -76,6 +82,8 @@ struct Payload {
     threads: usize,
     resident_ms: f64,
     resident_peak_bytes: usize,
+    /// Per-span exclusive-time attribution of one untimed resident pass.
+    resident_breakdown: Vec<SpanShare>,
     variants: Vec<Variant>,
 }
 
@@ -98,43 +106,55 @@ fn main() {
         let loc = locality_vs_interval_with(&trace, &annots, cfg.reuse_block, &LOCALITY_SIZES, 1);
         (a.decompression(), rows, reuse, intervals, hist, loc)
     };
+    // Measurement rounds interleave the resident path with every
+    // streaming shard size: on a small shared host, wall-clock drifts
+    // between the start and end of the process, and timing the paths
+    // back-to-back within each round (taking per-path minima across
+    // rounds) keeps the reported ratios from absorbing that drift.
+    let shard_sizes = [1usize, 16, 256];
+    let containers: Vec<Vec<u8>> = shard_sizes
+        .iter()
+        .map(|&n| encode_sharded(&trace, n))
+        .collect();
+    let run_stream = |container: &[u8]| {
+        let mut reader = ShardReader::new(container).expect("valid container");
+        let mut an =
+            StreamingAnalyzer::new(&annots, &symbols, cfg).with_locality_sizes(&LOCALITY_SIZES);
+        for shard in reader.by_ref() {
+            an.ingest_shard(&shard.expect("valid container").samples);
+        }
+        let meta = reader.meta().clone();
+        an.finish(&meta)
+    };
+
     let _ = resident_path(); // warm up
+    for c in &containers {
+        let _ = run_stream(c); // warm up
+    }
     let mut resident_ms = f64::INFINITY;
     let mut resident = None;
-    for _ in 0..3 {
+    let mut stream_ms = vec![f64::INFINITY; shard_sizes.len()];
+    let mut reports: Vec<Option<_>> = shard_sizes.iter().map(|_| None).collect();
+    for _ in 0..5 {
         let (ms, out) = timed(resident_path);
         resident_ms = resident_ms.min(ms);
         resident = Some(out);
+        for (k, c) in containers.iter().enumerate() {
+            let (ms, out) = timed(|| run_stream(c));
+            stream_ms[k] = stream_ms[k].min(ms);
+            reports[k] = Some(out);
+        }
     }
     let (res_dec, res_rows, res_reuse, res_intervals, res_hist, res_loc) = resident.unwrap();
+    let (_, resident_breakdown) = span_breakdown(resident_path);
     let total_accesses: usize = trace.samples.iter().map(|s| s.accesses.len()).sum();
     let resident_peak_bytes = total_accesses * std::mem::size_of::<Access>();
 
     let mut variants = Vec::new();
-    for shard_samples in [1usize, 16, 256] {
-        let container = encode_sharded(&trace, shard_samples);
-        // The streaming path: decode shard by shard and fold partials;
-        // the timed region covers decode + incremental analysis +
-        // finish, i.e. everything downstream of the container bytes.
-        let stream_path = || {
-            let mut reader = ShardReader::new(container.as_slice()).expect("valid container");
-            let mut an =
-                StreamingAnalyzer::new(&annots, &symbols, cfg).with_locality_sizes(&LOCALITY_SIZES);
-            for shard in reader.by_ref() {
-                an.ingest_shard(&shard.expect("valid container").samples);
-            }
-            let meta = reader.meta().clone();
-            an.finish(&meta)
-        };
-        let _ = stream_path(); // warm up
-        let mut stream_ms = f64::INFINITY;
-        let mut report = None;
-        for _ in 0..3 {
-            let (ms, out) = timed(stream_path);
-            stream_ms = stream_ms.min(ms);
-            report = Some(out);
-        }
-        let report = report.unwrap();
+    for (k, &shard_samples) in shard_sizes.iter().enumerate() {
+        let report = reports[k].take().unwrap();
+        let stream_ms = stream_ms[k];
+        let (_, breakdown) = span_breakdown(|| run_stream(&containers[k]));
 
         // Bit-identity with the resident analyzer, per shard size.
         assert_eq!(report.decompression, res_dec, "shard {shard_samples}");
@@ -155,20 +175,30 @@ fn main() {
         variants.push(Variant {
             shard_samples,
             stream_ms,
+            overhead_vs_resident: stream_ms / resident_ms,
             peak_resident_bytes: report.ingest.peak_shard_bytes,
             merge_events: report.ingest.merge_events,
             ingest: report.ingest,
+            breakdown,
         });
     }
 
     let mut table = memgaze_analysis::Table::new(
         "BENCH_streaming: resident vs streaming analysis (bit-identical reports)",
-        &["path", "shard", "time (ms)", "peak trace bytes", "merges"],
+        &[
+            "path",
+            "shard",
+            "time (ms)",
+            "vs resident",
+            "peak trace bytes",
+            "merges",
+        ],
     );
     table.push_row(vec![
         "resident".into(),
         "-".into(),
         format!("{resident_ms:.2}"),
+        "1.00x".into(),
         format!("{resident_peak_bytes}"),
         "-".into(),
     ]);
@@ -177,6 +207,7 @@ fn main() {
             "streaming".into(),
             format!("{}", v.shard_samples),
             format!("{:.2}", v.stream_ms),
+            format!("{:.2}x", v.overhead_vs_resident),
             format!("{}", v.peak_resident_bytes),
             format!("{}", v.merge_events),
         ]);
@@ -187,6 +218,7 @@ fn main() {
         threads: cfg.threads,
         resident_ms,
         resident_peak_bytes,
+        resident_breakdown,
         variants,
     };
     emit("BENCH_streaming", &table, &payload);

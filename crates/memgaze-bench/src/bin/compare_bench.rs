@@ -1,0 +1,354 @@
+//! Diff two bench JSONs (`experiments/BENCH_*.json`) as ratio deltas,
+//! or gate one file against a threshold for CI.
+//!
+//! ```text
+//! compare_bench OLD.json NEW.json
+//! compare_bench --check 'variants.*.overhead_vs_resident<=1.5' FILE.json
+//! ```
+//!
+//! Diff mode flattens every numeric field into a dotted path
+//! (`variants.0.wall_speedup`) and prints old, new, and new/old for the
+//! paths present in both files — the quickest way to see which stage a
+//! perf change actually moved. Check mode evaluates `path<=bound` /
+//! `path>=bound` expressions (a `*` segment matches any array index or
+//! key) and exits nonzero when a matched value violates the bound, so a
+//! perf-smoke job fails loudly instead of archiving a regression.
+//!
+//! The parser handles exactly the JSON subset our `emit` writes
+//! (objects, arrays, strings, numbers, bools, null); it is not a
+//! general-purpose JSON reader. Host-identity fields (`host_cpus`,
+//! `memgaze_threads`) are compared too: a ratio between runs on
+//! different hosts is flagged rather than silently reported.
+
+use std::process::ExitCode;
+
+/// One numeric leaf of a bench JSON: dotted path and value.
+#[derive(Debug, Clone)]
+struct Leaf {
+    path: String,
+    value: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, expr, file] if flag == "--check" => run_check(expr, file),
+        [old, new] => run_diff(old, new),
+        _ => {
+            eprintln!(
+                "usage: compare_bench OLD.json NEW.json\n       \
+                 compare_bench --check 'PATH<=BOUND' FILE.json"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load_leaves(path: &str) -> Result<Vec<Leaf>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut leaves = Vec::new();
+    let mut p = Parser {
+        bytes: body.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value("", &mut leaves)
+        .map_err(|e| format!("parse {path}: {e}"))?;
+    Ok(leaves)
+}
+
+fn run_diff(old_path: &str, new_path: &str) -> ExitCode {
+    let (old, new) = match (load_leaves(old_path), load_leaves(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("compare_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for host_key in ["host_cpus", "memgaze_threads"] {
+        let a = old.iter().find(|l| l.path == host_key).map(|l| l.value);
+        let b = new.iter().find(|l| l.path == host_key).map(|l| l.value);
+        if a != b {
+            println!(
+                "warning: {host_key} differs ({} vs {}) — ratios below compare different hosts",
+                a.map_or("absent".into(), |v| v.to_string()),
+                b.map_or("absent".into(), |v| v.to_string()),
+            );
+        }
+    }
+    let width = old
+        .iter()
+        .map(|l| l.path.len())
+        .chain(["path".len()])
+        .max()
+        .unwrap_or(4);
+    println!(
+        "{:width$}  {:>12}  {:>12}  {:>8}",
+        "path", "old", "new", "new/old"
+    );
+    let mut missing = 0usize;
+    for l in &old {
+        let Some(n) = new.iter().find(|m| m.path == l.path) else {
+            missing += 1;
+            continue;
+        };
+        let ratio = if l.value == 0.0 {
+            if n.value == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            n.value / l.value
+        };
+        let marker = if !(0.99..=1.01).contains(&ratio) {
+            " *"
+        } else {
+            ""
+        };
+        println!(
+            "{:width$}  {:>12.4}  {:>12.4}  {:>7.3}x{marker}",
+            l.path, l.value, n.value, ratio
+        );
+    }
+    let added = new
+        .iter()
+        .filter(|m| old.iter().all(|l| l.path != m.path))
+        .count();
+    if missing + added > 0 {
+        println!("({missing} paths only in old, {added} only in new)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_check(expr: &str, file: &str) -> ExitCode {
+    let (path_pat, op, bound) = match parse_check(expr) {
+        Some(t) => t,
+        None => {
+            eprintln!(
+                "compare_bench: bad check expression {expr:?} (want PATH<=BOUND or PATH>=BOUND)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let leaves = match load_leaves(file) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("compare_bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut matched = 0usize;
+    let mut violations = 0usize;
+    for l in &leaves {
+        if !path_matches(path_pat, &l.path) {
+            continue;
+        }
+        matched += 1;
+        let ok = match op {
+            "<=" => l.value <= bound,
+            _ => l.value >= bound,
+        };
+        if ok {
+            println!("ok   {} = {} ({op} {bound})", l.path, l.value);
+        } else {
+            println!("FAIL {} = {} (violates {op} {bound})", l.path, l.value);
+            violations += 1;
+        }
+    }
+    if matched == 0 {
+        eprintln!("compare_bench: no numeric field matches {path_pat:?} in {file}");
+        return ExitCode::FAILURE;
+    }
+    if violations > 0 {
+        eprintln!("compare_bench: {violations}/{matched} checked values out of bounds");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_check(expr: &str) -> Option<(&str, &'static str, f64)> {
+    for op in ["<=", ">="] {
+        if let Some((p, b)) = expr.split_once(op) {
+            return Some((
+                p.trim(),
+                if op == "<=" { "<=" } else { ">=" },
+                b.trim().parse().ok()?,
+            ));
+        }
+    }
+    None
+}
+
+/// Match a dotted path against a pattern where `*` matches one segment.
+fn path_matches(pattern: &str, path: &str) -> bool {
+    let ps: Vec<&str> = pattern.split('.').collect();
+    let ls: Vec<&str> = path.split('.').collect();
+    ps.len() == ls.len() && ps.iter().zip(&ls).all(|(p, l)| *p == "*" || p == l)
+}
+
+/// Minimal recursive-descent reader for the JSON subset `emit` writes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, path: &str, out: &mut Vec<Leaf>) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(path, out),
+            Some(b'[') => self.array(path, out),
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => {
+                let v = self.number()?;
+                out.push(Leaf {
+                    path: path.to_string(),
+                    value: v,
+                });
+                Ok(())
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self, path: &str, out: &mut Vec<Leaf>) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let child = if path.is_empty() {
+                key
+            } else {
+                format!("{path}.{key}")
+            };
+            self.value(&child, out)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, path: &str, out: &mut Vec<Leaf>) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        let mut i = 0usize;
+        loop {
+            let child = format!("{path}.{i}");
+            self.value(&child, out)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    i += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    match esc {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        // Keep the raw escape; keys we match on are ASCII.
+                        b'u' => s.push_str("\\u"),
+                        other => s.push(other as char),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}

@@ -93,10 +93,75 @@ pub fn experiments_dir() -> PathBuf {
 pub fn emit<T: Serialize>(id: &str, table: &Table, payload: &T) {
     println!("{}", table.render());
     let path = experiments_dir().join(format!("{id}.json"));
-    let json = serde_json::to_string_pretty(payload).expect("serialize experiment");
+    let json =
+        with_host_fields(serde_json::to_string_pretty(payload).expect("serialize experiment"));
     let mut f = std::fs::File::create(&path).expect("create experiment file");
     f.write_all(json.as_bytes()).expect("write experiment file");
     println!("[experiment data → {}]\n", path.display());
+}
+
+/// Prepend the host facts every bench JSON must carry — core count and
+/// the effective `MEMGAZE_THREADS` resolution — to a serialized
+/// top-level JSON object. Timings are only comparable between two runs
+/// when these match, so [`emit`] injects them unconditionally.
+fn with_host_fields(body: String) -> String {
+    let Some(rest) = body.strip_prefix('{') else {
+        return body; // non-object payload: nothing to annotate
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = memgaze_analysis::par::default_threads();
+    let sep = if rest.trim_start().starts_with('}') {
+        ""
+    } else {
+        ","
+    };
+    format!("{{\n  \"host_cpus\": {cpus},\n  \"memgaze_threads\": {threads}{sep}{rest}")
+}
+
+/// One span name's share of an attribution pass (see
+/// [`span_breakdown`]), in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanShare {
+    /// Span name as recorded by the instrumented stage.
+    pub span: String,
+    /// Spans recorded under this name.
+    pub count: u64,
+    /// Total wall-clock inside these spans, children included.
+    pub inclusive_ms: f64,
+    /// Wall-clock inside these spans minus their direct children — the
+    /// stage's *own* cost, which is what an optimization moves.
+    pub exclusive_ms: f64,
+}
+
+/// Run `f` once with in-memory observability capture on and return its
+/// result plus the per-span-name timing breakdown, sorted by exclusive
+/// time descending. Benches use this for an **untimed** attribution
+/// pass — capture overhead stays out of the measured iterations, while
+/// the emitted JSON still records where each pipeline stage spends its
+/// time.
+pub fn span_breakdown<T>(f: impl FnOnce() -> T) -> (T, Vec<SpanShare>) {
+    memgaze_obs::configure(memgaze_obs::ObsConfig {
+        capture: true,
+        ..memgaze_obs::ObsConfig::disabled()
+    });
+    let out = f();
+    let events = memgaze_obs::take_capture();
+    memgaze_obs::configure(memgaze_obs::ObsConfig::disabled());
+    let mut shares: Vec<SpanShare> = memgaze_obs::exclusive_by_name(&events)
+        .into_iter()
+        .map(|(span, agg)| SpanShare {
+            span,
+            count: agg.count,
+            inclusive_ms: agg.incl_us as f64 / 1000.0,
+            exclusive_ms: agg.excl_us as f64 / 1000.0,
+        })
+        .collect();
+    shares.sort_by(|a, b| {
+        b.exclusive_ms
+            .partial_cmp(&a.exclusive_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    (out, shares)
 }
 
 /// A synthetic load module with `procs` procedures of `loads_per_proc`
@@ -150,6 +215,20 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
 mod tests {
     use super::*;
     use memgaze_instrument::Instrumenter;
+
+    #[test]
+    fn host_fields_are_injected_into_object_payloads() {
+        let annotated = with_host_fields("{\n  \"a\": 1\n}".to_string());
+        assert!(annotated.starts_with("{\n  \"host_cpus\": "), "{annotated}");
+        assert!(annotated.contains("\"memgaze_threads\": "), "{annotated}");
+        assert!(annotated.ends_with("\"a\": 1\n}"), "{annotated}");
+        // An empty object gains the fields without a dangling comma.
+        let empty = with_host_fields("{}".to_string());
+        assert!(empty.contains("\"memgaze_threads\""), "{empty}");
+        assert!(!empty.contains(",}"), "{empty}");
+        // Non-object payloads pass through untouched.
+        assert_eq!(with_host_fields("[1,2]".to_string()), "[1,2]");
+    }
 
     #[test]
     fn synthetic_module_scales_with_inputs() {

@@ -8,12 +8,17 @@
 //! * [`FanoutBackend::InProcess`] runs each range on a coordinator
 //!   thread — no serialization, no processes; the reference backend for
 //!   tests and the fallback when no worker binary is available;
-//! * [`FanoutBackend::Subprocess`] spawns `<exe> analyze-shard`
-//!   subprocesses that seek into the container via the frame-index
-//!   sidecar and ship [`PartialReport`]s back over a pipe (`MGZW`
-//!   framing). A worker that exits nonzero, produces garbage, or
-//!   exceeds the timeout is killed and its range re-run in a fresh
-//!   subprocess, up to [`FanoutConfig::max_attempts`] tries.
+//! * [`FanoutBackend::Subprocess`] runs ranges on **persistent**
+//!   `<exe> analyze-shard --serve` workers held in a [`FanoutPool`]:
+//!   one subprocess per slot, spawned once, loading the spec +
+//!   container + index a single time and then answering length-prefixed
+//!   range requests over stdin (`MGZQ` framing) with framed
+//!   [`PartialReport`]s on stdout (`MGZW` framing). A worker that dies,
+//!   produces garbage, or exceeds the per-range timeout is killed and
+//!   **respawned**, and the range re-run on the fresh worker, up to
+//!   [`FanoutConfig::max_attempts`] tries — the same crash/hang retry
+//!   semantics the retired one-subprocess-per-range model had, without
+//!   paying a process spawn and a container load per range.
 //!
 //! Crash-path tests inject failures via environment variables passed to
 //! workers ([`FanoutConfig::worker_env`]): `MEMGAZE_FANOUT_CRASH_ONCE`
@@ -24,7 +29,9 @@
 //! `MEMGAZE_FANOUT_SHORT_WRITE_ONCE` frames a payload longer than it
 //! writes; `MEMGAZE_FANOUT_STDERR_FLOOD_ONCE` floods stderr before
 //! exiting nonzero; and `MEMGAZE_FANOUT_PANIC_ONCE` panics an
-//! [`FanoutBackend::InProcess`] worker thread.
+//! [`FanoutBackend::InProcess`] worker thread. In serve mode the
+//! injections fire while a range is in flight, so they exercise exactly
+//! the kill-respawn-retry path.
 //!
 //! The coordinator never panics on a worker's behalf: mutexes poisoned
 //! by a panicking in-process worker are recovered (the protected data
@@ -35,10 +42,11 @@
 //!
 //! With observability on (`MEMGAZE_OBS`), the run records a
 //! `fanout.run` span over per-range `fanout.range`/`fanout.attempt`
-//! spans plus `fanout.retry`/`fanout.kill` marks; each subprocess
-//! worker inherits the attempt span via `MEMGAZE_OBS_PARENT` and writes
-//! its own JSONL event file into the scratch directory, which the
-//! coordinator absorbs into one stitched trace.
+//! spans plus `fanout.retry`/`fanout.kill` marks and a
+//! `fanout.spawn_worker` span per subprocess actually spawned; each
+//! persistent worker writes its own JSONL event file into the scratch
+//! directory (stitched to the coordinator via the spawn span's remote
+//! parent), which the coordinator absorbs when the worker retires.
 
 use memgaze_analysis::{
     analyze_frames, partition_frames, AnalysisConfig, PartialError, PartialReport, StreamingReport,
@@ -48,13 +56,22 @@ use memgaze_model::{AuxAnnotations, FrameIndex, ModelError, ShardReader, SymbolT
 use std::io::{Read, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Magic framing the worker's stdout payload.
+/// Magic framing a worker's stdout responses.
 const WORKER_MAGIC: &[u8; 4] = b"MGZW";
+/// Magic framing the coordinator's stdin requests to a persistent
+/// worker.
+const REQUEST_MAGIC: &[u8; 4] = b"MGZQ";
+/// Fixed payload of a range request: `lo` and `hi` as `u64` LE.
+const REQUEST_PAYLOAD_LEN: u32 = 16;
+/// Sanity cap on a framed response payload; a length beyond this is a
+/// protocol error, not an allocation request.
+const MAX_RESPONSE_BYTES: u64 = 1 << 34;
 
 /// Crash-injection env var: a marker-file path; first worker to find it
 /// absent creates it, writes garbage, and exits nonzero.
@@ -73,9 +90,9 @@ pub const STDERR_FLOOD_ONCE_ENV: &str = "MEMGAZE_FANOUT_STDERR_FLOOD_ONCE";
 /// environment, so parallel tests cannot contaminate each other.
 pub const PANIC_ONCE_ENV: &str = "MEMGAZE_FANOUT_PANIC_ONCE";
 
-/// Stderr bytes kept per worker attempt; the rest is drained (so the
-/// child cannot deadlock on a full pipe) but dropped, and the failure
-/// detail notes how much was truncated.
+/// Stderr bytes kept per worker; the rest is drained (so the child
+/// cannot deadlock on a full pipe) but dropped, and the failure detail
+/// notes how much was truncated.
 const STDERR_KEEP: usize = 64 * 1024;
 
 /// Recover a possibly-poisoned fan-out mutex. Poisoning here means a
@@ -95,7 +112,7 @@ pub struct FanoutConfig {
     pub threads_per_worker: usize,
     /// Attempts per range before the run fails.
     pub max_attempts: u32,
-    /// Wall-clock budget per worker attempt.
+    /// Wall-clock budget per range request.
     pub timeout: Duration,
     /// Locality-vs-interval sizes to accumulate.
     pub locality_sizes: Vec<u64>,
@@ -122,8 +139,8 @@ impl Default for FanoutConfig {
 pub enum FanoutBackend {
     /// Coordinator threads calling [`analyze_frames`] directly.
     InProcess,
-    /// `<exe> analyze-shard` subprocesses exchanging partials over
-    /// pipes.
+    /// Persistent `<exe> analyze-shard --serve` subprocesses exchanging
+    /// partials over pipes (a transient [`FanoutPool`]).
     Subprocess {
         /// The `memgaze` binary to spawn (usually
         /// `std::env::current_exe()`).
@@ -155,6 +172,9 @@ pub struct FanoutRunReport {
     pub retries: u32,
     /// Every failed attempt, in completion order.
     pub failures: Vec<WorkerFailure>,
+    /// Subprocesses spawned *during this run* (0 for the in-process
+    /// backend, and 0 for a pooled run fully served by warm workers).
+    pub spawns: u32,
 }
 
 /// Fan-out failures.
@@ -236,8 +256,8 @@ impl From<std::io::Error> for FanoutError {
 /// Monotonic scratch-directory discriminator within this process.
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Scratch files shared by all workers of one subprocess run; the
-/// directory is removed on drop, success or failure.
+/// Scratch files shared by all workers of one pool; the directory is
+/// removed on drop, success or failure.
 struct Scratch {
     dir: PathBuf,
     spec: PathBuf,
@@ -272,11 +292,446 @@ impl Drop for Scratch {
     }
 }
 
+/// A live persistent worker: the child process, its request pipe, and
+/// the reader/stderr drain threads.
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    /// Framed response payloads (or reader-side protocol errors) from
+    /// the worker's stdout, one per range request.
+    responses: Receiver<Result<Vec<u8>, String>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    stderr: Option<std::thread::JoinHandle<(Vec<u8>, usize)>>,
+    obs_path: Option<PathBuf>,
+}
+
+/// A pool of persistent `analyze-shard --serve` workers over one
+/// (container, index, spec) triple. Workers are spawned lazily (or via
+/// [`prewarm`](Self::prewarm)), checked out by coordinator slot threads
+/// for the duration of a run, and kept warm between
+/// [`run`](Self::run) calls — so repeated fan-out analyses of the same
+/// container pay the process spawn and container load once, not per
+/// range or per run. Dropping the pool closes every worker's stdin
+/// (the graceful-shutdown signal) and reaps the processes.
+pub struct FanoutPool {
+    exe: PathBuf,
+    container: Vec<u8>,
+    index: FrameIndex,
+    annots: AuxAnnotations,
+    symbols: SymbolTable,
+    analysis: AnalysisConfig,
+    cfg: FanoutConfig,
+    scratch: Scratch,
+    idle: Mutex<Vec<WorkerHandle>>,
+    spawns: AtomicU64,
+    worker_seq: AtomicU64,
+}
+
+impl FanoutPool {
+    /// Build a pool for one container + index. Writes the scratch files
+    /// every worker maps; no worker is spawned yet (see
+    /// [`prewarm`](Self::prewarm)).
+    pub fn new(
+        exe: &Path,
+        container: &[u8],
+        index: &FrameIndex,
+        annots: &AuxAnnotations,
+        symbols: &SymbolTable,
+        analysis: AnalysisConfig,
+        cfg: FanoutConfig,
+    ) -> Result<FanoutPool, FanoutError> {
+        index.validate(container)?;
+        let worker_cfg = AnalysisConfig {
+            threads: cfg.threads_per_worker.max(1),
+            ..analysis
+        };
+        let spec = WorkerSpec {
+            footprint_block: worker_cfg.footprint_block,
+            reuse_block: worker_cfg.reuse_block,
+            threads: worker_cfg.threads,
+            locality_sizes: cfg.locality_sizes.clone(),
+            annots: annots.clone(),
+            symbols: symbols.clone(),
+        };
+        let scratch = Scratch::write(container, index, &spec)?;
+        Ok(FanoutPool {
+            exe: exe.to_path_buf(),
+            container: container.to_vec(),
+            index: index.clone(),
+            annots: annots.clone(),
+            symbols: symbols.clone(),
+            analysis,
+            cfg,
+            scratch,
+            idle: Mutex::new(Vec::new()),
+            spawns: AtomicU64::new(0),
+            worker_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Spawn workers until `workers` slots are warm, so a following
+    /// [`run`](Self::run) pays no spawn inside its measured window.
+    pub fn prewarm(&self) -> Result<(), FanoutError> {
+        let want = self.cfg.workers.max(1);
+        loop {
+            {
+                let idle = lock_live(&self.idle);
+                if idle.len() >= want {
+                    return Ok(());
+                }
+            }
+            let w = self
+                .spawn_worker()
+                .map_err(|detail| FanoutError::Protocol { detail })?;
+            lock_live(&self.idle).push(w);
+        }
+    }
+
+    /// Subprocesses spawned over the pool's lifetime (prewarm included).
+    pub fn spawn_count(&self) -> u64 {
+        self.spawns.load(Ordering::Relaxed)
+    }
+
+    /// Run one fan-out analysis on the pool's container, reusing warm
+    /// workers. The merged report is bit-identical to the resident
+    /// analyzer; see [`run_fanout`].
+    pub fn run(&self) -> Result<FanoutRunReport, FanoutError> {
+        run_fanout_core(
+            &self.container,
+            &self.index,
+            &self.annots,
+            &self.symbols,
+            self.analysis,
+            &self.cfg,
+            Some(self),
+        )
+    }
+
+    /// Check a warm worker out of the pool, spawning if none is idle.
+    fn checkout(&self) -> Result<WorkerHandle, String> {
+        if let Some(w) = lock_live(&self.idle).pop() {
+            return Ok(w);
+        }
+        self.spawn_worker()
+    }
+
+    /// Return a healthy worker for reuse by later ranges and runs.
+    fn checkin(&self, worker: WorkerHandle) {
+        lock_live(&self.idle).push(worker);
+    }
+
+    /// Run one range on the slot's worker (checking one out on first
+    /// use). Any failure retires the worker — the retry will respawn —
+    /// and comes back as a string detail enriched with the worker's
+    /// exit status and stderr tail.
+    fn run_range(
+        &self,
+        slot: &mut Option<WorkerHandle>,
+        range: &Range<usize>,
+    ) -> Result<PartialReport, String> {
+        let mut worker = match slot.take() {
+            Some(w) => w,
+            None => self.checkout()?,
+        };
+        match request_range(&mut worker, range, self.cfg.timeout) {
+            Ok(payload) => match PartialReport::decode(&payload) {
+                Ok(partial) => {
+                    *slot = Some(worker);
+                    Ok(partial)
+                }
+                Err(e) => Err(self.retire_dead(worker, &e.to_string())),
+            },
+            Err(detail) => Err(self.retire_dead(worker, &detail)),
+        }
+    }
+
+    fn spawn_worker(&self) -> Result<WorkerHandle, String> {
+        let mut spawn_span = memgaze_obs::span("fanout.spawn_worker");
+        let seq = self.worker_seq.fetch_add(1, Ordering::Relaxed);
+        if spawn_span.is_active() {
+            spawn_span.set_label(format!("worker #{seq}"));
+        }
+        let obs_path = memgaze_obs::enabled()
+            .then(|| self.scratch.dir.join(format!("obs-worker-{seq}.jsonl")));
+        let mut cmd = Command::new(&self.exe);
+        cmd.arg("analyze-shard")
+            .arg("--spec")
+            .arg(&self.scratch.spec)
+            .arg("--container")
+            .arg(&self.scratch.container)
+            .arg("--index")
+            .arg(&self.scratch.index)
+            .arg("--serve")
+            .arg("1")
+            .envs(
+                self.cfg
+                    .worker_env
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            )
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        if let Some(p) = &obs_path {
+            // Set after `worker_env` so the coordinator's sink choice
+            // wins: the worker must write JSONL to the scratch file
+            // (stdout is the MGZW response channel, so a summary sink
+            // there would corrupt it).
+            for (k, v) in memgaze_obs::worker_env(spawn_span.ctx(), p) {
+                cmd.env(k, v);
+            }
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", self.exe.display()))?;
+        let stdin = child.stdin.take();
+        let stdout_pipe = child.stdout.take();
+        let stderr_pipe = child.stderr.take();
+        let (Some(stdin), Some(mut stdout_pipe), Some(mut stderr_pipe)) =
+            (stdin, stdout_pipe, stderr_pipe)
+        else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("worker pipes were not available".to_string());
+        };
+        let (tx, rx): (Sender<Result<Vec<u8>, String>>, _) = std::sync::mpsc::channel();
+        // The reader thread owns the stdout pipe and frames responses;
+        // on clean EOF it just drops the sender, which the coordinator
+        // observes as a disconnect (worker death between responses).
+        let reader = std::thread::spawn(move || loop {
+            match read_response_frame(&mut stdout_pipe) {
+                Ok(Some(payload)) => {
+                    if tx.send(Ok(payload)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(detail) => {
+                    let _ = tx.send(Err(detail));
+                    return;
+                }
+            }
+        });
+        // Stderr is drained fully (never let the child block on a full
+        // pipe) but only the first `STDERR_KEEP` bytes are retained.
+        let stderr = std::thread::spawn(move || {
+            let mut kept = Vec::new();
+            let mut total = 0usize;
+            let mut chunk = [0u8; 8192];
+            loop {
+                match stderr_pipe.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        total += n;
+                        if kept.len() < STDERR_KEEP {
+                            let take = n.min(STDERR_KEEP - kept.len());
+                            kept.extend_from_slice(&chunk[..take]);
+                        }
+                    }
+                }
+            }
+            (kept, total)
+        });
+        self.spawns.fetch_add(1, Ordering::Relaxed);
+        memgaze_obs::counter!("fanout.spawns").add(1);
+        Ok(WorkerHandle {
+            child,
+            stdin: Some(stdin),
+            responses: rx,
+            reader: Some(reader),
+            stderr: Some(stderr),
+            obs_path,
+        })
+    }
+
+    /// Kill and reap a failed worker, returning the failure detail
+    /// enriched with its exit status and bounded stderr tail. The
+    /// worker's obs JSONL (if any) is absorbed first — a death
+    /// mid-write leaves a truncated final line, which absorption skips.
+    fn retire_dead(&self, mut worker: WorkerHandle, base: &str) -> String {
+        let _ = worker.child.kill();
+        drop(worker.stdin.take());
+        let status = worker.child.wait();
+        if let Some(t) = worker.reader.take() {
+            let _ = t.join();
+        }
+        let (kept, total) = worker
+            .stderr
+            .take()
+            .and_then(|t| t.join().ok())
+            .unwrap_or_default();
+        absorb_worker_obs(worker.obs_path.as_deref());
+        let mut detail = match status {
+            Ok(s) => format!("{base}; worker exited with {s}"),
+            Err(e) => format!("{base}; wait on worker: {e}"),
+        };
+        let tail = String::from_utf8_lossy(&kept).trim().to_string();
+        if !tail.is_empty() {
+            detail.push_str(": ");
+            detail.push_str(&tail);
+        }
+        if total > kept.len() {
+            detail.push_str(&format!(
+                " … ({} of {} stderr bytes truncated)",
+                total - kept.len(),
+                total
+            ));
+        }
+        detail
+    }
+
+    /// Shut a healthy worker down: closing stdin is the exit signal; a
+    /// worker that ignores it past the grace period is killed.
+    fn retire_graceful(&self, mut worker: WorkerHandle) {
+        drop(worker.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match worker.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                _ => {
+                    let _ = worker.child.kill();
+                    let _ = worker.child.wait();
+                    break;
+                }
+            }
+        }
+        if let Some(t) = worker.reader.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = worker.stderr.take() {
+            let _ = t.join();
+        }
+        absorb_worker_obs(worker.obs_path.as_deref());
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        let workers = std::mem::take(&mut *lock_live(&self.idle));
+        for w in workers {
+            self.retire_graceful(w);
+        }
+    }
+}
+
+/// Absorb a retired worker's JSONL events into this process's sinks. A
+/// missing file (worker died before its first event) is simply empty.
+fn absorb_worker_obs(path: Option<&Path>) {
+    if let Some(p) = path {
+        if let Ok(text) = std::fs::read_to_string(p) {
+            let _ = memgaze_obs::absorb_jsonl(&text);
+        }
+    }
+}
+
+/// Send one range request to a worker and wait for its framed response
+/// payload, bounded by `timeout`.
+fn request_range(
+    worker: &mut WorkerHandle,
+    range: &Range<usize>,
+    timeout: Duration,
+) -> Result<Vec<u8>, String> {
+    let stdin = worker
+        .stdin
+        .as_mut()
+        .ok_or_else(|| "worker stdin already closed".to_string())?;
+    let mut req = [0u8; 24];
+    encode_request(&mut req, range);
+    stdin
+        .write_all(&req)
+        .and_then(|()| stdin.flush())
+        .map_err(|e| format!("write range request: {e}"))?;
+    match worker.responses.recv_timeout(timeout) {
+        Ok(Ok(payload)) => Ok(payload),
+        Ok(Err(detail)) => Err(detail),
+        Err(RecvTimeoutError::Timeout) => {
+            memgaze_obs::mark(
+                "fanout.kill",
+                &[
+                    ("range", format!("{}..{}", range.start, range.end)),
+                    ("timeout", format!("{timeout:?}")),
+                ],
+            );
+            Err(format!(
+                "worker for frames {}..{} exceeded {timeout:?} timeout and was killed",
+                range.start, range.end
+            ))
+        }
+        Err(RecvTimeoutError::Disconnected) => Err(format!(
+            "worker for frames {}..{} died before responding",
+            range.start, range.end
+        )),
+    }
+}
+
+/// Encode a range request in place: magic, payload length, lo, hi.
+fn encode_request(buf: &mut [u8; 24], range: &Range<usize>) {
+    buf[..4].copy_from_slice(REQUEST_MAGIC);
+    buf[4..8].copy_from_slice(&REQUEST_PAYLOAD_LEN.to_le_bytes());
+    buf[8..16].copy_from_slice(&(range.start as u64).to_le_bytes());
+    buf[16..24].copy_from_slice(&(range.end as u64).to_le_bytes());
+}
+
+/// Read until `buf` is full or EOF; returns the bytes actually read.
+fn read_full(src: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match src.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+/// Parse one framed worker response: `MGZW` + `u64` LE payload length +
+/// the encoded [`PartialReport`] payload. `Ok(None)` is a clean EOF at
+/// a frame boundary (worker shut down); every malformation — bad magic,
+/// truncated header, a framed length that disagrees with the bytes that
+/// follow — is a string detail routed through the retry path.
+fn read_response_frame(src: &mut impl Read) -> Result<Option<Vec<u8>>, String> {
+    let mut magic = [0u8; 4];
+    let got = read_full(src, &mut magic).map_err(|e| format!("read worker response: {e}"))?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < magic.len() {
+        return Err(format!("worker framing truncated ({got} bytes)"));
+    }
+    if &magic != WORKER_MAGIC {
+        return Err(format!("bad worker magic {magic:?}"));
+    }
+    let mut len_bytes = [0u8; 8];
+    let got = read_full(src, &mut len_bytes).map_err(|e| format!("read worker framing: {e}"))?;
+    if got < len_bytes.len() {
+        return Err("worker framing truncated (length field)".to_string());
+    }
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_RESPONSE_BYTES {
+        return Err(format!("worker framed an implausible {len}-byte payload"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_full(src, &mut payload).map_err(|e| format!("read worker payload: {e}"))?;
+    if (got as u64) < len {
+        return Err(format!("worker payload length {got} != framed {len}"));
+    }
+    Ok(Some(payload))
+}
+
 /// Analyze an indexed container by fanning its frame ranges out across
 /// workers. The partials are merged **in shard order**, so the returned
 /// report is bit-identical to the resident [`StreamingAnalyzer`]
 /// (`memgaze_analysis::StreamingAnalyzer`) — and hence to the resident
 /// `Analyzer` — for every worker count and shard size.
+///
+/// The subprocess backend builds a transient [`FanoutPool`] for the
+/// run; callers analyzing the same container repeatedly should hold a
+/// pool themselves and call [`FanoutPool::run`] to keep workers warm.
 pub fn run_fanout(
     container: &[u8],
     index: &FrameIndex,
@@ -285,6 +740,34 @@ pub fn run_fanout(
     analysis: AnalysisConfig,
     cfg: &FanoutConfig,
     backend: &FanoutBackend,
+) -> Result<FanoutRunReport, FanoutError> {
+    match backend {
+        FanoutBackend::InProcess => {
+            run_fanout_core(container, index, annots, symbols, analysis, cfg, None)
+        }
+        FanoutBackend::Subprocess { exe } => {
+            let pool = FanoutPool::new(
+                exe,
+                container,
+                index,
+                annots,
+                symbols,
+                analysis,
+                cfg.clone(),
+            )?;
+            pool.run()
+        }
+    }
+}
+
+fn run_fanout_core(
+    container: &[u8],
+    index: &FrameIndex,
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    analysis: AnalysisConfig,
+    cfg: &FanoutConfig,
+    pool: Option<&FanoutPool>,
 ) -> Result<FanoutRunReport, FanoutError> {
     // Reject a stale index before dispatching anything: every downstream
     // read depends on it describing exactly these bytes.
@@ -299,27 +782,13 @@ pub fn run_fanout(
     };
     let ranges = partition_frames(index, cfg.workers);
 
-    let scratch = match backend {
-        FanoutBackend::Subprocess { .. } => {
-            let spec = WorkerSpec {
-                footprint_block: worker_cfg.footprint_block,
-                reuse_block: worker_cfg.reuse_block,
-                threads: worker_cfg.threads,
-                locality_sizes: cfg.locality_sizes.clone(),
-                annots: annots.clone(),
-                symbols: symbols.clone(),
-            };
-            Some(Scratch::write(container, index, &spec)?)
-        }
-        FanoutBackend::InProcess => None,
-    };
-
     let queue: Mutex<Vec<Range<usize>>> = Mutex::new(ranges.clone());
     let results: Mutex<Vec<Option<PartialReport>>> = Mutex::new(vec![None; ranges.len()]);
     let failures: Mutex<Vec<WorkerFailure>> = Mutex::new(Vec::new());
     let retries = AtomicU64::new(0);
     let fatal: Mutex<Option<FanoutError>> = Mutex::new(None);
     let slots = cfg.workers.clamp(1, ranges.len().max(1));
+    let spawns_before = pool.map(|p| p.spawn_count()).unwrap_or(0);
 
     let mut run_span = memgaze_obs::span("fanout.run");
     if run_span.is_active() {
@@ -332,96 +801,108 @@ pub fn run_fanout(
     }
     let run_ctx = run_span.ctx();
 
-    std::thread::scope(|scope| {
-        for _ in 0..slots {
-            scope.spawn(|| loop {
-                if lock_live(&fatal).is_some() {
-                    return;
+    // Each slot drains ranges off the shared queue with a persistent
+    // worker, checked out on first use and reused for every range the
+    // slot serves.
+    let slot_loop = || {
+        // The slot's persistent worker, checked out on first use
+        // and reused for every range this slot serves.
+        let mut worker: Option<WorkerHandle> = None;
+        loop {
+            if lock_live(&fatal).is_some() {
+                break;
+            }
+            let Some(range) = lock_live(&queue).pop() else {
+                break;
+            };
+            // A range index is its position in the (contiguous,
+            // sorted) partition — recover it from the range starts.
+            let Some(idx) = ranges.iter().position(|r| r.start == range.start) else {
+                let mut f = lock_live(&fatal);
+                if f.is_none() {
+                    *f = Some(FanoutError::Protocol {
+                        detail: format!(
+                            "queued range {}..{} is not in the partition",
+                            range.start, range.end
+                        ),
+                    });
                 }
-                let Some(range) = lock_live(&queue).pop() else {
-                    return;
+                break;
+            };
+            let mut range_span = memgaze_obs::span_under("fanout.range", run_ctx);
+            if range_span.is_active() {
+                range_span.set_label(format!("frames {}..{}", range.start, range.end));
+            }
+            let mut attempt = 0u32;
+            let outcome = loop {
+                attempt += 1;
+                memgaze_obs::counter!("fanout.attempts").add(1);
+                let run = {
+                    let _attempt_span = memgaze_obs::span("fanout.attempt");
+                    match pool {
+                        None => run_worker_in_process(
+                            container, index, &range, annots, symbols, worker_cfg, cfg,
+                        ),
+                        Some(p) => p.run_range(&mut worker, &range),
+                    }
                 };
-                // A range index is its position in the (contiguous,
-                // sorted) partition — recover it from the range starts.
-                let Some(idx) = ranges.iter().position(|r| r.start == range.start) else {
+                match run {
+                    Ok(p) => break Ok(p),
+                    Err(detail) => {
+                        lock_live(&failures).push(WorkerFailure {
+                            range: (range.start, range.end),
+                            attempt,
+                            detail: detail.clone(),
+                        });
+                        if attempt >= cfg.max_attempts.max(1) {
+                            break Err(detail);
+                        }
+                        memgaze_obs::mark(
+                            "fanout.retry",
+                            &[
+                                ("range", format!("{}..{}", range.start, range.end)),
+                                ("attempt", attempt.to_string()),
+                                ("detail", truncate_detail(&detail)),
+                            ],
+                        );
+                        retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            };
+            match outcome {
+                Ok(p) => {
+                    lock_live(&results)[idx] = Some(p);
+                }
+                Err(last) => {
                     let mut f = lock_live(&fatal);
                     if f.is_none() {
-                        *f = Some(FanoutError::Protocol {
-                            detail: format!(
-                                "queued range {}..{} is not in the partition",
-                                range.start, range.end
-                            ),
+                        *f = Some(FanoutError::RangeFailed {
+                            lo: range.start,
+                            hi: range.end,
+                            attempts: attempt,
+                            last,
                         });
                     }
-                    return;
-                };
-                let mut range_span = memgaze_obs::span_under("fanout.range", run_ctx);
-                if range_span.is_active() {
-                    range_span.set_label(format!("frames {}..{}", range.start, range.end));
+                    break;
                 }
-                let mut attempt = 0u32;
-                let outcome = loop {
-                    attempt += 1;
-                    memgaze_obs::counter!("fanout.attempts").add(1);
-                    let run = {
-                        let _attempt_span = memgaze_obs::span("fanout.attempt");
-                        let parent = _attempt_span.ctx();
-                        match (backend, &scratch) {
-                            (FanoutBackend::InProcess, _) => run_worker_in_process(
-                                container, index, &range, annots, symbols, worker_cfg, cfg,
-                            ),
-                            (FanoutBackend::Subprocess { exe }, Some(s)) => {
-                                run_worker_subprocess(exe, s, &range, cfg, attempt, parent)
-                            }
-                            (FanoutBackend::Subprocess { .. }, None) => Err(
-                                "internal: subprocess backend dispatched without scratch files"
-                                    .to_string(),
-                            ),
-                        }
-                    };
-                    match run {
-                        Ok(p) => break Ok(p),
-                        Err(detail) => {
-                            lock_live(&failures).push(WorkerFailure {
-                                range: (range.start, range.end),
-                                attempt,
-                                detail: detail.clone(),
-                            });
-                            if attempt >= cfg.max_attempts.max(1) {
-                                break Err(detail);
-                            }
-                            memgaze_obs::mark(
-                                "fanout.retry",
-                                &[
-                                    ("range", format!("{}..{}", range.start, range.end)),
-                                    ("attempt", attempt.to_string()),
-                                    ("detail", truncate_detail(&detail)),
-                                ],
-                            );
-                            retries.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                };
-                match outcome {
-                    Ok(p) => {
-                        lock_live(&results)[idx] = Some(p);
-                    }
-                    Err(last) => {
-                        let mut f = lock_live(&fatal);
-                        if f.is_none() {
-                            *f = Some(FanoutError::RangeFailed {
-                                lo: range.start,
-                                hi: range.end,
-                                attempts: attempt,
-                                last,
-                            });
-                        }
-                        return;
-                    }
-                }
-            });
+            }
         }
-    });
+        // Keep the worker warm for the next run.
+        if let (Some(p), Some(w)) = (pool, worker.take()) {
+            p.checkin(w);
+        }
+    };
+    if slots == 1 {
+        // Single slot: run inline — a scoped thread would only add a
+        // spawn/join and an extra wakeup hop to every run.
+        slot_loop();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..slots {
+                scope.spawn(slot_loop);
+            }
+        });
+    }
 
     if let Some(err) = fatal.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(err);
@@ -449,6 +930,9 @@ pub fn run_fanout(
         ranges,
         retries: retries.into_inner() as u32,
         failures: failures.into_inner().unwrap_or_else(|e| e.into_inner()),
+        spawns: pool
+            .map(|p| (p.spawn_count() - spawns_before) as u32)
+            .unwrap_or(0),
     })
 }
 
@@ -529,191 +1013,7 @@ fn maybe_inject_inprocess_panic(worker_env: &[(String, String)]) {
     }
 }
 
-/// One subprocess attempt over one frame range. Any failure — spawn,
-/// nonzero exit, timeout, bad framing, undecodable partial — comes back
-/// as a string so the slot loop can retry uniformly. With observability
-/// on, the worker is handed `parent` as its remote span parent plus a
-/// scratch JSONL path, and its events are absorbed into this process's
-/// sinks whether the attempt succeeded or not.
-fn run_worker_subprocess(
-    exe: &Path,
-    scratch: &Scratch,
-    range: &Range<usize>,
-    cfg: &FanoutConfig,
-    attempt: u32,
-    parent: Option<memgaze_obs::SpanCtx>,
-) -> Result<PartialReport, String> {
-    let obs_path = memgaze_obs::enabled().then(|| {
-        scratch.dir.join(format!(
-            "obs-{}-{}-a{attempt}.jsonl",
-            range.start, range.end
-        ))
-    });
-    let result = run_worker_subprocess_inner(exe, scratch, range, cfg, obs_path.as_deref(), parent);
-    if let Some(p) = &obs_path {
-        // A worker killed mid-write may leave a truncated final line;
-        // absorb keeps every complete event before it, and a missing
-        // file (worker died before its first event) is simply empty.
-        if let Ok(text) = std::fs::read_to_string(p) {
-            let _ = memgaze_obs::absorb_jsonl(&text);
-        }
-    }
-    result
-}
-
-fn run_worker_subprocess_inner(
-    exe: &Path,
-    scratch: &Scratch,
-    range: &Range<usize>,
-    cfg: &FanoutConfig,
-    obs_path: Option<&Path>,
-    parent: Option<memgaze_obs::SpanCtx>,
-) -> Result<PartialReport, String> {
-    let mut cmd = Command::new(exe);
-    cmd.arg("analyze-shard")
-        .arg("--spec")
-        .arg(&scratch.spec)
-        .arg("--container")
-        .arg(&scratch.container)
-        .arg("--index")
-        .arg(&scratch.index)
-        .arg("--frames")
-        .arg(format!("{}:{}", range.start, range.end))
-        .envs(cfg.worker_env.iter().map(|(k, v)| (k.clone(), v.clone())))
-        .stdin(Stdio::null())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped());
-    if let Some(p) = obs_path {
-        // Set after `worker_env` so the coordinator's sink choice wins:
-        // the worker must write JSONL to the scratch file (stdout is the
-        // MGZW result channel, so a summary sink there would corrupt it).
-        for (k, v) in memgaze_obs::worker_env(parent, p) {
-            cmd.env(k, v);
-        }
-    }
-    let mut child = cmd
-        .spawn()
-        .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
-
-    // Drain the pipes on their own threads so a chatty worker can't
-    // deadlock against a full pipe buffer while we poll for exit.
-    let Some(mut stdout_pipe) = child.stdout.take() else {
-        let _ = child.kill();
-        let _ = child.wait();
-        return Err("worker stdout pipe was not available".to_string());
-    };
-    let Some(mut stderr_pipe) = child.stderr.take() else {
-        let _ = child.kill();
-        let _ = child.wait();
-        return Err("worker stderr pipe was not available".to_string());
-    };
-    let stdout_thread = std::thread::spawn(move || {
-        let mut buf = Vec::new();
-        let _ = stdout_pipe.read_to_end(&mut buf);
-        buf
-    });
-    // Stderr is drained fully (never let the child block on a full
-    // pipe) but only the first `STDERR_KEEP` bytes are retained.
-    let stderr_thread = std::thread::spawn(move || {
-        let mut kept = Vec::new();
-        let mut total = 0usize;
-        let mut chunk = [0u8; 8192];
-        loop {
-            match stderr_pipe.read(&mut chunk) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => {
-                    total += n;
-                    if kept.len() < STDERR_KEEP {
-                        let take = n.min(STDERR_KEEP - kept.len());
-                        kept.extend_from_slice(&chunk[..take]);
-                    }
-                }
-            }
-        }
-        (kept, total)
-    });
-
-    let deadline = Instant::now() + cfg.timeout;
-    let status = loop {
-        match child.try_wait() {
-            Ok(Some(status)) => break status,
-            Ok(None) => {
-                if Instant::now() >= deadline {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    let _ = stdout_thread.join();
-                    let _ = stderr_thread.join();
-                    memgaze_obs::mark(
-                        "fanout.kill",
-                        &[
-                            ("range", format!("{}..{}", range.start, range.end)),
-                            ("timeout", format!("{:?}", cfg.timeout)),
-                        ],
-                    );
-                    return Err(format!(
-                        "worker for frames {}..{} exceeded {:?} timeout and was killed",
-                        range.start, range.end, cfg.timeout
-                    ));
-                }
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) => {
-                let _ = child.kill();
-                let _ = child.wait();
-                let _ = stdout_thread.join();
-                let _ = stderr_thread.join();
-                return Err(format!("wait on worker: {e}"));
-            }
-        }
-    };
-    let stdout = stdout_thread.join().unwrap_or_default();
-    let (stderr, stderr_total) = stderr_thread.join().unwrap_or_default();
-    if !status.success() {
-        let mut tail = String::from_utf8_lossy(&stderr).trim().to_string();
-        if stderr_total > stderr.len() {
-            tail.push_str(&format!(
-                " … ({} of {} stderr bytes truncated)",
-                stderr_total - stderr.len(),
-                stderr_total
-            ));
-        }
-        return Err(format!("worker exited with {status}: {tail}"));
-    }
-    decode_worker_output(&stdout).map_err(|e| e.to_string())
-}
-
-/// Parse a worker's framed stdout: `MGZW` + `u64` LE payload length +
-/// the encoded [`PartialReport`]. Every malformation — missing magic,
-/// truncated header, a framed length that disagrees with the payload —
-/// is a typed [`FanoutError::Protocol`]; no slicing here can panic.
-fn decode_worker_output(out: &[u8]) -> Result<PartialReport, FanoutError> {
-    let protocol = |detail: String| FanoutError::Protocol { detail };
-    let (magic, rest) = out
-        .split_at_checked(4)
-        .ok_or_else(|| protocol(format!("worker output too short ({} bytes)", out.len())))?;
-    if magic != WORKER_MAGIC {
-        return Err(protocol(format!(
-            "bad worker magic {magic:?} ({} bytes total)",
-            out.len()
-        )));
-    }
-    let (len_bytes, payload) = rest
-        .split_at_checked(8)
-        .ok_or_else(|| protocol(format!("worker framing truncated ({} bytes)", out.len())))?;
-    let len_arr: [u8; 8] = len_bytes
-        .try_into()
-        .map_err(|_| protocol("worker length field unreadable".to_string()))?;
-    let len = u64::from_le_bytes(len_arr);
-    if payload.len() as u64 != len {
-        return Err(protocol(format!(
-            "worker payload length {} != framed {len}",
-            payload.len()
-        )));
-    }
-    Ok(PartialReport::decode(payload)?)
-}
-
-/// Arguments of one `analyze-shard` worker invocation.
+/// Arguments of one one-shot `analyze-shard` worker invocation.
 #[derive(Debug, Clone)]
 pub struct WorkerArgs {
     /// Path to the encoded [`WorkerSpec`].
@@ -726,42 +1026,146 @@ pub struct WorkerArgs {
     pub frames: Range<usize>,
 }
 
-/// The `analyze-shard` worker body: load spec + container + index,
-/// re-validate the index against the container bytes (a stale sidecar
-/// must fail in the worker, not poison the merge), analyze the range,
-/// and write the framed partial to `out`.
+/// Arguments of a persistent `analyze-shard --serve` worker: the same
+/// spec/container/index triple, loaded once; ranges arrive over stdin.
+#[derive(Debug, Clone)]
+pub struct WorkerServeArgs {
+    /// Path to the encoded [`WorkerSpec`].
+    pub spec: PathBuf,
+    /// Path to the sharded container.
+    pub container: PathBuf,
+    /// Path to the encoded [`FrameIndex`].
+    pub index: PathBuf,
+}
+
+/// Spec + container + index, loaded and cross-validated once per worker
+/// process (a stale sidecar must fail in the worker, not poison the
+/// merge).
+struct WorkerState {
+    spec: WorkerSpec,
+    container: Vec<u8>,
+    index: FrameIndex,
+}
+
+impl WorkerState {
+    fn load(spec: &Path, container: &Path, index: &Path) -> Result<WorkerState, FanoutError> {
+        let spec_bytes = std::fs::read(spec)?;
+        let spec = WorkerSpec::decode(&spec_bytes)?;
+        let container = std::fs::read(container)?;
+        let index_bytes = std::fs::read(index)?;
+        let index = FrameIndex::decode(&index_bytes)?;
+        index.validate(&container)?;
+        Ok(WorkerState {
+            spec,
+            container,
+            index,
+        })
+    }
+
+    fn analyze(&self, frames: Range<usize>) -> Result<PartialReport, FanoutError> {
+        if frames.end > self.index.entries.len() || frames.start > frames.end {
+            return Err(FanoutError::Protocol {
+                detail: format!(
+                    "frame range {}..{} out of bounds for {} frames",
+                    frames.start,
+                    frames.end,
+                    self.index.entries.len()
+                ),
+            });
+        }
+        Ok(analyze_frames(
+            &self.container,
+            &self.index,
+            frames,
+            &self.spec.annots,
+            &self.spec.symbols,
+            self.spec.analysis_config(),
+            &self.spec.locality_sizes,
+        )?)
+    }
+}
+
+/// Frame an encoded partial into `buf` (cleared first): magic, length,
+/// payload — assembled in one reusable buffer so each response is a
+/// single `write_all`, with no per-range allocation once the buffer
+/// has grown to the working size.
+fn frame_partial_into(partial: &PartialReport, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(WORKER_MAGIC);
+    buf.extend_from_slice(&[0u8; 8]);
+    partial.encode_into(buf);
+    let len = (buf.len() - 12) as u64;
+    buf[4..12].copy_from_slice(&len.to_le_bytes());
+}
+
+/// The one-shot `analyze-shard` worker body: load spec + container +
+/// index, analyze the range, and write the framed partial to `out` in
+/// one buffered write.
 pub fn worker_main(args: &WorkerArgs, out: &mut impl Write) -> Result<(), FanoutError> {
     maybe_inject_failure(out);
-    let spec_bytes = std::fs::read(&args.spec)?;
-    let spec = WorkerSpec::decode(&spec_bytes)?;
-    let container = std::fs::read(&args.container)?;
-    let index_bytes = std::fs::read(&args.index)?;
-    let index = FrameIndex::decode(&index_bytes)?;
-    index.validate(&container)?;
-    if args.frames.end > index.entries.len() || args.frames.start > args.frames.end {
-        return Err(FanoutError::Protocol {
-            detail: format!(
-                "frame range {}..{} out of bounds for {} frames",
-                args.frames.start,
-                args.frames.end,
-                index.entries.len()
-            ),
-        });
-    }
-    let partial = analyze_frames(
-        &container,
-        &index,
-        args.frames.clone(),
-        &spec.annots,
-        &spec.symbols,
-        spec.analysis_config(),
-        &spec.locality_sizes,
-    )?;
-    let payload = partial.encode();
-    out.write_all(WORKER_MAGIC)?;
-    out.write_all(&(payload.len() as u64).to_le_bytes())?;
-    out.write_all(&payload)?;
+    let state = WorkerState::load(&args.spec, &args.container, &args.index)?;
+    let partial = state.analyze(args.frames.clone())?;
+    let mut frame = Vec::new();
+    frame_partial_into(&partial, &mut frame);
+    out.write_all(&frame)?;
     out.flush()?;
+    Ok(())
+}
+
+/// Parse one coordinator request off the worker's stdin: `MGZQ` + `u32`
+/// LE payload length (16) + lo/hi as `u64` LE. `Ok(None)` is a clean
+/// EOF at a frame boundary — the coordinator closed our stdin, which is
+/// the shutdown signal.
+fn read_request(input: &mut impl Read) -> Result<Option<Range<usize>>, FanoutError> {
+    let mut magic = [0u8; 4];
+    let got = read_full(input, &mut magic)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    let protocol = |detail: String| FanoutError::Protocol { detail };
+    if got < magic.len() {
+        return Err(protocol(format!("request magic truncated ({got} bytes)")));
+    }
+    if &magic != REQUEST_MAGIC {
+        return Err(protocol(format!("bad request magic {magic:?}")));
+    }
+    let mut head = [0u8; 4];
+    input.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head);
+    if len != REQUEST_PAYLOAD_LEN {
+        return Err(protocol(format!(
+            "request payload length {len} != {REQUEST_PAYLOAD_LEN}"
+        )));
+    }
+    let mut body = [0u8; 16];
+    input.read_exact(&mut body)?;
+    let lo = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    let hi = u64::from_le_bytes(body[8..].try_into().expect("8 bytes"));
+    Ok(Some(lo as usize..hi as usize))
+}
+
+/// The persistent `analyze-shard --serve` worker body: load and
+/// validate the spec + container + index **once**, then answer framed
+/// range requests from stdin until it reaches EOF. Each response is
+/// framed into one pooled buffer and issued as a single write. Failure
+/// injections fire per request, so an injected death happens with a
+/// range in flight — exactly what the coordinator's respawn path must
+/// recover from.
+pub fn worker_serve(
+    args: &WorkerServeArgs,
+    input: &mut impl Read,
+    out: &mut impl Write,
+) -> Result<(), FanoutError> {
+    let state = WorkerState::load(&args.spec, &args.container, &args.index)?;
+    let mut frame = Vec::new();
+    while let Some(frames) = read_request(input)? {
+        maybe_inject_failure(out);
+        let partial = state.analyze(frames)?;
+        frame_partial_into(&partial, &mut frame);
+        out.write_all(&frame)?;
+        out.flush()?;
+        memgaze_obs::flush();
+    }
     Ok(())
 }
 
@@ -877,6 +1281,7 @@ mod tests {
             assert_eq!(run.report.locality_series, resident.locality_series);
             assert_eq!(run.report.interval_rows(4), resident.interval_rows(4));
             assert_eq!(run.retries, 0);
+            assert_eq!(run.spawns, 0, "in-process runs spawn nothing");
             assert!(run.failures.is_empty());
         }
     }
@@ -906,21 +1311,85 @@ mod tests {
     }
 
     #[test]
-    fn worker_output_framing_is_validated() {
+    fn worker_response_framing_is_validated() {
+        use std::io::Cursor;
+        // Clean EOF at a frame boundary is a shutdown, not an error.
         assert!(matches!(
-            decode_worker_output(b""),
-            Err(FanoutError::Protocol { .. })
+            read_response_frame(&mut Cursor::new(&b""[..])),
+            Ok(None)
         ));
-        assert!(matches!(
-            decode_worker_output(b"garbage, not a partial report"),
-            Err(FanoutError::Protocol { .. })
-        ));
+        let err = read_response_frame(&mut Cursor::new(&b"garbage, not a partial report"[..]))
+            .unwrap_err();
+        assert!(err.contains("bad worker magic"), "{err}");
+        // A framed length that exceeds what was written (the short-write
+        // injection) must be caught by payload-length validation.
         let mut framed = WORKER_MAGIC.to_vec();
         framed.extend_from_slice(&99u64.to_le_bytes());
         framed.extend_from_slice(b"short");
-        assert!(matches!(
-            decode_worker_output(&framed),
-            Err(FanoutError::Protocol { .. })
-        ));
+        let err = read_response_frame(&mut Cursor::new(framed.as_slice())).unwrap_err();
+        assert!(err.contains("payload length"), "{err}");
+        // An implausible framed length is rejected before allocation.
+        let mut huge = WORKER_MAGIC.to_vec();
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_response_frame(&mut Cursor::new(huge.as_slice())).unwrap_err();
+        assert!(err.contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn pooled_response_framing_is_byte_identical_and_roundtrips() {
+        let (_, container, index) = mk_indexed_trace();
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let cfg = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let a = analyze_frames(&container, &index, 0..2, &annots, &symbols, cfg, &[8]).unwrap();
+        let b = analyze_frames(
+            &container,
+            &index,
+            2..index.entries.len(),
+            &annots,
+            &symbols,
+            cfg,
+            &[8],
+        )
+        .unwrap();
+        let mut fresh_a = Vec::new();
+        frame_partial_into(&a, &mut fresh_a);
+        let mut fresh_b = Vec::new();
+        frame_partial_into(&b, &mut fresh_b);
+        // One pooled buffer serving consecutive ranges — dirty seed
+        // contents, then reuse — frames the exact same bytes.
+        let mut pooled = vec![0xAA; 37];
+        frame_partial_into(&a, &mut pooled);
+        assert_eq!(pooled, fresh_a);
+        frame_partial_into(&b, &mut pooled);
+        assert_eq!(pooled, fresh_b);
+        // The framed response round-trips through the coordinator's
+        // reader back to the exact encoded partial.
+        let payload = read_response_frame(&mut std::io::Cursor::new(fresh_a.as_slice()))
+            .unwrap()
+            .expect("one frame");
+        assert_eq!(payload, a.encode());
+        assert_eq!(
+            PartialReport::decode(&payload).unwrap().encode(),
+            a.encode()
+        );
+    }
+
+    #[test]
+    fn request_framing_roundtrips_and_eof_is_shutdown() {
+        let mut req = [0u8; 24];
+        encode_request(&mut req, &(3..9));
+        let mut feed = req.to_vec();
+        encode_request(&mut req, &(0..usize::MAX & 0xffff));
+        feed.extend_from_slice(&req);
+        let mut cur = std::io::Cursor::new(feed.as_slice());
+        assert_eq!(read_request(&mut cur).unwrap(), Some(3..9));
+        assert_eq!(read_request(&mut cur).unwrap(), Some(0..0xffff));
+        assert_eq!(read_request(&mut cur).unwrap(), None, "EOF is shutdown");
+        let err = read_request(&mut std::io::Cursor::new(&b"MGZX"[..])).unwrap_err();
+        assert!(matches!(err, FanoutError::Protocol { .. }));
     }
 }

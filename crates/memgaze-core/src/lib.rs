@@ -22,8 +22,8 @@ pub mod pipeline;
 pub mod recorders;
 
 pub use fanout::{
-    run_fanout, worker_main, FanoutBackend, FanoutConfig, FanoutError, FanoutRunReport, WorkerArgs,
-    WorkerFailure,
+    run_fanout, worker_main, worker_serve, FanoutBackend, FanoutConfig, FanoutError, FanoutPool,
+    FanoutRunReport, WorkerArgs, WorkerFailure, WorkerServeArgs,
 };
 pub use hotspot::{profile_hotspots, HotspotReport};
 pub use overheads::{phase_profiles, PhaseOverhead};

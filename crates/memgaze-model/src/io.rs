@@ -42,7 +42,24 @@ pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
 }
 
 /// Read an unsigned LEB128 varint.
-pub(crate) fn get_varint(buf: &mut Bytes, context: &'static str) -> Result<u64, ModelError> {
+pub(crate) fn get_varint<B: Buf>(buf: &mut B, context: &'static str) -> Result<u64, ModelError> {
+    // Fast path: a u64 varint is at most 10 bytes, so when the current
+    // contiguous chunk holds that many the whole value decodes off the
+    // slice with a single bounds decision instead of one per byte.
+    let chunk = buf.chunk();
+    if chunk.len() >= 10 {
+        let mut v: u64 = 0;
+        for (i, &byte) in chunk[..10].iter().enumerate() {
+            v |= u64::from(byte & 0x7f) << (7 * i as u32);
+            if byte & 0x80 == 0 {
+                buf.advance(i + 1);
+                return Ok(v);
+            }
+        }
+        return Err(ModelError::BadHeader {
+            detail: format!("varint overflow in {context}"),
+        });
+    }
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -80,13 +97,14 @@ fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Bytes, context: &'static str) -> Result<String, ModelError> {
+fn get_string<B: Buf>(buf: &mut B, context: &'static str) -> Result<String, ModelError> {
     let len = get_varint(buf, context)? as usize;
     if buf.remaining() < len {
         return Err(ModelError::Truncated { context });
     }
-    let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| ModelError::BadHeader {
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| ModelError::BadHeader {
         detail: format!("non-utf8 string in {context}"),
     })
 }
@@ -99,7 +117,7 @@ pub(crate) fn put_meta(buf: &mut BytesMut, meta: &TraceMeta) {
     put_varint(buf, meta.total_instrumented_loads);
 }
 
-pub(crate) fn get_meta(buf: &mut Bytes) -> Result<TraceMeta, ModelError> {
+pub(crate) fn get_meta<B: Buf>(buf: &mut B) -> Result<TraceMeta, ModelError> {
     Ok(TraceMeta {
         workload: get_string(buf, "meta.workload")?,
         period: get_varint(buf, "meta.period")?,
@@ -126,7 +144,7 @@ fn put_access(buf: &mut BytesMut, st: &mut DeltaState, a: &Access) {
     st.time = a.time;
 }
 
-fn get_access(buf: &mut Bytes, st: &mut DeltaState) -> Result<Access, ModelError> {
+fn get_access<B: Buf>(buf: &mut B, st: &mut DeltaState) -> Result<Access, ModelError> {
     let dip = unzigzag(get_varint(buf, "access.ip")?);
     let daddr = unzigzag(get_varint(buf, "access.addr")?);
     let dtime = get_varint(buf, "access.time")?;
@@ -146,7 +164,7 @@ pub(crate) fn put_header(buf: &mut BytesMut, version: u16, kind: u8) {
     buf.put_u8(kind);
 }
 
-fn check_header(buf: &mut Bytes, want_kind: u8) -> Result<(), ModelError> {
+fn check_header<B: Buf>(buf: &mut B, want_kind: u8) -> Result<(), ModelError> {
     if buf.remaining() < 7 {
         return Err(ModelError::Truncated { context: "header" });
     }
@@ -188,7 +206,7 @@ pub(crate) fn put_sample(buf: &mut BytesMut, prev_trigger: u64, s: &Sample) {
 /// length is validated against the remaining payload before any
 /// allocation, so a corrupt count errors instead of reserving memory
 /// for it.
-pub(crate) fn get_sample(buf: &mut Bytes, prev_trigger: u64) -> Result<Sample, ModelError> {
+pub(crate) fn get_sample<B: Buf>(buf: &mut B, prev_trigger: u64) -> Result<Sample, ModelError> {
     let trigger = prev_trigger.wrapping_add(get_varint(buf, "trigger_time")?);
     let w = get_varint(buf, "window")? as usize;
     // Every encoded access costs at least three bytes (three varints).

@@ -42,7 +42,7 @@
 use crate::error::ModelError;
 use crate::io::{get_sample, get_varint, put_header, put_meta, put_sample, put_varint};
 use crate::sample::{Sample, SampledTrace, TraceMeta};
-use bytes::{Buf, Bytes, BytesMut};
+use bytes::{Buf, BytesMut};
 use std::io::{Read, Write};
 
 const VERSION_SHARDED: u16 = 2;
@@ -177,7 +177,7 @@ impl FrameIndex {
         }
         memgaze_obs::counter!("model.frames_decoded").add(1);
         memgaze_obs::counter!("model.frame_bytes").add(payload.len() as u64);
-        decode_frame_payload(Bytes::from(payload.to_vec())).map_err(|e| ModelError::InShard {
+        decode_frame_payload(payload).map_err(|e| ModelError::InShard {
             shard: i as u64,
             source: Box::new(e),
         })
@@ -420,6 +420,9 @@ pub struct ShardReader<R: Read> {
     meta: TraceMeta,
     next_index: u64,
     done: bool,
+    /// Frame-payload scratch reused across frames, so a steady-state
+    /// read decodes every frame into already-warm capacity.
+    payload: Vec<u8>,
 }
 
 impl<R: Read> ShardReader<R> {
@@ -449,6 +452,7 @@ impl<R: Read> ShardReader<R> {
             meta,
             next_index: 0,
             done: false,
+            payload: Vec::new(),
         })
     }
 
@@ -464,6 +468,7 @@ impl<R: Read> ShardReader<R> {
     }
 
     fn next_shard(&mut self) -> Result<Option<Shard>, ModelError> {
+        let _span = memgaze_obs::span("model.decode_frame");
         let len = read_varint(&mut self.src, "frame length")?;
         if len == 0 {
             self.meta.total_loads = read_varint(&mut self.src, "trailer total_loads")?;
@@ -471,17 +476,19 @@ impl<R: Read> ShardReader<R> {
                 read_varint(&mut self.src, "trailer total_instrumented_loads")?;
             return Ok(None);
         }
-        // Read exactly `len` payload bytes. `take` + `read_to_end` grows
-        // the buffer only as data actually arrives, so a corrupt length
-        // on a truncated stream cannot trigger a giant allocation.
-        let mut payload = Vec::with_capacity((len as usize).min(1 << 20));
-        let got = (&mut self.src).take(len).read_to_end(&mut payload)?;
+        // Read exactly `len` payload bytes into the reusable scratch.
+        // `take` + `read_to_end` grows the buffer only as data actually
+        // arrives, so a corrupt length on a truncated stream cannot
+        // trigger a giant allocation.
+        self.payload.clear();
+        self.payload.reserve((len as usize).min(1 << 20));
+        let got = (&mut self.src).take(len).read_to_end(&mut self.payload)?;
         if got as u64 != len {
             return Err(ModelError::Truncated {
                 context: "shard frame",
             });
         }
-        let samples = decode_frame_payload(Bytes::from(payload))?;
+        let samples = decode_frame_payload(&self.payload)?;
         memgaze_obs::counter!("model.frames_decoded").add(1);
         memgaze_obs::counter!("model.frame_bytes").add(len);
         let index = self.next_index;
@@ -521,7 +528,7 @@ impl<R: Read> Iterator for ShardReader<R> {
 /// Decode one frame payload: sample count, then the per-frame delta
 /// chain (trigger chain restarting at 0). Shared by the scanning
 /// [`ShardReader`] and the seeking [`FrameIndex::read_frame`].
-fn decode_frame_payload(mut buf: Bytes) -> Result<Vec<Sample>, ModelError> {
+fn decode_frame_payload(mut buf: &[u8]) -> Result<Vec<Sample>, ModelError> {
     let n = get_varint(&mut buf, "shard num_samples")? as usize;
     if n > buf.remaining() / 2 {
         return Err(ModelError::Truncated {
@@ -795,7 +802,7 @@ mod tests {
         let t = mk_trace(2, 4);
         let v2 = encode_sharded(&t, 2);
         assert!(matches!(
-            crate::io::decode_sampled(Bytes::from(v2)),
+            crate::io::decode_sampled(bytes::Bytes::from(v2)),
             Err(ModelError::BadHeader { .. })
         ));
     }

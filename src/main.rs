@@ -16,8 +16,8 @@
 
 use memgaze::analysis::{fmt_f3, fmt_pct, fmt_si, AnalysisConfig, Analyzer, Table};
 use memgaze::core::{
-    run_fanout, trace_workload, trace_workload_streaming, worker_main, FanoutBackend, FanoutConfig,
-    MemGaze, PipelineConfig, WorkerArgs,
+    run_fanout, trace_workload, trace_workload_streaming, worker_main, worker_serve, FanoutBackend,
+    FanoutConfig, MemGaze, PipelineConfig, WorkerArgs, WorkerServeArgs,
 };
 use memgaze::model::DecompressionInfo;
 use memgaze::ptsim::SamplerConfig;
@@ -351,10 +351,12 @@ fn run_fanout_cmd(args: &Args) -> i32 {
 }
 
 /// `memgaze analyze-shard`: the fan-out worker. Reads the spec,
-/// container, and index files, analyzes the assigned frame range, and
-/// writes the framed partial report to stdout. Returns (rather than
-/// exits) so `main` can flush observability sinks — the coordinator
-/// stitches this worker's JSONL into its trace.
+/// container, and index files, then either analyzes one assigned frame
+/// range (`--frames lo:hi`) or — with `--serve 1` — loads them once and
+/// answers framed range requests over stdin until EOF, the persistent
+/// worker the coordinator's [`FanoutPool`] keeps warm. Returns (rather
+/// than exits) so `main` can flush observability sinks — the
+/// coordinator stitches this worker's JSONL into its trace.
 fn run_analyze_shard(args: &Args) -> i32 {
     let path = |key: &str| -> std::path::PathBuf {
         args.get(key)
@@ -364,6 +366,22 @@ fn run_analyze_shard(args: &Args) -> i32 {
             })
             .into()
     };
+    if args.get("serve").is_some() {
+        let serve = WorkerServeArgs {
+            spec: path("spec"),
+            container: path("container"),
+            index: path("index"),
+        };
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match worker_serve(&serve, &mut stdin.lock(), &mut stdout.lock()) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("analyze-shard: {e}");
+                1
+            }
+        };
+    }
     let frames = args.get("frames").unwrap_or_else(|| {
         eprintln!("analyze-shard: missing --frames lo:hi");
         std::process::exit(2);

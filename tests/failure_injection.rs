@@ -276,6 +276,76 @@ fn killed_worker_is_reassigned_and_report_stays_identical() {
 }
 
 #[test]
+fn persistent_worker_killed_mid_range_is_respawned() {
+    let (t, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let sizes = vec![8u64, 32];
+    let resident = stream_resident_trace(&t, &annots, &symbols, analysis, &sizes, 3);
+    // One slot, one range, and a worker that dies with the range in
+    // flight: the coordinator must respawn a fresh persistent worker
+    // (exactly one extra spawn), retry the range on it, and produce the
+    // identical report.
+    let marker = std::env::temp_dir().join(format!("memgaze-respawn-once-{}", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let cfg = FanoutConfig {
+        workers: 1,
+        locality_sizes: sizes.clone(),
+        worker_env: vec![(
+            CRASH_ONCE_ENV.to_string(),
+            marker.to_string_lossy().into_owned(),
+        )],
+        ..FanoutConfig::default()
+    };
+    let backend = FanoutBackend::Subprocess {
+        exe: env!("CARGO_BIN_EXE_memgaze").into(),
+    };
+    let run = run_fanout(
+        &container, &index, &annots, &symbols, analysis, &cfg, &backend,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&marker);
+    assert_eq!(run.ranges.len(), 1);
+    assert!(run.retries >= 1, "the mid-range death must cost a retry");
+    assert_eq!(run.spawns, 2, "the dead worker plus exactly one respawn");
+    assert_reports_identical(&run, &resident, "respawn-recovery run");
+}
+
+#[test]
+fn warm_pool_reuses_workers_across_runs() {
+    use memgaze::core::FanoutPool;
+
+    let (t, container, index, annots, symbols) = fanout_fixture();
+    let analysis = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let sizes = vec![8u64, 32];
+    let resident = stream_resident_trace(&t, &annots, &symbols, analysis, &sizes, 3);
+    let cfg = FanoutConfig {
+        workers: 2,
+        locality_sizes: sizes.clone(),
+        ..FanoutConfig::default()
+    };
+    let exe = std::path::PathBuf::from(env!("CARGO_BIN_EXE_memgaze"));
+    let pool = FanoutPool::new(&exe, &container, &index, &annots, &symbols, analysis, cfg).unwrap();
+    pool.prewarm().unwrap();
+    assert_eq!(pool.spawn_count(), 2, "prewarm spawns one worker per slot");
+    // Repeated runs are served entirely by the warm workers — no new
+    // process spawns, no container reloads — and every run's report is
+    // still bit-identical to the resident analyzer.
+    for round in 0..3 {
+        let run = pool.run().unwrap();
+        assert_eq!(run.spawns, 0, "round {round} must reuse warm workers");
+        assert_eq!(run.retries, 0, "round {round}");
+        assert_reports_identical(&run, &resident, "warm-pool run");
+    }
+    assert_eq!(pool.spawn_count(), 2, "no extra spawns across runs");
+}
+
+#[test]
 fn hung_worker_is_killed_and_reassigned() {
     let (t, container, index, annots, symbols) = fanout_fixture();
     let analysis = AnalysisConfig {

@@ -177,6 +177,24 @@ impl Buf for Bytes {
     }
 }
 
+/// Borrowed view: reading advances the slice in place, no copy, no
+/// refcount — the zero-allocation path for decoding from memory the
+/// caller already owns.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
 impl Bytes {
     /// Consume `len` bytes into a new shared view.
     pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
