@@ -410,6 +410,43 @@ impl PartialReport {
         Ok(())
     }
 
+    /// Exact fold of `parts` in frame order, equivalent to a sequential
+    /// left-to-right [`merge`](Self::merge) but built for many small
+    /// partials (one per shard frame, as the trace store's result cache
+    /// produces): the block-reuse summaries are k-way merged with a
+    /// single index rebuild, and everything order-sensitive is folded
+    /// as a balanced tree of adjacent pairs, which preserves segment
+    /// order while keeping each element out of all but O(log k) merges.
+    pub fn merge_many(
+        parts: Vec<PartialReport>,
+        footprint_block: BlockSize,
+        reuse_block: BlockSize,
+        locality_sizes: &[u64],
+    ) -> Result<PartialReport, PartialError> {
+        let mut parts = parts;
+        let mut reuses = Vec::with_capacity(parts.len());
+        for p in &mut parts {
+            reuses.push(std::mem::take(&mut p.block_reuse));
+        }
+        while parts.len() > 1 {
+            let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+            let mut it = parts.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.merge(b)?;
+                }
+                next.push(a);
+            }
+            parts = next;
+        }
+        let mut merged = match parts.pop() {
+            Some(p) => p,
+            None => PartialReport::empty(footprint_block, reuse_block, locality_sizes),
+        };
+        merged.block_reuse = BlockReuse::merge_many(reuses);
+        Ok(merged)
+    }
+
     /// Fold into the final report — the single fold shared with
     /// [`StreamingAnalyzer::finish`], which is what makes fan-out
     /// reports bit-identical to resident streaming by construction.
@@ -937,12 +974,23 @@ pub fn analyze_frames(
 /// the unit of analysis work). Every returned range is non-empty;
 /// fewer than `workers` ranges come back when there are fewer frames.
 pub fn partition_frames(index: &FrameIndex, workers: usize) -> Vec<Range<usize>> {
-    let n = index.entries.len();
+    let samples: Vec<u64> = index.entries.iter().map(|e| e.samples).collect();
+    partition_by_samples(&samples, workers)
+}
+
+/// [`partition_frames`] over bare per-frame sample counts — the same
+/// balanced contiguous partition for callers whose frame inventory
+/// lives in a store catalog rather than a [`FrameIndex`] sidecar.
+/// Given the same counts, the two produce identical ranges, so a
+/// store-backed fan-out dispatches exactly the ranges a container-backed
+/// one would.
+pub fn partition_by_samples(samples: &[u64], workers: usize) -> Vec<Range<usize>> {
+    let n = samples.len();
     if n == 0 {
         return Vec::new();
     }
     let workers = workers.clamp(1, n);
-    let weights: Vec<u64> = index.entries.iter().map(|e| e.samples.max(1)).collect();
+    let weights: Vec<u64> = samples.iter().map(|&s| s.max(1)).collect();
     let total: u64 = weights.iter().sum();
     let mut out = Vec::with_capacity(workers);
     let mut start = 0usize;

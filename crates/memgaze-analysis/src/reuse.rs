@@ -325,17 +325,21 @@ impl BlockReuse {
     }
 
     /// Raw `(block, [accesses, dist_sum, reuse_cnt, max_dist])` rows in
-    /// block order, for the fan-out wire codec.
-    pub(crate) fn raw_rows(&self) -> impl Iterator<Item = (u64, [u64; 4])> + '_ {
+    /// block order — the summary's interchange form, consumed by the
+    /// fan-out wire codec and persisted per frame in the
+    /// `memgaze-store` catalog so region queries can rebuild a
+    /// [`BlockReuse`] without decoding any shard.
+    pub fn raw_rows(&self) -> impl Iterator<Item = (u64, [u64; 4])> + '_ {
         self.blocks
             .iter()
             .zip(&self.stats)
             .map(|(&b, s)| (b, [s.accesses, s.dist_sum, s.reuse_cnt, s.max_dist]))
     }
 
-    /// Rebuild from raw rows (fan-out wire codec). Rows must be in
-    /// strictly increasing block order; returns `None` otherwise.
-    pub(crate) fn from_raw_rows(rows: Vec<(u64, [u64; 4])>) -> Option<BlockReuse> {
+    /// Rebuild from [`raw_rows`](Self::raw_rows) output (fan-out wire
+    /// codec, store catalog). Rows must be in strictly increasing block
+    /// order; returns `None` otherwise.
+    pub fn from_raw_rows(rows: Vec<(u64, [u64; 4])>) -> Option<BlockReuse> {
         if !rows.windows(2).all(|w| w[0].0 < w[1].0) {
             return None;
         }
@@ -396,6 +400,38 @@ impl BlockReuse {
         self.blocks = blocks;
         self.stats = stats;
         self.rebuild_index();
+    }
+
+    /// Exact k-way merge: equivalent to folding [`merge`](Self::merge)
+    /// pairwise over `parts` (the per-block stats combine by sum/max,
+    /// so order cannot matter), but the prefix sums and the range-max
+    /// sparse table are rebuilt once at the end instead of once per
+    /// pairwise step — the difference between O(k · n log n) and
+    /// O(n log n) when folding one partial per shard frame.
+    pub fn merge_many(parts: impl IntoIterator<Item = BlockReuse>) -> BlockReuse {
+        let mut pairs: Vec<(u64, BlockStats)> = Vec::new();
+        for p in parts {
+            pairs.extend(p.blocks.into_iter().zip(p.stats));
+        }
+        pairs.sort_unstable_by_key(|&(b, _)| b);
+        let mut out = BlockReuse {
+            blocks: Vec::with_capacity(pairs.len()),
+            stats: Vec::with_capacity(pairs.len()),
+            pre_accesses: Vec::new(),
+            pre_dist_sum: Vec::new(),
+            pre_reuse_cnt: Vec::new(),
+            max_table: Vec::new(),
+        };
+        for (b, s) in pairs {
+            if out.blocks.last() == Some(&b) {
+                out.stats.last_mut().expect("parallel to blocks").absorb(&s);
+            } else {
+                out.blocks.push(b);
+                out.stats.push(s);
+            }
+        }
+        out.rebuild_index();
+        out
     }
 
     /// Recompute the prefix sums and the range-max sparse table from

@@ -1,0 +1,243 @@
+//! BENCH_store: the tiered trace store — cold-disk analysis vs the
+//! warm hot-shard LRU vs the per-frame result cache, the block
+//! compressor's ratio on a sampled trace, and catalog-only query
+//! latency with proof that no shard frame is decoded to answer it.
+//!
+//! The acceptance gates (wired through `compare_bench --check` in the
+//! `store-smoke` CI job):
+//!
+//! * `speedup_result_cache >= 5` — re-analysing an unchanged trace from
+//!   cached [`PartialReport`]s must beat the cold decode+analyze pass
+//!   by at least 5x;
+//! * `query_frames_decoded <= 0` — region/time/function queries are
+//!   answered from catalog summaries alone.
+
+use memgaze_analysis::{stream_resident_trace, AnalysisConfig, Table};
+use memgaze_bench::{emit, scales, timed};
+use memgaze_model::{
+    encode_sharded_indexed, Access, AuxAnnotations, Sample, SampledTrace, SymbolTable, TraceMeta,
+};
+use memgaze_obs::ObsConfig;
+use memgaze_store::{QueryEngine, StoreConfig, TraceStore};
+use serde::Serialize;
+use std::path::Path;
+
+/// The BENCH_analysis synthetic trace shape: a strided phase
+/// interleaved with cyclic reuse over four hot regions. Distinct access
+/// times keep every frame unique, so frame counts equal blob counts.
+fn synthetic_trace(samples: usize, window: usize) -> SampledTrace {
+    let mut t = SampledTrace::new(TraceMeta::new("bench-store", 10_000, 16 << 10));
+    t.meta.total_loads = (samples * 10_000) as u64;
+    t.meta.total_instrumented_loads = (samples * window) as u64;
+    for s in 0..samples {
+        let base = (s * 10_000) as u64;
+        let accesses: Vec<Access> = (0..window)
+            .map(|i| {
+                let addr = if i % 2 == 0 {
+                    0x10_0000 + ((s * window + i) as u64) * 64
+                } else {
+                    let hot = ((i / 2) % 4) as u64;
+                    0x80_0000 + hot * 0x100_0000 + ((i % 64) as u64) * 64
+                };
+                Access::new(0x400u64 + (i as u64 % 16) * 4, addr, base + i as u64)
+            })
+            .collect();
+        t.push_sample(Sample::new(accesses, base + window as u64))
+            .unwrap();
+    }
+    t
+}
+
+fn wipe_results(root: &Path) {
+    let _ = std::fs::remove_dir_all(root.join("results"));
+}
+
+#[derive(Serialize)]
+struct Payload {
+    samples: usize,
+    window: usize,
+    frames: usize,
+    shard_samples: usize,
+    raw_bytes: u64,
+    stored_bytes: u64,
+    compression_ratio: f64,
+    resident_ms: f64,
+    cold_ms: f64,
+    warm_lru_ms: f64,
+    result_cache_ms: f64,
+    speedup_warm_lru: f64,
+    speedup_result_cache: f64,
+    catalog_query_us: f64,
+    query_frames_decoded: u64,
+}
+
+fn main() {
+    let sc = scales::from_env();
+    let samples = (sc.micro_elems as usize / 16).clamp(64, 256);
+    let window = 512;
+    let shard_samples = 4;
+    let reps = 5;
+
+    memgaze_obs::configure(ObsConfig::disabled());
+    let trace = synthetic_trace(samples, window);
+    let (container, index) = encode_sharded_indexed(&trace, shard_samples);
+    let annots = AuxAnnotations::new();
+    let mut symbols = SymbolTable::new();
+    symbols.add_function("hot", 0x400u64.into(), 0x420u64.into(), "bench.c");
+    symbols.add_function("cold", 0x420u64.into(), 0x440u64.into(), "bench.c");
+    let cfg = AnalysisConfig::default();
+    let sizes = [16u64, 64, 256];
+
+    let root = std::env::temp_dir().join(format!("memgaze-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = TraceStore::open(StoreConfig::new(&root)).expect("open store");
+    let receipt = store
+        .put("bench", &container, &index, &symbols)
+        .expect("put");
+    let frames = receipt.frames;
+
+    // Resident reference: analyze the in-memory trace directly.
+    let mut resident_ms = f64::INFINITY;
+    let mut resident = None;
+    for _ in 0..reps {
+        let (ms, r) =
+            timed(|| stream_resident_trace(&trace, &annots, &symbols, cfg, &sizes, shard_samples));
+        resident_ms = resident_ms.min(ms);
+        resident = Some(r);
+    }
+    let resident = resident.unwrap();
+
+    // Cold: a fresh store handle (empty LRU) and no cached results —
+    // every frame is read from disk, decompressed, and analyzed.
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..reps {
+        wipe_results(&root);
+        let fresh = TraceStore::open(StoreConfig::new(&root)).expect("open store");
+        let (ms, run) = timed(|| {
+            fresh
+                .analyze("bench", &annots, &symbols, cfg, &sizes)
+                .expect("cold analyze")
+        });
+        assert_eq!(run.result_misses, frames, "cold pass must miss every frame");
+        assert_eq!(run.report, resident, "store analysis must be bit-identical");
+        cold_ms = cold_ms.min(ms);
+    }
+
+    // Warm LRU: same handle, blobs resident in the hot-shard cache, but
+    // results wiped — decode is skipped, analysis still runs.
+    let mut warm_lru_ms = f64::INFINITY;
+    store
+        .analyze("bench", &annots, &symbols, cfg, &sizes)
+        .expect("lru warmup");
+    for _ in 0..reps {
+        wipe_results(&root);
+        let (ms, run) = timed(|| {
+            store
+                .analyze("bench", &annots, &symbols, cfg, &sizes)
+                .expect("warm analyze")
+        });
+        assert_eq!(
+            run.result_misses, frames,
+            "warm-LRU pass recomputes results"
+        );
+        assert_eq!(run.report, resident, "store analysis must be bit-identical");
+        warm_lru_ms = warm_lru_ms.min(ms);
+    }
+
+    // Result cache: the previous pass persisted every PartialReport, so
+    // re-analysis only loads and merges them.
+    let mut result_cache_ms = f64::INFINITY;
+    store
+        .analyze("bench", &annots, &symbols, cfg, &sizes)
+        .expect("result warmup");
+    for _ in 0..reps {
+        let fresh = TraceStore::open(StoreConfig::new(&root)).expect("open store");
+        let (ms, run) = timed(|| {
+            fresh
+                .analyze("bench", &annots, &symbols, cfg, &sizes)
+                .expect("cached analyze")
+        });
+        assert_eq!(run.result_hits, frames, "cached pass must hit every frame");
+        assert_eq!(run.report, resident, "store analysis must be bit-identical");
+        result_cache_ms = result_cache_ms.min(ms);
+    }
+
+    // Catalog-only queries, with the frames-decoded counter armed to
+    // prove no shard leaves the blob store.
+    let catalog = store.catalog("bench").expect("catalog");
+    let engine = QueryEngine::new(&catalog).expect("query engine");
+    memgaze_obs::configure(ObsConfig {
+        capture: true,
+        ..ObsConfig::disabled()
+    });
+    let decoded_before = memgaze_obs::counter("model.frames_decoded").value();
+    let query_reps = 200usize;
+    let (query_ms, answered) = timed(|| {
+        let mut n = 0usize;
+        for i in 0..query_reps {
+            let lo = 0x80_0000 + (i as u64 % 4) * 0x100_0000;
+            n += engine.region(lo, lo + 0x100_0000).accesses as usize;
+            n += engine.time_range(0, u64::MAX).frames;
+            n += engine.function("hot").map_or(0, |f| f.frames);
+        }
+        n
+    });
+    assert!(answered > 0, "queries must see the stored accesses");
+    let query_frames_decoded =
+        memgaze_obs::counter("model.frames_decoded").value() - decoded_before;
+    memgaze_obs::configure(ObsConfig::disabled());
+    let _ = memgaze_obs::take_capture();
+    let catalog_query_us = query_ms * 1000.0 / query_reps as f64;
+
+    let _ = std::fs::remove_dir_all(&root);
+
+    let compression_ratio = receipt.raw_bytes as f64 / receipt.stored_bytes.max(1) as f64;
+    let payload = Payload {
+        samples,
+        window,
+        frames,
+        shard_samples,
+        raw_bytes: receipt.raw_bytes,
+        stored_bytes: receipt.stored_bytes,
+        compression_ratio,
+        resident_ms,
+        cold_ms,
+        warm_lru_ms,
+        result_cache_ms,
+        speedup_warm_lru: cold_ms / warm_lru_ms.max(1e-9),
+        speedup_result_cache: cold_ms / result_cache_ms.max(1e-9),
+        catalog_query_us,
+        query_frames_decoded,
+    };
+
+    let mut table = Table::new(
+        "BENCH_store: tiered trace store (cold vs warm LRU vs result cache)",
+        &["tier", "time (ms)", "speedup vs cold"],
+    );
+    table.push_row(vec![
+        "resident (reference)".into(),
+        format!("{resident_ms:.2}"),
+        "-".into(),
+    ]);
+    table.push_row(vec![
+        "cold disk".into(),
+        format!("{cold_ms:.2}"),
+        "1.00x".into(),
+    ]);
+    table.push_row(vec![
+        "warm hot-shard LRU".into(),
+        format!("{warm_lru_ms:.2}"),
+        format!("{:.2}x", payload.speedup_warm_lru),
+    ]);
+    table.push_row(vec![
+        "result cache".into(),
+        format!("{result_cache_ms:.2}"),
+        format!("{:.2}x", payload.speedup_result_cache),
+    ]);
+    emit("BENCH_store", &table, &payload);
+    println!(
+        "compression {compression_ratio:.2}x ({} -> {} bytes across {frames} frames); \
+         catalog query {catalog_query_us:.1}us with {query_frames_decoded} frames decoded",
+        receipt.raw_bytes, receipt.stored_bytes
+    );
+}

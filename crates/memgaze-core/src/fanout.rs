@@ -33,6 +33,15 @@
 //! injections fire while a range is in flight, so they exercise exactly
 //! the kill-respawn-retry path.
 //!
+//! Both backends can also run **store-backed** ([`run_fanout_store`]):
+//! instead of mapping scratch `container.bin`/`index.bin` files, workers
+//! open a [`TraceStore`] and fetch only their assigned ranges' blobs by
+//! content hash (per-frame result cache first). A retried range
+//! re-fetches a few blobs rather than re-reading the full shard
+//! container, and since the store catalog carries the same per-frame
+//! sample counts as the [`FrameIndex`], the partition, merge order, and
+//! merged report are identical to the container-backed path.
+//!
 //! The coordinator never panics on a worker's behalf: mutexes poisoned
 //! by a panicking in-process worker are recovered (the protected data
 //! is only ever mutated under short, non-panicking critical sections),
@@ -49,10 +58,11 @@
 //! parent), which the coordinator absorbs when the worker retires.
 
 use memgaze_analysis::{
-    analyze_frames, partition_frames, AnalysisConfig, PartialError, PartialReport, StreamingReport,
-    WorkerSpec,
+    analyze_frames, partition_by_samples, partition_frames, AnalysisConfig, PartialError,
+    PartialReport, StreamingReport, WorkerSpec,
 };
 use memgaze_model::{AuxAnnotations, FrameIndex, ModelError, ShardReader, SymbolTable, TraceMeta};
+use memgaze_store::{Catalog, StoreConfig, StoreError, TraceStore};
 use std::io::{Read, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
@@ -184,6 +194,8 @@ pub enum FanoutError {
     Model(ModelError),
     /// A partial report failed to decode or merge.
     Partial(PartialError),
+    /// A store-backed run failed to read the store.
+    Store(StoreError),
     /// Scratch-file or pipe I/O failed.
     Io(std::io::Error),
     /// A frame range failed every attempt.
@@ -209,6 +221,7 @@ impl std::fmt::Display for FanoutError {
         match self {
             FanoutError::Model(e) => write!(f, "fan-out model error: {e}"),
             FanoutError::Partial(e) => write!(f, "fan-out partial-report error: {e}"),
+            FanoutError::Store(e) => write!(f, "fan-out store error: {e}"),
             FanoutError::Io(e) => write!(f, "fan-out i/o error: {e}"),
             FanoutError::RangeFailed {
                 lo,
@@ -229,9 +242,16 @@ impl std::error::Error for FanoutError {
         match self {
             FanoutError::Model(e) => Some(e),
             FanoutError::Partial(e) => Some(e),
+            FanoutError::Store(e) => Some(e),
             FanoutError::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<StoreError> for FanoutError {
+    fn from(e: StoreError) -> Self {
+        FanoutError::Store(e)
     }
 }
 
@@ -257,16 +277,16 @@ impl From<std::io::Error> for FanoutError {
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Scratch files shared by all workers of one pool; the directory is
-/// removed on drop, success or failure.
+/// removed on drop, success or failure. Every pool writes `spec.bin`;
+/// resident pools add the container and index files, store-backed pools
+/// add nothing (workers read the store directly).
 struct Scratch {
     dir: PathBuf,
     spec: PathBuf,
-    container: PathBuf,
-    index: PathBuf,
 }
 
 impl Scratch {
-    fn write(container: &[u8], index: &FrameIndex, spec: &WorkerSpec) -> std::io::Result<Scratch> {
+    fn create(spec: &WorkerSpec) -> std::io::Result<Scratch> {
         let dir = std::env::temp_dir().join(format!(
             "memgaze-fanout-{}-{}",
             std::process::id(),
@@ -275,14 +295,16 @@ impl Scratch {
         std::fs::create_dir_all(&dir)?;
         let s = Scratch {
             spec: dir.join("spec.bin"),
-            container: dir.join("container.bin"),
-            index: dir.join("index.bin"),
             dir,
         };
         std::fs::write(&s.spec, spec.encode())?;
-        std::fs::write(&s.container, container)?;
-        std::fs::write(&s.index, index.encode())?;
         Ok(s)
+    }
+
+    fn add_file(&self, name: &str, bytes: &[u8]) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(name);
+        std::fs::write(&path, bytes)?;
+        Ok(path)
     }
 }
 
@@ -315,8 +337,7 @@ struct WorkerHandle {
 /// (the graceful-shutdown signal) and reaps the processes.
 pub struct FanoutPool {
     exe: PathBuf,
-    container: Vec<u8>,
-    index: FrameIndex,
+    source: PoolSource,
     annots: AuxAnnotations,
     symbols: SymbolTable,
     analysis: AnalysisConfig,
@@ -325,6 +346,22 @@ pub struct FanoutPool {
     idle: Mutex<Vec<WorkerHandle>>,
     spawns: AtomicU64,
     worker_seq: AtomicU64,
+}
+
+/// What a pool's workers load: scratch container/index files, or a
+/// content-addressed store the workers open themselves (fetching only
+/// their assigned ranges' blobs).
+enum PoolSource {
+    Resident {
+        container: Vec<u8>,
+        index: FrameIndex,
+        container_path: PathBuf,
+        index_path: PathBuf,
+    },
+    Store {
+        store: TraceStore,
+        catalog: Catalog,
+    },
 }
 
 impl FanoutPool {
@@ -341,23 +378,18 @@ impl FanoutPool {
         cfg: FanoutConfig,
     ) -> Result<FanoutPool, FanoutError> {
         index.validate(container)?;
-        let worker_cfg = AnalysisConfig {
-            threads: cfg.threads_per_worker.max(1),
-            ..analysis
-        };
-        let spec = WorkerSpec {
-            footprint_block: worker_cfg.footprint_block,
-            reuse_block: worker_cfg.reuse_block,
-            threads: worker_cfg.threads,
-            locality_sizes: cfg.locality_sizes.clone(),
-            annots: annots.clone(),
-            symbols: symbols.clone(),
-        };
-        let scratch = Scratch::write(container, index, &spec)?;
+        let spec = pool_spec(annots, symbols, &analysis, &cfg);
+        let scratch = Scratch::create(&spec)?;
+        let container_path = scratch.add_file("container.bin", container)?;
+        let index_path = scratch.add_file("index.bin", &index.encode())?;
         Ok(FanoutPool {
             exe: exe.to_path_buf(),
-            container: container.to_vec(),
-            index: index.clone(),
+            source: PoolSource::Resident {
+                container: container.to_vec(),
+                index: index.clone(),
+                container_path,
+                index_path,
+            },
             annots: annots.clone(),
             symbols: symbols.clone(),
             analysis,
@@ -367,6 +399,46 @@ impl FanoutPool {
             spawns: AtomicU64::new(0),
             worker_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Build a pool over a stored trace. Workers are spawned with the
+    /// store root and trace id instead of container/index paths; each
+    /// opens the store once and serves ranges by fetching only the
+    /// blobs those ranges reference, result cache first.
+    pub fn new_store(
+        exe: &Path,
+        store_root: &Path,
+        trace_id: &str,
+        annots: &AuxAnnotations,
+        symbols: &SymbolTable,
+        analysis: AnalysisConfig,
+        cfg: FanoutConfig,
+    ) -> Result<FanoutPool, FanoutError> {
+        let store = TraceStore::open(StoreConfig::new(store_root))?;
+        let catalog = store.catalog(trace_id)?;
+        let spec = pool_spec(annots, symbols, &analysis, &cfg);
+        let scratch = Scratch::create(&spec)?;
+        Ok(FanoutPool {
+            exe: exe.to_path_buf(),
+            source: PoolSource::Store { store, catalog },
+            annots: annots.clone(),
+            symbols: symbols.clone(),
+            analysis,
+            cfg,
+            scratch,
+            idle: Mutex::new(Vec::new()),
+            spawns: AtomicU64::new(0),
+            worker_seq: AtomicU64::new(0),
+        })
+    }
+
+    fn job_source(&self) -> JobSource<'_> {
+        match &self.source {
+            PoolSource::Resident {
+                container, index, ..
+            } => JobSource::Resident { container, index },
+            PoolSource::Store { store, catalog } => JobSource::Store { store, catalog },
+        }
     }
 
     /// Spawn workers until `workers` slots are warm, so a following
@@ -392,13 +464,12 @@ impl FanoutPool {
         self.spawns.load(Ordering::Relaxed)
     }
 
-    /// Run one fan-out analysis on the pool's container, reusing warm
+    /// Run one fan-out analysis on the pool's source, reusing warm
     /// workers. The merged report is bit-identical to the resident
     /// analyzer; see [`run_fanout`].
     pub fn run(&self) -> Result<FanoutRunReport, FanoutError> {
         run_fanout_core(
-            &self.container,
-            &self.index,
+            &self.job_source(),
             &self.annots,
             &self.symbols,
             self.analysis,
@@ -456,12 +527,26 @@ impl FanoutPool {
         let mut cmd = Command::new(&self.exe);
         cmd.arg("analyze-shard")
             .arg("--spec")
-            .arg(&self.scratch.spec)
-            .arg("--container")
-            .arg(&self.scratch.container)
-            .arg("--index")
-            .arg(&self.scratch.index)
-            .arg("--serve")
+            .arg(&self.scratch.spec);
+        match &self.source {
+            PoolSource::Resident {
+                container_path,
+                index_path,
+                ..
+            } => {
+                cmd.arg("--container")
+                    .arg(container_path)
+                    .arg("--index")
+                    .arg(index_path);
+            }
+            PoolSource::Store { store, catalog } => {
+                cmd.arg("--store-root")
+                    .arg(store.root())
+                    .arg("--trace")
+                    .arg(&catalog.trace_id);
+            }
+        }
+        cmd.arg("--serve")
             .arg("1")
             .envs(
                 self.cfg
@@ -617,6 +702,114 @@ impl Drop for FanoutPool {
     }
 }
 
+/// The [`WorkerSpec`] a pool ships to its workers: the analysis knobs
+/// that determine results, with the per-worker thread count applied.
+fn pool_spec(
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    analysis: &AnalysisConfig,
+    cfg: &FanoutConfig,
+) -> WorkerSpec {
+    WorkerSpec {
+        footprint_block: analysis.footprint_block,
+        reuse_block: analysis.reuse_block,
+        threads: cfg.threads_per_worker.max(1),
+        locality_sizes: cfg.locality_sizes.clone(),
+        annots: annots.clone(),
+        symbols: symbols.clone(),
+    }
+}
+
+/// Where the frames being fanned out live: resident container bytes +
+/// index sidecar, or a content-addressed store catalog. Both expose the
+/// same per-frame sample counts, so partitions — and therefore merge
+/// order and the merged report — are identical across sources.
+enum JobSource<'a> {
+    Resident {
+        container: &'a [u8],
+        index: &'a FrameIndex,
+    },
+    Store {
+        store: &'a TraceStore,
+        catalog: &'a Catalog,
+    },
+}
+
+impl JobSource<'_> {
+    /// Reject stale inputs before dispatching anything.
+    fn validate(&self) -> Result<(), FanoutError> {
+        match self {
+            JobSource::Resident { container, index } => Ok(index.validate(container)?),
+            // A catalog decode is already FNV-checksummed, and every
+            // blob read self-verifies against its content hash.
+            JobSource::Store { .. } => Ok(()),
+        }
+    }
+
+    fn meta(&self) -> Result<TraceMeta, FanoutError> {
+        match self {
+            JobSource::Resident { container, index } => {
+                let mut meta = ShardReader::new(*container)?.meta().clone();
+                meta.total_loads = index.total_loads;
+                meta.total_instrumented_loads = index.total_instrumented_loads;
+                Ok(meta)
+            }
+            JobSource::Store { catalog, .. } => Ok(catalog.meta()?),
+        }
+    }
+
+    fn frame_count(&self) -> usize {
+        match self {
+            JobSource::Resident { index, .. } => index.entries.len(),
+            JobSource::Store { catalog, .. } => catalog.frames.len(),
+        }
+    }
+
+    fn partition(&self, workers: usize) -> Vec<Range<usize>> {
+        match self {
+            JobSource::Resident { index, .. } => partition_frames(index, workers),
+            JobSource::Store { catalog, .. } => {
+                partition_by_samples(&catalog.sample_weights(), workers)
+            }
+        }
+    }
+
+    /// One in-process analysis of one range (panic catching is the
+    /// caller's job; see [`run_worker_in_process`]).
+    fn analyze(
+        &self,
+        range: &Range<usize>,
+        annots: &AuxAnnotations,
+        symbols: &SymbolTable,
+        worker_cfg: AnalysisConfig,
+        locality_sizes: &[u64],
+    ) -> Result<PartialReport, String> {
+        match self {
+            JobSource::Resident { container, index } => analyze_frames(
+                container,
+                index,
+                range.clone(),
+                annots,
+                symbols,
+                worker_cfg,
+                locality_sizes,
+            )
+            .map_err(|e| e.to_string()),
+            JobSource::Store { store, catalog } => store
+                .analyze_frames(
+                    catalog,
+                    range.clone(),
+                    annots,
+                    symbols,
+                    worker_cfg,
+                    locality_sizes,
+                )
+                .map(|(partial, _, _)| partial)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
 /// Absorb a retired worker's JSONL events into this process's sinks. A
 /// missing file (worker died before its first event) is simply empty.
 fn absorb_worker_obs(path: Option<&Path>) {
@@ -742,9 +935,14 @@ pub fn run_fanout(
     backend: &FanoutBackend,
 ) -> Result<FanoutRunReport, FanoutError> {
     match backend {
-        FanoutBackend::InProcess => {
-            run_fanout_core(container, index, annots, symbols, analysis, cfg, None)
-        }
+        FanoutBackend::InProcess => run_fanout_core(
+            &JobSource::Resident { container, index },
+            annots,
+            symbols,
+            analysis,
+            cfg,
+            None,
+        ),
         FanoutBackend::Subprocess { exe } => {
             let pool = FanoutPool::new(
                 exe,
@@ -760,9 +958,54 @@ pub fn run_fanout(
     }
 }
 
+/// [`run_fanout`] over a trace in a [`TraceStore`]: ranges are analyzed
+/// from the catalog + content-addressed blobs (per-frame result cache
+/// first), so a worker — and crucially, a *retried* range — fetches
+/// only the blobs its range references instead of re-reading the whole
+/// shard container. The catalog carries the same per-frame sample
+/// counts as the [`FrameIndex`], so the partition, merge order, and
+/// merged report are identical to the container-backed path.
+pub fn run_fanout_store(
+    store: &TraceStore,
+    trace_id: &str,
+    annots: &AuxAnnotations,
+    symbols: &SymbolTable,
+    analysis: AnalysisConfig,
+    cfg: &FanoutConfig,
+    backend: &FanoutBackend,
+) -> Result<FanoutRunReport, FanoutError> {
+    match backend {
+        FanoutBackend::InProcess => {
+            let catalog = store.catalog(trace_id)?;
+            run_fanout_core(
+                &JobSource::Store {
+                    store,
+                    catalog: &catalog,
+                },
+                annots,
+                symbols,
+                analysis,
+                cfg,
+                None,
+            )
+        }
+        FanoutBackend::Subprocess { exe } => {
+            let pool = FanoutPool::new_store(
+                exe,
+                store.root(),
+                trace_id,
+                annots,
+                symbols,
+                analysis,
+                cfg.clone(),
+            )?;
+            pool.run()
+        }
+    }
+}
+
 fn run_fanout_core(
-    container: &[u8],
-    index: &FrameIndex,
+    source: &JobSource<'_>,
     annots: &AuxAnnotations,
     symbols: &SymbolTable,
     analysis: AnalysisConfig,
@@ -771,16 +1014,14 @@ fn run_fanout_core(
 ) -> Result<FanoutRunReport, FanoutError> {
     // Reject a stale index before dispatching anything: every downstream
     // read depends on it describing exactly these bytes.
-    index.validate(container)?;
-    let mut meta = ShardReader::new(container)?.meta().clone();
-    meta.total_loads = index.total_loads;
-    meta.total_instrumented_loads = index.total_instrumented_loads;
+    source.validate()?;
+    let meta = source.meta()?;
 
     let worker_cfg = AnalysisConfig {
         threads: cfg.threads_per_worker.max(1),
         ..analysis
     };
-    let ranges = partition_frames(index, cfg.workers);
+    let ranges = source.partition(cfg.workers);
 
     let queue: Mutex<Vec<Range<usize>>> = Mutex::new(ranges.clone());
     let results: Mutex<Vec<Option<PartialReport>>> = Mutex::new(vec![None; ranges.len()]);
@@ -794,7 +1035,7 @@ fn run_fanout_core(
     if run_span.is_active() {
         run_span.set_label(format!(
             "{} frames, {} ranges, {} slots",
-            index.entries.len(),
+            source.frame_count(),
             ranges.len(),
             slots
         ));
@@ -840,9 +1081,9 @@ fn run_fanout_core(
                 let run = {
                     let _attempt_span = memgaze_obs::span("fanout.attempt");
                     match pool {
-                        None => run_worker_in_process(
-                            container, index, &range, annots, symbols, worker_cfg, cfg,
-                        ),
+                        None => {
+                            run_worker_in_process(source, &range, annots, symbols, worker_cfg, cfg)
+                        }
                         Some(p) => p.run_range(&mut worker, &range),
                     }
                 };
@@ -967,8 +1208,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// subprocess — `std::thread::scope` would otherwise re-raise the panic
 /// at join and take the whole coordinator down.
 fn run_worker_in_process(
-    container: &[u8],
-    index: &FrameIndex,
+    source: &JobSource<'_>,
     range: &Range<usize>,
     annots: &AuxAnnotations,
     symbols: &SymbolTable,
@@ -977,18 +1217,10 @@ fn run_worker_in_process(
 ) -> Result<PartialReport, String> {
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         maybe_inject_inprocess_panic(&cfg.worker_env);
-        analyze_frames(
-            container,
-            index,
-            range.clone(),
-            annots,
-            symbols,
-            worker_cfg,
-            &cfg.locality_sizes,
-        )
+        source.analyze(range, annots, symbols, worker_cfg, &cfg.locality_sizes)
     }));
     match caught {
-        Ok(run) => run.map_err(|e| e.to_string()),
+        Ok(run) => run,
         Err(payload) => Err(format!(
             "in-process worker for frames {}..{} panicked: {}",
             range.start,
@@ -1038,6 +1270,21 @@ pub struct WorkerServeArgs {
     pub index: PathBuf,
 }
 
+/// Arguments of a persistent store-backed `analyze-shard --serve`
+/// worker: the spec plus a [`TraceStore`] root and trace id. The worker
+/// opens the store and loads the catalog once, then serves each range
+/// by fetching only the blobs that range references — through the
+/// per-frame result cache, so warmed frames never decode a sample.
+#[derive(Debug, Clone)]
+pub struct WorkerStoreServeArgs {
+    /// Path to the encoded [`WorkerSpec`].
+    pub spec: PathBuf,
+    /// Root directory of the [`TraceStore`].
+    pub store_root: PathBuf,
+    /// Trace id within the store.
+    pub trace_id: String,
+}
+
 /// Spec + container + index, loaded and cross-validated once per worker
 /// process (a stale sidecar must fail in the worker, not poison the
 /// merge).
@@ -1082,6 +1329,52 @@ impl WorkerState {
             self.spec.analysis_config(),
             &self.spec.locality_sizes,
         )?)
+    }
+}
+
+/// Spec + store handle + catalog, loaded once per store-backed worker
+/// process. Each range request fetches only its blobs (result cache
+/// first); a missing or corrupt object is a typed error the coordinator
+/// retries, never a panic.
+struct StoreWorkerState {
+    spec: WorkerSpec,
+    store: TraceStore,
+    catalog: Catalog,
+}
+
+impl StoreWorkerState {
+    fn load(args: &WorkerStoreServeArgs) -> Result<StoreWorkerState, FanoutError> {
+        let spec_bytes = std::fs::read(&args.spec)?;
+        let spec = WorkerSpec::decode(&spec_bytes)?;
+        let store = TraceStore::open(StoreConfig::new(&args.store_root))?;
+        let catalog = store.catalog(&args.trace_id)?;
+        Ok(StoreWorkerState {
+            spec,
+            store,
+            catalog,
+        })
+    }
+
+    fn analyze(&self, frames: Range<usize>) -> Result<PartialReport, FanoutError> {
+        if frames.end > self.catalog.frames.len() || frames.start > frames.end {
+            return Err(FanoutError::Protocol {
+                detail: format!(
+                    "frame range {}..{} out of bounds for {} cataloged frames",
+                    frames.start,
+                    frames.end,
+                    self.catalog.frames.len()
+                ),
+            });
+        }
+        let (partial, _, _) = self.store.analyze_frames(
+            &self.catalog,
+            frames,
+            &self.spec.annots,
+            &self.spec.symbols,
+            self.spec.analysis_config(),
+            &self.spec.locality_sizes,
+        )?;
+        Ok(partial)
     }
 }
 
@@ -1157,10 +1450,32 @@ pub fn worker_serve(
     out: &mut impl Write,
 ) -> Result<(), FanoutError> {
     let state = WorkerState::load(&args.spec, &args.container, &args.index)?;
+    serve_loop(input, out, |frames| state.analyze(frames))
+}
+
+/// The store-backed [`worker_serve`]: open the [`TraceStore`] and load
+/// the catalog **once**, then answer framed range requests from stdin
+/// until EOF, fetching only each requested range's blobs.
+pub fn worker_serve_store(
+    args: &WorkerStoreServeArgs,
+    input: &mut impl Read,
+    out: &mut impl Write,
+) -> Result<(), FanoutError> {
+    let state = StoreWorkerState::load(args)?;
+    serve_loop(input, out, |frames| state.analyze(frames))
+}
+
+/// The request-response loop both serve modes share: read a framed
+/// range, analyze it, write the framed partial, flush.
+fn serve_loop(
+    input: &mut impl Read,
+    out: &mut impl Write,
+    analyze: impl Fn(Range<usize>) -> Result<PartialReport, FanoutError>,
+) -> Result<(), FanoutError> {
     let mut frame = Vec::new();
     while let Some(frames) = read_request(input)? {
         maybe_inject_failure(out);
-        let partial = state.analyze(frames)?;
+        let partial = analyze(frames)?;
         frame_partial_into(&partial, &mut frame);
         out.write_all(&frame)?;
         out.flush()?;
@@ -1284,6 +1599,132 @@ mod tests {
             assert_eq!(run.spawns, 0, "in-process runs spawn nothing");
             assert!(run.failures.is_empty());
         }
+    }
+
+    #[test]
+    fn store_backed_fanout_matches_container_backed() {
+        let (t, container, index) = mk_indexed_trace();
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let analysis = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let sizes = vec![8u64, 32];
+        let root = std::env::temp_dir().join(format!(
+            "memgaze-fanout-store-unit-{}-{}",
+            std::process::id(),
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = TraceStore::open(StoreConfig::new(&root)).unwrap();
+        store.put("fan", &container, &index, &symbols).unwrap();
+        let resident =
+            memgaze_analysis::stream_resident_trace(&t, &annots, &symbols, analysis, &sizes, 2);
+        for workers in [1usize, 3, 8] {
+            let cfg = FanoutConfig {
+                workers,
+                locality_sizes: sizes.clone(),
+                ..FanoutConfig::default()
+            };
+            let container_run = run_fanout(
+                &container,
+                &index,
+                &annots,
+                &symbols,
+                analysis,
+                &cfg,
+                &FanoutBackend::InProcess,
+            )
+            .unwrap();
+            let store_run = run_fanout_store(
+                &store,
+                "fan",
+                &annots,
+                &symbols,
+                analysis,
+                &cfg,
+                &FanoutBackend::InProcess,
+            )
+            .unwrap();
+            // Identical partition and a report bit-identical to both
+            // the container-backed fan-out and the resident analyzer.
+            assert_eq!(store_run.ranges, container_run.ranges);
+            assert_eq!(store_run.meta, t.meta);
+            assert_eq!(store_run.report, container_run.report);
+            assert_eq!(store_run.report, resident);
+            assert_eq!(store_run.retries, 0);
+        }
+        // A missing trace is a typed store error, not a panic.
+        let err = run_fanout_store(
+            &store,
+            "absent",
+            &annots,
+            &symbols,
+            analysis,
+            &FanoutConfig::default(),
+            &FanoutBackend::InProcess,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            FanoutError::Store(memgaze_store::StoreError::MissingTrace { .. })
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn store_backed_fanout_recovers_from_panicking_worker() {
+        let (t, container, index) = mk_indexed_trace();
+        let annots = AuxAnnotations::new();
+        let symbols = SymbolTable::new();
+        let analysis = AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        };
+        let root = std::env::temp_dir().join(format!(
+            "memgaze-fanout-store-panic-{}-{}",
+            std::process::id(),
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = TraceStore::open(StoreConfig::new(&root)).unwrap();
+        store.put("fan", &container, &index, &symbols).unwrap();
+        let marker = root.join("panic-marker");
+        let cfg = FanoutConfig {
+            workers: 2,
+            worker_env: vec![(
+                PANIC_ONCE_ENV.to_string(),
+                marker.to_string_lossy().into_owned(),
+            )],
+            ..FanoutConfig::default()
+        };
+        let run = run_fanout_store(
+            &store,
+            "fan",
+            &annots,
+            &symbols,
+            analysis,
+            &cfg,
+            &FanoutBackend::InProcess,
+        )
+        .unwrap();
+        // The injected panic costs one retry; the retried range only
+        // re-reads its own blobs, and the merged report still matches
+        // the resident analyzer.
+        assert_eq!(run.retries, 1);
+        assert_eq!(run.failures.len(), 1);
+        assert!(run.failures[0].detail.contains("panicked"));
+        let resident = memgaze_analysis::stream_resident_trace(
+            &t,
+            &annots,
+            &symbols,
+            analysis,
+            &cfg.locality_sizes,
+            2,
+        );
+        assert_eq!(run.report, resident);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

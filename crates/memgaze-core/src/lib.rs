@@ -22,8 +22,9 @@ pub mod pipeline;
 pub mod recorders;
 
 pub use fanout::{
-    run_fanout, worker_main, worker_serve, FanoutBackend, FanoutConfig, FanoutError, FanoutPool,
-    FanoutRunReport, WorkerArgs, WorkerFailure, WorkerServeArgs,
+    run_fanout, run_fanout_store, worker_main, worker_serve, worker_serve_store, FanoutBackend,
+    FanoutConfig, FanoutError, FanoutPool, FanoutRunReport, WorkerArgs, WorkerFailure,
+    WorkerServeArgs, WorkerStoreServeArgs,
 };
 pub use hotspot::{profile_hotspots, HotspotReport};
 pub use overheads::{phase_profiles, PhaseOverhead};

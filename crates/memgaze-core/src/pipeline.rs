@@ -316,6 +316,21 @@ pub struct StreamingWorkloadReport {
     pub index: FrameIndex,
 }
 
+impl StreamingWorkloadReport {
+    /// Persist the sharded container into a content-addressed
+    /// [`TraceStore`](memgaze_store::TraceStore) under `id` — the
+    /// pipeline-side ingestion hook. Frames already stored (from any
+    /// trace) deduplicate to the existing blobs; the trace can then be
+    /// re-analyzed, fanned out, or queried without the resident bytes.
+    pub fn put_into(
+        &self,
+        store: &memgaze_store::TraceStore,
+        id: &str,
+    ) -> Result<memgaze_store::PutReceipt, memgaze_store::StoreError> {
+        store.put(id, &self.container, &self.index, &self.symbols)
+    }
+}
+
 /// Run a [`StreamingAnalyzer`] over every frame of a sharded container.
 /// This is the resident-side analysis step of
 /// [`trace_workload_streaming`], split out so callers holding persisted

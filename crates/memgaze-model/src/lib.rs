@@ -15,6 +15,7 @@ pub mod access;
 pub mod addr;
 pub mod annot;
 pub mod error;
+pub mod hash;
 pub mod io;
 pub mod ops;
 pub mod ratio;
@@ -26,10 +27,11 @@ pub use access::{Access, LoadClass};
 pub use addr::{Addr, BlockSize, Ip};
 pub use annot::{AuxAnnotations, IpAnnot};
 pub use error::ModelError;
+pub use hash::{fnv1a64, fnv1a64_seeded, Fnv64};
 pub use ratio::{compression_ratio, sample_ratio, DecompressionInfo};
 pub use sample::{FullTrace, Sample, SampledTrace, TraceMeta};
 pub use stream::{
-    decode_sharded, encode_sharded, encode_sharded_indexed, fnv1a64, FrameIndex, FrameIndexEntry,
-    Shard, ShardReader, ShardWriter, DEFAULT_SHARD_SAMPLES,
+    decode_frame_payload, decode_sharded, encode_sharded, encode_sharded_indexed, FrameIndex,
+    FrameIndexEntry, Shard, ShardReader, ShardWriter, DEFAULT_SHARD_SAMPLES,
 };
 pub use symbols::{FunctionId, FunctionSym, SymbolTable};

@@ -40,6 +40,7 @@
 //! index-vs-container pair before any worker seeks with it.
 
 use crate::error::ModelError;
+use crate::hash::fnv1a64;
 use crate::io::{get_sample, get_varint, put_header, put_meta, put_sample, put_varint};
 use crate::sample::{Sample, SampledTrace, TraceMeta};
 use bytes::{Buf, BytesMut};
@@ -50,18 +51,6 @@ const KIND_SHARDED: u8 = 2;
 
 const INDEX_MAGIC: &[u8; 4] = b"MGZX";
 const INDEX_VERSION: u16 = 1;
-
-/// 64-bit FNV-1a over a byte slice; the checksum used by the sidecar
-/// and the fan-out wire codec (fast, dependency-free, good dispersion —
-/// this is corruption detection, not cryptography).
-pub fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// Default shard granularity for callers without a better-informed
 /// choice: small enough to bound memory, large enough that per-frame
@@ -527,8 +516,10 @@ impl<R: Read> Iterator for ShardReader<R> {
 
 /// Decode one frame payload: sample count, then the per-frame delta
 /// chain (trigger chain restarting at 0). Shared by the scanning
-/// [`ShardReader`] and the seeking [`FrameIndex::read_frame`].
-fn decode_frame_payload(mut buf: &[u8]) -> Result<Vec<Sample>, ModelError> {
+/// [`ShardReader`], the seeking [`FrameIndex::read_frame`], and the
+/// `memgaze-store` blob path, which holds frame payloads outside any
+/// container.
+pub fn decode_frame_payload(mut buf: &[u8]) -> Result<Vec<Sample>, ModelError> {
     let n = get_varint(&mut buf, "shard num_samples")? as usize;
     if n > buf.remaining() / 2 {
         return Err(ModelError::Truncated {

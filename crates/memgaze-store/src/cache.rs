@@ -1,0 +1,164 @@
+//! In-memory hot-shard cache: a byte-budgeted LRU over decoded blob
+//! payloads.
+//!
+//! Repeated analysis of the same trace (interactive zooming, fan-out
+//! retries, re-runs with a different analyzer config) keeps refetching
+//! the same blobs; this cache keeps the most recently touched payloads
+//! resident up to a configurable byte budget, so the disk + checksum +
+//! decompression path runs once per hot shard. Payloads are shared out
+//! as `Arc<Vec<u8>>` — eviction never invalidates a payload a caller is
+//! still holding.
+//!
+//! Hit/miss/eviction traffic is wired through `memgaze-obs`
+//! (`store.cache_hits`, `store.cache_misses`, `store.cache_evictions`),
+//! so `--obs` runs see cache behavior next to the rest of the pipeline.
+
+use memgaze_obs::counter;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Monotonic use-stamp; u64 cannot wrap in any realistic run.
+type Stamp = u64;
+
+/// Byte-budgeted LRU keyed by content hash.
+pub struct BlobCache {
+    budget: u64,
+    held: u64,
+    tick: Stamp,
+    entries: HashMap<u64, (Arc<Vec<u8>>, Stamp)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A point-in-time view of cache traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that fell through to disk.
+    pub misses: u64,
+    /// Payloads evicted to stay within budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub held_bytes: u64,
+}
+
+impl BlobCache {
+    /// A cache that holds at most `budget` payload bytes. A zero budget
+    /// disables residency entirely (every lookup is a miss).
+    pub fn new(budget: u64) -> BlobCache {
+        BlobCache {
+            budget,
+            held: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up a payload, refreshing its recency on hit.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        match self.entries.get_mut(&hash) {
+            Some((payload, stamp)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                counter!("store.cache_hits").add(1);
+                Some(Arc::clone(payload))
+            }
+            None => {
+                self.misses += 1;
+                counter!("store.cache_misses").add(1);
+                None
+            }
+        }
+    }
+
+    /// Insert a payload, evicting least-recently-used entries until the
+    /// budget holds. A payload larger than the whole budget is simply
+    /// not retained (the caller still has its Arc).
+    pub fn put(&mut self, hash: u64, payload: Arc<Vec<u8>>) {
+        let size = payload.len() as u64;
+        if size > self.budget {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old, _)) = self.entries.insert(hash, (payload, self.tick)) {
+            self.held -= old.len() as u64;
+        }
+        self.held += size;
+        while self.held > self.budget {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp)
+            else {
+                break;
+            };
+            let (evicted, _) = self.entries.remove(&victim).expect("victim was just found");
+            self.held -= evicted.len() as u64;
+            self.evictions += 1;
+            counter!("store.cache_evictions").add(1);
+        }
+    }
+
+    /// Traffic counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            held_bytes: self.held,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize, fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let mut c = BlobCache::new(100);
+        c.put(1, blob(40, 1));
+        c.put(2, blob(40, 2));
+        assert!(c.get(1).is_some()); // 1 is now more recent than 2
+        c.put(3, blob(40, 3)); // budget forces one eviction: 2
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none());
+        assert!(c.get(3).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.held_bytes, 80);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn oversized_payloads_pass_through() {
+        let mut c = BlobCache::new(10);
+        c.put(7, blob(50, 0));
+        assert!(c.get(7).is_none());
+        assert_eq!(c.stats().held_bytes, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_count() {
+        let mut c = BlobCache::new(100);
+        c.put(5, blob(60, 0));
+        c.put(5, blob(30, 1));
+        assert_eq!(c.stats().held_bytes, 30);
+        assert_eq!(c.get(5).unwrap().len(), 30);
+    }
+
+    #[test]
+    fn zero_budget_disables_residency() {
+        let mut c = BlobCache::new(0);
+        c.put(1, blob(1, 0));
+        assert!(c.get(1).is_none());
+    }
+}

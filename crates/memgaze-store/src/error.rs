@@ -1,0 +1,120 @@
+//! Typed store failures.
+//!
+//! Every degraded on-disk state the store can meet — a blob whose bytes
+//! no longer hash to their name, a catalog that no longer describes its
+//! blobs, a missing object — comes back as a [`StoreError`] variant,
+//! never a panic. Callers distinguish *corruption* (bytes changed under
+//! us) from *staleness* (a catalog/blob pairing that is internally
+//! valid but mismatched) from *absence* (a hash nothing stored), which
+//! is exactly the split `gc` and repair tooling need.
+
+use memgaze_analysis::PartialError;
+use memgaze_model::ModelError;
+
+/// Failures of the trace store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem I/O failed.
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A trace id that cannot be a catalog file name.
+    InvalidTraceId {
+        /// The offending id.
+        id: String,
+    },
+    /// No catalog is stored under this trace id.
+    MissingTrace {
+        /// The requested id.
+        id: String,
+    },
+    /// A referenced blob does not exist in the blob area.
+    MissingBlob {
+        /// The content hash that resolved to nothing.
+        hash: u64,
+    },
+    /// A blob's bytes fail their checksum, fail to decompress, or no
+    /// longer hash to the content address they are stored under.
+    CorruptBlob {
+        /// The content hash the blob was fetched by.
+        hash: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A catalog file that does not decode (bad magic, checksum
+    /// mismatch, truncation, malformed fields).
+    CorruptCatalog {
+        /// The trace id whose catalog failed.
+        id: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A catalog that decodes fine but no longer describes the stored
+    /// data — e.g. a reassembled container whose length or checksum
+    /// disagrees with what the catalog recorded at put time.
+    StaleCatalog {
+        /// What mismatched.
+        detail: String,
+    },
+    /// The model layer rejected container or frame data.
+    Model(ModelError),
+    /// A cached partial report failed to decode or merge.
+    Partial(PartialError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "store i/o ({context}): {source}"),
+            StoreError::InvalidTraceId { id } => write!(
+                f,
+                "invalid trace id {id:?}: use only ASCII letters, digits, '.', '_', '-'"
+            ),
+            StoreError::MissingTrace { id } => write!(f, "no trace {id:?} in the store"),
+            StoreError::MissingBlob { hash } => write!(f, "blob {hash:#018x} is not in the store"),
+            StoreError::CorruptBlob { hash, detail } => {
+                write!(f, "blob {hash:#018x} is corrupt: {detail}")
+            }
+            StoreError::CorruptCatalog { id, detail } => {
+                write!(f, "catalog for {id:?} is corrupt: {detail}")
+            }
+            StoreError::StaleCatalog { detail } => write!(f, "stale catalog: {detail}"),
+            StoreError::Model(e) => write!(f, "store model error: {e}"),
+            StoreError::Partial(e) => write!(f, "store partial-report error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Model(e) => Some(e),
+            StoreError::Partial(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for StoreError {
+    fn from(e: ModelError) -> Self {
+        StoreError::Model(e)
+    }
+}
+
+impl From<PartialError> for StoreError {
+    fn from(e: PartialError) -> Self {
+        StoreError::Partial(e)
+    }
+}
+
+/// Attach an operation context to an I/O error.
+pub(crate) fn io_err(context: impl Into<String>, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        context: context.into(),
+        source,
+    }
+}

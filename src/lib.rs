@@ -36,5 +36,7 @@ pub use memgaze_model as model;
 pub use memgaze_obs as obs;
 /// Intel Processor Trace hardware model and perf-like collector.
 pub use memgaze_ptsim as ptsim;
+/// Content-addressed trace store: blobs, catalogs, caches, queries.
+pub use memgaze_store as store;
 /// Traced workloads: microbenchmarks, miniVite, GAP, Darknet.
 pub use memgaze_workloads as workloads;

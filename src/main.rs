@@ -16,11 +16,13 @@
 
 use memgaze::analysis::{fmt_f3, fmt_pct, fmt_si, AnalysisConfig, Analyzer, Table};
 use memgaze::core::{
-    run_fanout, trace_workload, trace_workload_streaming, worker_main, worker_serve, FanoutBackend,
-    FanoutConfig, MemGaze, PipelineConfig, WorkerArgs, WorkerServeArgs,
+    run_fanout, run_fanout_store, trace_workload, trace_workload_streaming, worker_main,
+    worker_serve, worker_serve_store, FanoutBackend, FanoutConfig, MemGaze, PipelineConfig,
+    StreamingWorkloadReport, WorkerArgs, WorkerServeArgs, WorkerStoreServeArgs,
 };
 use memgaze::model::DecompressionInfo;
 use memgaze::ptsim::SamplerConfig;
+use memgaze::store::{QueryEngine, StoreConfig, TraceStore};
 use memgaze::workloads::darknet::{self, Network};
 use memgaze::workloads::gap::{self, GapConfig, GapKernel};
 use memgaze::workloads::minivite::{self, MapVariant, MiniViteConfig};
@@ -79,6 +81,14 @@ fn usage() -> ! {
          memgaze darknet <alexnet|resnet152> [--period N]\n  \
          memgaze fanout <pr|pr-spmv|cc|cc-sv> [--workers N] [--scale N] [--period N]\n  \
          \u{20}                [--shard N] [--threads N] [--in-process yes] [--verify yes]\n  \
+         \u{20}                [--store DIR]\n  \
+         memgaze store put <pr|pr-spmv|cc|cc-sv> --dir DIR [--id ID] [--scale N]\n  \
+         \u{20}                [--period N] [--shard N]\n  \
+         memgaze store get <id> --dir DIR [--out FILE]\n  \
+         memgaze store ls --dir DIR\n  \
+         memgaze store gc --dir DIR\n  \
+         memgaze store analyze <id> --dir DIR [--threads N]\n  \
+         memgaze query <id> --dir DIR [--region lo:hi] [--time lo:hi] [--function NAME]\n  \
          memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N]\n  \
          memgaze profile <subcommand args...> [--obs-out FILE]\n  \
          memgaze list\n\n\
@@ -228,12 +238,20 @@ fn run_workload(
     );
 }
 
-/// `memgaze fanout`: trace a GAP kernel through the streaming recorder,
-/// then analyze the indexed container across worker processes and print
-/// the merged report. `--verify yes` re-runs the analysis in-process and
-/// exits nonzero unless the two reports are identical.
-fn run_fanout_cmd(args: &Args) -> i32 {
-    let kernel = match args.positional.get(1).map(String::as_str) {
+/// A GAP kernel traced through the streaming recorder — the input both
+/// `fanout` and `store put` share.
+struct TracedGap {
+    name: String,
+    kernel: GapKernel,
+    analysis: AnalysisConfig,
+    sizes: [u64; 3],
+    streamed: StreamingWorkloadReport,
+}
+
+/// Trace the GAP kernel named at `args.positional[pos]` with the shared
+/// `--scale/--degree/--iters/--seed/--period/--shard/--threads` knobs.
+fn trace_gap(args: &Args, pos: usize) -> Result<TracedGap, i32> {
+    let kernel = match args.positional.get(pos).map(String::as_str) {
         Some("pr") => GapKernel::Pr,
         Some("pr-spmv") => GapKernel::PrSpmv,
         Some("cc") => GapKernel::Cc,
@@ -255,16 +273,41 @@ fn run_fanout_cmd(args: &Args) -> i32 {
     };
     let sizes = [16u64, 64, 256];
     let shard = args.num("shard", 8usize);
-    let (streamed, ()) =
-        match trace_workload_streaming(&name, &sampler, shard, analysis, &sizes, |s| {
-            gap::run(s, &gap_cfg);
-        }) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("streaming pipeline failed: {e}");
-                return 1;
-            }
-        };
+    match trace_workload_streaming(&name, &sampler, shard, analysis, &sizes, |s| {
+        gap::run(s, &gap_cfg);
+    }) {
+        Ok((streamed, ())) => Ok(TracedGap {
+            name,
+            kernel,
+            analysis,
+            sizes,
+            streamed,
+        }),
+        Err(e) => {
+            eprintln!("streaming pipeline failed: {e}");
+            Err(1)
+        }
+    }
+}
+
+/// `memgaze fanout`: trace a GAP kernel through the streaming recorder,
+/// then analyze the indexed container across worker processes and print
+/// the merged report. `--store DIR` first puts the trace into a content
+/// -addressed store and dispatches workers against it (each fetches only
+/// its ranges' blobs). `--verify yes` re-runs the analysis in-process
+/// and exits nonzero unless the two reports are identical.
+fn run_fanout_cmd(args: &Args) -> i32 {
+    let traced = match trace_gap(args, 1) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let TracedGap {
+        name,
+        kernel,
+        analysis,
+        sizes,
+        streamed,
+    } = traced;
 
     let fan_cfg = FanoutConfig {
         workers: args.num("workers", 4usize).max(1),
@@ -283,15 +326,51 @@ fn run_fanout_cmd(args: &Args) -> i32 {
             }
         }
     };
-    let run = match run_fanout(
-        &streamed.container,
-        &streamed.index,
-        &streamed.annots,
-        &streamed.symbols,
-        analysis,
-        &fan_cfg,
-        &backend,
-    ) {
+    let run = if let Some(dir) = args.get("store") {
+        let store = match TraceStore::open(StoreConfig::new(dir)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open store {dir}: {e}");
+                return 1;
+            }
+        };
+        let id = format!("fanout-{}", kernel.label());
+        let receipt = match streamed.put_into(&store, &id) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("store put failed: {e}");
+                return 1;
+            }
+        };
+        println!(
+            "store: {} as {} frames ({} new, {} deduplicated), {:.2}x compression",
+            id,
+            receipt.frames,
+            receipt.new_blobs,
+            receipt.dedup_blobs,
+            receipt.compression_ratio()
+        );
+        run_fanout_store(
+            &store,
+            &id,
+            &streamed.annots,
+            &streamed.symbols,
+            analysis,
+            &fan_cfg,
+            &backend,
+        )
+    } else {
+        run_fanout(
+            &streamed.container,
+            &streamed.index,
+            &streamed.annots,
+            &streamed.symbols,
+            analysis,
+            &fan_cfg,
+            &backend,
+        )
+    };
+    let run = match run {
         Ok(run) => run,
         Err(e) => {
             eprintln!("fan-out failed: {e}");
@@ -367,14 +446,32 @@ fn run_analyze_shard(args: &Args) -> i32 {
             .into()
     };
     if args.get("serve").is_some() {
-        let serve = WorkerServeArgs {
-            spec: path("spec"),
-            container: path("container"),
-            index: path("index"),
-        };
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        return match worker_serve(&serve, &mut stdin.lock(), &mut stdout.lock()) {
+        // Store-backed serve mode: the worker opens the trace store and
+        // fetches only the blobs each requested range references.
+        let served = if args.get("store-root").is_some() {
+            let serve = WorkerStoreServeArgs {
+                spec: path("spec"),
+                store_root: path("store-root"),
+                trace_id: args
+                    .get("trace")
+                    .unwrap_or_else(|| {
+                        eprintln!("analyze-shard: missing --trace");
+                        std::process::exit(2);
+                    })
+                    .to_string(),
+            };
+            worker_serve_store(&serve, &mut stdin.lock(), &mut stdout.lock())
+        } else {
+            let serve = WorkerServeArgs {
+                spec: path("spec"),
+                container: path("container"),
+                index: path("index"),
+            };
+            worker_serve(&serve, &mut stdin.lock(), &mut stdout.lock())
+        };
+        return match served {
             Ok(()) => 0,
             Err(e) => {
                 eprintln!("analyze-shard: {e}");
@@ -407,6 +504,275 @@ fn run_analyze_shard(args: &Args) -> i32 {
             1
         }
     }
+}
+
+/// Open the trace store named by `--dir`.
+fn open_store(args: &Args) -> Result<TraceStore, i32> {
+    let Some(dir) = args.get("dir") else {
+        eprintln!("missing --dir DIR (the store root)");
+        return Err(2);
+    };
+    TraceStore::open(StoreConfig::new(dir)).map_err(|e| {
+        eprintln!("cannot open store {dir}: {e}");
+        1
+    })
+}
+
+/// Parse `lo:hi` with optional `0x` prefixes.
+fn parse_span(s: &str) -> Option<(u64, u64)> {
+    let (lo, hi) = s.split_once(':')?;
+    let num = |t: &str| -> Option<u64> {
+        match t.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => t.parse().ok(),
+        }
+    };
+    Some((num(lo)?, num(hi)?))
+}
+
+/// `memgaze store <put|get|ls|gc|analyze>`: manage the content-addressed
+/// trace store. `put` traces a GAP kernel and stores the sharded
+/// container; `get` reassembles the byte-identical container; `analyze`
+/// re-analyzes a stored trace through the per-frame result cache.
+fn run_store_cmd(args: &Args) -> i32 {
+    match args.positional.get(1).map(String::as_str) {
+        Some("put") => {
+            let traced = match trace_gap(args, 2) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let store = match open_store(args) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let id = args
+                .get("id")
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("gap-{}", traced.kernel.label()));
+            match traced.streamed.put_into(&store, &id) {
+                Ok(r) => {
+                    println!(
+                        "put {id}: {} frames ({} new blobs, {} deduplicated), \
+                         {} raw bytes -> {} stored ({:.2}x compression)",
+                        r.frames,
+                        r.new_blobs,
+                        r.dedup_blobs,
+                        r.raw_bytes,
+                        r.stored_bytes,
+                        r.compression_ratio()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("store put failed: {e}");
+                    1
+                }
+            }
+        }
+        Some("get") => {
+            let Some(id) = args.positional.get(2) else {
+                usage()
+            };
+            let store = match open_store(args) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let container = match store.get_container(id) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("store get failed: {e}");
+                    return 1;
+                }
+            };
+            match args.get("out") {
+                Some(out) => match std::fs::write(out, &container) {
+                    Ok(()) => {
+                        println!("wrote {} container bytes to {out}", container.len());
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("cannot write {out}: {e}");
+                        1
+                    }
+                },
+                None => {
+                    println!(
+                        "{id}: {} container bytes reassembled and verified",
+                        container.len()
+                    );
+                    0
+                }
+            }
+        }
+        Some("ls") => {
+            let store = match open_store(args) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let entries = match store.ls() {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("store ls failed: {e}");
+                    return 1;
+                }
+            };
+            let mut table = Table::new(
+                "Stored traces",
+                &["Id", "Workload", "frames", "samples", "payload bytes"],
+            );
+            for e in &entries {
+                table.push_row(vec![
+                    e.id.clone(),
+                    e.workload.clone(),
+                    e.frames.to_string(),
+                    e.samples.to_string(),
+                    e.payload_bytes.to_string(),
+                ]);
+            }
+            print!("{}", table.render());
+            println!("\n{} traces", entries.len());
+            0
+        }
+        Some("gc") => {
+            let store = match open_store(args) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            match store.gc() {
+                Ok(r) => {
+                    println!(
+                        "gc: removed {} unreferenced blobs ({} bytes) and {} cached results",
+                        r.blobs_removed, r.blob_bytes_reclaimed, r.results_removed
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("store gc failed: {e}");
+                    1
+                }
+            }
+        }
+        Some("analyze") => {
+            let Some(id) = args.positional.get(2) else {
+                usage()
+            };
+            let store = match open_store(args) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let analysis = AnalysisConfig {
+                threads: args.num("threads", 1usize).max(1),
+                ..AnalysisConfig::default()
+            };
+            // Trace-level re-analysis: annotations and symbols are not
+            // persisted in the store, so function attribution is empty;
+            // reuse/locality/decompression statistics are exact.
+            let annots = memgaze::model::AuxAnnotations::new();
+            let symbols = memgaze::model::SymbolTable::new();
+            let sizes = [16u64, 64, 256];
+            match store.analyze(id, &annots, &symbols, analysis, &sizes) {
+                Ok(a) => {
+                    let info = &a.report.decompression;
+                    println!(
+                        "{id}: {} samples, A(σ) = {}, κ = {:.2}, ρ = {:.1}",
+                        info.num_samples,
+                        fmt_si(info.observed as f64),
+                        info.kappa(),
+                        info.rho()
+                    );
+                    let cache = store.cache_stats();
+                    println!(
+                        "result cache: {} hits, {} misses; hot-shard LRU: {} hits, {} misses",
+                        a.result_hits, a.result_misses, cache.hits, cache.misses
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("store analyze failed: {e}");
+                    1
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// `memgaze query <id>`: answer region / time-range / per-function
+/// questions about a stored trace from its catalog summaries alone —
+/// no shard is fetched or decoded.
+fn run_query_cmd(args: &Args) -> i32 {
+    let Some(id) = args.positional.get(1) else {
+        usage()
+    };
+    let store = match open_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let catalog = match store.catalog(id) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return 1;
+        }
+    };
+    let engine = match QueryEngine::new(&catalog) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return 1;
+        }
+    };
+    let mut answered = false;
+    if let Some(spec) = args.get("region") {
+        let Some((lo, hi)) = parse_span(spec) else {
+            eprintln!("query: bad --region {spec}, expected lo:hi");
+            return 2;
+        };
+        let r = engine.region(lo, hi);
+        println!(
+            "region {lo:#x}..{hi:#x}: {} accesses over {} blocks in {} frames, \
+             D = {:.3}, MaxD = {}",
+            r.accesses, r.blocks, r.frames, r.mean_distance, r.max_distance
+        );
+        answered = true;
+    }
+    if let Some(spec) = args.get("time") {
+        let Some((lo, hi)) = parse_span(spec) else {
+            eprintln!("query: bad --time {spec}, expected lo:hi");
+            return 2;
+        };
+        let t = engine.time_range(lo, hi);
+        println!(
+            "time {lo}..{hi}: {} frames, {} samples, {} loads, D = {:.3}",
+            t.frames, t.samples, t.loads, t.mean_distance
+        );
+        answered = true;
+    }
+    if let Some(name) = args.get("function") {
+        match engine.function(name) {
+            Some(f) => println!(
+                "function {}: {} loads across {} frames",
+                f.name, f.loads, f.frames
+            ),
+            None => println!("function {name}: not attributed in this trace"),
+        }
+        answered = true;
+    }
+    if !answered {
+        println!(
+            "{id}: {} frames, {} samples, {} payload bytes",
+            catalog.frames.len(),
+            catalog.total_samples(),
+            catalog.payload_bytes()
+        );
+        let mut table = Table::new("Hot functions (catalog)", &["Function", "loads", "frames"]);
+        for f in engine.functions().into_iter().take(10) {
+            table.push_row(vec![f.name, f.loads.to_string(), f.frames.to_string()]);
+        }
+        print!("{}", table.render());
+    }
+    println!("(answered from catalog summaries; no shard decoded)");
+    0
 }
 
 /// `memgaze profile <subcommand...>`: run any other subcommand with
@@ -574,6 +940,8 @@ fn dispatch(args: &Args) -> i32 {
             0
         }
         "fanout" => run_fanout_cmd(args),
+        "store" => run_store_cmd(args),
+        "query" => run_query_cmd(args),
         // Hidden worker entry point spawned by the fan-out coordinator;
         // not part of the user-facing surface, so absent from usage().
         "analyze-shard" => run_analyze_shard(args),
@@ -585,6 +953,8 @@ fn dispatch(args: &Args) -> i32 {
             println!("  minivite  — Louvain community detection, map variants v1/v2/v3");
             println!("  gap       — PageRank (pr, pr-spmv) and Connected Components (cc, cc-sv)");
             println!("  darknet   — gemm/im2col inference (alexnet, resnet152)");
+            println!("  store     — content-addressed trace store (put/get/ls/gc/analyze)");
+            println!("  query     — catalog-only region/time/function queries over a stored trace");
             println!("  lint      — static verification of generated modules (no execution)");
             println!("  profile   — run any subcommand with span tracing on and render the trace");
             0
