@@ -2,15 +2,21 @@
 //! over every generated module.
 //!
 //! Runs `lint_module` (IR verifier, abstract-interpretation differential
-//! against the dataflow classifier, instrumentation-plan checker) on the
-//! full O0/O3 microbenchmark suites and a set of synthetic
-//! application-shaped modules, and records per-module lint time, the
-//! oracle agreement rate, and — the acceptance bar — that there are zero
-//! unsound disagreements and zero error-severity diagnostics.
+//! against the fused classifier, instrumentation-plan checker) on the
+//! full O0/O3 microbenchmark suites, a set of synthetic
+//! application-shaped modules, and four absint showcase workloads
+//! (spilled IV, nested loops, interprocedural summaries, masked index).
+//! Records per-module lint time, the oracle agreement rate, and — the
+//! acceptance bars — that there are zero unsound disagreements, zero
+//! error-severity diagnostics, and that eliding proven-strided loads
+//! measurably shrinks the instrumentation plan.
 
 use memgaze_analysis::Table;
-use memgaze_bench::{emit, scales, synthetic_module, timed};
-use memgaze_instrument::{lint_module, DiffSummary, InstrumentConfig};
+use memgaze_bench::{
+    call_graph_module, emit, masked_index_module, nested_loop_module, scales, spilled_iv_module,
+    synthetic_module, timed,
+};
+use memgaze_instrument::{lint_module, InstrPlan, InstrumentConfig, ModuleClassification};
 use memgaze_isa::codegen::{self, OptLevel};
 use memgaze_isa::{LoadModule, Severity};
 use serde::Serialize;
@@ -21,6 +27,7 @@ struct LintRow {
     loads: u64,
     agree: u64,
     absint_unknown: u64,
+    upgraded: u64,
     lost_compression: u64,
     unsound: u64,
     errors: usize,
@@ -28,11 +35,39 @@ struct LintRow {
     lint_ms: f64,
 }
 
+/// Differential totals plus the headline ratio CI gates on.
+#[derive(Serialize)]
+struct TotalSummary {
+    loads: u64,
+    agree: u64,
+    absint_unknown: u64,
+    upgraded: u64,
+    lost_compression: u64,
+    unsound: u64,
+    /// `agree / loads` — the precision ratchet.
+    agreement: f64,
+}
+
+/// Instrumentation-plan impact of the proven-stride elision, summed over
+/// every module: how many loads the baseline plan instruments, how many
+/// survive with elision on, and the estimated trace-byte saving (each
+/// `ptwrite` packet costs 9 bytes, one per source register).
+#[derive(Serialize)]
+struct InstrImpact {
+    base_instrumented: u64,
+    elision_instrumented: u64,
+    elided: u64,
+    base_trace_bytes: u64,
+    elision_trace_bytes: u64,
+    /// Fractional trace-byte reduction from elision.
+    reduction: f64,
+}
+
 #[derive(Serialize)]
 struct Payload {
     rows: Vec<LintRow>,
-    total: DiffSummary,
-    agreement_rate: f64,
+    total: TotalSummary,
+    instr: InstrImpact,
     total_errors: usize,
     total_warnings: usize,
 }
@@ -50,15 +85,43 @@ fn modules() -> Vec<(String, LoadModule)> {
         let m = synthetic_module(procs, loads);
         out.push((m.name.clone(), m));
     }
+    for m in [
+        spilled_iv_module(sc.micro_elems),
+        nested_loop_module(64, sc.micro_elems / 64),
+        call_graph_module(sc.micro_elems),
+        masked_index_module(sc.micro_elems.next_power_of_two()),
+    ] {
+        out.push((m.name.clone(), m));
+    }
     out
+}
+
+/// Estimated trace bytes for one plan: 9 bytes per inserted `ptwrite`
+/// packet, one packet per source register of each instrumented load.
+fn trace_bytes(classification: &ModuleClassification, plan: &InstrPlan) -> u64 {
+    plan.iter()
+        .filter(|(_, d)| d.instrument)
+        .map(|(ip, _)| {
+            let cl = classification.get(*ip).expect("classified");
+            cl.num_sources as u64 * 9
+        })
+        .sum()
 }
 
 fn main() {
     let config = InstrumentConfig::default();
     let mut rows = Vec::new();
-    let mut total = DiffSummary::default();
+    let mut total = memgaze_instrument::DiffSummary::default();
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
+    let mut instr = InstrImpact {
+        base_instrumented: 0,
+        elision_instrumented: 0,
+        elided: 0,
+        base_trace_bytes: 0,
+        elision_trace_bytes: 0,
+        reduction: 0.0,
+    };
 
     for (name, module) in modules() {
         let (lint_ms, report) = timed(|| lint_module(&module, &config));
@@ -70,12 +133,23 @@ fn main() {
         total.merge(&report.differential);
         total_errors += errors;
         total_warnings += warnings;
+
+        let classification = ModuleClassification::analyze(&module);
+        let base = InstrPlan::build(&module, &classification, &config);
+        let elide = InstrPlan::build(&module, &classification, &InstrumentConfig::eliding());
+        instr.base_instrumented += base.num_instrumented();
+        instr.elision_instrumented += elide.num_instrumented();
+        instr.elided += elide.num_elided();
+        instr.base_trace_bytes += trace_bytes(&classification, &base);
+        instr.elision_trace_bytes += trace_bytes(&classification, &elide);
+
         let d = report.differential;
         rows.push(LintRow {
             module: name,
             loads: d.loads,
             agree: d.agree,
             absint_unknown: d.absint_unknown,
+            upgraded: d.upgraded,
             lost_compression: d.lost_compression,
             unsound: d.unsound,
             errors,
@@ -83,11 +157,16 @@ fn main() {
             lint_ms,
         });
     }
+    instr.reduction = if instr.base_trace_bytes == 0 {
+        0.0
+    } else {
+        1.0 - instr.elision_trace_bytes as f64 / instr.base_trace_bytes as f64
+    };
 
     let mut table = Table::new(
         "BENCH_lint: verifier + differential classification check",
         &[
-            "Module", "loads", "agree", "unknown", "lost", "unsound", "err", "warn", "ms",
+            "Module", "loads", "agree", "unknown", "upgr", "lost", "unsound", "err", "warn", "ms",
         ],
     );
     for r in &rows {
@@ -96,6 +175,7 @@ fn main() {
             r.loads.to_string(),
             r.agree.to_string(),
             r.absint_unknown.to_string(),
+            r.upgraded.to_string(),
             r.lost_compression.to_string(),
             r.unsound.to_string(),
             r.errors.to_string(),
@@ -105,20 +185,36 @@ fn main() {
     }
 
     let payload = Payload {
-        agreement_rate: total.agreement_rate(),
+        total: TotalSummary {
+            loads: total.loads,
+            agree: total.agree,
+            absint_unknown: total.absint_unknown,
+            upgraded: total.upgraded,
+            lost_compression: total.lost_compression,
+            unsound: total.unsound,
+            agreement: total.agreement_rate(),
+        },
+        instr,
         total_errors,
         total_warnings,
-        total,
         rows,
     };
     emit("BENCH_lint", &table, &payload);
     println!(
-        "agreement rate {:.3} over {} loads; {} unsound, {} errors",
-        payload.agreement_rate, payload.total.loads, payload.total.unsound, payload.total_errors
+        "agreement {:.3} over {} loads ({} upgraded); {} unsound, {} errors; \
+         elision drops instrumented {} → {} ({:.1}% trace bytes)",
+        payload.total.agreement,
+        payload.total.loads,
+        payload.total.upgraded,
+        payload.total.unsound,
+        total_errors,
+        payload.instr.base_instrumented,
+        payload.instr.elision_instrumented,
+        payload.instr.reduction * 100.0
     );
     assert_eq!(
         payload.total.unsound, 0,
         "unsound differential disagreement"
     );
-    assert_eq!(payload.total_errors, 0, "error-severity lint diagnostics");
+    assert_eq!(total_errors, 0, "error-severity lint diagnostics");
 }

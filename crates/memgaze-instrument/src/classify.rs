@@ -6,7 +6,10 @@
 //! needs (paper §III-A: "The literals are extracted, keyed by instruction
 //! address, and placed in the auxiliary annotation file").
 
-use memgaze_isa::{AddrKind, DataflowAnalysis, Instr, LoadModule};
+use memgaze_isa::{
+    AbsInterp, AbsResult, AddrKind, Cfg, DataflowAnalysis, Instr, LoadModule, LoopForest,
+    ModuleAbsInterp,
+};
 use memgaze_model::{Ip, LoadClass};
 use std::collections::BTreeMap;
 
@@ -21,8 +24,15 @@ pub struct ClassifiedLoad {
     pub block: memgaze_isa::BlockId,
     /// Instruction index within the block body.
     pub idx: usize,
-    /// Static class.
+    /// Final static class: the dataflow answer, upgraded where the
+    /// abstract interpreter proved something strictly more regular.
     pub kind: AddrKind,
+    /// Raw data-dependence classification, before any upgrade.
+    pub dataflow_kind: AddrKind,
+    /// What the abstract interpreter proved about the address.
+    pub absint: AbsResult,
+    /// The absint proof collapsed to a load class (`None` = no proof).
+    pub absint_class: Option<LoadClass>,
     /// Literal scale factor `k`.
     pub scale: u8,
     /// Literal displacement `o`.
@@ -38,6 +48,45 @@ impl ClassifiedLoad {
     pub fn class(&self) -> LoadClass {
         self.kind.to_load_class()
     }
+
+    /// True when the absint proof upgraded the dataflow classification.
+    pub fn upgraded(&self) -> bool {
+        self.kind != self.dataflow_kind
+    }
+}
+
+/// Regularity rank: higher classes compress better and may be elided or
+/// implied rather than traced.
+fn regularity(c: LoadClass) -> u8 {
+    match c {
+        LoadClass::Constant => 2,
+        LoadClass::Strided => 1,
+        LoadClass::Irregular => 0,
+    }
+}
+
+/// Fuse the two oracles: take the absint class only when it is strictly
+/// more regular than the dataflow answer. Both analyses are sound, so a
+/// *more* regular proof subsumes a conservative "irregular"; a *less*
+/// regular absint verdict (e.g. `ProvenIrregular` against a dataflow
+/// `Strided`) would indicate a bug and is surfaced by the differential
+/// lint pass instead of silently downgrading here.
+fn fuse(dataflow: AddrKind, absint: AbsResult, absint_class: Option<LoadClass>) -> AddrKind {
+    let Some(ac) = absint_class else {
+        return dataflow;
+    };
+    if regularity(ac) <= regularity(dataflow.to_load_class()) {
+        return dataflow;
+    }
+    match ac {
+        LoadClass::Constant => AddrKind::Constant,
+        LoadClass::Strided => AddrKind::Strided {
+            // `Strided` absint class only arises from a nonzero proven
+            // stride, so this is always present.
+            stride: absint.stride().unwrap_or(0),
+        },
+        LoadClass::Irregular => dataflow,
+    }
 }
 
 /// Classification of every load in a module, keyed by instruction address.
@@ -47,18 +96,29 @@ pub struct ModuleClassification {
 }
 
 impl ModuleClassification {
-    /// Analyze all procedures of `module`.
+    /// Analyze all procedures of `module`: interprocedural summaries
+    /// first, then per-procedure dataflow and abstract interpretation,
+    /// fused per load.
     pub fn analyze(module: &LoadModule) -> ModuleClassification {
         let layout = module.layout();
+        let mai = ModuleAbsInterp::analyze(module);
         let mut loads = BTreeMap::new();
         for proc in &module.procs {
-            let df = DataflowAnalysis::analyze(proc);
+            let cfg = Cfg::build(proc);
+            let forest = LoopForest::build(proc, &cfg);
+            let df = DataflowAnalysis::analyze_in(proc, &forest, mai.summaries());
+            let ai = mai.proc(proc.id);
             for block in &proc.blocks {
                 for (idx, ins) in block.instrs.iter().enumerate() {
                     if let Instr::Load { addr, .. } = ins {
-                        let kind = df
+                        let dataflow_kind = df
                             .load_kind(block.id, idx)
                             .expect("load must have a classification");
+                        let absint = ai
+                            .load_result(block.id, idx)
+                            .expect("load must have an absint result");
+                        let absint_class = AbsInterp::proven_class(absint, addr);
+                        let kind = fuse(dataflow_kind, absint, absint_class);
                         let ip = layout.ip_of(proc.id, block.id, idx);
                         loads.insert(
                             ip,
@@ -68,6 +128,9 @@ impl ModuleClassification {
                                 block: block.id,
                                 idx,
                                 kind,
+                                dataflow_kind,
+                                absint,
+                                absint_class,
                                 scale: addr.scale,
                                 disp: addr.disp,
                                 num_sources: addr.num_sources(),

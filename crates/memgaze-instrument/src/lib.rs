@@ -50,6 +50,12 @@ pub struct InstrumentConfig {
     /// When false, Constant loads are instrumented too (no compression) —
     /// used to produce the paper's uncompressed "All⁺" baselines.
     pub skip_constant_loads: Option<bool>,
+    /// When true, loads whose stride the abstract interpreter *proved*
+    /// (dataflow and absint agree on a nonzero stride) are elided from
+    /// instrumentation: their address sequence is reconstructible from
+    /// the annotation alone. Default off — the baseline pipeline is
+    /// unchanged unless this is opted into.
+    pub elide_proven_strided: Option<bool>,
 }
 
 impl InstrumentConfig {
@@ -62,6 +68,7 @@ impl InstrumentConfig {
         InstrumentConfig {
             roi: Some(names.into_iter().map(Into::into).collect()),
             skip_constant_loads: None,
+            elide_proven_strided: None,
         }
     }
 
@@ -70,12 +77,27 @@ impl InstrumentConfig {
         InstrumentConfig {
             roi: None,
             skip_constant_loads: Some(false),
+            elide_proven_strided: None,
+        }
+    }
+
+    /// Compressing configuration that also elides proven-strided loads.
+    pub fn eliding() -> InstrumentConfig {
+        InstrumentConfig {
+            roi: None,
+            skip_constant_loads: None,
+            elide_proven_strided: Some(true),
         }
     }
 
     /// Whether Constant loads are compressed away (default true).
     pub fn compresses(&self) -> bool {
         self.skip_constant_loads.unwrap_or(true)
+    }
+
+    /// Whether proven-strided loads are elided (default false).
+    pub fn elides(&self) -> bool {
+        self.elide_proven_strided.unwrap_or(false)
     }
 
     /// Whether the procedure named `name` is inside the region of
@@ -96,6 +118,8 @@ pub struct InstrStats {
     pub irregular_loads: u64,
     /// Loads that received `ptwrite` instrumentation.
     pub instrumented_loads: u64,
+    /// Proven-strided loads elided from instrumentation entirely.
+    pub elided_loads: u64,
     /// `ptwrite` instructions inserted (two-source loads get two).
     pub ptwrites_inserted: u64,
     /// Basic blocks examined.
@@ -172,6 +196,7 @@ mod tests {
             strided_loads: 1,
             irregular_loads: 0,
             instrumented_loads: 2,
+            elided_loads: 0,
             ptwrites_inserted: 2,
             blocks: 1,
         };

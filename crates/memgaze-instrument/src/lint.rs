@@ -26,9 +26,9 @@ use crate::classify::ModuleClassification;
 use crate::plan::InstrPlan;
 use crate::rewrite::{Instrumented, PtwInfo, PtwRole};
 use crate::{InstrumentConfig, Instrumenter};
-use memgaze_isa::absint::{AbsInterp, AbsResult};
+use memgaze_isa::absint::AbsResult;
 use memgaze_isa::verify::{self, Diagnostic, LintId, Severity, Site};
-use memgaze_isa::{AddrKind, DataflowAnalysis, Instr, LoadModule};
+use memgaze_isa::{AddrKind, Instr, LoadModule};
 use memgaze_model::{Ip, LoadClass};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -43,6 +43,9 @@ pub struct DiffSummary {
     /// The abstract interpreter has no proof (compatible, not counted as
     /// agreement).
     pub absint_unknown: u64,
+    /// Agreements where the absint proof *upgraded* the raw dataflow
+    /// answer to a more regular class (subset of `agree`).
+    pub upgraded: u64,
     /// The oracle proves a strictly more regular class than assigned
     /// (warnings: compression left on the table).
     pub lost_compression: u64,
@@ -66,6 +69,7 @@ impl DiffSummary {
         self.loads += other.loads;
         self.agree += other.agree;
         self.absint_unknown += other.absint_unknown;
+        self.upgraded += other.upgraded;
         self.lost_compression += other.lost_compression;
         self.unsound += other.unsound;
     }
@@ -108,87 +112,79 @@ fn regularity(class: LoadClass) -> u8 {
 }
 
 /// Run the differential classification pass over every load of `module`.
-pub fn differential_pass(module: &LoadModule) -> (Vec<Diagnostic>, DiffSummary) {
-    let layout = module.layout();
+///
+/// The comparison is between the absint *proof* and the *final* class
+/// the instrumentor will act on (dataflow fused with the proof). A proof
+/// that is less regular than the final class is a soundness error; one
+/// that is more regular means an upgrade was computed but not consumed
+/// (a fusion bug, surfaced as lost compression).
+pub fn differential_pass(
+    module: &LoadModule,
+    classification: &ModuleClassification,
+) -> (Vec<Diagnostic>, DiffSummary) {
     let mut diags = Vec::new();
     let mut summary = DiffSummary::default();
-    for proc in &module.procs {
-        let df = DataflowAnalysis::analyze(proc);
-        let ai = AbsInterp::analyze(proc);
-        for block in &proc.blocks {
-            for (idx, ins) in block.instrs.iter().enumerate() {
-                let Instr::Load { addr, .. } = ins else {
-                    continue;
-                };
-                let kind = df.load_kind(block.id, idx).expect("classified load");
-                let res = ai.load_result(block.id, idx).expect("analyzed load");
-                summary.loads += 1;
-                let site = || {
-                    Site::instr(
-                        &module.name,
-                        proc.id,
-                        block.id,
-                        idx,
-                        Some(layout.ip_of(proc.id, block.id, idx)),
-                    )
-                };
-                let Some(ai_class) = AbsInterp::proven_class(res, addr) else {
-                    summary.absint_unknown += 1;
-                    continue;
-                };
-                let df_class = kind.to_load_class();
-                if ai_class == df_class {
-                    // Same class; for Strided both sides carry a stride —
-                    // they must be the same number.
-                    if let (AddrKind::Strided { stride }, AbsResult::Proven { stride: s }) =
-                        (kind, res)
-                    {
-                        if stride != s {
-                            summary.unsound += 1;
-                            diags.push(Diagnostic::error(
-                                LintId::StrideMismatch,
-                                site(),
-                                format!(
-                                    "{}: classifier stride {stride} but abstract \
-                                     interpretation proves {s}",
-                                    proc.name
-                                ),
-                            ));
-                            continue;
-                        }
-                    }
-                    summary.agree += 1;
-                } else if regularity(ai_class) < regularity(df_class) {
-                    // Oracle proves the address is LESS regular than the
-                    // classifier claims: compression would drop packets.
+    for cl in classification.loads() {
+        let proc_name = &module.proc(cl.proc).name;
+        summary.loads += 1;
+        let site = || Site::instr(&module.name, cl.proc, cl.block, cl.idx, Some(cl.ip));
+        let Some(ai_class) = cl.absint_class else {
+            summary.absint_unknown += 1;
+            continue;
+        };
+        let final_class = cl.class();
+        if ai_class == final_class {
+            // Same class; for Strided both sides carry a stride — they
+            // must be the same number.
+            if let (AddrKind::Strided { stride }, AbsResult::Proven { stride: s, .. }) =
+                (cl.kind, cl.absint)
+            {
+                if stride != s {
                     summary.unsound += 1;
-                    let lint = if df_class == LoadClass::Constant {
-                        LintId::UnsoundConstant
-                    } else {
-                        LintId::UnsoundStrided
-                    };
                     diags.push(Diagnostic::error(
-                        lint,
+                        LintId::StrideMismatch,
                         site(),
                         format!(
-                            "{}: classified {df_class:?} but abstract interpretation \
-                             proves {ai_class:?} ({res:?})",
-                            proc.name
+                            "{proc_name}: classifier stride {stride} but abstract \
+                             interpretation proves {s}"
                         ),
                     ));
-                } else {
-                    summary.lost_compression += 1;
-                    diags.push(Diagnostic::warning(
-                        LintId::LostCompression,
-                        site(),
-                        format!(
-                            "{}: classified {df_class:?} but abstract interpretation \
-                             proves {ai_class:?} ({res:?}) — compression left unused",
-                            proc.name
-                        ),
-                    ));
+                    continue;
                 }
             }
+            summary.agree += 1;
+            if cl.upgraded() {
+                summary.upgraded += 1;
+            }
+        } else if regularity(ai_class) < regularity(final_class) {
+            // Oracle proves the address is LESS regular than the class
+            // the instrumentor acts on: compression would drop packets.
+            summary.unsound += 1;
+            let lint = if final_class == LoadClass::Constant {
+                LintId::UnsoundConstant
+            } else {
+                LintId::UnsoundStrided
+            };
+            diags.push(Diagnostic::error(
+                lint,
+                site(),
+                format!(
+                    "{proc_name}: classified {final_class:?} but abstract interpretation \
+                     proves {ai_class:?} ({:?})",
+                    cl.absint
+                ),
+            ));
+        } else {
+            summary.lost_compression += 1;
+            diags.push(Diagnostic::warning(
+                LintId::LostCompression,
+                site(),
+                format!(
+                    "{proc_name}: classified {final_class:?} but abstract interpretation \
+                     proves {ai_class:?} ({:?}) — upgrade computed but not consumed",
+                    cl.absint
+                ),
+            ));
         }
     }
     (diags, summary)
@@ -455,7 +451,10 @@ pub fn check_instrumented(
                     .collect();
                 let instrumented = decisions.iter().filter(|d| d.instrument).count() as u64;
                 let implied: u64 = decisions.iter().map(|d| d.implied_const as u64).sum();
-                if instrumented > 0 && instrumented + implied != loads.len() as u64 {
+                let elided = decisions.iter().filter(|d| d.elided).count() as u64;
+                if (instrumented > 0 || elided > 0)
+                    && instrumented + implied + elided != loads.len() as u64
+                {
                     diags.push(Diagnostic::error(
                         LintId::ImpliedCountMismatch,
                         Site {
@@ -464,8 +463,8 @@ pub fn check_instrumented(
                             ..Site::module(name)
                         },
                         format!(
-                            "{}: block observes {instrumented} + implies {implied} loads \
-                             but contains {}",
+                            "{}: block observes {instrumented} + implies {implied} + \
+                             elides {elided} loads but contains {}",
                             proc.name,
                             loads.len()
                         ),
@@ -497,6 +496,7 @@ pub fn check_instrumented(
             s.instrumented_loads,
             plan.num_instrumented(),
         ),
+        ("elided_loads", s.elided_loads, plan.num_elided()),
         (
             "ptwrites_inserted",
             s.ptwrites_inserted,
@@ -561,11 +561,11 @@ pub fn lint_module(module: &LoadModule, config: &InstrumentConfig) -> LintReport
     // Instrumenting a structurally broken module would panic; stop at the
     // verifier's findings in that case.
     if !structural_errors {
-        let (diff_diags, summary) = differential_pass(module);
+        let classification = ModuleClassification::analyze(module);
+        let (diff_diags, summary) = differential_pass(module, &classification);
         diagnostics.extend(diff_diags);
         differential = summary;
 
-        let classification = ModuleClassification::analyze(module);
         let plan = InstrPlan::build(module, &classification, config);
         let inst = Instrumenter::new(config.clone()).instrument(module);
         diagnostics.extend(verify::verify_module(&inst.module));

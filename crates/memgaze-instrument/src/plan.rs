@@ -20,6 +20,9 @@ pub struct PlannedLoad {
     pub instrument: bool,
     /// Constant loads this load stands proxy for (0 for non-proxies).
     pub implied_const: u32,
+    /// Elided proven-strided load: not instrumented because its address
+    /// sequence is reconstructible from the annotation's stride literal.
+    pub elided: bool,
 }
 
 /// The full instrumentation plan, keyed by original load address.
@@ -46,24 +49,25 @@ impl InstrPlan {
                 // `ptwrite`n without an extra register, which the paper's
                 // scheme deliberately avoids (§III-A); such loads are only
                 // ever implied by a proxy.
-                let loads: Vec<(Ip, AddrKind, usize)> = block
+                let loads: Vec<(Ip, AddrKind, usize, Option<i64>)> = block
                     .load_positions()
                     .map(|idx| {
                         let ip = layout.ip_of(proc.id, block.id, idx);
                         let cl = classification.get(ip).expect("classified load");
-                        (ip, cl.kind, cl.num_sources)
+                        (ip, cl.kind, cl.num_sources, cl.absint.stride())
                     })
                     .collect();
                 if loads.is_empty() {
                     continue;
                 }
                 if !in_roi {
-                    for (ip, _, _) in loads {
+                    for (ip, _, _, _) in loads {
                         decisions.insert(
                             ip,
                             PlannedLoad {
                                 instrument: false,
                                 implied_const: 0,
+                                elided: false,
                             },
                         );
                     }
@@ -72,12 +76,13 @@ impl InstrPlan {
                 if !config.compresses() {
                     // Uncompressed: every instrumentable load is
                     // instrumented, none imply others.
-                    for (ip, _, srcs) in loads {
+                    for (ip, _, srcs, _) in loads {
                         decisions.insert(
                             ip,
                             PlannedLoad {
                                 instrument: srcs > 0,
                                 implied_const: 0,
+                                elided: false,
                             },
                         );
                     }
@@ -86,27 +91,52 @@ impl InstrPlan {
 
                 let const_count = loads
                     .iter()
-                    .filter(|(_, k, _)| *k == AddrKind::Constant)
+                    .filter(|(_, k, _, _)| *k == AddrKind::Constant)
                     .count() as u32;
-                // Proxy preference (Fig. 2): first instrumentable
-                // Strided/Irregular load, else first instrumentable
-                // Constant load.
-                let proxy_pos = loads
+                // A load may be elided only when both oracles agree on the
+                // same nonzero stride: the final class says Strided{s} and
+                // the abstract interpreter *proved* that exact s. The
+                // annotation then reconstructs the address sequence.
+                let mut elided: Vec<bool> = loads
                     .iter()
-                    .position(|(_, k, s)| !matches!(k, AddrKind::Constant) && *s > 0)
+                    .map(|(_, k, srcs, abs)| {
+                        config.elides()
+                            && *srcs > 0
+                            && matches!(k, AddrKind::Strided { stride }
+                                        if *stride != 0 && *abs == Some(*stride))
+                    })
+                    .collect();
+                // Proxy preference (Fig. 2): first instrumentable
+                // non-elided Strided/Irregular load, else first
+                // instrumentable Constant load.
+                let mut proxy_pos = loads
+                    .iter()
+                    .enumerate()
+                    .position(|(i, (_, k, s, _))| {
+                        !elided[i] && !matches!(k, AddrKind::Constant) && *s > 0
+                    })
                     .or_else(|| {
                         loads
                             .iter()
-                            .position(|(_, k, s)| matches!(k, AddrKind::Constant) && *s > 0)
+                            .position(|(_, k, s, _)| matches!(k, AddrKind::Constant) && *s > 0)
                     });
+                // Constant loads need a proxy to imply their counts; if
+                // elision removed every candidate, un-elide one to serve.
+                if proxy_pos.is_none() && const_count > 0 {
+                    if let Some(i) = elided.iter().position(|&e| e) {
+                        elided[i] = false;
+                        proxy_pos = Some(i);
+                    }
+                }
 
-                for (i, (ip, k, srcs)) in loads.iter().enumerate() {
+                for (i, (ip, k, srcs, _)) in loads.iter().enumerate() {
                     let is_proxy = proxy_pos == Some(i);
                     // Strided/Irregular loads are always instrumented when
-                    // possible; a Constant load only when it is the proxy.
+                    // possible (unless elided); a Constant load only when
+                    // it is the proxy.
                     let instrument = match k {
                         AddrKind::Constant => is_proxy,
-                        _ => *srcs > 0,
+                        _ => !elided[i] && *srcs > 0,
                     };
                     // The proxy implies all Constant loads in the block —
                     // minus itself when the proxy *is* a Constant load
@@ -125,6 +155,7 @@ impl InstrPlan {
                         PlannedLoad {
                             instrument,
                             implied_const,
+                            elided: elided[i],
                         },
                     );
                 }
@@ -146,6 +177,11 @@ impl InstrPlan {
     /// Number of instrumented loads.
     pub fn num_instrumented(&self) -> u64 {
         self.decisions.values().filter(|d| d.instrument).count() as u64
+    }
+
+    /// Number of elided proven-strided loads.
+    pub fn num_elided(&self) -> u64 {
+        self.decisions.values().filter(|d| d.elided).count() as u64
     }
 }
 
@@ -227,15 +263,61 @@ mod tests {
     }
 
     /// Fig. 2 accounting: with one proxy per block, the implied counts
-    /// reconstruct the block's total loads.
+    /// plus elisions reconstruct the block's total loads.
     #[test]
     fn implied_counts_conserve_loads() {
         for m in [mixed_block_module(), const_only_module()] {
-            let c = ModuleClassification::analyze(&m);
-            let plan = InstrPlan::build(&m, &c, &InstrumentConfig::default());
-            let instrumented: u64 = plan.num_instrumented();
-            let implied: u64 = plan.iter().map(|(_, d)| d.implied_const as u64).sum();
-            assert_eq!(instrumented + implied, c.len() as u64);
+            for config in [InstrumentConfig::default(), InstrumentConfig::eliding()] {
+                let c = ModuleClassification::analyze(&m);
+                let plan = InstrPlan::build(&m, &c, &config);
+                let instrumented: u64 = plan.num_instrumented();
+                let implied: u64 = plan.iter().map(|(_, d)| d.implied_const as u64).sum();
+                assert_eq!(instrumented + implied + plan.num_elided(), c.len() as u64);
+            }
         }
+    }
+
+    #[test]
+    fn eliding_drops_proven_strided_loads() {
+        use memgaze_isa::codegen::{self, Compose, OptLevel, Pattern, UKernelSpec};
+        let m = codegen::generate(&UKernelSpec {
+            compose: Compose::Single(Pattern::strided(1)),
+            elems: 64,
+            reps: 1,
+            opt: OptLevel::O3,
+        });
+        let c = ModuleClassification::analyze(&m);
+        let base = InstrPlan::build(&m, &c, &InstrumentConfig::default());
+        let elide = InstrPlan::build(&m, &c, &InstrumentConfig::eliding());
+        assert_eq!(base.num_elided(), 0);
+        assert!(elide.num_elided() > 0, "no load was elided");
+        assert!(elide.num_instrumented() < base.num_instrumented());
+        // Conservation holds under elision too.
+        let implied: u64 = elide.iter().map(|(_, d)| d.implied_const as u64).sum();
+        assert_eq!(
+            elide.num_instrumented() + implied + elide.num_elided(),
+            c.len() as u64
+        );
+    }
+
+    #[test]
+    fn elision_keeps_a_proxy_for_constants() {
+        // O0 strided kernel: frame reloads (Constant) share blocks with the
+        // strided data load. If elision removes the only candidate proxy,
+        // one load must be un-elided so the constants stay implied.
+        use memgaze_isa::codegen::{self, Compose, OptLevel, Pattern, UKernelSpec};
+        let m = codegen::generate(&UKernelSpec {
+            compose: Compose::Single(Pattern::strided(1)),
+            elems: 64,
+            reps: 1,
+            opt: OptLevel::O0,
+        });
+        let c = ModuleClassification::analyze(&m);
+        let plan = InstrPlan::build(&m, &c, &InstrumentConfig::eliding());
+        let implied: u64 = plan.iter().map(|(_, d)| d.implied_const as u64).sum();
+        assert_eq!(
+            plan.num_instrumented() + implied + plan.num_elided(),
+            c.len() as u64
+        );
     }
 }

@@ -119,6 +119,9 @@ pub fn apply(
                     a.src_line = cl.src_line;
                     annots.insert(orig_ip, a);
 
+                    if decision.elided {
+                        stats.elided_loads += 1;
+                    }
                     if decision.instrument {
                         stats.instrumented_loads += 1;
                         let n = cl.num_sources;

@@ -19,6 +19,7 @@ use crate::instr::{AddrMode, BinOp, Instr};
 use crate::loops::{Loop, LoopForest};
 use crate::proc::{BlockId, Procedure};
 use crate::reg::{Reg, NUM_REGS};
+use crate::summary::ProcSummaries;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -66,7 +67,15 @@ pub struct DataflowAnalysis {
 }
 
 /// Def sites of each register within a region of blocks.
-fn def_sites(proc: &Procedure, body: impl Iterator<Item = BlockId>) -> Vec<Vec<(BlockId, usize)>> {
+///
+/// With procedure summaries, a call only pseudo-defines the registers the
+/// callee (transitively) writes; without them, it conservatively clobbers
+/// the conventional scratch registers r0–r5.
+fn def_sites(
+    proc: &Procedure,
+    body: impl Iterator<Item = BlockId>,
+    summaries: Option<&ProcSummaries>,
+) -> Vec<Vec<(BlockId, usize)>> {
     let mut defs: Vec<Vec<(BlockId, usize)>> = vec![Vec::new(); NUM_REGS];
     for b in body {
         let blk = proc.block(b);
@@ -74,11 +83,15 @@ fn def_sites(proc: &Procedure, body: impl Iterator<Item = BlockId>) -> Vec<Vec<(
             if let Some(d) = ins.def() {
                 defs[d.index()].push((b, i));
             }
-            // Calls clobber the conventional scratch registers r0–r5 so a
-            // value live across a call cannot be loop-invariant.
-            if matches!(ins, Instr::Call { .. }) {
-                for d in defs.iter_mut().take(6) {
-                    d.push((b, i));
+            if let Instr::Call { proc: callee } = ins {
+                for (r, d) in defs.iter_mut().enumerate() {
+                    let clobbered = match summaries {
+                        Some(s) => s.get(*callee).clobbers_reg(Reg(r as u8)),
+                        None => r < 6,
+                    };
+                    if clobbered {
+                        d.push((b, i));
+                    }
                 }
             }
         }
@@ -88,8 +101,8 @@ fn def_sites(proc: &Procedure, body: impl Iterator<Item = BlockId>) -> Vec<Vec<(
 
 /// Find basic induction variables of a loop: registers whose only def in
 /// the loop body is `r ← r ± imm`.
-fn basic_ivs(proc: &Procedure, l: &Loop) -> HashMap<Reg, i64> {
-    let defs = def_sites(proc, l.body.iter().copied());
+fn basic_ivs(proc: &Procedure, l: &Loop, summaries: Option<&ProcSummaries>) -> HashMap<Reg, i64> {
+    let defs = def_sites(proc, l.body.iter().copied(), summaries);
     let mut ivs = HashMap::new();
     for r in 0..NUM_REGS as u8 {
         let reg = Reg(r);
@@ -118,8 +131,13 @@ fn basic_ivs(proc: &Procedure, l: &Loop) -> HashMap<Reg, i64> {
 
 /// Extend basic IVs with one level of derived IVs: `j ← mov i` or
 /// `j ← lea [inv + i*k + d]` where `i` is a basic IV.
-fn derived_ivs(proc: &Procedure, l: &Loop, basic: &HashMap<Reg, i64>) -> HashMap<Reg, i64> {
-    let defs = def_sites(proc, l.body.iter().copied());
+fn derived_ivs(
+    proc: &Procedure,
+    l: &Loop,
+    basic: &HashMap<Reg, i64>,
+    summaries: Option<&ProcSummaries>,
+) -> HashMap<Reg, i64> {
+    let defs = def_sites(proc, l.body.iter().copied(), summaries);
     let mut all = basic.clone();
     for r in 0..NUM_REGS as u8 {
         let reg = Reg(r);
@@ -210,13 +228,32 @@ impl DataflowAnalysis {
 
     /// Analyze with a precomputed loop forest.
     pub fn analyze_with(proc: &Procedure, forest: &LoopForest) -> DataflowAnalysis {
+        Self::analyze_inner(proc, forest, None)
+    }
+
+    /// Analyze with interprocedural summaries: calls clobber only the
+    /// registers the callee actually writes, so values live across calls
+    /// to non-clobbering callees stay loop-invariant.
+    pub fn analyze_in(
+        proc: &Procedure,
+        forest: &LoopForest,
+        summaries: &ProcSummaries,
+    ) -> DataflowAnalysis {
+        Self::analyze_inner(proc, forest, Some(summaries))
+    }
+
+    fn analyze_inner(
+        proc: &Procedure,
+        forest: &LoopForest,
+        summaries: Option<&ProcSummaries>,
+    ) -> DataflowAnalysis {
         // Cache per-loop IV sets and def sites, keyed by header block.
         type LoopInfo = (HashMap<Reg, i64>, Vec<Vec<(BlockId, usize)>>);
         let mut loop_info: HashMap<BlockId, LoopInfo> = HashMap::new();
         for l in &forest.loops {
-            let basic = basic_ivs(proc, l);
-            let ivs = derived_ivs(proc, l, &basic);
-            let defs = def_sites(proc, l.body.iter().copied());
+            let basic = basic_ivs(proc, l, summaries);
+            let ivs = derived_ivs(proc, l, &basic, summaries);
+            let defs = def_sites(proc, l.body.iter().copied(), summaries);
             loop_info.insert(l.header, (ivs, defs));
         }
 

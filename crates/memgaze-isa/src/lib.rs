@@ -26,10 +26,12 @@ pub mod interp;
 pub mod loops;
 pub mod module;
 pub mod proc;
+pub mod ranges;
 pub mod reg;
+pub mod summary;
 pub mod verify;
 
-pub use absint::{AbsInterp, AbsResult};
+pub use absint::{AbsInterp, AbsResult, ModuleAbsInterp};
 pub use builder::{ModuleBuilder, ProcBuilder};
 pub use cfg::Cfg;
 pub use dataflow::{AddrKind, DataflowAnalysis};
@@ -38,5 +40,7 @@ pub use interp::{EventSink, ExecStats, Machine, NullSink};
 pub use loops::{Loop, LoopForest};
 pub use module::{DataInit, LoadModule};
 pub use proc::{BasicBlock, BlockId, ProcId, Procedure};
+pub use ranges::{Interval, RangeAnalysis};
 pub use reg::Reg;
+pub use summary::{ProcSummaries, ProcSummary};
 pub use verify::{verify_module, Diagnostic, LintId, Severity, Site, VerifyError};

@@ -177,6 +177,20 @@ impl LoadModule {
         base
     }
 
+    /// The address span `[lo, hi)` of the allocated data segment, or
+    /// `None` when no globals exist. Used by the abstract interpreter to
+    /// accept range-instantiated constant addresses only when they point
+    /// at real data.
+    pub fn data_range(&self) -> Option<(u64, u64)> {
+        let lo = self
+            .data
+            .iter()
+            .map(|d| d.base)
+            .min()
+            .unwrap_or(Self::DEFAULT_DATA_BASE);
+        (self.data_break > lo).then_some((lo, self.data_break))
+    }
+
     /// Set the initial contents of a previously allocated region.
     ///
     /// # Panics

@@ -34,6 +34,9 @@ struct Args {
     flags: Vec<(String, String)>,
 }
 
+/// Flags that take no value (presence alone means "yes").
+const BOOL_FLAGS: &[&str] = &["json"];
+
 impl Args {
     fn parse() -> Args {
         let mut positional = Vec::new();
@@ -41,6 +44,10 @@ impl Args {
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    flags.push((key.to_string(), "yes".to_string()));
+                    continue;
+                }
                 let val = it.next().unwrap_or_else(|| {
                     eprintln!("missing value for --{key}");
                     std::process::exit(2);
@@ -89,7 +96,7 @@ fn usage() -> ! {
          memgaze store gc --dir DIR\n  \
          memgaze store analyze <id> --dir DIR [--threads N]\n  \
          memgaze query <id> --dir DIR [--region lo:hi] [--time lo:hi] [--function NAME]\n  \
-         memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N]\n  \
+         memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N] [--json]\n  \
          memgaze profile <subcommand args...> [--obs-out FILE]\n  \
          memgaze list\n\n\
          patterns: str<k>, irr, a|b (serial), a/b (conditional), e.g. \"str2|irr\"\n\
@@ -128,7 +135,8 @@ fn run_lint(args: &Args) -> i32 {
     let mut table = Table::new(
         "Lint results",
         &[
-            "Module", "loads", "agree", "unknown", "lost", "unsound", "errors", "warnings",
+            "Module", "loads", "agree", "unknown", "upgraded", "lost", "unsound", "errors",
+            "warnings",
         ],
     );
     let mut errors = 0usize;
@@ -142,6 +150,7 @@ fn run_lint(args: &Args) -> i32 {
             d.loads.to_string(),
             d.agree.to_string(),
             d.absint_unknown.to_string(),
+            d.upgraded.to_string(),
             d.lost_compression.to_string(),
             d.unsound.to_string(),
             report.count(memgaze::isa::Severity::Error).to_string(),
@@ -151,21 +160,101 @@ fn run_lint(args: &Args) -> i32 {
         warnings += report.count(memgaze::isa::Severity::Warning);
         reports.push(report);
     }
-    print!("{}", table.render());
-    for report in &reports {
-        for diag in &report.diagnostics {
-            println!("{diag}");
+    if args.get("json").is_some() {
+        print!("{}", lint_reports_json(&reports, errors, warnings));
+    } else {
+        print!("{}", table.render());
+        for report in &reports {
+            for diag in &report.diagnostics {
+                println!("{diag}");
+            }
         }
+        println!(
+            "\n{} modules linted: {errors} errors, {warnings} warnings",
+            modules.len()
+        );
     }
-    println!(
-        "\n{} modules linted: {errors} errors, {warnings} warnings",
-        modules.len()
-    );
     if errors > 0 {
         1
     } else {
         0
     }
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON for `memgaze lint --json`: per-module differential
+/// summaries plus every diagnostic, the latter sorted by lint id then
+/// site so the output is diffable across runs.
+fn lint_reports_json(
+    reports: &[memgaze::instrument::LintReport],
+    errors: usize,
+    warnings: usize,
+) -> String {
+    let mut out = String::from("{\n  \"modules\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let d = &r.differential;
+        out.push_str(&format!(
+            "    {{\"module\": \"{}\", \"loads\": {}, \"agree\": {}, \
+             \"absint_unknown\": {}, \"upgraded\": {}, \"lost_compression\": {}, \
+             \"unsound\": {}, \"errors\": {}, \"warnings\": {}}}{}\n",
+            json_escape(&r.module),
+            d.loads,
+            d.agree,
+            d.absint_unknown,
+            d.upgraded,
+            d.lost_compression,
+            d.unsound,
+            r.count(memgaze::isa::Severity::Error),
+            r.count(memgaze::isa::Severity::Warning),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"diagnostics\": [\n");
+    let mut diags: Vec<&memgaze::isa::Diagnostic> =
+        reports.iter().flat_map(|r| &r.diagnostics).collect();
+    diags.sort_by(|a, b| {
+        (a.lint.code(), a.site.to_string()).cmp(&(b.lint.code(), b.site.to_string()))
+    });
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"severity\": \"{}\", \"site\": \"{}\", \
+             \"message\": \"{}\"}}{}\n",
+            d.lint.code(),
+            d.severity,
+            json_escape(&d.site.to_string()),
+            json_escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    let total: u64 = reports.iter().map(|r| r.differential.loads).sum();
+    let agree: u64 = reports.iter().map(|r| r.differential.agree).sum();
+    let agreement = if total == 0 {
+        1.0
+    } else {
+        agree as f64 / total as f64
+    };
+    out.push_str(&format!(
+        "  ],\n  \"totals\": {{\"modules\": {}, \"loads\": {total}, \"agreement\": {agreement}, \
+         \"errors\": {errors}, \"warnings\": {warnings}}}\n}}\n",
+        reports.len()
+    ));
+    out
 }
 
 fn print_analysis(analyzer: &Analyzer<'_>, name: &str) {

@@ -6,13 +6,18 @@
 
 use memgaze::instrument::lint::check_instrumented;
 use memgaze::instrument::plan::InstrPlan;
-use memgaze::instrument::{lint_module, InstrumentConfig, Instrumenter, ModuleClassification};
+use memgaze::instrument::{
+    lint_module, ClassifiedLoad, InstrumentConfig, Instrumenter, ModuleClassification,
+};
 use memgaze::isa::codegen::{self, Compose, OptLevel, Pattern, UKernelSpec};
 use memgaze::isa::{
-    verify_module, BasicBlock, BlockId, DataInit, Diagnostic, Instr, LintId, LoadModule, ProcId,
-    Reg, Severity, Terminator,
+    verify_module, AbsResult, AddrKind, AddrMode, BasicBlock, BlockId, DataInit, Diagnostic, Instr,
+    LintId, LoadModule, Operand, ProcId, Reg, Severity, Terminator,
 };
 use memgaze::model::{Ip, LoadClass};
+use memgaze_bench::{
+    call_graph_module, masked_index_module, nested_loop_module, spilled_iv_module,
+};
 use proptest::prelude::*;
 
 fn gen(compose: Compose, opt: OptLevel) -> LoadModule {
@@ -299,6 +304,269 @@ fn uncompressed_config_lints_clean() {
     assert!(!report.has_errors(), "{:?}", report.diagnostics);
 }
 
+// --- abstract-interpretation proof mutations ----------------------------
+//
+// Each new analysis layer (slot forwarding, loop-nest induction,
+// interprocedural summaries, value-range identities) gets a pair of
+// tests: one that the proof goes through on the workload built to need
+// it, and one that a targeted mutation invalidating the proof's premise
+// actually refutes it — the classifier must drop back to the dataflow
+// verdict instead of keeping a now-wrong upgrade. Every mutation also
+// re-lints the module and asserts the differential stays sound.
+
+/// The unique classified load matching `pred`.
+fn the_load(c: &ModuleClassification, pred: impl Fn(&ClassifiedLoad) -> bool) -> ClassifiedLoad {
+    let hits: Vec<&ClassifiedLoad> = c.loads().filter(|l| pred(l)).collect();
+    assert_eq!(hits.len(), 1, "expected exactly one matching load");
+    *hits[0]
+}
+
+/// Mutated modules must still lint without unsound disagreements (and,
+/// since upgrades were refuted rather than miscarried, without errors).
+fn assert_sound(m: &LoadModule) {
+    let report = lint_module(m, &InstrumentConfig::default());
+    assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    assert_eq!(report.differential.unsound, 0, "unsound after mutation");
+}
+
+#[test]
+fn slot_forwarding_proves_spilled_iv() {
+    let m = spilled_iv_module(64);
+    let c = ModuleClassification::analyze(&m);
+    let l = the_load(&c, |l| l.scale == 8);
+    assert_eq!(l.dataflow_kind, AddrKind::Irregular, "dataflow gives up");
+    assert_eq!(l.kind, AddrKind::Strided { stride: 8 }, "absint forwards");
+    assert!(l.upgraded());
+    assert_sound(&m);
+}
+
+#[test]
+fn mutation_unknown_store_kills_slot_forwarding() {
+    let mut m = spilled_iv_module(64);
+    // A store through an untracked pointer may alias the spill slot, so
+    // the forwarded recurrence is no longer provable.
+    m.procs[0].blocks[1].instrs.push(Instr::Store {
+        src: Reg::gp(5),
+        addr: AddrMode::base_disp(Reg::gp(12), 0),
+    });
+    let c = ModuleClassification::analyze(&m);
+    let l = the_load(&c, |l| l.scale == 8);
+    assert!(!l.upgraded(), "forwarding must die: {:?}", l.absint);
+    assert_eq!(l.kind, AddrKind::Irregular);
+    assert_sound(&m);
+}
+
+#[test]
+fn mutation_overlapping_slot_store_kills_forwarding() {
+    let mut m = spilled_iv_module(64);
+    // An 8-byte store at FP-12 overlaps the FP-8 slot's window, so the
+    // precise same-base kill must discard the tracked content.
+    m.procs[0].blocks[1].instrs.push(Instr::Store {
+        src: Reg::gp(4),
+        addr: AddrMode::base_disp(Reg::FP, -12),
+    });
+    let c = ModuleClassification::analyze(&m);
+    let l = the_load(&c, |l| l.scale == 8);
+    assert!(!l.upgraded(), "overlap must kill the slot: {:?}", l.absint);
+    assert_sound(&m);
+}
+
+#[test]
+fn nest_proof_carries_outer_stride() {
+    let m = nested_loop_module(8, 16);
+    let c = ModuleClassification::analyze(&m);
+    let l = the_load(&c, |l| l.scale == 8);
+    assert_eq!(l.kind, AddrKind::Strided { stride: 8 });
+    match l.absint {
+        AbsResult::Proven {
+            stride,
+            outer_stride,
+            ..
+        } => {
+            assert_eq!(stride, 8);
+            assert_eq!(outer_stride, Some(16 * 8), "row pitch proven");
+        }
+        other => panic!("expected nest proof, got {other:?}"),
+    }
+    assert_sound(&m);
+}
+
+#[test]
+fn mutation_loaded_row_base_refutes_nest_proof() {
+    let mut m = nested_loop_module(8, 16);
+    // Redefine the row base from memory inside the inner loop: the
+    // address now depends on loaded data, so the induction proof must
+    // collapse (ProvenIrregular or Unknown, never a stride).
+    m.procs[0].blocks[2].instrs.insert(
+        0,
+        Instr::Load {
+            dst: Reg::gp(1),
+            addr: AddrMode::base_disp(Reg::gp(1), 0),
+        },
+    );
+    let c = ModuleClassification::analyze(&m);
+    let l = the_load(&c, |l| l.scale == 8);
+    assert!(l.absint.stride().is_none(), "no stride: {:?}", l.absint);
+    assert_sound(&m);
+}
+
+#[test]
+fn summaries_keep_caller_pointer_and_prove_leaf_const() {
+    let m = call_graph_module(64);
+    let c = ModuleClassification::analyze(&m);
+    // Caller's array walk survives the calls because the leaf's summary
+    // proves gp2 is not clobbered.
+    let caller = the_load(&c, |l| l.scale == 8);
+    assert_eq!(caller.kind, AddrKind::Strided { stride: 8 });
+    // The leaf's argument dereference resolves to the one global scalar
+    // every call site passes, upgrading Irregular to Constant.
+    let leaf = the_load(&c, |l| l.scale != 8);
+    assert_eq!(leaf.dataflow_kind, AddrKind::Irregular);
+    assert_eq!(leaf.kind, AddrKind::Constant);
+    assert!(leaf.upgraded());
+    assert_sound(&m);
+}
+
+#[test]
+fn mutation_clobbering_leaf_refutes_caller_proof() {
+    let mut m = call_graph_module(64);
+    // Make the leaf scribble over the caller's array pointer: its
+    // summary must report the clobber and the caller's stride proof
+    // (and the summary-aware dataflow verdict) must both collapse.
+    m.procs[0].blocks[1].instrs.push(Instr::MovImm {
+        dst: Reg::gp(2),
+        imm: 0,
+    });
+    let c = ModuleClassification::analyze(&m);
+    let caller = the_load(&c, |l| l.scale == 8);
+    assert_ne!(caller.kind, AddrKind::Strided { stride: 8 });
+    assert_sound(&m);
+}
+
+#[test]
+fn mutation_disagreeing_call_sites_refute_const_addr() {
+    let mut m = call_graph_module(64);
+    // Point the second call site's argument somewhere else: the leaf's
+    // argument is no longer a single known constant, so the Constant
+    // upgrade must not happen.
+    let main = &mut m.procs[1];
+    let exit = main.blocks.len() - 1;
+    for ins in &mut main.blocks[exit].instrs {
+        if let Instr::MovImm { dst, imm } = ins {
+            if dst.index() == 0 {
+                *imm += 64;
+            }
+        }
+    }
+    let c = ModuleClassification::analyze(&m);
+    let leaf = the_load(&c, |l| l.scale != 8);
+    assert_ne!(leaf.kind, AddrKind::Constant, "upgrade must be refuted");
+    assert_sound(&m);
+}
+
+#[test]
+fn mutation_recursive_arg_scramble_degrades_const_to_top() {
+    let mut m = call_graph_module(64);
+    // Make the leaf call itself with a data-dependent argument: the
+    // summary fixpoint must terminate, and the recursive call site's
+    // loaded gp0 drives the argument fact to ⊤, refuting the leaf's
+    // Constant upgrade. The caller's cross-call stride proof is
+    // unaffected (the clobber set is still precise under recursion).
+    let leaf_id = m.procs[0].id;
+    let body = &mut m.procs[0].blocks[1].instrs;
+    body.push(Instr::Mov {
+        dst: Reg::gp(0),
+        src: Reg::gp(9),
+    });
+    body.push(Instr::Call { proc: leaf_id });
+    let c = ModuleClassification::analyze(&m);
+    let leaf = the_load(&c, |l| l.scale != 8);
+    assert_ne!(leaf.kind, AddrKind::Constant, "arg fact must hit top");
+    let caller = the_load(&c, |l| l.scale == 8);
+    assert_eq!(caller.kind, AddrKind::Strided { stride: 8 });
+    assert_sound(&m);
+}
+
+#[test]
+fn range_identity_proves_masked_index() {
+    let m = masked_index_module(64);
+    let c = ModuleClassification::analyze(&m);
+    let l = the_load(&c, |l| l.scale == 8);
+    assert_eq!(l.dataflow_kind, AddrKind::Irregular, "mask defeats IVs");
+    assert_eq!(l.kind, AddrKind::Strided { stride: 8 });
+    assert!(l.upgraded());
+    assert_sound(&m);
+}
+
+#[test]
+fn mutation_narrow_mask_refutes_range_identity() {
+    let mut m = masked_index_module(64);
+    // Shrink the mask below the loop bound: the index genuinely wraps
+    // at 16 now, so `i & 15 == i` no longer holds and the affine proof
+    // must be refuted.
+    for b in &mut m.procs[0].blocks {
+        for ins in &mut b.instrs {
+            if let Instr::Bin {
+                rhs: Operand::Imm(imm),
+                ..
+            } = ins
+            {
+                if *imm == 63 {
+                    *imm = 15;
+                }
+            }
+        }
+    }
+    let c = ModuleClassification::analyze(&m);
+    let l = the_load(&c, |l| l.scale == 8);
+    assert!(!l.upgraded(), "wrapping mask: {:?}", l.absint);
+    assert_eq!(l.kind, AddrKind::Irregular);
+    assert_sound(&m);
+}
+
+#[test]
+fn gather_loads_are_proven_irregular() {
+    // A dependent (pointer-chasing) load must come back ProvenIrregular,
+    // not merely Unknown: the interpreter positively established the
+    // address is data-dependent.
+    let m = gen(Compose::Single(Pattern::Irregular), OptLevel::O3);
+    let c = ModuleClassification::analyze(&m);
+    assert!(
+        c.loads()
+            .any(|l| matches!(l.absint, AbsResult::ProvenIrregular)),
+        "no ProvenIrregular load in the gather kernel"
+    );
+    assert_sound(&m);
+}
+
+/// The eliding configuration keeps every artifact invariant the linter
+/// checks (including observe/imply/elide conservation) on the showcase
+/// workloads and a mixed microbenchmark.
+#[test]
+fn eliding_config_lints_clean_and_conserves() {
+    let modules = [
+        spilled_iv_module(64),
+        nested_loop_module(8, 16),
+        call_graph_module(64),
+        masked_index_module(64),
+        mixed(OptLevel::O3),
+    ];
+    let config = InstrumentConfig::eliding();
+    for m in &modules {
+        let report = lint_module(m, &config);
+        assert!(!report.has_errors(), "{}: {:?}", m.name, report.diagnostics);
+        let c = ModuleClassification::analyze(m);
+        let plan = InstrPlan::build(m, &c, &config);
+        let implied: u64 = plan.iter().map(|(_, d)| d.implied_const as u64).sum();
+        assert_eq!(
+            plan.num_instrumented() + implied + plan.num_elided(),
+            c.len() as u64,
+            "{}: conservation",
+            m.name
+        );
+    }
+}
+
 // --- properties ----------------------------------------------------------
 
 fn arb_pattern() -> impl Strategy<Value = Pattern> {
@@ -349,6 +617,20 @@ proptest! {
         let report = lint_module(&m, &InstrumentConfig::default());
         prop_assert!(!report.has_errors(), "{:?}", report.diagnostics);
         prop_assert_eq!(report.differential.unsound, 0);
+    }
+
+    /// The abstract interpreter never produces an unsound proof — a load
+    /// it claims is *more* regular than the final fused class — on any
+    /// generated kernel, under either planner configuration. This is the
+    /// soundness half of the precision ratchet.
+    #[test]
+    fn absint_never_unsound(spec in arb_spec()) {
+        let m = codegen::generate(&spec);
+        for config in [InstrumentConfig::default(), InstrumentConfig::eliding()] {
+            let report = lint_module(&m, &config);
+            prop_assert_eq!(report.differential.unsound, 0);
+            prop_assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        }
     }
 
     /// Every address the layout hands out round-trips through locate, and
