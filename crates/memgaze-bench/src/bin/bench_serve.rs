@@ -1,0 +1,169 @@
+//! BENCH_serve: the streaming-analysis daemon under concurrent session
+//! load — sessions/sec through the full HTTP lifecycle
+//! (create → feed → seal), client-observed feed latency percentiles,
+//! and the per-session byte high-water mark the admission budget sees.
+//!
+//! The acceptance gate (wired through `compare_bench --check` in the
+//! `serve-smoke` CI job): `bit_identical >= 1` — every sealed session
+//! in the run must reproduce its resident [`StreamingAnalyzer`] pass
+//! bit for bit, or the throughput numbers are meaningless.
+
+use memgaze_analysis::Table;
+use memgaze_bench::{emit, scales, timed};
+use memgaze_model::Sample;
+use memgaze_obs::ObsConfig;
+use memgaze_serve::harness::{container, resident_report, synthetic_samples};
+use memgaze_serve::{Client, ServeConfig, Server};
+use serde::Serialize;
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Payload {
+    sessions: usize,
+    concurrency: usize,
+    samples_per_session: usize,
+    shards_per_session: usize,
+    uploads_per_session: usize,
+    pool_threads: usize,
+    wall_ms: f64,
+    sessions_per_sec: f64,
+    feed_p50_us: f64,
+    feed_p95_us: f64,
+    peak_session_bytes: u64,
+    bit_identical: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    memgaze_obs::configure(ObsConfig::disabled());
+    let sc = scales::from_env();
+    let sessions = (sc.micro_elems as usize / 128).clamp(8, 48);
+    let concurrency = 4usize;
+    let pool_threads = 6usize;
+    let samples_per_session = 10usize;
+    let window = 96usize;
+    let group = 2usize; // samples per shard
+    let split = 2usize; // shards per upload
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default(), pool_threads)
+        .expect("bind bench server");
+    let client = Client::new(server.addr());
+    let cfg = ServeConfig::default();
+
+    // Each session gets its own salted trace; residents are computed
+    // up front so only serve-side work is on the clock.
+    let traces: Vec<Vec<Vec<Sample>>> = (0..sessions)
+        .map(|i| {
+            synthetic_samples(samples_per_session, window, i as u64)
+                .chunks(group)
+                .map(|c| c.to_vec())
+                .collect()
+        })
+        .collect();
+    let residents: Vec<_> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, groups)| resident_report(&format!("bench-{i}"), groups, &cfg))
+        .collect();
+    let uploads_per_session = traces[0].chunks(split).count();
+
+    let feed_us = Mutex::new(Vec::<f64>::new());
+    let identical = Mutex::new(0usize);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    let (wall_ms, ()) = timed(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= sessions {
+                        break;
+                    }
+                    let workload = format!("bench-{i}");
+                    let id = client.create_session().expect("create");
+                    let mut lat = Vec::new();
+                    for upload in traces[i].chunks(split) {
+                        let refs: Vec<&[Sample]> = upload.iter().map(|g| g.as_slice()).collect();
+                        let body = container(&workload, &refs);
+                        let started = Instant::now();
+                        let resp = client.feed(&id, &body, None).expect("feed");
+                        lat.push(started.elapsed().as_secs_f64() * 1e6);
+                        assert_eq!(resp.status, 202, "feed refused: {}", resp.text());
+                    }
+                    let sealed = client.seal(&id).expect("seal");
+                    let report = sealed.finish().expect("finish");
+                    if report == residents[i] {
+                        *identical.lock().unwrap() += 1;
+                    }
+                    feed_us.lock().unwrap().extend(lat);
+                });
+            }
+        });
+    });
+
+    let peak_session_bytes = server
+        .registry()
+        .ids()
+        .iter()
+        .filter_map(|id| server.registry().get(id).ok())
+        .map(|s| s.status().peak_bytes)
+        .max()
+        .unwrap_or(0);
+    let drained = server.drain();
+    assert_eq!(drained.seal_failures, 0, "drain must be clean");
+
+    let mut lat = feed_us.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let identical = identical.into_inner().unwrap();
+    let payload = Payload {
+        sessions,
+        concurrency,
+        samples_per_session,
+        shards_per_session: traces[0].len(),
+        uploads_per_session,
+        pool_threads,
+        wall_ms,
+        sessions_per_sec: sessions as f64 / (wall_ms / 1000.0).max(1e-9),
+        feed_p50_us: percentile(&lat, 0.50),
+        feed_p95_us: percentile(&lat, 0.95),
+        peak_session_bytes,
+        bit_identical: u64::from(identical == sessions),
+    };
+
+    let mut table = Table::new(
+        "BENCH_serve: streaming-analysis daemon under concurrent sessions",
+        &["metric", "value"],
+    );
+    table.push_row(vec![
+        "sessions (complete lifecycles)".into(),
+        format!("{sessions} @ {concurrency} concurrent"),
+    ]);
+    table.push_row(vec![
+        "sessions/sec".into(),
+        format!("{:.1}", payload.sessions_per_sec),
+    ]);
+    table.push_row(vec![
+        "feed latency p50 / p95".into(),
+        format!(
+            "{:.0}us / {:.0}us",
+            payload.feed_p50_us, payload.feed_p95_us
+        ),
+    ]);
+    table.push_row(vec![
+        "peak per-session bytes".into(),
+        format!("{peak_session_bytes}"),
+    ]);
+    table.push_row(vec![
+        "bit-identical to resident".into(),
+        format!("{identical}/{sessions}"),
+    ]);
+    emit("BENCH_serve", &table, &payload);
+}

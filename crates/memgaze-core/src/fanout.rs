@@ -811,11 +811,12 @@ impl JobSource<'_> {
 }
 
 /// Absorb a retired worker's JSONL events into this process's sinks. A
-/// missing file (worker died before its first event) is simply empty.
+/// missing file (worker died before its first event) is simply empty;
+/// torn lines are skipped and counted by the absorber.
 fn absorb_worker_obs(path: Option<&Path>) {
     if let Some(p) = path {
         if let Ok(text) = std::fs::read_to_string(p) {
-            let _ = memgaze_obs::absorb_jsonl(&text);
+            memgaze_obs::absorb_jsonl(&text);
         }
     }
 }

@@ -15,6 +15,16 @@ pub enum ModelError {
         /// What was being decoded when input ran out.
         context: &'static str,
     },
+    /// A decoded count or offset too large to address on this platform
+    /// (`u64` → `usize` would truncate). Unchecked `as usize` narrowing
+    /// here would silently wrap on 32-bit targets, letting a hostile
+    /// length alias a small allocation; decoders reject it instead.
+    Oversize {
+        /// What was being decoded when the value was rejected.
+        context: &'static str,
+        /// The offending value.
+        value: u64,
+    },
     /// Samples must be time-ordered and non-overlapping.
     UnorderedSamples {
         /// Index of the offending sample.
@@ -77,6 +87,12 @@ impl std::fmt::Display for ModelError {
             ModelError::BadHeader { detail } => write!(f, "bad trace header: {detail}"),
             ModelError::Truncated { context } => {
                 write!(f, "truncated trace data while decoding {context}")
+            }
+            ModelError::Oversize { context, value } => {
+                write!(
+                    f,
+                    "oversize value {value} while decoding {context}: not addressable on this platform"
+                )
             }
             ModelError::UnorderedSamples { index } => {
                 write!(f, "sample {index} is out of time order")

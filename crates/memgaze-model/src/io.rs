@@ -97,8 +97,17 @@ fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
+/// Narrow a decoded count/length/offset to `usize`, rejecting values a
+/// 32-bit target cannot address instead of letting `as usize` wrap them
+/// into small (hostile-length-aliasing) allocations. On 64-bit targets
+/// this never fails, but every decode path routes through it so the
+/// codec is identical on both.
+pub(crate) fn decoded_usize(v: u64, context: &'static str) -> Result<usize, ModelError> {
+    usize::try_from(v).map_err(|_| ModelError::Oversize { context, value: v })
+}
+
 fn get_string<B: Buf>(buf: &mut B, context: &'static str) -> Result<String, ModelError> {
-    let len = get_varint(buf, context)? as usize;
+    let len = decoded_usize(get_varint(buf, context)?, context)?;
     if buf.remaining() < len {
         return Err(ModelError::Truncated { context });
     }
@@ -208,7 +217,7 @@ pub(crate) fn put_sample(buf: &mut BytesMut, prev_trigger: u64, s: &Sample) {
 /// for it.
 pub(crate) fn get_sample<B: Buf>(buf: &mut B, prev_trigger: u64) -> Result<Sample, ModelError> {
     let trigger = prev_trigger.wrapping_add(get_varint(buf, "trigger_time")?);
-    let w = get_varint(buf, "window")? as usize;
+    let w = decoded_usize(get_varint(buf, "window")?, "window")?;
     // Every encoded access costs at least three bytes (three varints).
     if w > buf.remaining() / 3 {
         return Err(ModelError::Truncated {
@@ -241,7 +250,7 @@ pub fn encode_sampled(trace: &SampledTrace) -> Bytes {
 pub fn decode_sampled(mut data: Bytes) -> Result<SampledTrace, ModelError> {
     check_header(&mut data, KIND_SAMPLED)?;
     let meta = get_meta(&mut data)?;
-    let n = get_varint(&mut data, "num_samples")? as usize;
+    let n = decoded_usize(get_varint(&mut data, "num_samples")?, "num_samples")?;
     // Every encoded sample costs at least two bytes (two varints), so a
     // claimed count beyond that is corrupt; reject it before allocating.
     if n > data.remaining() / 2 {
@@ -279,7 +288,7 @@ pub fn decode_full(mut data: Bytes) -> Result<FullTrace, ModelError> {
     check_header(&mut data, KIND_FULL)?;
     let meta = get_meta(&mut data)?;
     let dropped = get_varint(&mut data, "dropped")?;
-    let n = get_varint(&mut data, "num_accesses")? as usize;
+    let n = decoded_usize(get_varint(&mut data, "num_accesses")?, "num_accesses")?;
     if n > data.remaining() / 3 {
         return Err(ModelError::Truncated {
             context: "accesses",

@@ -41,7 +41,9 @@
 
 use crate::error::ModelError;
 use crate::hash::fnv1a64;
-use crate::io::{get_sample, get_varint, put_header, put_meta, put_sample, put_varint};
+use crate::io::{
+    decoded_usize, get_sample, get_varint, put_header, put_meta, put_sample, put_varint,
+};
 use crate::sample::{Sample, SampledTrace, TraceMeta};
 use bytes::{Buf, BytesMut};
 use std::io::{Read, Write};
@@ -110,12 +112,15 @@ impl FrameIndex {
                 ),
             });
         }
-        let hdr = self.header_len as usize;
-        if hdr > container.len() {
+        // Compare in u64 space before narrowing: an `as usize` cast of a
+        // hostile header length would wrap on 32-bit targets and pass
+        // the bound check with a bogus small value.
+        if self.header_len > container.len() as u64 {
             return Err(ModelError::StaleIndex {
-                detail: format!("header length {hdr} exceeds container"),
+                detail: format!("header length {} exceeds container", self.header_len),
             });
         }
+        let hdr = self.header_len as usize;
         let got = fnv1a64(&container[..hdr]);
         if got != self.header_checksum {
             return Err(ModelError::StaleIndex {
@@ -145,15 +150,20 @@ impl FrameIndex {
         let entry = self.entries.get(i).ok_or_else(|| ModelError::StaleIndex {
             detail: format!("frame {i} out of range ({} indexed)", self.entries.len()),
         })?;
-        let lo = entry.offset as usize;
-        let hi = lo
-            .checked_add(entry.len as usize)
-            .filter(|&hi| hi <= container.len());
-        let Some(hi) = hi else {
+        // Bounds-check in u64 space, then narrow: both casts are safe
+        // once `end <= container.len()` holds, and a hostile offset/len
+        // can no longer wrap through `as usize` on 32-bit targets.
+        let end = entry
+            .offset
+            .checked_add(entry.len)
+            .filter(|&end| end <= container.len() as u64);
+        let Some(end) = end else {
             return Err(ModelError::StaleIndex {
                 detail: format!("frame {i} spans past the container end"),
             });
         };
+        let lo = entry.offset as usize;
+        let hi = end as usize;
         let payload = &container[lo..hi];
         let got = fnv1a64(payload);
         if got != entry.checksum {
@@ -234,7 +244,10 @@ impl FrameIndex {
         let container_len = read_varint(&mut src, "index container_len")?;
         let total_loads = read_varint(&mut src, "index total_loads")?;
         let total_instrumented_loads = read_varint(&mut src, "index total_instr")?;
-        let n = read_varint(&mut src, "index entry count")? as usize;
+        let n = decoded_usize(
+            read_varint(&mut src, "index entry count")?,
+            "index entry count",
+        )?;
         // Each entry is at least 11 bytes encoded; bound the allocation.
         if n > body.len() / 11 {
             return Err(ModelError::Truncated {
@@ -465,12 +478,16 @@ impl<R: Read> ShardReader<R> {
                 read_varint(&mut self.src, "trailer total_instrumented_loads")?;
             return Ok(None);
         }
+        // A frame that cannot fit in this platform's address space is
+        // rejected up front with a typed error — on 32-bit targets an
+        // `as usize` narrowing here would wrap instead.
+        let encoded_bytes = decoded_usize(len, "frame length")?;
         // Read exactly `len` payload bytes into the reusable scratch.
         // `take` + `read_to_end` grows the buffer only as data actually
         // arrives, so a corrupt length on a truncated stream cannot
         // trigger a giant allocation.
         self.payload.clear();
-        self.payload.reserve((len as usize).min(1 << 20));
+        self.payload.reserve(encoded_bytes.min(1 << 20));
         let got = (&mut self.src).take(len).read_to_end(&mut self.payload)?;
         if got as u64 != len {
             return Err(ModelError::Truncated {
@@ -485,7 +502,7 @@ impl<R: Read> ShardReader<R> {
         Ok(Some(Shard {
             index,
             samples,
-            encoded_bytes: len as usize,
+            encoded_bytes,
         }))
     }
 }
@@ -520,7 +537,10 @@ impl<R: Read> Iterator for ShardReader<R> {
 /// `memgaze-store` blob path, which holds frame payloads outside any
 /// container.
 pub fn decode_frame_payload(mut buf: &[u8]) -> Result<Vec<Sample>, ModelError> {
-    let n = get_varint(&mut buf, "shard num_samples")? as usize;
+    let n = decoded_usize(
+        get_varint(&mut buf, "shard num_samples")?,
+        "shard num_samples",
+    )?;
     if n > buf.remaining() / 2 {
         return Err(ModelError::Truncated {
             context: "shard samples",
@@ -617,7 +637,7 @@ fn read_u64_le<R: Read>(src: &mut R, context: &'static str) -> Result<u64, Model
 }
 
 fn read_string<R: Read>(src: &mut R, context: &'static str) -> Result<String, ModelError> {
-    let len = read_varint(src, context)? as usize;
+    let len = decoded_usize(read_varint(src, context)?, context)?;
     let mut raw = Vec::with_capacity(len.min(1 << 16));
     let got = src.take(len as u64).read_to_end(&mut raw)?;
     if got != len {
@@ -775,6 +795,67 @@ mod tests {
             Err(e) => assert_eq!(e.shard_index(), Some(0)),
             Ok(_) => panic!("corrupt count must error"),
         }
+    }
+
+    #[test]
+    fn hostile_lengths_are_typed_errors_not_wraps() {
+        // Regression: decoded counts/lengths/offsets used to be narrowed
+        // with `as usize`, which silently truncates on 32-bit targets
+        // and lets a hostile length wrap into a small allocation. Every
+        // site now routes through `usize::try_from` into the typed
+        // decode-error chain, so each of these ends in a typed error on
+        // every pointer width — never a wrap, never a panic.
+
+        // A frame payload claiming u64::MAX samples is rejected before
+        // any allocation (Oversize on 32-bit, count-vs-bytes bound here).
+        let mut payload = BytesMut::new();
+        put_varint(&mut payload, u64::MAX);
+        match decode_frame_payload(&payload) {
+            Err(ModelError::Truncated { .. } | ModelError::Oversize { .. }) => {}
+            other => panic!("expected typed rejection, got {other:?}"),
+        }
+
+        // A meta string whose length varint claims u64::MAX bytes.
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, VERSION_SHARDED, KIND_SHARDED);
+        put_varint(&mut buf, u64::MAX); // meta.workload length
+        buf.extend_from_slice(b"x");
+        match ShardReader::new(&buf[..]) {
+            Err(ModelError::Truncated { .. } | ModelError::Oversize { .. }) => {}
+            Err(other) => panic!("expected typed rejection, got {other:?}"),
+            Ok(_) => panic!("hostile meta length must not decode"),
+        }
+
+        // A varint that never terminates within 64 bits of shift.
+        let overlong = [0xffu8; 11];
+        match read_varint(&mut &overlong[..], "overlong") {
+            Err(ModelError::BadHeader { detail }) => assert!(detail.contains("varint overflow")),
+            other => panic!("expected varint overflow, got {other:?}"),
+        }
+
+        // An index entry whose offset+len wraps u64 (or spans past the
+        // container) fails validation and read_frame with typed errors.
+        let t = mk_trace(3, 4);
+        let (bytes, mut index) = encode_sharded_indexed(&t, 1);
+        index.entries[0].offset = u64::MAX - 8;
+        index.entries[0].len = 64;
+        assert!(matches!(
+            index.validate(&bytes),
+            Err(ModelError::StaleIndex { .. })
+        ));
+        assert!(matches!(
+            index.read_frame(&bytes, 0),
+            Err(ModelError::StaleIndex { .. })
+        ));
+
+        // A header length larger than the container is a typed staleness
+        // error even though it can no longer be compared post-wrap.
+        let (bytes, mut index) = encode_sharded_indexed(&t, 1);
+        index.header_len = u64::MAX;
+        assert!(matches!(
+            index.validate(&bytes),
+            Err(ModelError::StaleIndex { .. })
+        ));
     }
 
     #[test]

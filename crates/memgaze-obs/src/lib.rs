@@ -466,23 +466,45 @@ pub fn take_capture() -> Vec<Event> {
     }
 }
 
+/// Outcome of absorbing a JSONL event stream: how many events landed
+/// and how many malformed lines were skipped along the way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbsorbStats {
+    /// Events successfully parsed and emitted into this process's sinks.
+    pub absorbed: usize,
+    /// Nonempty lines that failed to parse and were skipped.
+    pub skipped: usize,
+}
+
 /// Absorb a worker's JSONL event stream into this process's sinks,
 /// preserving each event verbatim (events are pid-qualified, so no
-/// rewriting is needed to keep the merged trace consistent). Returns
-/// the number of events absorbed; a malformed line is a typed error
-/// naming the line.
-pub fn absorb_jsonl(text: &str) -> Result<usize, String> {
-    let mut n = 0usize;
-    for (i, line) in text.lines().enumerate() {
+/// rewriting is needed to keep the merged trace consistent).
+///
+/// Concurrent writers appending to a shared `jsonl:` sink can interleave
+/// partial lines anywhere in the file, not just at the tail, so a
+/// malformed line is not fatal: it is skipped, counted in
+/// [`AbsorbStats::skipped`], and surfaced on the `obs.absorb.skipped`
+/// counter. Every well-formed line before *and after* a torn write
+/// still lands. Use [`validate_jsonl`] when strictness is the point.
+pub fn absorb_jsonl(text: &str) -> AbsorbStats {
+    let mut stats = AbsorbStats::default();
+    for line in text.lines() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let ev = Event::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        emit(ev);
-        n += 1;
+        match Event::from_json_line(line) {
+            Ok(ev) => {
+                emit(ev);
+                stats.absorbed += 1;
+            }
+            Err(_) => stats.skipped += 1,
+        }
     }
-    Ok(n)
+    if stats.skipped > 0 {
+        counter("obs.absorb.skipped").add(stats.skipped as u64);
+    }
+    stats
 }
 
 /// Validate that every nonempty line of a JSONL event stream parses as
@@ -519,10 +541,17 @@ pub fn worker_env(parent: Option<SpanCtx>, jsonl_path: &Path) -> Vec<(String, St
 mod tests {
     use super::*;
 
-    /// The global sink set is process-wide, so the lib tests run as one
-    /// serialized unit to avoid cross-talk through `take_capture`.
+    /// The global sink set is process-wide, so tests that reconfigure
+    /// sinks or drain `take_capture` serialize on this lock.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     #[test]
     fn spans_counters_and_stitching() {
+        let _guard = serial();
         configure(ObsConfig {
             capture: true,
             ..ObsConfig::default()
@@ -574,7 +603,7 @@ mod tests {
         ));
 
         // Absorb a synthetic worker stream: events keep their pid and
-        // remote parent, and a garbage line is a typed error.
+        // remote parent, and garbage lines are skipped, not fatal.
         configure(ObsConfig {
             capture: true,
             ..ObsConfig::default()
@@ -593,8 +622,20 @@ mod tests {
             label: None,
         }
         .to_json_line();
-        assert_eq!(absorb_jsonl(&format!("{worker_line}\n\n")), Ok(1));
-        assert!(absorb_jsonl("not json").is_err());
+        assert_eq!(
+            absorb_jsonl(&format!("{worker_line}\n\n")),
+            AbsorbStats {
+                absorbed: 1,
+                skipped: 0
+            }
+        );
+        assert_eq!(
+            absorb_jsonl("not json"),
+            AbsorbStats {
+                absorbed: 0,
+                skipped: 1
+            }
+        );
         let absorbed = take_capture();
         assert!(matches!(
             &absorbed[0],
@@ -607,6 +648,56 @@ mod tests {
         let s = span("test.disabled");
         assert!(!s.is_active());
         assert!(s.ctx().is_none());
+    }
+
+    /// Regression: concurrent handlers appending to one `jsonl:` sink
+    /// can tear a line in the *middle* of the file, not only at the
+    /// tail. The pre-fix absorber stopped at the first malformed line,
+    /// dropping every event after the tear; it must instead skip the
+    /// torn fragments, keep absorbing, and count what it skipped.
+    #[test]
+    fn interior_torn_writes_are_skipped_not_fatal() {
+        let _guard = serial();
+        configure(ObsConfig {
+            capture: true,
+            ..ObsConfig::default()
+        });
+        let line = |name: &str| {
+            Event::Count {
+                pid: own_pid(),
+                name: name.to_string(),
+                value: 1,
+            }
+            .to_json_line()
+        };
+        let good_a = line("torn.a");
+        let good_b = line("torn.b");
+        let good_c = line("torn.c");
+        // A writer torn mid-record splices half a line into another
+        // writer's record, producing two malformed fragments between
+        // intact neighbors.
+        let torn = format!(
+            "{good_a}\n{}\n{}{good_b}\n{good_c}\n",
+            &good_a[..good_a.len() / 2],
+            &good_b[..3],
+        );
+        let before = counter("obs.absorb.skipped").value();
+        let stats = absorb_jsonl(&torn);
+        assert_eq!(stats.absorbed, 2, "events after the tear must land");
+        assert_eq!(stats.skipped, 2, "both torn fragments counted");
+        assert_eq!(counter("obs.absorb.skipped").value(), before + 2);
+        let names: Vec<String> = take_capture()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Count { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"torn.a".to_string()));
+        assert!(names.contains(&"torn.c".to_string()));
+        // Strict validation still refuses the same stream.
+        assert!(validate_jsonl(&torn).is_err());
+        configure(ObsConfig::disabled());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A bounded worker pool for connection handling.
+//!
+//! The server's concurrency ceiling is the pool size: each accepted
+//! connection is handled to completion on one worker, so at most
+//! `threads` requests are in flight and everything else waits in the
+//! accept backlog — admission control by construction, no unbounded
+//! task spawning. A panicking handler is caught and counted rather than
+//! allowed to shrink the pool: a long-running daemon cannot afford to
+//! leak capacity one panic at a time.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool over one shared job queue.
+pub struct ThreadPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("memgaze-serve-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    memgaze_obs::counter!("serve.handler_panics").add(1);
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Queue a job; returns `false` if the pool has already shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// A cloneable submission handle that outlives borrows of the pool.
+    /// `join` only completes once every handle is dropped, so holders
+    /// must be torn down first (the server joins its accept thread
+    /// before joining the pool).
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            tx: self.tx.clone().expect("pool not yet shut down"),
+        }
+    }
+
+    /// Stop accepting jobs and wait for every queued job to finish.
+    pub fn join(mut self) {
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Submission side of a [`ThreadPool`], cloneable across threads.
+#[derive(Clone)]
+pub struct PoolHandle {
+    tx: mpsc::Sender<Job>,
+}
+
+impl PoolHandle {
+    /// Queue a job; returns `false` once the pool's workers are gone.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        self.tx.send(Box::new(job)).is_ok()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = ThreadPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            assert!(pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panicking_job_does_not_shrink_the_pool() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..8 {
+            pool.execute(|| panic!("handler bug"));
+        }
+        // After eight panics on two workers, the pool must still run jobs.
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+}

@@ -80,6 +80,12 @@ impl BlobCache {
     /// Insert a payload, evicting least-recently-used entries until the
     /// budget holds. A payload larger than the whole budget is simply
     /// not retained (the caller still has its Arc).
+    ///
+    /// Eviction never panics: the victim is removed with an `if let`
+    /// rather than an `expect`, and byte accounting saturates. A shared
+    /// server process must survive any interleaving of cache traffic —
+    /// a poisoned-or-dead cache taking the whole daemon down with it is
+    /// strictly worse than one stale entry.
     pub fn put(&mut self, hash: u64, payload: Arc<Vec<u8>>) {
         let size = payload.len() as u64;
         if size > self.budget {
@@ -87,18 +93,29 @@ impl BlobCache {
         }
         self.tick += 1;
         if let Some((old, _)) = self.entries.insert(hash, (payload, self.tick)) {
-            self.held -= old.len() as u64;
+            self.held = self.held.saturating_sub(old.len() as u64);
         }
         self.held += size;
         while self.held > self.budget {
-            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp)
-            else {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&hash, _)| hash);
+            let Some(victim) = victim else {
+                // Accounting says over budget but no entries remain:
+                // resynchronize rather than spin (or die) on the skew.
+                self.held = self.entries.values().map(|(p, _)| p.len() as u64).sum();
                 break;
             };
-            let (evicted, _) = self.entries.remove(&victim).expect("victim was just found");
-            self.held -= evicted.len() as u64;
-            self.evictions += 1;
-            counter!("store.cache_evictions").add(1);
+            // The victim key was found under the same borrow, but a
+            // racing removal path must degrade to "retry with the next
+            // victim", never a process-killing panic.
+            if let Some((evicted, _)) = self.entries.remove(&victim) {
+                self.held = self.held.saturating_sub(evicted.len() as u64);
+                self.evictions += 1;
+                counter!("store.cache_evictions").add(1);
+            }
         }
     }
 
@@ -160,5 +177,45 @@ mod tests {
         let mut c = BlobCache::new(0);
         c.put(1, blob(1, 0));
         assert!(c.get(1).is_none());
+    }
+
+    /// Regression: many threads hammering a shared cache with a budget
+    /// small enough that nearly every `put` evicts. The pre-fix eviction
+    /// loop removed its victim through `expect("victim was just found")`,
+    /// so any accounting skew under contention killed the process; the
+    /// server-shaped requirement is that no interleaving panics and the
+    /// byte accounting stays within budget.
+    #[test]
+    fn concurrent_eviction_never_panics() {
+        use std::sync::Mutex;
+        let cache = Arc::new(Mutex::new(BlobCache::new(256)));
+        let workers: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let key = (t * 31 + i) % 64;
+                        let mut c = cache.lock().unwrap();
+                        if i % 3 == 0 {
+                            c.get(key);
+                        } else {
+                            c.put(key, blob(32 + (key as usize % 48), key as u8));
+                        }
+                        let held = c.stats().held_bytes;
+                        assert!(held <= 256, "held {held} exceeds budget");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("cache worker must not panic");
+        }
+        let c = cache.lock().unwrap();
+        let actual: u64 = c.entries.values().map(|(p, _)| p.len() as u64).sum();
+        assert_eq!(
+            c.stats().held_bytes,
+            actual,
+            "accounting drifted from contents"
+        );
     }
 }

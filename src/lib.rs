@@ -36,6 +36,8 @@ pub use memgaze_model as model;
 pub use memgaze_obs as obs;
 /// Intel Processor Trace hardware model and perf-like collector.
 pub use memgaze_ptsim as ptsim;
+/// Streaming-analysis daemon: HTTP sessions, backpressure, live deltas.
+pub use memgaze_serve as serve;
 /// Content-addressed trace store: blobs, catalogs, caches, queries.
 pub use memgaze_store as store;
 /// Traced workloads: microbenchmarks, miniVite, GAP, Darknet.

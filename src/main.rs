@@ -35,7 +35,7 @@ struct Args {
 }
 
 /// Flags that take no value (presence alone means "yes").
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "smoke"];
 
 impl Args {
     fn parse() -> Args {
@@ -96,6 +96,8 @@ fn usage() -> ! {
          memgaze store gc --dir DIR\n  \
          memgaze store analyze <id> --dir DIR [--threads N]\n  \
          memgaze query <id> --dir DIR [--region lo:hi] [--time lo:hi] [--function NAME]\n  \
+         memgaze serve [--addr HOST:PORT] [--threads N] [--max-sessions N] [--queue N]\n  \
+         \u{20}                [--session-mb N] [--idle-secs N] [--smoke]\n  \
          memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N] [--json]\n  \
          memgaze profile <subcommand args...> [--obs-out FILE]\n  \
          memgaze list\n\n\
@@ -871,6 +873,101 @@ fn run_query_cmd(args: &Args) -> i32 {
 /// JSONL events land (default: a file under the temp dir, reported on
 /// completion). Exits nonzero if the run recorded no spans or the
 /// event file fails to parse.
+/// SIGTERM/SIGINT latch for `memgaze serve`: the handler only stores a
+/// flag; the serve loop polls it and runs the graceful drain itself.
+#[cfg(unix)]
+mod serve_signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+/// `memgaze serve`: run the streaming-analysis daemon until SIGTERM or
+/// SIGINT, then drain gracefully. `--smoke` instead runs the scripted
+/// in-process session matrix and exits.
+fn run_serve_cmd(args: &Args) -> i32 {
+    let threads = args.num("threads", 8usize);
+    if args.get("smoke").is_some() {
+        return match memgaze::serve::harness::smoke(threads) {
+            Ok(summary) => {
+                println!("{summary}");
+                0
+            }
+            Err(e) => {
+                eprintln!("serve smoke failed: {e}");
+                1
+            }
+        };
+    }
+
+    let cfg = memgaze::serve::ServeConfig {
+        max_sessions: args.num("max-sessions", 64usize),
+        queue_depth: args.num("queue", 8usize),
+        session_bytes: args.num("session-mb", 256u64) << 20,
+        idle_timeout: std::time::Duration::from_secs(args.num("idle-secs", 300u64)),
+        ..memgaze::serve::ServeConfig::default()
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8077");
+    let server = match memgaze::serve::Server::bind(addr, cfg, threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "memgaze serve listening on {} ({threads} workers); SIGTERM drains",
+        server.addr()
+    );
+
+    #[cfg(unix)]
+    {
+        serve_signals::install();
+        while !serve_signals::stopped() {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+    }
+    #[cfg(not(unix))]
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+
+    #[cfg(unix)]
+    {
+        eprintln!("serve: draining...");
+        let report = server.drain();
+        println!(
+            "serve: drained; {} sessions sealed, {} seal failures",
+            report.sessions_sealed, report.seal_failures
+        );
+        if report.seal_failures > 0 {
+            return 1;
+        }
+        0
+    }
+}
+
 fn run_profile(args: &Args) -> i32 {
     if args.positional.len() < 2 {
         usage();
@@ -1034,6 +1131,7 @@ fn dispatch(args: &Args) -> i32 {
         // Hidden worker entry point spawned by the fan-out coordinator;
         // not part of the user-facing surface, so absent from usage().
         "analyze-shard" => run_analyze_shard(args),
+        "serve" => run_serve_cmd(args),
         "lint" => run_lint(args),
         "profile" => run_profile(args),
         "list" => {
@@ -1044,6 +1142,7 @@ fn dispatch(args: &Args) -> i32 {
             println!("  darknet   — gemm/im2col inference (alexnet, resnet152)");
             println!("  store     — content-addressed trace store (put/get/ls/gc/analyze)");
             println!("  query     — catalog-only region/time/function queries over a stored trace");
+            println!("  serve     — streaming-analysis daemon (HTTP sessions, SSE deltas)");
             println!("  lint      — static verification of generated modules (no execution)");
             println!("  profile   — run any subcommand with span tracing on and render the trace");
             0
