@@ -30,6 +30,7 @@ pub mod fxhash;
 pub mod heatmap;
 pub mod histogram;
 pub mod interval_tree;
+pub mod live;
 pub mod mape;
 pub mod par;
 pub mod report;
@@ -57,6 +58,9 @@ pub use histogram::{
     reuse_histogram_from, LocalityPoint, Log2Histogram,
 };
 pub use interval_tree::{IntervalNode, IntervalTree, NodeKind};
+pub use live::{
+    window_meta, AnomalyKind, AnomalyMark, LiveConfig, WindowReport, WindowRing, WindowStats,
+};
 pub use mape::{compare_window_series, mape, pct_error, MapeReport};
 pub use report::{fmt_f3, fmt_pct, fmt_si, Table};
 pub use reuse::{analyze_window, analyze_window_naive, BlockReuse, ReuseAnalysis, ReuseEvent};

@@ -1,0 +1,168 @@
+//! BENCH_watch: the live rolling-window monitor under the phase-shift
+//! workload — controller convergence (windows and retunes until the
+//! drop rate settles in band), anomaly-detection latency (windows
+//! between the phase shift and the first mark), and the replay gate.
+//!
+//! The acceptance gate (wired through `compare_bench --check` in the
+//! `watch-smoke` CI job): `windows_bit_identical >= 1` — every window
+//! of a pinned-controller run, replayed offline from its container
+//! frames through a resident [`StreamingAnalyzer`] pass, must
+//! reproduce the live window stats field for field, or the latency
+//! and convergence numbers describe a different analysis.
+
+use memgaze_analysis::{window_meta, AnalysisConfig, StreamingAnalyzer, Table, WindowStats};
+use memgaze_bench::{emit, timed};
+use memgaze_core::{
+    phase_shift_steps, smoke_run, watch_workload, ControllerMode, WatchConfig, WatchReport,
+};
+use memgaze_obs::ObsConfig;
+use memgaze_ptsim::SamplerConfig;
+use serde::Serialize;
+
+const LOCALITY: &[u64] = &[16, 64, 256];
+const STEPS: usize = 64;
+const LOADS_PER_STEP: usize = 4_000;
+const WINDOW_SAMPLES: usize = 4;
+
+#[derive(Serialize)]
+struct Payload {
+    wall_ms: f64,
+    // Adaptive run: governor behaviour from an undersized buffer.
+    adaptive_windows: usize,
+    adaptive_anomalies: usize,
+    retunes: usize,
+    windows_to_converge: u64,
+    converged: u64,
+    final_drop_rate: f64,
+    // Pinned run: constant period, so the shift window is exact.
+    pinned_windows: usize,
+    pinned_anomalies: usize,
+    phase_shift_window: usize,
+    anomaly_detection_latency_windows: u64,
+    // Replay gate over the pinned run's container frames.
+    windows_checked: usize,
+    windows_matching: usize,
+    windows_bit_identical: u64,
+}
+
+/// A pinned watch run with the default (adequate) buffer: the period
+/// never moves, so loads-per-window is constant and the window
+/// containing the phase shift is exact arithmetic.
+fn pinned_run() -> WatchReport {
+    let sampler = SamplerConfig::application(2_000);
+    let watch = WatchConfig {
+        window_samples: WINDOW_SAMPLES,
+        mode: ControllerMode::Pinned,
+        ..WatchConfig::default()
+    };
+    watch_workload(
+        "bench-watch",
+        &sampler,
+        &watch,
+        AnalysisConfig::default(),
+        LOCALITY,
+        |space, step| phase_shift_steps(space, step, STEPS, LOADS_PER_STEP),
+    )
+    .expect("pinned watch run")
+}
+
+/// Replay every container frame resident and count the windows whose
+/// drift stats match the live run bit for bit.
+fn replay_matches(report: &WatchReport) -> usize {
+    report
+        .index
+        .validate(&report.container)
+        .expect("index matches container");
+    (0..report.index.entries.len())
+        .filter(|&i| {
+            let samples = report
+                .index
+                .read_frame(&report.container, i)
+                .expect("frame decodes");
+            let meta = window_meta(
+                "bench-watch",
+                report.initial_period,
+                report.initial_buffer_bytes,
+                &samples,
+            );
+            let mut sa =
+                StreamingAnalyzer::new(&report.annots, &report.symbols, AnalysisConfig::default())
+                    .with_locality_sizes(LOCALITY);
+            sa.ingest_shard(&samples);
+            WindowStats::from_report(i, &sa.finish(&meta)) == report.windows[i]
+        })
+        .count()
+}
+
+fn main() {
+    memgaze_obs::configure(ObsConfig::disabled());
+
+    let (wall_ms, (adaptive, pinned, matching)) = timed(|| {
+        let (adaptive, _) = smoke_run(ControllerMode::Adaptive).expect("adaptive smoke run");
+        let pinned = pinned_run();
+        let matching = replay_matches(&pinned);
+        (adaptive, pinned, matching)
+    });
+
+    // Shift at step STEPS/2 with a fixed period: the first post-shift
+    // sample lands in window (loads_before_shift / period) / samples.
+    let loads_before_shift = (STEPS as u64 / 2) * LOADS_PER_STEP as u64;
+    let phase_shift_window = (loads_before_shift / pinned.initial_period) as usize / WINDOW_SAMPLES;
+    let detection_latency = pinned
+        .anomalies
+        .iter()
+        .map(|m| m.window)
+        .filter(|&w| w >= phase_shift_window)
+        .min()
+        .map(|w| (w - phase_shift_window) as u64)
+        .unwrap_or(u64::MAX);
+
+    let payload = Payload {
+        wall_ms,
+        adaptive_windows: adaptive.windows.len(),
+        adaptive_anomalies: adaptive.anomalies.len(),
+        retunes: adaptive.retunes.len(),
+        windows_to_converge: adaptive.converged_at.map(|w| w as u64).unwrap_or(u64::MAX),
+        converged: u64::from(adaptive.converged_at.is_some()),
+        final_drop_rate: adaptive.final_drop_rate,
+        pinned_windows: pinned.windows.len(),
+        pinned_anomalies: pinned.anomalies.len(),
+        phase_shift_window,
+        anomaly_detection_latency_windows: detection_latency,
+        windows_checked: pinned.windows.len(),
+        windows_matching: matching,
+        windows_bit_identical: u64::from(matching == pinned.windows.len() && matching > 0),
+    };
+
+    let mut table = Table::new(
+        "BENCH_watch: live rolling-window monitor + feedback controller",
+        &["metric", "value"],
+    );
+    table.push_row(vec![
+        "adaptive run".into(),
+        format!(
+            "{} windows, {} anomaly marks, {} retunes",
+            payload.adaptive_windows, payload.adaptive_anomalies, payload.retunes
+        ),
+    ]);
+    table.push_row(vec![
+        "controller convergence".into(),
+        match adaptive.converged_at {
+            Some(w) => format!("window {w}, final drop rate {:.2}", payload.final_drop_rate),
+            None => "did not converge".into(),
+        },
+    ]);
+    table.push_row(vec![
+        "anomaly detection latency".into(),
+        format!(
+            "{} windows after shift window {}",
+            payload.anomaly_detection_latency_windows, payload.phase_shift_window
+        ),
+    ]);
+    table.push_row(vec![
+        "pinned windows replayed bit-identical".into(),
+        format!("{}/{}", payload.windows_matching, payload.windows_checked),
+    ]);
+    table.push_row(vec!["wall".into(), format!("{wall_ms:.0}ms")]);
+    emit("BENCH_watch", &table, &payload);
+}

@@ -82,6 +82,9 @@ const REQUEST_PAYLOAD_LEN: u32 = 16;
 /// Sanity cap on a framed response payload; a length beyond this is a
 /// protocol error, not an allocation request.
 const MAX_RESPONSE_BYTES: u64 = 1 << 34;
+/// Largest single allocation/read the response reader makes per step;
+/// payloads grow chunk by chunk only as bytes actually arrive.
+const RESPONSE_READ_CHUNK: u64 = 1 << 20;
 
 /// Crash-injection env var: a marker-file path; first worker to find it
 /// absent creates it, writes garbage, and exits nonzero.
@@ -909,12 +912,34 @@ fn read_response_frame(src: &mut impl Read) -> Result<Option<Vec<u8>>, String> {
     if len > MAX_RESPONSE_BYTES {
         return Err(format!("worker framed an implausible {len}-byte payload"));
     }
-    let mut payload = vec![0u8; len as usize];
-    let got = read_full(src, &mut payload).map_err(|e| format!("read worker payload: {e}"))?;
-    if (got as u64) < len {
-        return Err(format!("worker payload length {got} != framed {len}"));
+    // The framed length is untrusted until the bytes actually arrive:
+    // allocate in bounded chunks as data is read (the `model::io`
+    // validate-before-allocate discipline), so a hostile header framing
+    // gigabytes against a short stream costs one chunk, not `len`.
+    let mut payload = Vec::new();
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(RESPONSE_READ_CHUNK) as usize;
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        let got = read_full(src, &mut payload[start..])
+            .map_err(|e| format!("read worker payload: {e}"))?;
+        if got < take {
+            return Err(format!(
+                "worker payload length {} != framed {len}",
+                start + got
+            ));
+        }
+        remaining -= take as u64;
     }
     Ok(Some(payload))
+}
+
+/// Saturating `u64 → u32` narrowing for report counters. A plain
+/// `as u32` wraps — `(1 << 32) + 5` would report as 5 retries — so
+/// counters beyond `u32::MAX` pin at the ceiling instead of lying low.
+fn saturate_u32(n: u64) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
 }
 
 /// Analyze an indexed container by fanning its frame ranges out across
@@ -1170,10 +1195,10 @@ fn run_fanout_core(
         report,
         meta,
         ranges,
-        retries: retries.into_inner() as u32,
+        retries: saturate_u32(retries.into_inner()),
         failures: failures.into_inner().unwrap_or_else(|e| e.into_inner()),
         spawns: pool
-            .map(|p| (p.spawn_count() - spawns_before) as u32)
+            .map(|p| saturate_u32(p.spawn_count() - spawns_before))
             .unwrap_or(0),
     })
 }
@@ -1559,6 +1584,80 @@ mod tests {
         t.meta.total_loads = 10_000;
         let (container, index) = encode_sharded_indexed(&t, 2);
         (t, container, index)
+    }
+
+    /// A reader that serves a fixed prefix then EOF, recording the
+    /// largest single `read` request it ever sees — the observable that
+    /// separates chunked reading from allocate-up-front.
+    struct HostileStream {
+        data: Vec<u8>,
+        pos: usize,
+        max_request: usize,
+    }
+
+    impl Read for HostileStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.max_request = self.max_request.max(buf.len());
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn hostile_frame_length_is_read_in_bounded_chunks() {
+        // A hostile header frames an 8 GiB payload (under the protocol
+        // cap) against a stream that carries 16 bytes. The reader must
+        // fail with a truncation error without ever requesting — or
+        // allocating — more than one chunk at a time.
+        let framed_len: u64 = 8 << 30;
+        let mut data = Vec::new();
+        data.extend_from_slice(WORKER_MAGIC);
+        data.extend_from_slice(&framed_len.to_le_bytes());
+        data.extend_from_slice(&[0xAB; 16]);
+        let mut src = HostileStream {
+            data,
+            pos: 0,
+            max_request: 0,
+        };
+        let err = read_response_frame(&mut src).expect_err("truncated payload must error");
+        assert!(err.contains("framed"), "unexpected detail: {err}");
+        assert!(
+            src.max_request as u64 <= RESPONSE_READ_CHUNK,
+            "reader requested {} bytes at once for an untrusted length",
+            src.max_request
+        );
+    }
+
+    #[test]
+    fn honest_frames_roundtrip_through_chunked_reader() {
+        // Payloads both below and above one chunk decode intact.
+        for len in [0usize, 5, (RESPONSE_READ_CHUNK + 123) as usize] {
+            let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut data = Vec::new();
+            data.extend_from_slice(WORKER_MAGIC);
+            data.extend_from_slice(&(len as u64).to_le_bytes());
+            data.extend_from_slice(&payload);
+            let mut src = HostileStream {
+                data,
+                pos: 0,
+                max_request: 0,
+            };
+            let got = read_response_frame(&mut src).unwrap().unwrap();
+            assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn counter_narrowing_saturates_instead_of_wrapping() {
+        // `(1 << 32) + 5 as u32` wraps to 5 — the pre-fix lie. The
+        // saturating conversion pins at the ceiling.
+        assert_eq!(saturate_u32(0), 0);
+        assert_eq!(saturate_u32(41), 41);
+        assert_eq!(saturate_u32(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(saturate_u32((1 << 32) + 5), u32::MAX);
+        assert_eq!(saturate_u32(u64::MAX), u32::MAX);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod hotspot;
 pub mod overheads;
 pub mod pipeline;
 pub mod recorders;
+pub mod watch;
 
 pub use fanout::{
     run_fanout, run_fanout_store, worker_main, worker_serve, worker_serve_store, FanoutBackend,
@@ -34,3 +35,7 @@ pub use pipeline::{
     StreamingWorkloadReport, WorkloadReport,
 };
 pub use recorders::{FullRecorder, SamplerRecorder, StreamingRecorder, TeeRecorder};
+pub use watch::{
+    phase_shift_steps, smoke_run, watch_smoke, watch_workload, Controller, ControllerConfig,
+    ControllerMode, GuardAction, Retune, WatchConfig, WatchReport,
+};

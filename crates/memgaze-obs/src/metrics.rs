@@ -139,10 +139,12 @@ impl Histogram {
     }
 }
 
-/// A maximum gauge (e.g. peak shard bytes).
+/// A gauge tracking both the maximum (e.g. peak shard bytes) and the
+/// most recent value (e.g. the watch controller's current period).
 pub struct Gauge {
     name: &'static str,
     max: AtomicU64,
+    last: AtomicU64,
 }
 
 impl Gauge {
@@ -150,6 +152,7 @@ impl Gauge {
         Gauge {
             name,
             max: AtomicU64::new(0),
+            last: AtomicU64::new(0),
         }
     }
 
@@ -167,9 +170,26 @@ impl Gauge {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Record the current value, raising the maximum alongside. A
+    /// no-op when disabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.last.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Largest value observed.
     pub fn value(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
+    }
+
+    /// Most recently [`set`](Self::set) value (0 if only `set_max` was
+    /// ever used).
+    pub fn last(&self) -> u64 {
+        self.last.load(Ordering::Relaxed)
     }
 }
 

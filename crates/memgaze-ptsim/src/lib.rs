@@ -41,5 +41,5 @@ pub use guard::IpGuards;
 pub use overhead::{OverheadEstimate, OverheadModel, RunProfile};
 pub use packet::{PacketStats, PtwPacket};
 pub use runner::{collect_full, collect_sampled, ground_truth, RunStats};
-pub use stream::{StreamFull, StreamSampler, StreamStats};
+pub use stream::{SamplerObservation, StreamFull, StreamSampler, StreamStats};
 pub use timetrigger::TimeStreamSampler;

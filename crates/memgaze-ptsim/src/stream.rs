@@ -30,6 +30,12 @@ pub struct StreamSampler {
     stats: PacketStats,
     ptwrites_enabled: u64,
     ptwrites_executed: u64,
+    /// Interval accounting since the last [`take_observation`]
+    /// (`StreamSampler::take_observation`): packets enabled, packets
+    /// overwritten by buffer wrap, and the peak buffer fill.
+    interval_enabled: u64,
+    interval_overwritten: u64,
+    interval_peak_bytes: u64,
 }
 
 impl StreamSampler {
@@ -48,6 +54,9 @@ impl StreamSampler {
             stats: PacketStats::default(),
             ptwrites_enabled: 0,
             ptwrites_executed: 0,
+            interval_enabled: 0,
+            interval_overwritten: 0,
+            interval_peak_bytes: 0,
         }
     }
 
@@ -80,12 +89,15 @@ impl StreamSampler {
             self.ptwrites_executed += u64::from(packets);
             if self.pt_enabled() && self.cfg.guards.allows(ip) {
                 self.ptwrites_enabled += u64::from(packets);
+                self.interval_enabled += u64::from(packets);
                 self.stats.add_ptw(u64::from(packets));
                 let cost = u64::from(packets) * PtwPacket::bytes(self.cfg.compact_payloads);
                 while self.used_bytes + cost > self.cfg.buffer_bytes {
                     match self.items.pop_front() {
                         Some((_, c)) => {
                             self.used_bytes = self.used_bytes.saturating_sub(c);
+                            self.interval_overwritten +=
+                                c / PtwPacket::bytes(self.cfg.compact_payloads).max(1);
                         }
                         None => break,
                     }
@@ -99,6 +111,7 @@ impl StreamSampler {
                     cost,
                 ));
                 self.used_bytes += cost;
+                self.interval_peak_bytes = self.interval_peak_bytes.max(self.used_bytes);
             }
         }
         self.loads += 1;
@@ -124,6 +137,41 @@ impl StreamSampler {
     /// appear instead of letting the whole trace pile up here.
     pub fn take_completed(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.samples)
+    }
+
+    /// Drain the interval accounting since the previous call: how many
+    /// packets were enabled, how many were overwritten by buffer wrap
+    /// before a snapshot could save them, and the peak buffer fill.
+    /// This is the feedback signal the watch controller observes.
+    pub fn take_observation(&mut self) -> SamplerObservation {
+        let obs = SamplerObservation {
+            enabled_packets: self.interval_enabled,
+            overwritten_packets: self.interval_overwritten,
+            peak_used_bytes: self.interval_peak_bytes,
+            buffer_bytes: self.cfg.buffer_bytes,
+        };
+        self.interval_enabled = 0;
+        self.interval_overwritten = 0;
+        self.interval_peak_bytes = self.used_bytes;
+        obs
+    }
+
+    /// Retune the sampling knobs mid-run: period (`w + z`), buffer
+    /// capacity, and the hardware address-range guards. The next
+    /// trigger is re-derived from the new period so a shrunk period
+    /// takes effect immediately instead of after the old interval.
+    pub fn retune(&mut self, period: u64, buffer_bytes: u64, guards: crate::guard::IpGuards) {
+        if period != self.cfg.period {
+            self.cfg.period = period.max(1);
+            self.next_trigger = self.loads + self.cfg.period;
+        }
+        self.cfg.buffer_bytes = buffer_bytes.max(PtwPacket::bytes(self.cfg.compact_payloads));
+        self.cfg.guards = guards;
+    }
+
+    /// The sampling configuration currently in force (post-retune).
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
     }
 
     /// Finish, returning the trace parts instead of an assembled trace:
@@ -168,6 +216,41 @@ pub struct StreamStats {
     pub ptwrites_executed: u64,
     /// `ptwrite`s executed while PT was enabled.
     pub ptwrites_enabled: u64,
+}
+
+/// One interval's feedback signal from the sampler: how hard the
+/// circular buffer was pressed and how much was lost to overwrite.
+/// Drained by [`StreamSampler::take_observation`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerObservation {
+    /// Packets written while PT was enabled this interval.
+    pub enabled_packets: u64,
+    /// Packets evicted by buffer wrap before a snapshot saved them.
+    pub overwritten_packets: u64,
+    /// Peak circular-buffer fill (bytes) this interval.
+    pub peak_used_bytes: u64,
+    /// Buffer capacity in force at drain time.
+    pub buffer_bytes: u64,
+}
+
+impl SamplerObservation {
+    /// Fraction of enabled packets lost to overwrite (0 when idle).
+    pub fn drop_rate(&self) -> f64 {
+        if self.enabled_packets == 0 {
+            0.0
+        } else {
+            self.overwritten_packets as f64 / self.enabled_packets as f64
+        }
+    }
+
+    /// Peak buffer fill as a fraction of capacity.
+    pub fn pressure(&self) -> f64 {
+        if self.buffer_bytes == 0 {
+            0.0
+        } else {
+            self.peak_used_bytes as f64 / self.buffer_bytes as f64
+        }
+    }
 }
 
 /// Full-trace collection over a decoded load stream, with the

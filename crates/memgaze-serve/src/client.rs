@@ -103,14 +103,18 @@ impl Client {
     /// Subscribe to a session's delta stream; returns the raw SSE
     /// events `(event, data)` read until the server closes the stream.
     pub fn subscribe_collect(&self, id: &str) -> std::io::Result<SseCollector> {
+        self.sse_collect(&format!("/sessions/{id}/deltas"))
+    }
+
+    /// Subscribe to the server-wide watch stream (`GET /watch/events`):
+    /// rolling-window reports and anomaly marks from every session.
+    pub fn watch_collect(&self) -> std::io::Result<SseCollector> {
+        self.sse_collect("/watch/events")
+    }
+
+    fn sse_collect(&self, path: &str) -> std::io::Result<SseCollector> {
         let mut stream = TcpStream::connect(self.addr)?;
-        write_request(
-            &mut stream,
-            "GET",
-            &format!("/sessions/{id}/deltas"),
-            &[],
-            None,
-        )?;
+        write_request(&mut stream, "GET", path, &[], None)?;
         let mut reader = BufReader::new(stream);
         // Consume the response head; events follow until EOF.
         let mut line = String::new();

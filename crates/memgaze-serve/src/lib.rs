@@ -47,9 +47,9 @@ pub mod session;
 pub use client::{Client, HttpResponse};
 pub use error::ServeError;
 pub use server::{DrainReport, Server};
-pub use session::{Registry, SealedReport, Session, SessionStatus};
+pub use session::{Registry, SealedReport, Session, SessionStatus, WatchHub};
 
-use memgaze_analysis::AnalysisConfig;
+use memgaze_analysis::{AnalysisConfig, LiveConfig};
 use std::time::Duration;
 
 /// Server-wide configuration: the analysis parameters every session
@@ -75,6 +75,11 @@ pub struct ServeConfig {
     /// Socket read timeout — bounds how long a torn client can hold a
     /// pool worker.
     pub read_timeout: Duration,
+    /// Shards folded into one rolling watch window; every closed
+    /// window is published on `GET /watch/events`.
+    pub watch_window_shards: usize,
+    /// Rolling-window ring and anomaly-threshold parameters.
+    pub watch_live: LiveConfig,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +93,8 @@ impl Default for ServeConfig {
             max_upload_bytes: 64 << 20,
             idle_timeout: Duration::from_secs(300),
             read_timeout: Duration::from_secs(10),
+            watch_window_shards: 4,
+            watch_live: LiveConfig::default(),
         }
     }
 }

@@ -209,7 +209,9 @@ fn handle_connection(stream: TcpStream, registry: Arc<Registry>) {
                 // SSE hand-off: send the stream header, then move the
                 // socket into the session's subscriber list. Events are
                 // written by whichever handler publishes a delta; this
-                // worker goes back to the pool.
+                // worker goes back to the pool. If the session sealed
+                // between routing and registration, `subscribe` writes
+                // the final `sealed` event before the socket closes.
                 let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
                             Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
                 if std::io::Write::write_all(&mut writer, head.as_bytes()).is_err() {
@@ -217,6 +219,18 @@ fn handle_connection(stream: TcpStream, registry: Arc<Registry>) {
                 }
                 let _ = writer.set_read_timeout(None);
                 let _ = session.subscribe(writer);
+                return;
+            }
+            Routed::SubscribeWatch => {
+                // Server-wide watch stream: every session's rolling
+                // windows and anomaly marks until drain.
+                let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                            Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+                if std::io::Write::write_all(&mut writer, head.as_bytes()).is_err() {
+                    return;
+                }
+                let _ = writer.set_read_timeout(None);
+                registry.watch_hub().subscribe(writer);
                 return;
             }
         }
@@ -228,6 +242,7 @@ fn handle_connection(stream: TcpStream, registry: Arc<Registry>) {
 enum Routed {
     Respond(Response),
     Subscribe(Arc<crate::session::Session>),
+    SubscribeWatch,
 }
 
 /// Render a [`ServeError`] as its HTTP response.
@@ -281,6 +296,7 @@ fn route(req: &Request, registry: &Registry) -> Routed {
             .get(id)
             .and_then(|s| s.sealed())
             .map(sealed_response),
+        ("GET", ["watch", "events"]) => return Routed::SubscribeWatch,
         ("GET", ["sessions", id, "deltas"]) => {
             return match registry.get(id) {
                 Ok(s) if !s.status().sealed => Routed::Subscribe(s),

@@ -21,7 +21,9 @@
 use crate::error::ServeError;
 use crate::http::hex;
 use crate::ServeConfig;
-use memgaze_analysis::{PartialReport, StreamingAnalyzer, StreamingReport};
+use memgaze_analysis::{
+    AnomalyMark, PartialReport, StreamingAnalyzer, StreamingReport, WindowRing, WindowStats,
+};
 use memgaze_model::{AuxAnnotations, ShardReader, SymbolTable, TraceMeta};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
@@ -107,6 +109,12 @@ struct SessionInner {
     partials: Vec<PartialReport>,
     subscribers: Vec<TcpStream>,
     last_touch: Instant,
+    /// Per-shard partial clones accumulated toward the next rolling
+    /// watch window.
+    window_partials: Vec<PartialReport>,
+    window_samples: u64,
+    /// Rolling window ring + drift detection for this session.
+    ring: WindowRing,
 }
 
 /// One live analysis session.
@@ -115,6 +123,48 @@ pub struct Session {
     pub id: String,
     inner: Mutex<SessionInner>,
     idle: Condvar,
+    /// Server-wide watch-event hub this session publishes windows to.
+    hub: Arc<WatchHub>,
+}
+
+/// The server-wide `GET /watch/events` fan-out point: every session's
+/// closed windows and anomaly marks are published to every subscriber.
+#[derive(Default)]
+pub struct WatchHub {
+    subscribers: Mutex<Vec<TcpStream>>,
+}
+
+impl WatchHub {
+    fn subs(&self) -> MutexGuard<'_, Vec<TcpStream>> {
+        self.subscribers.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Register a live watch subscriber.
+    pub fn subscribe(&self, stream: TcpStream) {
+        self.subs().push(stream);
+        memgaze_obs::counter!("serve.watch_subscribers").add(1);
+    }
+
+    /// Watch subscribers right now.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs().len()
+    }
+
+    /// Publish one event to every watch subscriber.
+    pub fn publish(&self, event: &str, data: &str) {
+        publish(&mut self.subs(), event, data);
+    }
+
+    /// Publish the final `drained` event and close every subscriber.
+    pub fn close(&self, sessions_sealed: usize) {
+        let mut subs = self.subs();
+        publish(
+            &mut subs,
+            "drained",
+            &format!("{{\"sessions_sealed\":{sessions_sealed}}}"),
+        );
+        subs.clear();
+    }
 }
 
 /// Poison-proof lock: a handler that panicked while holding the mutex
@@ -125,7 +175,7 @@ fn lock(m: &Mutex<SessionInner>) -> MutexGuard<'_, SessionInner> {
 }
 
 impl Session {
-    fn new(id: String) -> Session {
+    fn new(id: String, live: memgaze_analysis::LiveConfig, hub: Arc<WatchHub>) -> Session {
         Session {
             id,
             inner: Mutex::new(SessionInner {
@@ -141,8 +191,12 @@ impl Session {
                 partials: Vec::new(),
                 subscribers: Vec::new(),
                 last_touch: Instant::now(),
+                window_partials: Vec::new(),
+                window_samples: 0,
+                ring: WindowRing::new(live),
             }),
             idle: Condvar::new(),
+            hub,
         }
     }
 
@@ -245,7 +299,7 @@ impl Session {
             g = lock(&self.inner);
             match analyzed {
                 Ok(an) => {
-                    if let Err(e) = self.absorb(&mut g, an, &mut summary) {
+                    if let Err(e) = self.absorb(&mut g, an, &mut summary, cfg) {
                         g.error = Some(e.to_string());
                         return Err(e);
                     }
@@ -268,6 +322,7 @@ impl Session {
         g: &mut MutexGuard<'_, SessionInner>,
         an: UploadAnalysis,
         summary: &mut FeedSummary,
+        cfg: &ServeConfig,
     ) -> Result<(), ServeError> {
         match &mut g.meta {
             None => {
@@ -314,9 +369,45 @@ impl Session {
                 );
                 publish(&mut g.subscribers, "shard", &data);
             }
+            g.window_partials.push(partial.clone());
+            g.window_samples += samples;
             g.partials.push(partial);
+            if g.window_partials.len() >= cfg.watch_window_shards.max(1) {
+                self.close_watch_window(g, cfg);
+            }
         }
         Ok(())
+    }
+
+    /// Fold the accumulated per-shard partials into one rolling window,
+    /// push it through the drift ring, and publish `window`/`anomaly`
+    /// events on the server-wide watch hub.
+    fn close_watch_window(&self, g: &mut MutexGuard<'_, SessionInner>, cfg: &ServeConfig) {
+        let partials = std::mem::take(&mut g.window_partials);
+        let samples = std::mem::replace(&mut g.window_samples, 0);
+        let merged = match PartialReport::merge_many(
+            partials,
+            cfg.analysis.footprint_block,
+            cfg.analysis.reuse_block,
+            &cfg.locality_sizes,
+        ) {
+            Ok(m) => m,
+            Err(_) => return, // incompatible partials cannot form a window
+        };
+        let mut meta = g
+            .meta
+            .clone()
+            .unwrap_or_else(|| TraceMeta::new("watch-window", 1, 0));
+        meta.total_loads = samples * meta.period;
+        meta.total_instrumented_loads = 0;
+        let report = merged.finish(&meta);
+        let (stats, marks) = g.ring.push(report);
+        memgaze_obs::counter!("serve.watch_windows").add(1);
+        self.hub.publish("window", &window_json(&self.id, &stats));
+        for m in &marks {
+            memgaze_obs::counter!("serve.watch_anomalies").add(1);
+            self.hub.publish("anomaly", &anomaly_json(&self.id, m));
+        }
     }
 
     /// Seal the session: wait out any active drainer, drain whatever is
@@ -350,6 +441,11 @@ impl Session {
             outcome?;
         }
 
+        // Flush a trailing partial watch window so the live view covers
+        // the stream's tail before the final `sealed` event.
+        if !g.window_partials.is_empty() {
+            self.close_watch_window(&mut g, cfg);
+        }
         let partials = std::mem::take(&mut g.partials);
         let merged = PartialReport::merge_many(
             partials,
@@ -396,12 +492,21 @@ impl Session {
 
     /// Register a live-delta subscriber. The stream receives one SSE
     /// `shard` event per future shard and a final `sealed` event.
+    ///
+    /// If a seal won the race between the route's sealed check and this
+    /// registration (e.g. SIGTERM drain), the client already holds an
+    /// open SSE stream — so the final `sealed` event is written to it
+    /// directly before the socket closes, never a torn stream.
     pub fn subscribe(&self, stream: TcpStream) -> Result<(), ServeError> {
         let mut g = lock(&self.inner);
-        if g.sealed.is_some() {
-            return Err(ServeError::Sealed {
-                id: self.id.clone(),
-            });
+        if let Some(sealed) = &g.sealed {
+            let data = format!(
+                "{{\"session\":\"{}\",\"shards\":{},\"samples\":{}}}",
+                self.id, sealed.shards, sealed.samples
+            );
+            let mut late = vec![stream];
+            publish(&mut late, "sealed", &data);
+            return Ok(());
         }
         g.subscribers.push(stream);
         memgaze_obs::counter!("serve.subscribers").add(1);
@@ -417,6 +522,36 @@ impl Session {
     pub fn idle_for(&self) -> std::time::Duration {
         lock(&self.inner).last_touch.elapsed()
     }
+}
+
+/// Render one closed window as a watch-hub event payload.
+fn window_json(session: &str, s: &WindowStats) -> String {
+    format!(
+        "{{\"session\":\"{session}\",\"window\":{},\"samples\":{},\"observed\":{},\
+         \"f_hat_bytes\":{:.3},\"delta_f\":{:.6},\"df_irr_pct\":{:.3},\"a_const_pct\":{:.3},\
+         \"mean_d\":{:.3},\"kappa\":{:.6}}}",
+        s.window,
+        s.samples,
+        s.observed,
+        s.f_hat_bytes,
+        s.delta_f,
+        s.delta_f_irr_pct,
+        s.a_const_pct,
+        s.mean_d,
+        s.kappa
+    )
+}
+
+/// Render one anomaly mark as a watch-hub event payload.
+fn anomaly_json(session: &str, m: &AnomalyMark) -> String {
+    format!(
+        "{{\"session\":\"{session}\",\"window\":{},\"metric\":\"{}\",\"ratio\":{:.3},\
+         \"detail\":\"{}\"}}",
+        m.window,
+        m.kind.metric(),
+        m.ratio,
+        crate::http::json_escape(&m.detail())
+    )
 }
 
 /// Write one SSE event to every subscriber, dropping the dead ones.
@@ -468,6 +603,7 @@ pub struct Registry {
     sessions: Mutex<HashMap<String, Arc<Session>>>,
     next_id: AtomicU64,
     draining: AtomicBool,
+    hub: Arc<WatchHub>,
 }
 
 impl Registry {
@@ -478,7 +614,13 @@ impl Registry {
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
+            hub: Arc::new(WatchHub::default()),
         }
+    }
+
+    /// The server-wide watch-event hub.
+    pub fn watch_hub(&self) -> &Arc<WatchHub> {
+        &self.hub
     }
 
     fn table(&self) -> MutexGuard<'_, HashMap<String, Arc<Session>>> {
@@ -498,7 +640,11 @@ impl Registry {
             });
         }
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst));
-        let session = Arc::new(Session::new(id.clone()));
+        let session = Arc::new(Session::new(
+            id.clone(),
+            self.cfg.watch_live,
+            Arc::clone(&self.hub),
+        ));
         table.insert(id, Arc::clone(&session));
         memgaze_obs::counter!("serve.sessions_created").add(1);
         memgaze_obs::gauge!("serve.live_sessions").set_max(table.len() as u64);
@@ -560,6 +706,8 @@ impl Registry {
                 Err(_) => failures += 1,
             }
         }
+        // Watch subscribers get a final `drained` event, then close.
+        self.hub.close(sealed);
         (sealed, failures)
     }
 }

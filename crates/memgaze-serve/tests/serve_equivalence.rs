@@ -301,3 +301,122 @@ fn subscribers_see_every_shard_delta_then_sealed() {
     assert_eq!(merged.encode(), sealed.partial_bytes);
     server.drain();
 }
+
+/// The shutdown race: a subscriber whose registration loses the race
+/// against seal (e.g. SIGTERM drain sealing every session) must still
+/// receive the final `sealed` event, not a torn stream. Exercised
+/// deterministically by sealing *before* `subscribe` runs — the exact
+/// interleaving the route's sealed check cannot rule out.
+#[test]
+fn drain_during_subscribe_still_delivers_the_sealed_event() {
+    let cfg = ServeConfig::default();
+    let registry = Registry::new(cfg.clone());
+    let session = registry.create().expect("create");
+
+    let samples = synthetic_samples(4, 32, 7);
+    let groups: Vec<&[Sample]> = samples.chunks(2).collect();
+    let upload = container("race", &groups);
+    session.feed(upload, &cfg).expect("feed");
+
+    // A real socket pair: the subscriber's write end goes into
+    // `subscribe`, the read end plays the SSE client.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let client_end = std::thread::spawn(move || TcpStream::connect(addr).expect("connect"));
+    let (server_end, _) = listener.accept().expect("accept");
+    let reader_end = client_end.join().expect("connect join");
+
+    // Drain seals the session between the route check and subscribe.
+    let (sealed, failures) = registry.seal_all();
+    assert_eq!((sealed, failures), (1, 0));
+
+    session
+        .subscribe(server_end)
+        .expect("late subscribe must succeed by delivering the final event");
+
+    let mut reader = std::io::BufReader::new(reader_end);
+    let mut text = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut text).expect("read events");
+    assert!(
+        text.contains("event: sealed"),
+        "late subscriber saw a torn stream: {text:?}"
+    );
+    assert!(text.contains("\"shards\":2"), "payload: {text:?}");
+}
+
+/// `GET /watch/events`: rolling windows close every
+/// `watch_window_shards` shards and publish per-window drift stats;
+/// a phase shift between uploads raises an anomaly event; drain ends
+/// the stream with a final `drained` event.
+#[test]
+fn watch_stream_publishes_windows_anomalies_then_drained() {
+    use memgaze_model::Access;
+
+    let cfg = ServeConfig {
+        watch_window_shards: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg, 3).expect("bind");
+    let http = Client::new(server.addr());
+
+    let collector = http.watch_collect().expect("watch subscribe");
+    let hub = server.registry().watch_hub();
+    for _ in 0..100 {
+        if hub.subscriber_count() > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        hub.subscriber_count() > 0,
+        "watch subscriber never registered"
+    );
+
+    // Phase A: tight cyclic reuse over 32 lines. Phase B: scattered
+    // accesses over a region 3 orders of magnitude larger — footprint
+    // and reuse distance jump together.
+    let tight: Vec<Sample> = (0..4)
+        .map(|s| {
+            let accesses: Vec<Access> = (0..100u64)
+                .map(|i| Access::new(0x400, 0x10_0000 + (i % 32) * 64, s * 1000 + i))
+                .collect();
+            Sample::new(accesses, (s + 1) * 1000)
+        })
+        .collect();
+    let scattered: Vec<Sample> = (4..8)
+        .map(|s| {
+            let accesses: Vec<Access> = (0..100u64)
+                .map(|i| {
+                    let x = s * 100 + i;
+                    Access::new(
+                        0x404,
+                        0x900_0000 + (x * x * 2654435761) % (1 << 28),
+                        s * 1000 + i,
+                    )
+                })
+                .collect();
+            Sample::new(accesses, (s + 1) * 1000)
+        })
+        .collect();
+
+    let id = http.create_session().expect("create");
+    for shard in [&tight, &scattered] {
+        let upload = container("watch", &[shard.as_slice()]);
+        assert_eq!(http.feed(&id, &upload, None).expect("feed").status, 202);
+    }
+    server.drain();
+
+    let events = collector.collect();
+    let windows = events.iter().filter(|(e, _)| e == "window").count();
+    let anomalies: Vec<&(String, String)> = events.iter().filter(|(e, _)| e == "anomaly").collect();
+    assert_eq!(windows, 2, "events: {events:?}");
+    assert!(
+        !anomalies.is_empty(),
+        "phase shift raised no anomaly: {events:?}"
+    );
+    assert!(
+        anomalies.iter().all(|(_, d)| d.contains("\"window\":1")),
+        "anomalies: {anomalies:?}"
+    );
+    assert_eq!(events.last().map(|(e, _)| e.as_str()), Some("drained"));
+}

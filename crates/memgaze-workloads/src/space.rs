@@ -373,6 +373,13 @@ impl<R: LoadRecorder> TracedSpace<R> {
         self.recorder
     }
 
+    /// Mutable access to the recorder mid-run — the live watch loop
+    /// drains completed samples and retunes the sampler between
+    /// workload steps without ending the collection.
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
     /// The registered sites.
     pub fn sites(&self) -> &[Site] {
         &self.sites

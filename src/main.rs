@@ -98,6 +98,8 @@ fn usage() -> ! {
          memgaze query <id> --dir DIR [--region lo:hi] [--time lo:hi] [--function NAME]\n  \
          memgaze serve [--addr HOST:PORT] [--threads N] [--max-sessions N] [--queue N]\n  \
          \u{20}                [--session-mb N] [--idle-secs N] [--smoke]\n  \
+         memgaze watch [--window N] [--anomaly-threshold X] [--controller pinned|adaptive]\n  \
+         \u{20}                [--period N] [--buffer-kb N] [--steps N] [--smoke]\n  \
          memgaze lint [pattern] [--opt O0|O3] [--elems N] [--reps N] [--json]\n  \
          memgaze profile <subcommand args...> [--obs-out FILE]\n  \
          memgaze list\n\n\
@@ -968,6 +970,125 @@ fn run_serve_cmd(args: &Args) -> i32 {
     }
 }
 
+/// `memgaze watch`: run the phase-shift workload under the live
+/// rolling-window monitor and print the drift table, anomaly marks,
+/// and the controller's retune trace. `--smoke` runs the scripted
+/// undersized-buffer run and asserts it raises anomalies and
+/// converges.
+fn run_watch_cmd(args: &Args) -> i32 {
+    use memgaze::core::{watch_workload, ControllerMode, WatchConfig};
+
+    if args.get("smoke").is_some() {
+        return match memgaze::core::watch_smoke() {
+            Ok(summary) => {
+                println!("{summary}");
+                0
+            }
+            Err(e) => {
+                eprintln!("watch smoke failed: {e}");
+                1
+            }
+        };
+    }
+
+    let mode: ControllerMode = match args.get("controller").unwrap_or("adaptive").parse() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("watch: {e}");
+            usage();
+        }
+    };
+    let mut sampler = memgaze::ptsim::SamplerConfig::application(args.num("period", 2_000u64));
+    sampler.buffer_bytes = args.num("buffer-kb", 1u64).max(1) << 10;
+    let watch = WatchConfig {
+        window_samples: args.num("window", 8usize).max(1),
+        live: memgaze::analysis::LiveConfig {
+            anomaly_threshold: args.num("anomaly-threshold", 2.0f64),
+            ..memgaze::analysis::LiveConfig::default()
+        },
+        mode,
+        ..WatchConfig::default()
+    };
+    let steps = args.num("steps", 64usize).max(2);
+
+    let report = match watch_workload(
+        "watch",
+        &sampler,
+        &watch,
+        AnalysisConfig::default(),
+        &[16, 64, 256],
+        |space, step| memgaze::core::phase_shift_steps(space, step, steps, 4_000),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("watch: {e}");
+            return 1;
+        }
+    };
+
+    let mut table = Table::new(
+        "Rolling windows",
+        &[
+            "window",
+            "samples",
+            "loads",
+            "F\u{302} bytes",
+            "\u{394}F",
+            "\u{394}F_irr%",
+            "A_const%",
+            "mean d",
+            "\u{3ba}",
+        ],
+    );
+    for w in &report.windows {
+        table.push_row(vec![
+            w.window.to_string(),
+            w.samples.to_string(),
+            fmt_si(w.observed as f64),
+            fmt_si(w.f_hat_bytes),
+            fmt_f3(w.delta_f),
+            fmt_pct(w.delta_f_irr_pct),
+            fmt_pct(w.a_const_pct),
+            fmt_f3(w.mean_d),
+            fmt_f3(w.kappa),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if report.anomalies.is_empty() {
+        println!("no anomaly marks");
+    } else {
+        println!("anomaly marks:");
+        for mark in &report.anomalies {
+            println!("  {}", mark.detail());
+        }
+    }
+
+    match report.retunes.len() {
+        0 => println!("\ncontroller ({mode:?}): no retunes"),
+        n => {
+            println!("\ncontroller ({mode:?}): {n} retunes");
+            for r in &report.retunes {
+                println!(
+                    "  window {:>3}: drop {:.2} pressure {:.2} -> period {} buffer {} ({:?})",
+                    r.window, r.drop_rate, r.pressure, r.period, r.buffer_bytes, r.guard
+                );
+            }
+        }
+    }
+    match report.converged_at {
+        Some(w) => println!(
+            "converged at window {w}; final drop rate {:.2}",
+            report.final_drop_rate
+        ),
+        None => println!(
+            "controller did not converge; final drop rate {:.2}",
+            report.final_drop_rate
+        ),
+    }
+    0
+}
+
 fn run_profile(args: &Args) -> i32 {
     if args.positional.len() < 2 {
         usage();
@@ -1132,6 +1253,7 @@ fn dispatch(args: &Args) -> i32 {
         // not part of the user-facing surface, so absent from usage().
         "analyze-shard" => run_analyze_shard(args),
         "serve" => run_serve_cmd(args),
+        "watch" => run_watch_cmd(args),
         "lint" => run_lint(args),
         "profile" => run_profile(args),
         "list" => {
@@ -1143,6 +1265,7 @@ fn dispatch(args: &Args) -> i32 {
             println!("  store     — content-addressed trace store (put/get/ls/gc/analyze)");
             println!("  query     — catalog-only region/time/function queries over a stored trace");
             println!("  serve     — streaming-analysis daemon (HTTP sessions, SSE deltas)");
+            println!("  watch     — live rolling-window monitoring with an adaptive controller");
             println!("  lint      — static verification of generated modules (no execution)");
             println!("  profile   — run any subcommand with span tracing on and render the trace");
             0
